@@ -1,0 +1,98 @@
+// Ablation A4: the accuracy/cost ladder across summation methods.
+//
+// Places HP among the related work of §I: naive double, pairwise, Kahan,
+// Neumaier, Hallberg, HP — error on cancellation sets (true sum exactly 0)
+// and cost per summand. HP and Hallberg buy exactness; the compensated
+// methods buy most of the accuracy for a fraction of the cost; the bench
+// quantifies both sides.
+//
+// Flags: --n (default 1M), --trials (default 5), --seed.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "compensated/compensated.hpp"
+#include "core/reduce.hpp"
+#include "hallberg/hallberg.hpp"
+#include "reprosum/reprosum.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpsum;
+  const util::Args args(argc, argv, {"n", "trials", "seed", "csv"});
+  const auto n = bench::pick(args, "n", 1024 * 1024, 16 * 1024 * 1024);
+  const auto trials = static_cast<int>(args.get_int("trials", 5));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12));
+
+  bench::banner("Ablation A4: accuracy vs cost ladder",
+                "§I related work: error-compensation methods vs exact "
+                "high-precision intermediate sums");
+
+  auto xs = workload::cancellation_set(static_cast<std::size_t>(n), seed);
+  workload::shuffle(xs, seed + 1);
+
+  struct Row {
+    const char* name;
+    double error;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"naive double", std::fabs(sum_naive(xs)),
+                  bench::time_min(trials, [&] { bench::sink(sum_naive(xs)); })});
+  rows.push_back({"pairwise", std::fabs(sum_pairwise(xs)),
+                  bench::time_min(trials, [&] { bench::sink(sum_pairwise(xs)); })});
+  rows.push_back({"Kahan", std::fabs(sum_kahan(xs)),
+                  bench::time_min(trials, [&] { bench::sink(sum_kahan(xs)); })});
+  rows.push_back({"Neumaier", std::fabs(sum_neumaier(xs)),
+                  bench::time_min(trials, [&] { bench::sink(sum_neumaier(xs)); })});
+  rows.push_back({"ReproSum(K=3,W=20)", std::fabs([&] {
+                    reprosum::ReproSum acc(1e-3, static_cast<std::size_t>(n));
+                    for (const double x : xs) acc.add(x);
+                    return acc.result();
+                  }()),
+                  bench::time_min(trials, [&] {
+                    reprosum::ReproSum acc(1e-3, static_cast<std::size_t>(n));
+                    for (const double x : xs) acc.add(x);
+                    bench::sink(acc.result());
+                  })});
+  rows.push_back({"Hallberg(12,43)", std::fabs([&] {
+                    Hallberg acc(HallbergParams{12, 43});
+                    for (const double x : xs) acc.add(x);
+                    return acc.to_double();
+                  }()),
+                  bench::time_min(trials, [&] {
+                    Hallberg acc(HallbergParams{12, 43});
+                    for (const double x : xs) acc.add(x);
+                    bench::sink(acc.to_double());
+                  })});
+  rows.push_back({"HP(3,2)", std::fabs(reduce_hp<3, 2>(xs).to_double()),
+                  bench::time_min(trials, [&] {
+                    bench::sink(reduce_hp<3, 2>(xs).to_double());
+                  })});
+  rows.push_back({"HP(8,4)", std::fabs(reduce_hp<8, 4>(xs).to_double()),
+                  bench::time_min(trials, [&] {
+                    bench::sink(reduce_hp<8, 4>(xs).to_double());
+                  })});
+
+  util::TablePrinter table({"method", "|error| (true sum = 0)", "ns/summand",
+                            "vs naive"});
+  const double base = rows[0].seconds;
+  for (const auto& r : rows) {
+    table.begin_row();
+    table.add_cell(r.name);
+    table.add_num(r.error, 4);
+    table.add_num(1e9 * r.seconds / static_cast<double>(n), 4);
+    table.add_num(r.seconds / base, 3);
+  }
+  bench::emit_table(table, args);
+  std::printf(
+      "\nreading: compensation shrinks error by orders of magnitude at "
+      "~2-4x cost but is still order-dependent; ReproSum (Demmel-Nguyen "
+      "style binning, refs [6-8]) is reproducible at compensated-class "
+      "cost but keeps only ~60 bits below its ceiling; Hallberg and HP "
+      "are exact AND order-invariant at a larger constant factor.\n");
+  return 0;
+}

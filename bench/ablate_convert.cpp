@@ -1,0 +1,80 @@
+// Ablation A2: conversion cost asymmetry (the §IV.A operation count).
+//
+// Listing 1 performs the two's-complement translation in the same pass as
+// the conversion: negative inputs cost up to 3N extra ALU ops (bit flips +
+// look-ahead carry). This bench measures double->HP conversion throughput
+// for all-positive, all-negative, and mixed-sign streams, and compares the
+// float-scaling path against the exact bit-placement path.
+//
+// Flags: --n (default 4M conversions), --seed.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/hp_convert.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace hpsum;
+
+template <int N, int K>
+double time_convert(const std::vector<double>& xs, bool exact_path) {
+  return bench::time_min(3, [&] {
+    util::Limb limbs[N];
+    util::Limb acc = 0;
+    for (const double x : xs) {
+      if (exact_path) {
+        detail::from_double_exact(x, limbs, N, K);
+      } else {
+        detail::from_double_impl(x, limbs, N, K);
+      }
+      acc ^= limbs[N - 1];
+    }
+    bench::sink(static_cast<double>(acc));
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, {"n", "seed", "csv"});
+  const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
+
+  bench::banner("Ablation A2: conversion cost by sign and by path",
+                "§IV.A: negative inputs cost up to 3N extra ALU ops in "
+                "Listing 1's fused two's-complement pass");
+
+  auto mixed = workload::uniform_set(static_cast<std::size_t>(n), seed);
+  std::vector<double> positive = mixed;
+  std::vector<double> negative = mixed;
+  for (std::size_t i = 0; i < positive.size(); ++i) {
+    positive[i] = std::abs(positive[i]);
+    negative[i] = -std::abs(negative[i]);
+  }
+
+  util::TablePrinter table({"format", "stream", "listing1 ns/conv",
+                            "exact-path ns/conv"});
+  const auto row = [&](const char* label, const std::vector<double>& xs) {
+    const double t1 = time_convert<6, 3>(xs, false);
+    const double t2 = time_convert<6, 3>(xs, true);
+    table.begin_row();
+    table.add_cell("HP(6,3)");
+    table.add_cell(label);
+    table.add_num(1e9 * t1 / static_cast<double>(xs.size()), 4);
+    table.add_num(1e9 * t2 / static_cast<double>(xs.size()), 4);
+  };
+  row("all-positive", positive);
+  row("all-negative", negative);
+  row("mixed", mixed);
+  bench::emit_table(table, args);
+  std::printf(
+      "\nreading: the negative-stream premium is the two's-complement "
+      "work; mixed streams land between. Listing 1's float-scaling loop "
+      "vs the frexp bit-placement path shows the cost of the paper's "
+      "FP-multiply-based design on this core.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation A3: cost vs limb count (the eq. 3 linearity assumption).
+//
+// The §IV.A analysis models both methods' per-summand cost as c * N for a
+// per-block constant c. This bench sweeps HP limb counts N = 2..16 and
+// reports ns per accumulate, exposing where the linear model holds and
+// where cache/unrolling effects bend it.
+//
+// Flags: --n (default 4M), --seed.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/hp_fixed.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace hpsum;
+
+template <int N, int K>
+void row(util::TablePrinter& table, const std::vector<double>& xs,
+         double* unit1) {
+  const double t = bench::time_min(3, [&] {
+    HpFixed<N, K> acc;
+    for (const double x : xs) acc += x;
+    bench::sink(acc.to_double());
+  });
+  const double per = 1e9 * t / static_cast<double>(xs.size());
+  table.begin_row();
+  table.add_int(N);
+  table.add_int(K);
+  table.add_int(64 * N - 1);
+  table.add_num(per, 4);
+  table.add_num(per / N, 4);
+  if (N == 2) *unit1 = per / N;
+  table.add_num(per / (*unit1 * N), 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, {"n", "seed", "csv"});
+  const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+  bench::banner("Ablation A3: HP cost vs limb count",
+                "eq. (3): T = c * N per summand — how linear is it?");
+
+  const auto xs = workload::uniform_set(static_cast<std::size_t>(n), seed);
+  util::TablePrinter table({"N", "k", "precision bits", "ns/add", "ns/add/N",
+                            "vs linear model"});
+  double unit1 = 1.0;
+  row<2, 1>(table, xs, &unit1);
+  row<3, 2>(table, xs, &unit1);
+  row<4, 2>(table, xs, &unit1);
+  row<6, 3>(table, xs, &unit1);
+  row<8, 4>(table, xs, &unit1);
+  row<12, 6>(table, xs, &unit1);
+  row<16, 8>(table, xs, &unit1);
+  bench::emit_table(table, args);
+  std::printf(
+      "\nreading: 'vs linear model' near 1.0 confirms eq. (3)'s per-block "
+      "constant-cost assumption; deviations above 1 show where larger "
+      "states stop fitting registers.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Micro-benchmarks of the per-summand kernels (google-benchmark).
+//
+// These measure the primitive costs the paper's §IV.A operation-count
+// analysis reasons about: double->HP conversion, HP+HP addition, the fused
+// convert+add, and the Hallberg equivalents, for the formats used in the
+// figures.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/hp_fixed.hpp"
+#include "hallberg/hallberg.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+std::vector<double> make_inputs(std::size_t n, double lo, double hi) {
+  hpsum::util::Xoshiro256ss rng(12345);
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.uniform(lo, hi);
+  return xs;
+}
+
+template <int N, int K>
+void BM_HpAccumulate(benchmark::State& state) {
+  const auto xs = make_inputs(4096, -0.5, 0.5);
+  hpsum::HpFixed<N, K> acc;
+  for (auto _ : state) {
+    for (const double x : xs) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+template <int N, int M>
+void BM_HallbergAccumulate(benchmark::State& state) {
+  const auto xs = make_inputs(4096, -0.5, 0.5);
+  hpsum::HallbergFixed<N, M> acc;
+  for (auto _ : state) {
+    for (const double x : xs) acc.add(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+void BM_DoubleAccumulate(benchmark::State& state) {
+  const auto xs = make_inputs(4096, -0.5, 0.5);
+  double acc = 0;
+  for (auto _ : state) {
+    for (const double x : xs) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+template <int N, int K>
+void BM_HpAddOnly(benchmark::State& state) {
+  hpsum::HpFixed<N, K> acc;
+  const hpsum::HpFixed<N, K> inc(0.125);
+  for (auto _ : state) {
+    acc += inc;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+BENCHMARK(BM_DoubleAccumulate);
+BENCHMARK(BM_HpAccumulate<3, 2>);
+BENCHMARK(BM_HpAccumulate<6, 3>);
+BENCHMARK(BM_HpAccumulate<8, 4>);
+BENCHMARK(BM_HallbergAccumulate<10, 38>);
+BENCHMARK(BM_HallbergAccumulate<10, 52>);
+BENCHMARK(BM_HallbergAccumulate<14, 37>);
+BENCHMARK(BM_HpAddOnly<6, 3>);
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Shared helpers for the figure/table bench harnesses.
+//
+// Scaling policy (DESIGN.md §2): every bench runs a laptop-friendly
+// problem size by default and the paper's full size under HPSUM_FULL=1
+// (or explicit --n/--trials flags). Each harness prints which scale it ran
+// so EXPERIMENTS.md can record the provenance of every number.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hpsum::bench {
+
+/// Problem-size selection: explicit flag > HPSUM_FULL > scaled default.
+inline std::int64_t pick(const util::Args& args, const std::string& flag,
+                         std::int64_t scaled, std::int64_t full) {
+  const std::int64_t base = util::Args::full_scale() ? full : scaled;
+  return args.get_int(flag, base);
+}
+
+/// Prints the standard bench banner.
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("=== %s ===\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: %s (HPSUM_FULL=1 for paper scale)\n\n",
+              util::Args::full_scale() ? "FULL (paper)" : "scaled-down");
+}
+
+/// Prevents the optimizer from discarding a benchmarked result.
+inline void sink(double v) { asm volatile("" : : "g"(v) : "memory"); }
+
+/// Prints the table to stdout and, when --csv=PATH was given, appends its
+/// CSV rendering to PATH (for plotting scripts).
+inline void emit_table(const util::TablePrinter& table,
+                       const util::Args& args) {
+  table.print(std::cout);
+  const std::string path = args.get_string("csv", "");
+  if (!path.empty()) {
+    std::ofstream file(path, std::ios::app);
+    table.print_csv(file);
+  }
+}
+
+/// Minimum wallclock over `trials` runs of `fn` (classic min-of-k to shed
+/// scheduler noise on a busy host).
+inline double time_min(int trials, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    util::WallTimer timer;
+    fn();
+    const double s = timer.seconds();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace hpsum::bench

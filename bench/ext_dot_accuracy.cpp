@@ -1,0 +1,64 @@
+// Extension E1: exact dot products (library extension beyond the paper).
+//
+// Sweeps the condition number of an ill-conditioned dot product (cancelling
+// products spanning up to 2^spread) and reports the error and cost of
+// naive dot, compensated Dot2 (Ogita-Rump-Oishi), and the exact HP dot
+// (FMA TwoProduct + HP accumulation of value and error halves). The exact
+// answer is known by construction.
+//
+// Flags: --pairs (default 100k), --trials (default 3), --seed.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "compensated/compensated.hpp"
+#include "core/dot.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpsum;
+  const util::Args args(argc, argv, {"pairs", "trials", "seed", "csv"});
+  const auto pairs = bench::pick(args, "pairs", 100 * 1024, 1024 * 1024);
+  const auto trials = static_cast<int>(args.get_int("trials", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 15));
+
+  bench::banner("Extension E1: exact dot product accuracy/cost",
+                "library extension: reproducible BLAS-1 dot built from "
+                "TwoProduct + HP accumulation");
+
+  util::TablePrinter table({"spread 2^s", "|err| naive", "|err| Dot2",
+                            "|err| HP(8,4)", "t_naive s", "t_Dot2 s",
+                            "t_HP s"});
+  for (const int spread : {40, 80, 120, 160, 200}) {
+    const auto prob = workload::ill_conditioned_dot(
+        static_cast<std::size_t>(pairs), spread, seed + spread);
+    const double e_naive = std::fabs(dot_naive(prob.a, prob.b) - prob.exact);
+    const double e_dot2 = std::fabs(dot2(prob.a, prob.b) - prob.exact);
+    const double e_hp =
+        std::fabs(dot_hp<8, 4>(prob.a, prob.b).to_double() - prob.exact);
+    const double t_naive = bench::time_min(
+        trials, [&] { bench::sink(dot_naive(prob.a, prob.b)); });
+    const double t_dot2 =
+        bench::time_min(trials, [&] { bench::sink(dot2(prob.a, prob.b)); });
+    const double t_hp = bench::time_min(trials, [&] {
+      bench::sink(dot_hp<8, 4>(prob.a, prob.b).to_double());
+    });
+    table.begin_row();
+    table.add_int(spread);
+    table.add_num(e_naive, 3);
+    table.add_num(e_dot2, 3);
+    table.add_num(e_hp, 3);
+    table.add_num(t_naive, 4);
+    table.add_num(t_dot2, 4);
+    table.add_num(t_hp, 4);
+  }
+  bench::emit_table(table, args);
+  std::printf(
+      "\nreading: naive loses everything once the spread passes ~2^53; "
+      "Dot2 survives to ~2^106; the HP dot is exact (error 0) at every "
+      "condition number its format covers — and order-invariant.\n");
+  return 0;
+}

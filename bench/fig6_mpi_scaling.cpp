@@ -1,0 +1,178 @@
+// Figure 6 reproduction: message-passing strong scaling of the 32M global
+// sum — double vs HP(6,3) vs Hallberg(10,38) over 1..128 ranks, reducing
+// with a custom datatype + op (the paper's MPI_Reduce experiment, run on
+// the mpisim runtime; DESIGN.md §2).
+//
+// Each rank reduces its slice locally (per-rank CPU busy time measured),
+// then a single Reduce with the method's registered Op combines the
+// partials at rank 0. Modeled wallclock = max rank busy + root combine.
+//
+// Flags: --n (default 4M; paper 32M), --maxp (default 128), --seed,
+//        --algo (tree|linear, default tree).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "backends/scaling.hpp"
+#include "common.hpp"
+#include "core/reduce.hpp"
+#include "hallberg/hallberg.hpp"
+#include "mpisim/hp_ops.hpp"
+#include "mpisim/mpisim.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace hpsum;
+
+struct Point {
+  double modeled = 0;
+  double measured = 0;
+  double value = 0;
+};
+
+/// Generic mpisim scaling point: `local` reduces a slice into a
+/// method-specific partial; the partial travels through Comm::reduce with
+/// (dt, op); `finish` turns root's bytes into a double.
+template <class LocalFn, class FinishFn>
+Point run_point(const std::vector<double>& xs, int ranks,
+                const mpisim::Datatype& dt, const mpisim::Op& op,
+                mpisim::ReduceAlgo algo, LocalFn local, FinishFn finish) {
+  Point out;
+  std::vector<double> busy(static_cast<std::size_t>(ranks), 0.0);
+  double root_combine = 0;
+  util::WallTimer wall;
+  mpisim::run(ranks, [&](mpisim::Comm& comm) {
+    const auto slices = backends::partition(xs, comm.size());
+    util::ThreadCpuTimer cpu;
+    std::vector<std::byte> send =
+        local(slices[static_cast<std::size_t>(comm.rank())]);
+    busy[static_cast<std::size_t>(comm.rank())] = cpu.seconds();
+
+    std::vector<std::byte> recv(send.size());
+    util::ThreadCpuTimer combine_cpu;
+    comm.reduce(send.data(), recv.data(), 1, dt, op, 0, algo);
+    if (comm.rank() == 0) {
+      root_combine = combine_cpu.seconds();
+      out.value = finish(recv);
+    }
+  });
+  out.measured = wall.seconds();
+  double busy_max = 0;
+  for (const double b : busy) busy_max = std::max(busy_max, b);
+  out.modeled = busy_max + root_combine;
+  return out;
+}
+
+Point point_double(const std::vector<double>& xs, int ranks,
+                   mpisim::ReduceAlgo algo) {
+  return run_point(
+      xs, ranks, mpisim::Datatype::f64(), mpisim::f64_sum_op(), algo,
+      [](std::span<const double> slice) {
+        const double v = reduce_double(slice);
+        std::vector<std::byte> bytes(sizeof v);
+        std::memcpy(bytes.data(), &v, sizeof v);
+        return bytes;
+      },
+      [](const std::vector<std::byte>& bytes) {
+        double v = 0;
+        std::memcpy(&v, bytes.data(), sizeof v);
+        return v;
+      });
+}
+
+Point point_hp(const std::vector<double>& xs, int ranks,
+               mpisim::ReduceAlgo algo) {
+  const HpConfig cfg{6, 3};
+  return run_point(
+      xs, ranks, mpisim::hp_datatype(cfg), mpisim::hp_sum_op(cfg), algo,
+      [cfg](std::span<const double> slice) {
+        const HpDyn v = reduce_hp(slice, cfg);
+        std::vector<std::byte> bytes(v.byte_size());
+        v.to_bytes(bytes.data());
+        return bytes;
+      },
+      [cfg](const std::vector<std::byte>& bytes) {
+        HpDyn v(cfg);
+        v.from_bytes(bytes.data());
+        return v.to_double();
+      });
+}
+
+Point point_hallberg(const std::vector<double>& xs, int ranks,
+                     mpisim::ReduceAlgo algo) {
+  const HallbergParams p{10, 38};
+  return run_point(
+      xs, ranks, mpisim::hallberg_datatype(p), mpisim::hallberg_sum_op(p),
+      algo,
+      [p](std::span<const double> slice) {
+        Hallberg v(p);
+        for (const double x : slice) v.add(x);
+        std::vector<std::byte> bytes(v.limbs().size() * sizeof(std::int64_t));
+        std::memcpy(bytes.data(), v.limbs().data(), bytes.size());
+        return bytes;
+      },
+      [p](const std::vector<std::byte>& bytes) {
+        Hallberg v(p);
+        std::memcpy(v.limbs().data(), bytes.data(), bytes.size());
+        return v.to_double();
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, {"n", "maxp", "seed", "algo", "csv"});
+  const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
+  const auto maxp = static_cast<int>(args.get_int("maxp", 128));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
+  const auto algo = args.get_string("algo", "tree") == "linear"
+                        ? mpisim::ReduceAlgo::kLinear
+                        : mpisim::ReduceAlgo::kBinomialTree;
+
+  bench::banner("Fig 6: message-passing strong scaling, 32M global sum",
+                "Fig 6 (§IV.B): MPI_Reduce with custom datatype/op, double "
+                "vs HP(6,3) vs Hallberg(10,38), 1..128 ranks");
+
+  const auto xs = workload::uniform_set(static_cast<std::size_t>(n), seed);
+  bench::sink(reduce_double(xs));  // warm pages/caches before any baseline
+  util::TablePrinter table({"ranks", "t_double(model)", "eff_d", "t_HP(model)",
+                            "eff_HP", "t_Hall(model)", "eff_Hall"});
+  Point d1;
+  Point h1;
+  Point b1;
+  double hp_ref = 0;
+  bool hp_invariant = true;
+  for (int p = 1; p <= maxp; p *= 2) {
+    const Point d = point_double(xs, p, algo);
+    const Point h = point_hp(xs, p, algo);
+    const Point b = point_hallberg(xs, p, algo);
+    if (p == 1) {
+      d1 = d;
+      h1 = h;
+      b1 = b;
+      hp_ref = h.value;
+    }
+    hp_invariant = hp_invariant && (h.value == hp_ref);
+    table.begin_row();
+    table.add_int(p);
+    table.add_num(d.modeled, 4);
+    table.add_num(d1.modeled / (p * d.modeled), 3);
+    table.add_num(h.modeled, 4);
+    table.add_num(h1.modeled / (p * h.modeled), 3);
+    table.add_num(b.modeled, 4);
+    table.add_num(b1.modeled / (p * b.modeled), 3);
+  }
+  bench::emit_table(table, args);
+  std::printf("\nHP/double single-rank cost ratio: %.1fx (paper: 37-38x)\n",
+              h1.modeled / d1.modeled);
+  std::printf("HP sum bit-identical across all rank counts: %s\n",
+              hp_invariant ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// conjugate_gradient — reproducible Krylov iteration.
+//
+// CG's trajectory is steered by two global dot products per iteration
+// (alpha = r'r / p'Ap, beta = r'r_new / r'r). Parallelize those dots with a
+// plain OpenMP reduction and the partial-sum boundaries move with the
+// thread count, so alpha/beta wiggle, the iterates drift, and runs with
+// different thread counts produce different residual histories — sometimes
+// even different iteration counts. Computing the same dots with the exact
+// HP dot (rblas::dot) makes the entire solve bit-identical for every
+// thread count.
+//
+// Problem: 2D Poisson (5-point Laplacian) on a grid, matrix-free.
+//
+// Build & run:  ./build/examples/conjugate_gradient
+#include <omp.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "rblas/rblas.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+constexpr std::size_t kGrid = 48;             // 48x48 interior points
+constexpr std::size_t kN = kGrid * kGrid;
+constexpr int kMaxIter = 400;
+constexpr double kTol = 1e-10;
+
+/// y = A x for the 5-point Laplacian (SPD). Fixed 5-term accumulation per
+/// element: deterministic regardless of threads.
+void apply_laplacian(const std::vector<double>& x, std::vector<double>& y) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < kGrid; ++i) {
+    for (std::size_t j = 0; j < kGrid; ++j) {
+      const std::size_t idx = i * kGrid + j;
+      double v = 4.0 * x[idx];
+      if (i > 0) v -= x[idx - kGrid];
+      if (i + 1 < kGrid) v -= x[idx + kGrid];
+      if (j > 0) v -= x[idx - 1];
+      if (j + 1 < kGrid) v -= x[idx + 1];
+      y[idx] = v;
+    }
+  }
+}
+
+/// Order-sensitive parallel dot: plain OpenMP reduction over doubles.
+double dot_naive_omp(const std::vector<double>& a,
+                     const std::vector<double>& b, int threads) {
+  double s = 0.0;
+#pragma omp parallel for reduction(+ : s) num_threads(threads) \
+    schedule(static)
+  for (std::size_t i = 0; i < kN; ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// One CG solve; returns the residual-norm-squared history. `exact_dots`
+/// selects rblas::dot (HP) vs the naive OpenMP reduction.
+std::vector<double> solve_cg(const std::vector<double>& rhs, bool exact_dots,
+                             int threads) {
+  const auto dot = [&](const std::vector<double>& a,
+                       const std::vector<double>& b) {
+    return exact_dots ? hpsum::rblas::dot<6, 3>(a, b)
+                      : dot_naive_omp(a, b, threads);
+  };
+
+  std::vector<double> x(kN, 0.0);
+  std::vector<double> r = rhs;  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> ap(kN, 0.0);
+  std::vector<double> history;
+
+  double rr = dot(r, r);
+  history.push_back(rr);
+  for (int it = 0; it < kMaxIter && rr > kTol * kTol; ++it) {
+    apply_laplacian(p, ap);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < kN; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    for (std::size_t i = 0; i < kN; ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+    history.push_back(rr);
+  }
+  return history;
+}
+
+/// First index where two histories differ bitwise, or -1 if identical.
+int first_divergence(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return static_cast<int>(i);
+  }
+  return a.size() == b.size() ? -1 : static_cast<int>(n);
+}
+
+}  // namespace
+
+int main() {
+  // A rough random right-hand side.
+  hpsum::util::Xoshiro256ss rng(2016);
+  std::vector<double> rhs(kN);
+  for (auto& v : rhs) v = rng.uniform(-1.0, 1.0);
+
+  std::printf("CG on a %zux%zu Poisson problem (n = %zu), tol %g\n\n", kGrid,
+              kGrid, kN, kTol);
+
+  const auto naive1 = solve_cg(rhs, /*exact_dots=*/false, 1);
+  const auto naive4 = solve_cg(rhs, /*exact_dots=*/false, 4);
+  const auto naive8 = solve_cg(rhs, /*exact_dots=*/false, 8);
+  const auto hp1 = solve_cg(rhs, /*exact_dots=*/true, 1);
+  const auto hp4 = solve_cg(rhs, /*exact_dots=*/true, 4);
+  const auto hp8 = solve_cg(rhs, /*exact_dots=*/true, 8);
+
+  std::printf("naive-dot CG: iterations (1/4/8 threads): %zu / %zu / %zu\n",
+              naive1.size() - 1, naive4.size() - 1, naive8.size() - 1);
+  std::printf("  1 vs 4 threads: first differing residual at iter %d\n",
+              first_divergence(naive1, naive4));
+  std::printf("  1 vs 8 threads: first differing residual at iter %d\n\n",
+              first_divergence(naive1, naive8));
+
+  std::printf("HP-dot CG:    iterations (1/4/8 threads): %zu / %zu / %zu\n",
+              hp1.size() - 1, hp4.size() - 1, hp8.size() - 1);
+  std::printf("  1 vs 4 threads: first differing residual at iter %d\n",
+              first_divergence(hp1, hp4));
+  std::printf("  1 vs 8 threads: first differing residual at iter %d\n",
+              first_divergence(hp1, hp8));
+
+  const bool reproducible =
+      first_divergence(hp1, hp4) == -1 && first_divergence(hp1, hp8) == -1;
+  std::printf(
+      "\nHP-dot CG residual histories bit-identical across thread counts: "
+      "%s\n(-1 above means no divergence anywhere in the run)\n",
+      reproducible ? "yes" : "NO (bug!)");
+  return reproducible ? 0 : 1;
+}

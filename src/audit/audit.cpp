@@ -1,0 +1,38 @@
+#include "audit/audit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/hp_dyn.hpp"
+#include "core/hp_plan.hpp"
+#include "core/reduce.hpp"
+#include "stats/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::audit {
+
+SensitivityReport order_sensitivity(std::span<const double> xs,
+                                    std::size_t trials, std::uint64_t seed) {
+  SensitivityReport report;
+  report.trials = trials;
+  report.config = suggest_config(plan_for_data(xs));
+
+  const HpDyn exact_hp = reduce_hp(xs, report.config);
+  report.exact = exact_hp.to_double();
+  report.naive_error = std::fabs(reduce_double(xs) - report.exact);
+
+  std::vector<double> scratch(xs.begin(), xs.end());
+  stats::RunningStats rs;
+  for (std::size_t t = 0; t < trials; ++t) {
+    workload::shuffle(scratch, seed + t * 0x9E3779B97F4A7C15ull);
+    const double s = reduce_double(scratch);
+    rs.add(s);
+    const double err = std::fabs(s - report.exact);
+    if (err > report.worst_abs_error) report.worst_abs_error = err;
+  }
+  report.mean = rs.mean();
+  report.stddev = rs.stddev();
+  return report;
+}
+
+}  // namespace hpsum::audit

@@ -1,0 +1,38 @@
+// audit — "how order-sensitive is my reduction?"
+//
+// The paper's §II.A study, packaged as a diagnostic a user can run on
+// their own data: shuffle the summands many times, sum each order with
+// plain doubles, and report the distribution of results around the exact
+// (HP) answer. A stddev of zero means the data is benign at double
+// precision; anything else quantifies how much silent variation a parallel
+// schedule could introduce — before it shows up as an irreproducible run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/hp_config.hpp"
+
+namespace hpsum::audit {
+
+/// Result of an order-sensitivity study.
+struct SensitivityReport {
+  std::size_t trials = 0;
+  double exact = 0.0;        ///< HP exact sum, rounded once
+  double mean = 0.0;         ///< mean of shuffled double sums
+  double stddev = 0.0;       ///< spread of shuffled double sums
+  double worst_abs_error = 0.0;  ///< max |double sum - exact|
+  double naive_error = 0.0;  ///< |unshuffled double sum - exact|
+  HpConfig config;           ///< format the audit sized for the data
+};
+
+/// Runs the study: `trials` random permutations (deterministic in `seed`),
+/// each summed left-to-right in double, compared against the exact HP sum
+/// using a format sized from the data itself (hp_plan). Throws
+/// std::invalid_argument for non-finite data or unsatisfiable formats.
+[[nodiscard]] SensitivityReport order_sensitivity(std::span<const double> xs,
+                                                  std::size_t trials = 256,
+                                                  std::uint64_t seed = 1);
+
+}  // namespace hpsum::audit

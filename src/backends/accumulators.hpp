@@ -1,0 +1,57 @@
+// Uniform accumulator adapters over the three summation methods.
+//
+// The scaling drivers (OpenMP, mpisim, cudasim, phisim) and the bench
+// harnesses are templated on this small concept, so every figure's
+// three-method comparison runs through identical driver code:
+//
+//   Acc a;                  // zero partial sum
+//   a.accumulate(x);        // add one double
+//   a.merge(other);         // combine partial sums
+//   double r = a.result();  // final rounding to double
+//   Acc::name();            // display label
+#pragma once
+
+#include <string>
+
+#include "core/hp_fixed.hpp"
+#include "hallberg/hallberg.hpp"
+
+namespace hpsum::backends {
+
+/// Plain double accumulation (the paper's baseline method).
+struct DoubleSum {
+  double v = 0.0;
+
+  void accumulate(double x) noexcept { v += x; }
+  void merge(const DoubleSum& o) noexcept { v += o.v; }
+  [[nodiscard]] double result() const noexcept { return v; }
+  [[nodiscard]] static std::string name() { return "double"; }
+};
+
+/// HP accumulation with a compile-time format.
+template <int N, int K>
+struct HpSum {
+  HpFixed<N, K> v;
+
+  void accumulate(double x) noexcept { v += x; }
+  void merge(const HpSum& o) noexcept { v += o.v; }
+  [[nodiscard]] double result() const noexcept { return v.to_double(); }
+  [[nodiscard]] static std::string name() {
+    return "HP(N=" + std::to_string(N) + ",k=" + std::to_string(K) + ")";
+  }
+};
+
+/// Hallberg accumulation with a compile-time format.
+template <int N, int M>
+struct HallbergSum {
+  HallbergFixed<N, M> v;
+
+  void accumulate(double x) noexcept { v.add(x); }
+  void merge(const HallbergSum& o) noexcept { v.add(o.v); }
+  [[nodiscard]] double result() const noexcept { return v.to_double(); }
+  [[nodiscard]] static std::string name() {
+    return "Hallberg(N=" + std::to_string(N) + ",M=" + std::to_string(M) + ")";
+  }
+};
+
+}  // namespace hpsum::backends

@@ -1,0 +1,30 @@
+// OpenMP user-defined reductions over HP types.
+//
+// The paper's OpenMP experiment hand-rolls per-thread partials; idiomatic
+// OpenMP would declare a reduction instead. This macro registers one:
+//
+//   #include "backends/omp_reduction.hpp"
+//   HPSUM_DECLARE_OMP_REDUCTION(HpSum63, hpsum::HpFixed<6, 3>)
+//
+//   hpsum::HpFixed<6, 3> acc;
+//   #pragma omp parallel for reduction(HpSum63 : acc)
+//   for (std::int64_t i = 0; i < n; ++i) acc += xs[i];
+//
+// The result is bit-identical for every thread count and schedule — an HP
+// reduction is associative and commutative for real, which is exactly the
+// property OpenMP's reduction clause assumes and doubles do not have.
+#pragma once
+
+#include "core/hp_fixed.hpp"
+
+// Two-level expansion so type macro arguments expand before stringization.
+#define HPSUM_DETAIL_PRAGMA(x) _Pragma(#x)
+
+/// Declares an OpenMP reduction identifier NAME over accumulator type
+/// TYPE... (variadic so template types with commas pass through). TYPE
+/// must value-initialize to zero and provide operator+= — HpFixed does;
+/// each thread's private copy starts from zero and omp_out absorbs them.
+#define HPSUM_DECLARE_OMP_REDUCTION(NAME, ...)          \
+  HPSUM_DETAIL_PRAGMA(omp declare reduction(            \
+      NAME : __VA_ARGS__ : omp_out += omp_in)           \
+      initializer(omp_priv = decltype(omp_orig){}))

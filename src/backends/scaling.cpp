@@ -1,0 +1,21 @@
+#include "backends/scaling.hpp"
+
+namespace hpsum::backends {
+
+std::vector<std::span<const double>> partition(std::span<const double> xs,
+                                               int p) {
+  std::vector<std::span<const double>> slices;
+  slices.reserve(static_cast<std::size_t>(p));
+  const std::size_t n = xs.size();
+  const std::size_t base = n / static_cast<std::size_t>(p);
+  const std::size_t extra = n % static_cast<std::size_t>(p);
+  std::size_t offset = 0;
+  for (int t = 0; t < p; ++t) {
+    const std::size_t len = base + (static_cast<std::size_t>(t) < extra ? 1 : 0);
+    slices.push_back(xs.subspan(offset, len));
+    offset += len;
+  }
+  return slices;
+}
+
+}  // namespace hpsum::backends

@@ -1,0 +1,133 @@
+// Strong-scaling drivers and the modeled-time report.
+//
+// The paper's Figs 5-8 measure wallclock of a p-PE global reduction on real
+// multi-core/accelerator hardware. This build host has one core, so a
+// measured wallclock with p threads is just serialization noise. Instead
+// (DESIGN.md §2) every PE measures its own CPU busy time; the driver
+// reports
+//
+//   modeled_wall(p) = max_p busy_p + merge_time
+//
+// — the critical path a machine with >= p cores would see — alongside the
+// honest measured wallclock. Efficiency in the figure reproductions is
+// computed from modeled_wall.
+#pragma once
+
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <omp.h>
+
+#include "util/timer.hpp"
+
+namespace hpsum::backends {
+
+/// One strong-scaling data point.
+struct ScalingPoint {
+  int pes = 1;               ///< processing elements (threads/ranks)
+  double value = 0.0;        ///< the reduction result
+  double measured_wall = 0;  ///< actual wallclock on this host (s)
+  double modeled_wall = 0;   ///< max per-PE busy + merge (s); see above
+  double busy_max = 0;       ///< slowest PE's busy time (s)
+  double busy_total = 0;     ///< total CPU work across PEs (s)
+  double merge_time = 0;     ///< master's partial-sum combine time (s)
+};
+
+/// Parallel efficiency of `p` relative to the 1-PE point:
+/// E(p) = T(1) / (p * T(p)), on modeled time.
+[[nodiscard]] inline double efficiency(const ScalingPoint& p1,
+                                       const ScalingPoint& pp) noexcept {
+  if (pp.modeled_wall <= 0.0 || pp.pes <= 0) return 0.0;
+  return p1.modeled_wall / (static_cast<double>(pp.pes) * pp.modeled_wall);
+}
+
+/// Splits `xs` into `p` contiguous, maximally balanced slices.
+[[nodiscard]] std::vector<std::span<const double>> partition(
+    std::span<const double> xs, int p);
+
+/// std::thread strong-scaling reduction: each of `pes` threads reduces its
+/// slice into an Acc partial, the caller thread merges the partials.
+/// This is the driver for the mpisim-style and generic figures.
+template <class Acc>
+[[nodiscard]] ScalingPoint run_threads(std::span<const double> xs, int pes) {
+  const auto slices = partition(xs, pes);
+  std::vector<Acc> partials(static_cast<std::size_t>(pes));
+  std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
+
+  util::WallTimer wall;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(pes));
+    for (int t = 0; t < pes; ++t) {
+      threads.emplace_back([&, t] {
+        util::ThreadCpuTimer cpu;
+        Acc acc;
+        for (const double x : slices[static_cast<std::size_t>(t)]) {
+          acc.accumulate(x);
+        }
+        partials[static_cast<std::size_t>(t)] = acc;
+        busy[static_cast<std::size_t>(t)] = cpu.seconds();
+      });
+    }
+  }  // jthreads join
+
+  util::ThreadCpuTimer merge_cpu;
+  Acc total;
+  for (const Acc& p : partials) total.merge(p);
+  const double merge_time = merge_cpu.seconds();
+
+  ScalingPoint out;
+  out.pes = pes;
+  out.value = total.result();
+  out.measured_wall = wall.seconds();
+  out.merge_time = merge_time;
+  for (const double b : busy) {
+    out.busy_max = b > out.busy_max ? b : out.busy_max;
+    out.busy_total += b;
+  }
+  out.modeled_wall = out.busy_max + merge_time;
+  return out;
+}
+
+/// OpenMP strong-scaling reduction (the paper's Fig 5 environment): a
+/// `#pragma omp parallel` team of `pes` threads computes per-thread
+/// partials; the master reduces them.
+template <class Acc>
+[[nodiscard]] ScalingPoint run_openmp(std::span<const double> xs, int pes) {
+  const auto slices = partition(xs, pes);
+  std::vector<Acc> partials(static_cast<std::size_t>(pes));
+  std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
+
+  util::WallTimer wall;
+#pragma omp parallel num_threads(pes)
+  {
+    const int t = omp_get_thread_num();
+    util::ThreadCpuTimer cpu;
+    Acc acc;
+    for (const double x : slices[static_cast<std::size_t>(t)]) {
+      acc.accumulate(x);
+    }
+    partials[static_cast<std::size_t>(t)] = acc;
+    busy[static_cast<std::size_t>(t)] = cpu.seconds();
+  }
+
+  util::ThreadCpuTimer merge_cpu;
+  Acc total;
+  for (const Acc& p : partials) total.merge(p);
+  const double merge_time = merge_cpu.seconds();
+
+  ScalingPoint out;
+  out.pes = pes;
+  out.value = total.result();
+  out.measured_wall = wall.seconds();
+  out.merge_time = merge_time;
+  for (const double b : busy) {
+    out.busy_max = b > out.busy_max ? b : out.busy_max;
+    out.busy_total += b;
+  }
+  out.modeled_wall = out.busy_max + merge_time;
+  return out;
+}
+
+}  // namespace hpsum::backends

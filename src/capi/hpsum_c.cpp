@@ -1,0 +1,98 @@
+#include "capi/hpsum_c.h"
+
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+
+#include "core/hp_dyn.hpp"
+#include "core/hp_serialize.hpp"
+
+/* The opaque handle wraps an HpDyn. All exceptions are caught at the C
+ * boundary and turned into NULL/0/no-op results. */
+struct hpsum_s {
+  hpsum::HpDyn value;
+  explicit hpsum_s(hpsum::HpConfig cfg) : value(cfg) {}
+};
+
+extern "C" {
+
+hpsum_t* hpsum_create(int n, int k) {
+  try {
+    return new hpsum_s(hpsum::HpConfig{n, k});
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void hpsum_destroy(hpsum_t* acc) { delete acc; }
+
+void hpsum_add(hpsum_t* acc, double x) {
+  if (acc != nullptr) acc->value += x;
+}
+
+void hpsum_add_array(hpsum_t* acc, const double* xs, size_t n) {
+  if (acc == nullptr || xs == nullptr) return;
+  for (size_t i = 0; i < n; ++i) acc->value += xs[i];
+}
+
+int hpsum_merge(hpsum_t* dst, const hpsum_t* src) {
+  if (dst == nullptr || src == nullptr) return 1;
+  try {
+    dst->value += src->value;
+    return 0;
+  } catch (...) {
+    return 1;
+  }
+}
+
+double hpsum_result(const hpsum_t* acc) {
+  return acc == nullptr ? 0.0 : acc->value.to_double();
+}
+
+int hpsum_status(const hpsum_t* acc) {
+  return acc == nullptr
+             ? HPSUM_CONVERT_OVERFLOW
+             : static_cast<int>(static_cast<unsigned char>(acc->value.status()));
+}
+
+void hpsum_clear(hpsum_t* acc) {
+  if (acc != nullptr) acc->value.clear();
+}
+
+size_t hpsum_decimal(const hpsum_t* acc, char* buf, size_t buf_size) {
+  if (acc == nullptr || buf == nullptr || buf_size == 0) return 0;
+  const std::string s = acc->value.to_decimal_string();
+  const size_t copy = s.size() < buf_size - 1 ? s.size() : buf_size - 1;
+  std::memcpy(buf, s.data(), copy);
+  buf[copy] = '\0';
+  return s.size();
+}
+
+size_t hpsum_serialized_size(int n) {
+  if (n < 1 || n > hpsum::kMaxLimbs) return 0;
+  return hpsum::serialized_size(hpsum::HpConfig{n, 0});
+}
+
+size_t hpsum_serialize(const hpsum_t* acc, void* buf, size_t buf_size) {
+  if (acc == nullptr || buf == nullptr) return 0;
+  const auto bytes = hpsum::serialize(acc->value);
+  if (bytes.size() > buf_size) return 0;
+  std::memcpy(buf, bytes.data(), bytes.size());
+  return bytes.size();
+}
+
+hpsum_t* hpsum_deserialize(const void* buf, size_t buf_size) {
+  if (buf == nullptr) return nullptr;
+  try {
+    const auto* p = static_cast<const std::byte*>(buf);
+    hpsum::HpDyn v = hpsum::deserialize(std::span<const std::byte>(p, buf_size));
+    auto* out = new hpsum_s(v.config());
+    out->value = std::move(v);
+    return out;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,84 @@
+/* hpsum_c.h — C API for the hpsum library.
+ *
+ * The method's home turf is Fortran/C climate and N-body codes (the
+ * Hallberg baseline comes from the MOM ocean model), so the exact
+ * accumulator is exposed behind a plain C89-callable interface: opaque
+ * handles, no exceptions (status codes), no templates. Every function is
+ * thread-compatible (distinct handles may be used from distinct threads;
+ * one handle must not be shared without external synchronization — use
+ * one accumulator per thread and hpsum_merge, exactly like the C++ API).
+ *
+ * Example:
+ *   hpsum_t* acc = hpsum_create(6, 3);
+ *   for (i = 0; i < n; ++i) hpsum_add(acc, x[i]);
+ *   double total = hpsum_result(acc);
+ *   if (hpsum_status(acc) != HPSUM_OK) { ... }
+ *   hpsum_destroy(acc);
+ */
+#ifndef HPSUM_C_H_
+#define HPSUM_C_H_
+
+#include <stddef.h> /* size_t */
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Opaque exact accumulator (an HpDyn underneath). */
+typedef struct hpsum_s hpsum_t;
+
+/* Status bitmask (mirrors hpsum::HpStatus). */
+enum {
+  HPSUM_OK = 0,
+  HPSUM_CONVERT_OVERFLOW = 1 << 0,
+  HPSUM_ADD_OVERFLOW = 1 << 1,
+  HPSUM_TO_DOUBLE_OVERFLOW = 1 << 2,
+  HPSUM_INEXACT = 1 << 3,
+  HPSUM_TO_DOUBLE_INEXACT = 1 << 4
+};
+
+/* Creates a zero accumulator with n 64-bit limbs, k fractional
+ * (paper parameters N, k). Returns NULL for invalid parameters. */
+hpsum_t* hpsum_create(int n, int k);
+
+/* Destroys an accumulator (NULL is a no-op). */
+void hpsum_destroy(hpsum_t* acc);
+
+/* Adds one double exactly (order-invariant). */
+void hpsum_add(hpsum_t* acc, double x);
+
+/* Adds a whole array (equivalent to calling hpsum_add per element). */
+void hpsum_add_array(hpsum_t* acc, const double* xs, size_t n);
+
+/* Merges src into dst (formats must match; returns 0 on success,
+ * nonzero on format mismatch). src is unchanged. */
+int hpsum_merge(hpsum_t* dst, const hpsum_t* src);
+
+/* The accumulated sum rounded once to double. */
+double hpsum_result(const hpsum_t* acc);
+
+/* Sticky status bitmask (HPSUM_* flags); 0 while everything was exact. */
+int hpsum_status(const hpsum_t* acc);
+
+/* Clears value and status. */
+void hpsum_clear(hpsum_t* acc);
+
+/* Writes the exact decimal rendering (NUL-terminated, truncated to the
+ * buffer; returns the untruncated length like snprintf). */
+size_t hpsum_decimal(const hpsum_t* acc, char* buf, size_t buf_size);
+
+/* Canonical serialization size for an accumulator of n limbs. */
+size_t hpsum_serialized_size(int n);
+
+/* Serializes into buf (must hold hpsum_serialized_size(n) bytes);
+ * returns bytes written, 0 on error. Endian-independent. */
+size_t hpsum_serialize(const hpsum_t* acc, void* buf, size_t buf_size);
+
+/* Recreates an accumulator from a serialized image (NULL on error). */
+hpsum_t* hpsum_deserialize(const void* buf, size_t buf_size);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* HPSUM_C_H_ */

@@ -1,0 +1,81 @@
+#include "compensated/compensated.hpp"
+
+#include <cmath>
+
+namespace hpsum {
+
+TwoSumResult two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double ap = s - b;
+  const double bp = s - ap;
+  const double da = a - ap;
+  const double db = b - bp;
+  return {s, da + db};
+}
+
+TwoSumResult two_product(double a, double b) noexcept {
+  const double p = a * b;
+  return {p, std::fma(a, b, -p)};
+}
+
+double dot2(std::span<const double> a, std::span<const double> b) noexcept {
+  double s = 0.0;
+  double c = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto prod = two_product(a[i], b[i]);
+    const auto sum = two_sum(s, prod.sum);
+    s = sum.sum;
+    c += sum.err + prod.err;
+  }
+  return s + c;
+}
+
+double dot_naive(std::span<const double> a,
+                 std::span<const double> b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+TwoSumResult fast_two_sum(double a, double b) noexcept {
+  const double s = a + b;
+  const double err = b - (s - a);
+  return {s, err};
+}
+
+double sum_naive(std::span<const double> xs) noexcept {
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s;
+}
+
+double sum_kahan(std::span<const double> xs) noexcept {
+  KahanAccumulator acc;
+  for (const double x : xs) acc.add(x);
+  return acc.value();
+}
+
+void NeumaierAccumulator::add(double x) noexcept {
+  const double t = s_ + x;
+  if (std::fabs(s_) >= std::fabs(x)) {
+    c_ += (s_ - t) + x;  // low-order bits of x were lost
+  } else {
+    c_ += (x - t) + s_;  // low-order bits of s_ were lost
+  }
+  s_ = t;
+}
+
+double sum_neumaier(std::span<const double> xs) noexcept {
+  NeumaierAccumulator acc;
+  for (const double x : xs) acc.add(x);
+  return acc.value();
+}
+
+double sum_pairwise(std::span<const double> xs) noexcept {
+  constexpr std::size_t kBase = 128;
+  if (xs.size() <= kBase) return sum_naive(xs);
+  const std::size_t half = xs.size() / 2;
+  return sum_pairwise(xs.first(half)) + sum_pairwise(xs.subspan(half));
+}
+
+}  // namespace hpsum

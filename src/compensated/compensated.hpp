@@ -1,0 +1,91 @@
+// Error-compensated summation baselines (paper §I related work).
+//
+// These are the "error-free transformation" techniques the paper positions
+// HP against: they reduce rounding error dramatically at low cost but —
+// unlike HP — do not in general eliminate it, and their results remain
+// order-dependent. bench/ablate_accuracy places them on the accuracy/cost
+// ladder between naive double summation and the exact methods.
+#pragma once
+
+#include <span>
+
+namespace hpsum {
+
+/// Error-free transformation of one addition (Knuth's TwoSum, branch-free):
+/// sum + err == a + b exactly, with sum = fl(a + b).
+struct TwoSumResult {
+  double sum;
+  double err;
+};
+
+/// Knuth TwoSum: works for any a, b.
+[[nodiscard]] TwoSumResult two_sum(double a, double b) noexcept;
+
+/// Error-free transformation of one multiplication (FMA-based TwoProduct):
+/// sum + err == a * b exactly, with sum = fl(a * b). Exact provided the
+/// product neither overflows nor falls into the subnormal range.
+[[nodiscard]] TwoSumResult two_product(double a, double b) noexcept;
+
+/// Ogita-Rump-Oishi Dot2: compensated dot product (twice-working-precision
+/// accuracy, order-dependent). The strongest non-exact baseline for the
+/// exact HP dot product in core/dot.hpp.
+[[nodiscard]] double dot2(std::span<const double> a,
+                          std::span<const double> b) noexcept;
+
+/// Plain dot product (the error yardstick).
+[[nodiscard]] double dot_naive(std::span<const double> a,
+                               std::span<const double> b) noexcept;
+
+/// Dekker FastTwoSum: requires |a| >= |b| (or a == 0).
+[[nodiscard]] TwoSumResult fast_two_sum(double a, double b) noexcept;
+
+/// Plain left-to-right summation (the error yardstick).
+[[nodiscard]] double sum_naive(std::span<const double> xs) noexcept;
+
+/// Kahan compensated summation (1965): one compensation term; may lose the
+/// compensation when a summand exceeds the running sum.
+[[nodiscard]] double sum_kahan(std::span<const double> xs) noexcept;
+
+/// Neumaier's improvement (a.k.a. Kahan-Babuska): branches on magnitude so
+/// the compensation also survives |x| > |sum|.
+[[nodiscard]] double sum_neumaier(std::span<const double> xs) noexcept;
+
+/// Pairwise (cascade) summation: O(log n) error growth by recursive halving
+/// (base case 128 summed naively).
+[[nodiscard]] double sum_pairwise(std::span<const double> xs) noexcept;
+
+/// Streaming Kahan accumulator (for workloads that cannot materialize the
+/// whole array).
+class KahanAccumulator {
+ public:
+  /// Adds one summand.
+  void add(double x) noexcept {
+    const double y = x - c_;
+    const double t = s_ + y;
+    c_ = (t - s_) - y;
+    s_ = t;
+  }
+
+  /// Current compensated sum.
+  [[nodiscard]] double value() const noexcept { return s_; }
+
+ private:
+  double s_ = 0.0;
+  double c_ = 0.0;
+};
+
+/// Streaming Neumaier accumulator.
+class NeumaierAccumulator {
+ public:
+  /// Adds one summand.
+  void add(double x) noexcept;
+
+  /// Current compensated sum (running sum + accumulated compensation).
+  [[nodiscard]] double value() const noexcept { return s_ + c_; }
+
+ private:
+  double s_ = 0.0;
+  double c_ = 0.0;
+};
+
+}  // namespace hpsum

@@ -1,0 +1,16 @@
+#include "core/dot.hpp"
+
+namespace hpsum {
+
+HpDyn dot_hp(std::span<const double> a, std::span<const double> b,
+             HpConfig cfg) {
+  HpDyn acc(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto p = two_product(a[i], b[i]);
+    acc += p.sum;
+    acc += p.err;
+  }
+  return acc;
+}
+
+}  // namespace hpsum

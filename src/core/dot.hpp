@@ -1,0 +1,42 @@
+// Exact, order-invariant dot products (extension of the paper's method).
+//
+// The paper treats summation; the obvious next reduction a scientific code
+// needs reproducible is the dot product (force virials, energies, BLAS-1).
+// The composition is classical: the FMA error-free transformation splits
+// each product a_i*b_i into fl(a_i*b_i) + err_i EXACTLY, and both halves go
+// into an HP accumulator. The result is the mathematically exact dot
+// product rounded once — and bit-identical for every evaluation order,
+// which neither naive dot nor compensated Dot2 can promise.
+//
+// Range note: products of doubles span up to ~2^±2046, wider than any HP
+// format; size N,k for |a_i*b_i| (status flags report violations, and the
+// subnormal-product corner where FMA's error term itself rounds is flagged
+// kInexact).
+#pragma once
+
+#include <span>
+
+#include "compensated/compensated.hpp"
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+
+namespace hpsum {
+
+/// Exact dot product into a compile-time HP format.
+template <int N, int K>
+[[nodiscard]] HpFixed<N, K> dot_hp(std::span<const double> a,
+                                   std::span<const double> b) noexcept {
+  HpFixed<N, K> acc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto p = two_product(a[i], b[i]);
+    acc += p.sum;
+    acc += p.err;
+  }
+  return acc;
+}
+
+/// Exact dot product into a runtime HP format.
+[[nodiscard]] HpDyn dot_hp(std::span<const double> a,
+                           std::span<const double> b, HpConfig cfg);
+
+}  // namespace hpsum

@@ -1,0 +1,122 @@
+#include "core/hp_adaptive.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/hp_convert.hpp"
+
+namespace hpsum {
+
+namespace {
+
+/// Msb exponent: e with 2^e <= |r| < 2^(e+1).
+int msb_exponent(double r) noexcept { return std::ilogb(r); }
+
+/// Lsb exponent: the weight of the lowest set mantissa bit.
+int lsb_exponent(double r) noexcept {
+  int exp = 0;
+  const double mant = std::frexp(std::fabs(r), &exp);  // |r| = mant * 2^exp
+  const auto m53 = static_cast<std::uint64_t>(std::ldexp(mant, 53));
+  return exp - 53 + std::countr_zero(m53);
+}
+
+}  // namespace
+
+HpAdaptive::HpAdaptive(HpConfig initial, int max_limbs)
+    : v_(initial), max_limbs_(max_limbs) {
+  if (max_limbs_ < initial.n || max_limbs_ > kMaxLimbs) {
+    throw std::invalid_argument("HpAdaptive: bad max_limbs");
+  }
+}
+
+void HpAdaptive::check_cap(int new_n) const {
+  if (new_n > max_limbs_) {
+    throw std::overflow_error("HpAdaptive: growth cap reached");
+  }
+}
+
+void HpAdaptive::grow_int(int extra_limbs) {
+  check_cap(v_.cfg_.n + extra_limbs);
+  const util::Limb fill = v_.is_negative() ? ~util::Limb{0} : 0;
+  v_.limbs_.insert(v_.limbs_.begin(), static_cast<std::size_t>(extra_limbs),
+                   fill);
+  v_.cfg_.n += extra_limbs;
+  ++growth_events_;
+}
+
+void HpAdaptive::grow_frac(int extra_limbs) {
+  check_cap(v_.cfg_.n + extra_limbs);
+  v_.limbs_.insert(v_.limbs_.end(), static_cast<std::size_t>(extra_limbs), 0);
+  v_.cfg_.n += extra_limbs;
+  v_.cfg_.k += extra_limbs;
+  ++growth_events_;
+}
+
+void HpAdaptive::recover_add_overflow(bool positive) {
+  check_cap(v_.cfg_.n + 1);
+  // The wrapped result differs from the true sum by -/+2^(64n). Prepending
+  // a limb holding the true sign extension restores it: for a positive
+  // overflow the wrapped-value extension would be all-ones, and adding the
+  // lost 2^(64n) turns exactly that limb into zero (and vice versa).
+  v_.limbs_.insert(v_.limbs_.begin(), positive ? util::Limb{0} : ~util::Limb{0});
+  v_.cfg_.n += 1;
+  ++growth_events_;
+}
+
+void HpAdaptive::ensure_exponents(int e_hi, int e_lo) {
+  // Integer side: representable iff e_hi + 1 <= 64*(n-k) - 1.
+  const int int_limbs_needed = (e_hi + 2 + 63) / 64;  // ceil((e_hi+2)/64)
+  const int int_limbs = v_.cfg_.n - v_.cfg_.k;
+  if (int_limbs_needed > int_limbs) grow_int(int_limbs_needed - int_limbs);
+  // Fraction side: representable iff e_lo >= -64*k.
+  if (e_lo < 0) {
+    const int frac_limbs_needed = (-e_lo + 63) / 64;  // ceil(-e_lo/64)
+    if (frac_limbs_needed > v_.cfg_.k) grow_frac(frac_limbs_needed - v_.cfg_.k);
+  }
+}
+
+HpAdaptive& HpAdaptive::operator+=(double r) {
+  if (!std::isfinite(r)) {
+    throw std::invalid_argument("HpAdaptive: non-finite summand");
+  }
+  if (r == 0.0) return *this;
+  ensure_exponents(msb_exponent(r), lsb_exponent(r));
+  v_.clear_status();
+  v_ += r;
+  if (has(v_.status(), HpStatus::kAddOverflow)) {
+    // The running total outgrew the (now sufficient for r alone) range.
+    // Overflow direction equals the summand's sign.
+    recover_add_overflow(r > 0.0);
+  }
+  v_.clear_status();
+  return *this;
+}
+
+HpAdaptive& HpAdaptive::operator+=(const HpAdaptive& other) {
+  // Unify formats: cover both integer widths and both fraction widths.
+  HpAdaptive rhs = other;
+  const int int_limbs =
+      std::max(v_.cfg_.n - v_.cfg_.k, rhs.v_.cfg_.n - rhs.v_.cfg_.k);
+  const int frac_limbs = std::max(v_.cfg_.k, rhs.v_.cfg_.k);
+  const auto widen = [&](HpAdaptive& a) {
+    const int grow_i = int_limbs - (a.v_.cfg_.n - a.v_.cfg_.k);
+    if (grow_i > 0) a.grow_int(grow_i);
+    const int grow_f = frac_limbs - a.v_.cfg_.k;
+    if (grow_f > 0) a.grow_frac(grow_f);
+  };
+  widen(*this);
+  widen(rhs);
+
+  const bool rhs_positive = !rhs.v_.is_negative();
+  v_.clear_status();
+  v_ += rhs.v_;
+  if (has(v_.status(), HpStatus::kAddOverflow)) {
+    recover_add_overflow(rhs_positive);
+  }
+  v_.clear_status();
+  return *this;
+}
+
+}  // namespace hpsum

@@ -1,0 +1,79 @@
+// HpAdaptive — runtime-adaptive precision (the paper's §V future work).
+//
+// The one flaw the paper concedes in the HP method is that the user must
+// know the dynamic range of the summands a priori and size N and k to fit.
+// HpAdaptive removes that requirement: it starts from a small format and
+// widens itself whenever
+//   - a summand's magnitude exceeds the current range   -> grow integer side,
+//   - a summand has bits below the current lsb          -> grow fraction side,
+//   - the running total overflows during an add          -> grow by one limb
+//     and algebraically repair the wrapped sum (two's-complement wrap is by
+//     exactly 2^(64n), so the true value is recoverable).
+//
+// Sums remain exact and order-invariant *as values*; note that unlike
+// HpFixed, the limb image depends on the growth history, so invariance is of
+// the numeric value (compare via to_double()/decimal), not the byte image.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/hp_dyn.hpp"
+
+namespace hpsum {
+
+/// Self-widening exact accumulator.
+class HpAdaptive {
+ public:
+  /// Starts with `initial` format; never grows past `max_limbs` total limbs
+  /// (throws std::overflow_error if forced to).
+  explicit HpAdaptive(HpConfig initial = HpConfig{2, 1},
+                      int max_limbs = kMaxLimbs);
+
+  /// Adds a double exactly, widening the format as needed.
+  /// Throws std::invalid_argument for NaN/Inf, std::overflow_error at the
+  /// growth cap.
+  HpAdaptive& operator+=(double r);
+
+  /// Subtracts a double exactly.
+  HpAdaptive& operator-=(double r) { return *this += -r; }
+
+  /// Adds another adaptive value exactly (formats are unified first).
+  HpAdaptive& operator+=(const HpAdaptive& other);
+
+  /// Rounds to the nearest double.
+  [[nodiscard]] double to_double() const noexcept { return v_.to_double(); }
+
+  /// Exact decimal rendering.
+  [[nodiscard]] std::string to_decimal_string(std::size_t max_frac_digits = 0) const {
+    return v_.to_decimal_string(max_frac_digits);
+  }
+
+  /// Current format (grows over time).
+  [[nodiscard]] HpConfig config() const noexcept { return v_.config(); }
+
+  /// The underlying value.
+  [[nodiscard]] const HpDyn& value() const noexcept { return v_; }
+
+  /// Number of widenings performed so far (observability for tests and the
+  /// ablate_adaptive bench).
+  [[nodiscard]] int growth_events() const noexcept { return growth_events_; }
+
+ private:
+  /// Ensures the format can hold a value with msb exponent `e_hi` and lsb
+  /// exponent `e_lo` (both inclusive), growing as needed.
+  void ensure_exponents(int e_hi, int e_lo);
+  void grow_int(int extra_limbs);
+  void grow_frac(int extra_limbs);
+  /// Repairs a just-wrapped addition: widen by one integer limb whose fill
+  /// is the true sign (`positive`), which algebraically re-adds the lost
+  /// +/-2^(64n).
+  void recover_add_overflow(bool positive);
+  void check_cap(int new_n) const;
+
+  HpDyn v_;
+  int max_limbs_;
+  int growth_events_ = 0;
+};
+
+}  // namespace hpsum

@@ -1,0 +1,101 @@
+// HpAtomic<N,K> — lock-free shared HP accumulator.
+//
+// The paper (§III.B.2) claims HP addition can be made atomic with nothing
+// but compare-and-swap: each of the N limb additions is one atomic RMW, the
+// carry between limbs is thread-local state. Intermediate states are torn
+// across limbs, but because limb-wise addition with deferred carries is
+// commutative and associative over Z/2^64N, the final value once all adders
+// have finished is exactly the sequential sum.
+//
+// Two adder flavors are provided:
+//   add()            — CAS loop, the primitive the paper requires (CUDA has
+//                      only atomicCAS for 64-bit until fetch-add arrived);
+//   add_fetch_add()  — native fetch_add, an ablation (bench/ablate_atomics).
+#pragma once
+
+#include <atomic>
+
+#include "core/hp_fixed.hpp"
+
+namespace hpsum {
+
+/// Thread-safe HP accumulator with the same format as HpFixed<N,K>.
+template <int N, int K>
+class HpAtomic {
+ public:
+  using Value = HpFixed<N, K>;
+
+  /// Zero value.
+  HpAtomic() {
+    for (auto& limb : limbs_) limb.store(0, std::memory_order_relaxed);
+  }
+
+  HpAtomic(const HpAtomic&) = delete;
+  HpAtomic& operator=(const HpAtomic&) = delete;
+
+  /// Atomically adds an HP value using only compare-and-swap.
+  /// Safe to call concurrently from any number of threads.
+  void add(const Value& v) noexcept {
+    const auto& b = v.limbs();
+    bool carry = false;
+    for (int i = N - 1; i >= 0; --i) {
+      const util::Limb x = b[i] + static_cast<util::Limb>(carry);
+      const bool xwrap = carry && x == 0;  // b[i] was all-ones
+      bool sumwrap = false;
+      if (x != 0) {
+        util::Limb old = limbs_[i].load(std::memory_order_relaxed);
+        util::Limb desired = old + x;
+        while (!limbs_[i].compare_exchange_weak(old, desired,
+                                                std::memory_order_relaxed)) {
+          desired = old + x;
+        }
+        sumwrap = desired < old;  // unsigned wrap => carry into limb i-1
+      }
+      carry = xwrap || sumwrap;
+    }
+    // A carry out of limb 0 means the running total wrapped the full 64N-bit
+    // ring; it is dropped exactly as in the sequential adder (and is
+    // detectable after the fact by the caller's range reasoning).
+  }
+
+  /// Atomically adds a double (converts thread-locally, then add()).
+  void add(double r) noexcept { add(Value(r)); }
+
+  /// Ablation variant of add() using fetch_add instead of a CAS loop.
+  void add_fetch_add(const Value& v) noexcept {
+    const auto& b = v.limbs();
+    bool carry = false;
+    for (int i = N - 1; i >= 0; --i) {
+      const util::Limb x = b[i] + static_cast<util::Limb>(carry);
+      const bool xwrap = carry && x == 0;
+      bool sumwrap = false;
+      if (x != 0) {
+        const util::Limb old = limbs_[i].fetch_add(x, std::memory_order_relaxed);
+        sumwrap = static_cast<util::Limb>(old + x) < old;
+      }
+      carry = xwrap || sumwrap;
+    }
+  }
+
+  /// Snapshot of the current value. Only exact once all concurrent adders
+  /// have finished (e.g. after joining threads); mid-flight reads may
+  /// observe a sum whose carries are still in adders' local state.
+  [[nodiscard]] Value load() const noexcept {
+    Value out;
+    for (int i = 0; i < N; ++i) {
+      out.limbs()[static_cast<std::size_t>(i)] =
+          limbs_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  /// Resets to zero. Must not race with adders.
+  void clear() noexcept {
+    for (auto& limb : limbs_) limb.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<util::Limb> limbs_[N];
+};
+
+}  // namespace hpsum

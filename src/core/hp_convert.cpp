@@ -1,0 +1,41 @@
+#include "core/hp_convert.hpp"
+
+#include <cassert>
+
+namespace hpsum {
+
+HpStatus hp_from_double(double r, util::LimbSpan limbs,
+                        const HpConfig& cfg) noexcept {
+  assert(limbs.size() == static_cast<std::size_t>(cfg.n));
+  // The float-scaling path (Listing 1) needs 64*(n-k-1) within double
+  // exponent range; wider formats take the exact bit-placement path.
+  if (cfg.n <= 16) {
+    return detail::from_double_impl(r, limbs.data(), cfg.n, cfg.k);
+  }
+  return detail::from_double_exact(r, limbs.data(), cfg.n, cfg.k);
+}
+
+HpStatus hp_from_double_exact(double r, util::LimbSpan limbs,
+                              const HpConfig& cfg) noexcept {
+  assert(limbs.size() == static_cast<std::size_t>(cfg.n));
+  return detail::from_double_exact(r, limbs.data(), cfg.n, cfg.k);
+}
+
+HpStatus hp_from_long_double(long double r, util::LimbSpan limbs,
+                             const HpConfig& cfg) noexcept {
+  assert(limbs.size() == static_cast<std::size_t>(cfg.n));
+  return detail::from_long_double_exact(r, limbs.data(), cfg.n, cfg.k);
+}
+
+HpStatus hp_add(util::LimbSpan a, util::ConstLimbSpan b) noexcept {
+  assert(a.size() == b.size());
+  return detail::add_impl(a.data(), b.data(), static_cast<int>(a.size()));
+}
+
+HpStatus hp_to_double(util::ConstLimbSpan limbs, const HpConfig& cfg,
+                      double* out) noexcept {
+  assert(limbs.size() == static_cast<std::size_t>(cfg.n));
+  return detail::to_double_impl(limbs.data(), cfg.n, cfg.k, out);
+}
+
+}  // namespace hpsum

@@ -1,0 +1,259 @@
+// Core HP kernels: double -> HP conversion (paper Listing 1, generalized to
+// any N,k and fixed for the inexact/underflow corner), HP + HP addition with
+// carry propagation (Listing 2), and HP -> double conversion with correct
+// round-to-nearest-even.
+//
+// The `detail` functions are header-inline and take (limbs, n, k) so that
+// HpFixed<N,K> instantiates them with compile-time constants (the compiler
+// unrolls the N-step loops) while HpDyn calls the same code through the
+// runtime wrappers below. One implementation, two entry points.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "core/hp_config.hpp"
+#include "core/hp_status.hpp"
+#include "util/limbs.hpp"
+
+namespace hpsum {
+
+namespace detail {
+
+/// 2^e as a double for -1022 <= e <= 1023, computable at compile time.
+constexpr double pow2(int e) noexcept {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + e) << 52);
+}
+
+/// Extracts the 64 bits [lowbit+63 .. lowbit] of a big-endian magnitude,
+/// zero-filling positions outside [0, 64n). Bit 0 is the lsb of limbs[n-1].
+inline std::uint64_t extract_u64(const util::Limb* limbs, int n,
+                                 int lowbit) noexcept {
+  std::uint64_t out = 0;
+  for (int b = 0; b < 64; ++b) {
+    const int p = lowbit + b;
+    if (p < 0 || p >= 64 * n) continue;
+    const int li = n - 1 - p / 64;
+    const int off = p % 64;
+    out |= ((limbs[li] >> off) & 1ull) << b;
+  }
+  return out;
+}
+
+/// True iff any bit strictly below `bit` is set.
+inline bool any_bits_below(const util::Limb* limbs, int n, int bit) noexcept {
+  if (bit <= 0) return false;
+  const int full = bit / 64;  // count of fully-below limbs (from the bottom)
+  for (int i = 0; i < full; ++i) {
+    if (limbs[n - 1 - i] != 0) return true;
+  }
+  const int rem = bit % 64;
+  if (rem != 0) {
+    const util::Limb mask = (util::Limb{1} << rem) - 1;
+    if ((limbs[n - 1 - full] & mask) != 0) return true;
+  }
+  return false;
+}
+
+/// double -> HP, the paper's Listing 1 generalized:
+///  - scales |r| so the integer part of the running remainder is the next
+///    limb, peeling one limb per iteration (N FP multiplies + N FP adds);
+///  - applies two's complement for negative values in the same pass with a
+///    look-ahead carry (+1 lands at the lowest limb and propagates through
+///    limbs whose *stored* lower part is zero);
+///  - truncates toward zero any bits below 2^(-64k) and reports kInexact.
+///
+/// The look-ahead uses "remainder < weight of the lowest stored bit at this
+/// step" rather than the paper's "remainder <= 0": the two agree whenever
+/// the double converts exactly (the intended regime), and the former is also
+/// correct when low bits are being truncated. DESIGN.md §7 discusses this.
+///
+/// Requires 64*(n-k-1) <= 960 (always true for n <= 16); larger formats must
+/// use from_double_exact.
+inline HpStatus from_double_impl(double r, util::Limb* a, int n,
+                                 int k) noexcept {
+  if (!std::isfinite(r)) {
+    for (int i = 0; i < n; ++i) a[i] = 0;
+    return HpStatus::kConvertOverflow;
+  }
+  HpStatus st = HpStatus::kOk;
+  double dtmp = std::fabs(r) * pow2(-64 * (n - k - 1));
+  if (dtmp >= pow2(63)) {
+    for (int i = 0; i < n; ++i) a[i] = 0;
+    return HpStatus::kConvertOverflow;
+  }
+  if (dtmp < pow2(-1022)) {
+    // The scaling multiply underflowed into the subnormal range (or to
+    // zero), losing mantissa bits before the residue check could see them.
+    // For n <= 16, 2^-1022 < the format lsb's weight in scaled space
+    // (2^(-64(n-1))), so the entire value sits below the lsb: the exact
+    // result is zero, inexact unless r was zero.
+    for (int i = 0; i < n; ++i) a[i] = 0;
+    return (r != 0.0) ? HpStatus::kInexact : HpStatus::kOk;
+  }
+  const bool isneg = r < 0.0;
+  for (int i = 0; i < n - 1; ++i) {
+    const util::Limb itmp = static_cast<util::Limb>(dtmp);
+    dtmp = (dtmp - static_cast<double>(itmp)) * pow2(64);
+    // Lowest stored bit visible in the remaining limbs has weight
+    // 2^(-64*(n-2-i)) at this step's scale; a remainder below it means all
+    // stored lower limbs are zero and the two's-complement +1 reaches us.
+    const bool low_zero = dtmp < pow2(-64 * (n - 2 - i));
+    a[i] = isneg ? ~itmp + static_cast<util::Limb>(low_zero) : itmp;
+  }
+  const util::Limb last = static_cast<util::Limb>(dtmp);
+  if (dtmp - static_cast<double>(last) > 0.0) st |= HpStatus::kInexact;
+  a[n - 1] = isneg ? ~last + 1 : last;
+  return st;
+}
+
+/// double -> HP by direct bit placement (frexp + shifts). Exact for every
+/// finite double and valid for any n <= kMaxLimbs; used as the reference
+/// implementation in tests and as the path for very wide formats.
+inline HpStatus from_double_exact(double r, util::Limb* a, int n,
+                                  int k) noexcept {
+  for (int i = 0; i < n; ++i) a[i] = 0;
+  if (r == 0.0) return HpStatus::kOk;
+  if (!std::isfinite(r)) return HpStatus::kConvertOverflow;
+
+  int exp = 0;
+  const double mant = std::frexp(std::fabs(r), &exp);  // |r| = mant * 2^exp
+  std::uint64_t m53 = static_cast<std::uint64_t>(std::ldexp(mant, 53));
+  // Bit 52 of m53 is the msb; its weight is 2^(exp-1). The lsb of m53 has
+  // weight 2^(exp-53); in storage-bit coordinates that is position:
+  int p = (exp - 53) + 64 * k;
+  HpStatus st = HpStatus::kOk;
+
+  if (p < 0) {
+    // Low bits fall below 2^(-64k): truncate toward zero.
+    if (-p >= 53) {
+      return (r != 0.0) ? HpStatus::kInexact : HpStatus::kOk;
+    }
+    if ((m53 & ((std::uint64_t{1} << -p) - 1)) != 0) st |= HpStatus::kInexact;
+    m53 >>= -p;
+    p = 0;
+    if (m53 == 0) return st;
+  }
+  const int msb = p + 63 - std::countl_zero(m53);
+  if (msb >= 64 * n - 1) {
+    return HpStatus::kConvertOverflow;  // collides with or passes the sign bit
+  }
+  // Scatter m53 into the big-endian limb array at bit offset p.
+  const int li = n - 1 - p / 64;
+  const int off = p % 64;
+  a[li] |= m53 << off;
+  if (off != 0 && li >= 1) a[li - 1] |= m53 >> (64 - off);
+
+  if (r < 0.0) util::negate_twos(util::LimbSpan(a, static_cast<std::size_t>(n)));
+  return st;
+}
+
+/// HP += HP (paper Listing 2): limb-wise addition from the least significant
+/// limb upward, with explicit carry propagation. Detects overflow by the
+/// sign rule the paper gives (§III.A): same-sign operands whose sum has the
+/// opposite sign.
+inline HpStatus add_impl(util::Limb* a, const util::Limb* b, int n) noexcept {
+  const bool sa = (a[0] >> 63) != 0;
+  const bool sb = (b[0] >> 63) != 0;
+  if (n == 1) {
+    a[0] += b[0];
+  } else {
+    a[n - 1] = a[n - 1] + b[n - 1];
+    bool co = a[n - 1] < b[n - 1];
+    for (int i = n - 2; i >= 1; --i) {
+      a[i] = a[i] + b[i] + static_cast<util::Limb>(co);
+      co = (a[i] == b[i]) ? co : (a[i] < b[i]);
+    }
+    a[0] = a[0] + b[0] + static_cast<util::Limb>(co);
+  }
+  const bool sr = (a[0] >> 63) != 0;
+  return (sa == sb && sr != sa) ? HpStatus::kAddOverflow : HpStatus::kOk;
+}
+
+/// HP -> double with a single correct round-to-nearest-even at the end —
+/// the "round once, after the reduction" promise of high-precision
+/// intermediate sum methods.
+inline HpStatus to_double_impl(const util::Limb* a, int n, int k,
+                               double* out) noexcept {
+  util::Limb mag[kMaxLimbs];
+  for (int i = 0; i < n; ++i) mag[i] = a[i];
+  const auto span = util::LimbSpan(mag, static_cast<std::size_t>(n));
+  const bool neg = util::sign_bit(span);
+  if (neg) util::negate_twos(span);
+
+  const int h = util::highest_set_bit(span);
+  if (h < 0) {
+    *out = 0.0;
+    return HpStatus::kOk;
+  }
+  const std::uint64_t top = extract_u64(mag, n, h - 63);
+  const bool sticky = any_bits_below(mag, n, h - 63);
+  std::uint64_t mant = top >> 11;          // 53 bits, msb set
+  const std::uint64_t round = top & 0x7FF;  // guard + round bits
+  const bool roundup =
+      round > 0x400 || (round == 0x400 && (sticky || (mant & 1) != 0));
+  mant += static_cast<std::uint64_t>(roundup);
+
+  const int e = (h - 64 * k) - 52;  // exponent of mant's lsb
+  const double d = std::ldexp(static_cast<double>(mant), e);
+  HpStatus st = HpStatus::kOk;
+  if (std::isinf(d)) st |= HpStatus::kToDoubleOverflow;
+  // Below the normal-double floor ldexp itself rounds the 53-bit mantissa;
+  // conservatively flag any subnormal/zero result (may flag a subnormal
+  // that happened to convert exactly, never misses a lossy one).
+  if (d == 0.0 || std::fabs(d) < pow2(-1022)) st |= HpStatus::kToDoubleInexact;
+  *out = neg ? -d : d;
+  return st;
+}
+
+}  // namespace detail
+
+namespace detail {
+
+/// long double -> HP by exact bit placement. On x86 the 80-bit extended
+/// format carries a 64-bit mantissa, so sums computed in x87 registers can
+/// enter an HP accumulator without rounding to double first. Exact for any
+/// finite long double whose bits fit the format (others flag as usual).
+inline HpStatus from_long_double_exact(long double r, util::Limb* a, int n,
+                                       int k) noexcept {
+  for (int i = 0; i < n; ++i) a[i] = 0;
+  if (r == 0.0L) return HpStatus::kOk;
+  if (!std::isfinite(r)) return HpStatus::kConvertOverflow;
+  int exp = 0;
+  const long double mant = std::frexp(r < 0 ? -r : r, &exp);
+  // |r| = mant * 2^exp with mant in [0.5, 1): extract 64 mantissa bits.
+  auto m64 = static_cast<std::uint64_t>(std::ldexp(mant, 64));
+  int p = (exp - 64) + 64 * k;  // storage-bit position of m64's lsb
+  HpStatus st = HpStatus::kOk;
+
+  if (p < 0) {
+    if (-p >= 64) return HpStatus::kInexact;
+    if ((m64 & ((std::uint64_t{1} << -p) - 1)) != 0) st |= HpStatus::kInexact;
+    m64 >>= -p;
+    p = 0;
+    if (m64 == 0) return st;
+  }
+  const int msb = p + 63 - std::countl_zero(m64);
+  if (msb >= 64 * n - 1) return HpStatus::kConvertOverflow;
+  const int li = n - 1 - p / 64;
+  const int off = p % 64;
+  a[li] |= m64 << off;
+  if (off != 0 && li >= 1) a[li - 1] |= m64 >> (64 - off);
+  if (r < 0.0L) {
+    util::negate_twos(util::LimbSpan(a, static_cast<std::size_t>(n)));
+  }
+  return st;
+}
+
+}  // namespace detail
+
+/// Runtime-config wrappers over the kernels above (implemented in
+/// hp_convert.cpp). `limbs` must have exactly cfg.n elements.
+HpStatus hp_from_double(double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
+HpStatus hp_from_double_exact(double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
+HpStatus hp_from_long_double(long double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
+HpStatus hp_add(util::LimbSpan a, util::ConstLimbSpan b) noexcept;
+HpStatus hp_to_double(util::ConstLimbSpan limbs, const HpConfig& cfg, double* out) noexcept;
+
+}  // namespace hpsum

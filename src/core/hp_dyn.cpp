@@ -1,0 +1,133 @@
+#include "core/hp_dyn.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "core/hp_convert.hpp"
+#include "util/decimal.hpp"
+
+namespace hpsum {
+
+HpDyn::HpDyn(HpConfig cfg) : cfg_(cfg) {
+  validate(cfg);
+  if (cfg.n > kMaxLimbs) {
+    throw std::length_error("HpDyn: limb count exceeds kMaxLimbs");
+  }
+  limbs_.assign(static_cast<std::size_t>(cfg.n), 0);
+}
+
+HpDyn::HpDyn(HpConfig cfg, double r) : HpDyn(cfg) { *this += r; }
+
+HpDyn HpDyn::from_decimal_string(std::string_view s, HpConfig cfg) {
+  HpDyn out(cfg);
+  switch (util::parse_decimal(s, out.limbs(),
+                              static_cast<std::size_t>(cfg.k))) {
+    case util::ParseResult::kOk:
+      break;
+    case util::ParseResult::kInexact:
+      out.status_ |= HpStatus::kInexact;
+      break;
+    case util::ParseResult::kOverflow:
+      out.status_ |= HpStatus::kConvertOverflow;
+      break;
+    case util::ParseResult::kSyntax:
+      throw std::invalid_argument("HpDyn: invalid decimal string");
+  }
+  return out;
+}
+
+HpDyn& HpDyn::operator+=(double r) noexcept {
+  util::Limb tmp[kMaxLimbs];
+  const auto span = util::LimbSpan(tmp, limbs_.size());
+  status_ |= hp_from_double(r, span, cfg_);
+  status_ |= hp_add(limbs(), span);
+  return *this;
+}
+
+HpDyn& HpDyn::operator+=(const HpDyn& other) {
+  if (other.cfg_ != cfg_) {
+    throw std::invalid_argument("HpDyn: mixed formats in +=");
+  }
+  status_ |= other.status_;
+  status_ |= hp_add(limbs(), other.limbs());
+  return *this;
+}
+
+HpDyn& HpDyn::operator-=(const HpDyn& other) {
+  HpDyn neg = other;
+  neg.negate();
+  return *this += neg;
+}
+
+void HpDyn::negate() noexcept {
+  const bool was_min = limbs_[0] == (util::Limb{1} << 63) &&
+                       util::is_zero(util::ConstLimbSpan(limbs_.data() + 1,
+                                                         limbs_.size() - 1));
+  util::negate_twos(limbs());
+  if (was_min) status_ |= HpStatus::kAddOverflow;
+}
+
+void HpDyn::scale_pow2(int e) noexcept {
+  const int n = cfg_.n;
+  const bool neg = is_negative();
+  const auto span = limbs();
+  if (neg) util::negate_twos(span);
+  if (e > 0) {
+    const int msb = util::highest_set_bit(span);
+    if (msb >= 0 && msb + e >= 64 * n - 1) status_ |= HpStatus::kAddOverflow;
+    util::shift_left_limbs(span, static_cast<std::size_t>(e / 64));
+    util::shift_left_bits(span, static_cast<unsigned>(e % 64));
+  } else if (e < 0) {
+    const int s = -e;
+    for (int b = 0; b < s && b < 64 * n; ++b) {
+      const int li = n - 1 - b / 64;
+      if ((limbs_[static_cast<std::size_t>(li)] >> (b % 64)) & 1u) {
+        status_ |= HpStatus::kInexact;
+        break;
+      }
+    }
+    util::shift_right_limbs(span, static_cast<std::size_t>(s / 64));
+    util::shift_right_bits(span, static_cast<unsigned>(s % 64));
+  }
+  if (neg) util::negate_twos(span);
+}
+
+std::uint64_t HpDyn::div_small(std::uint64_t d) noexcept {
+  const bool neg = is_negative();
+  const auto span = limbs();
+  if (neg) util::negate_twos(span);
+  const std::uint64_t rem = util::divmod_small(span, d);
+  if (neg) util::negate_twos(span);
+  if (rem != 0) status_ |= HpStatus::kInexact;
+  return rem;
+}
+
+double HpDyn::to_double() const noexcept {
+  double out = 0.0;
+  hp_to_double(limbs(), cfg_, &out);
+  return out;
+}
+
+std::string HpDyn::to_decimal_string(std::size_t max_frac_digits) const {
+  return util::to_decimal_string(limbs(), static_cast<std::size_t>(cfg_.k),
+                                 max_frac_digits);
+}
+
+bool HpDyn::is_negative() const noexcept { return (limbs_[0] >> 63) != 0; }
+
+bool HpDyn::is_zero() const noexcept { return util::is_zero(limbs()); }
+
+void HpDyn::clear() noexcept {
+  std::fill(limbs_.begin(), limbs_.end(), 0);
+  status_ = HpStatus::kOk;
+}
+
+void HpDyn::to_bytes(std::byte* out) const noexcept {
+  std::memcpy(out, limbs_.data(), byte_size());
+}
+
+void HpDyn::from_bytes(const std::byte* in) noexcept {
+  std::memcpy(limbs_.data(), in, byte_size());
+}
+
+}  // namespace hpsum

@@ -1,0 +1,86 @@
+#include "core/hp_plan.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpsum {
+
+namespace {
+
+/// ceil(log2(s)) for s >= 1.
+int ceil_log2(std::uint64_t s) noexcept {
+  return (s <= 1) ? 0 : 64 - std::countl_zero(s - 1);
+}
+
+/// Msb exponent the running total can reach: summands * max_abs.
+int top_exponent(const SumPlan& plan) noexcept {
+  return std::ilogb(plan.max_abs) + 1 + ceil_log2(plan.summands);
+}
+
+/// Lowest lsb exponent any summand can carry.
+int bottom_exponent(const SumPlan& plan) noexcept {
+  if (plan.min_abs == 0.0 || plan.min_abs < std::ldexp(1.0, -1022)) {
+    return -1074;  // subnormal floor: resolve every possible bit
+  }
+  return std::ilogb(plan.min_abs) - 52;
+}
+
+void check_plan(const SumPlan& plan) {
+  if (!std::isfinite(plan.max_abs) || plan.max_abs < 0.0 ||
+      !std::isfinite(plan.min_abs) || plan.min_abs < 0.0 ||
+      (plan.max_abs > 0.0 && plan.min_abs > plan.max_abs) ||
+      plan.summands < 1) {
+    throw std::invalid_argument("SumPlan: inconsistent bounds");
+  }
+}
+
+}  // namespace
+
+HpConfig suggest_config(const SumPlan& plan) {
+  check_plan(plan);
+  if (plan.max_abs == 0.0) return HpConfig{1, 0};  // all zeros: anything works
+
+  const int e_top = top_exponent(plan);
+  const int e_bot = bottom_exponent(plan);
+
+  // Integer side: need 64*(n-k) - 1 > e_top, i.e. int bits >= e_top + 2.
+  const int int_limbs = std::max(0, (e_top + 2 + 63) / 64);
+  // Fraction side: need -64k <= e_bot.
+  const int k = e_bot < 0 ? (-e_bot + 63) / 64 : 0;
+  const int n = std::max(1, int_limbs + k);
+  if (n > kMaxLimbs) {
+    throw std::invalid_argument(
+        "suggest_config: plan needs more than kMaxLimbs limbs");
+  }
+  return HpConfig{n, k};
+}
+
+bool satisfies(const HpConfig& cfg, const SumPlan& plan) noexcept {
+  if (plan.max_abs == 0.0) return true;
+  if (plan.max_abs < 0.0 || plan.min_abs < 0.0 || plan.summands < 1 ||
+      !std::isfinite(plan.max_abs)) {
+    return false;
+  }
+  return max_exponent(cfg) > top_exponent(plan) &&
+         min_exponent(cfg) <= bottom_exponent(plan);
+}
+
+SumPlan plan_for_data(std::span<const double> xs) {
+  SumPlan plan;
+  plan.max_abs = 0.0;
+  plan.min_abs = 0.0;
+  plan.summands = xs.empty() ? 1 : xs.size();
+  for (const double x : xs) {
+    if (!std::isfinite(x)) {
+      throw std::invalid_argument("plan_for_data: non-finite value");
+    }
+    const double mag = std::fabs(x);
+    if (mag == 0.0) continue;
+    if (mag > plan.max_abs) plan.max_abs = mag;
+    if (plan.min_abs == 0.0 || mag < plan.min_abs) plan.min_abs = mag;
+  }
+  return plan;
+}
+
+}  // namespace hpsum

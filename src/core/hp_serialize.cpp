@@ -1,0 +1,68 @@
+#include "core/hp_serialize.hpp"
+
+#include <stdexcept>
+
+namespace hpsum {
+
+namespace {
+constexpr std::byte kMagic0{0x48};  // 'H'
+constexpr std::byte kMagic1{0x50};  // 'P'
+constexpr std::byte kVersion{1};
+
+void put_u64_le(std::byte* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>(v >> (8 * i));
+  }
+}
+
+std::uint64_t get_u64_le(const std::byte* in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+std::vector<std::byte> serialize(const HpDyn& v) {
+  const HpConfig cfg = v.config();
+  std::vector<std::byte> out(serialized_size(cfg));
+  out[0] = kMagic0;
+  out[1] = kMagic1;
+  out[2] = kVersion;
+  out[3] = static_cast<std::byte>(cfg.n);
+  out[4] = static_cast<std::byte>(cfg.k);
+  out[5] = static_cast<std::byte>(v.status());
+  out[6] = std::byte{0};  // reserved
+  out[7] = std::byte{0};  // reserved
+  const auto limbs = v.limbs();
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    put_u64_le(out.data() + 8 + 8 * i, limbs[i]);
+  }
+  return out;
+}
+
+HpDyn deserialize(std::span<const std::byte> bytes) {
+  if (bytes.size() < 8 || bytes[0] != kMagic0 || bytes[1] != kMagic1) {
+    throw std::invalid_argument("hp deserialize: bad magic");
+  }
+  if (bytes[2] != kVersion) {
+    throw std::invalid_argument("hp deserialize: unsupported version");
+  }
+  const HpConfig cfg{static_cast<int>(bytes[3]), static_cast<int>(bytes[4])};
+  if (cfg.n < 1 || cfg.n > kMaxLimbs || cfg.k < 0 || cfg.k > cfg.n) {
+    throw std::invalid_argument("hp deserialize: corrupt header");
+  }
+  if (bytes.size() != serialized_size(cfg)) {
+    throw std::invalid_argument("hp deserialize: size mismatch");
+  }
+  HpDyn v(cfg);
+  const auto limbs = v.limbs();
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    limbs[i] = get_u64_le(bytes.data() + 8 + 8 * i);
+  }
+  v.or_status(static_cast<HpStatus>(bytes[5]));
+  return v;
+}
+
+}  // namespace hpsum

@@ -1,0 +1,31 @@
+// Canonical, versioned, endian-independent serialization of HP values.
+//
+// HpDyn::to_bytes is a raw native-order limb image — fine for in-process
+// message passing, wrong for files that may be read on another machine.
+// This format is explicit: a fixed header (magic, version, N, k, sticky
+// status) followed by the limbs most-significant-first, each encoded
+// little-endian. Two machines of any endianness exchange HP values (and
+// their accumulated status flags) losslessly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/hp_dyn.hpp"
+
+namespace hpsum {
+
+/// Serialized size of a value with config `cfg`.
+[[nodiscard]] constexpr std::size_t serialized_size(const HpConfig& cfg) noexcept {
+  return 8 + static_cast<std::size_t>(cfg.n) * 8;  // header + limbs
+}
+
+/// Encodes `v` (value, format, sticky status) into the canonical format.
+[[nodiscard]] std::vector<std::byte> serialize(const HpDyn& v);
+
+/// Decodes a canonical image. Throws std::invalid_argument on bad magic,
+/// unsupported version, corrupt header, or size mismatch.
+[[nodiscard]] HpDyn deserialize(std::span<const std::byte> bytes);
+
+}  // namespace hpsum

@@ -1,0 +1,95 @@
+// HpStrict — fail-fast accumulation policy.
+//
+// HpFixed reports exceptional conditions through sticky flags, which suits
+// multimillion-element hot loops (check once at the end). Some callers
+// want the opposite contract: stop at the first bad operation, with the
+// accumulator left untouched (strong exception guarantee), e.g. when each
+// summand comes from external input. HpStrict wraps HpFixed with that
+// policy; Strictness::kExact additionally rejects summands that would
+// truncate below the lsb.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "core/hp_fixed.hpp"
+
+namespace hpsum {
+
+/// Thrown by HpStrict on a rejected operation; carries the status mask.
+class HpRangeError : public std::range_error {
+ public:
+  explicit HpRangeError(HpStatus status)
+      : std::range_error("hpsum: " + hpsum::to_string(status)),
+        status_(status) {}
+
+  [[nodiscard]] HpStatus status() const noexcept { return status_; }
+
+ private:
+  HpStatus status_;
+};
+
+/// What HpStrict rejects.
+enum class Strictness {
+  kNoOverflow,  ///< throw on any overflow; allow sub-lsb truncation
+  kExact,       ///< throw on overflow AND on any inexact conversion
+};
+
+/// Fail-fast exact accumulator. Every mutating operation either succeeds
+/// completely or throws HpRangeError leaving the value unchanged.
+template <int N, int K>
+class HpStrict {
+ public:
+  using Value = HpFixed<N, K>;
+
+  explicit HpStrict(Strictness strictness = Strictness::kNoOverflow) noexcept
+      : strictness_(strictness) {}
+
+  /// Adds a double; throws HpRangeError (value unchanged) on violation.
+  HpStrict& operator+=(double r) {
+    Value next = value_;
+    next += r;
+    commit(next);
+    return *this;
+  }
+
+  /// Subtracts a double with the same contract.
+  HpStrict& operator-=(double r) { return *this += -r; }
+
+  /// Merges another strict accumulator's value.
+  HpStrict& operator+=(const HpStrict& other) {
+    Value next = value_;
+    next += other.value_;
+    commit(next);
+    return *this;
+  }
+
+  /// The accumulated value (flags always clean by construction).
+  [[nodiscard]] const Value& value() const noexcept { return value_; }
+
+  /// Rounds to the nearest double.
+  [[nodiscard]] double to_double() const noexcept { return value_.to_double(); }
+
+  /// Exact decimal rendering.
+  [[nodiscard]] std::string to_decimal_string(std::size_t max_frac_digits = 0) const {
+    return value_.to_decimal_string(max_frac_digits);
+  }
+
+  [[nodiscard]] Strictness strictness() const noexcept { return strictness_; }
+
+ private:
+  void commit(const Value& next) {
+    const HpStatus st = next.status();
+    const bool bad = any_overflow(st) ||
+                     (strictness_ == Strictness::kExact &&
+                      has(st, HpStatus::kInexact));
+    if (bad) throw HpRangeError(st);
+    value_ = next;
+    value_.clear_status();
+  }
+
+  Value value_;
+  Strictness strictness_;
+};
+
+}  // namespace hpsum

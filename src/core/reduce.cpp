@@ -1,0 +1,17 @@
+#include "core/reduce.hpp"
+
+namespace hpsum {
+
+HpDyn reduce_hp(std::span<const double> xs, HpConfig cfg) {
+  HpDyn acc(cfg);
+  for (const double x : xs) acc += x;
+  return acc;
+}
+
+double reduce_double(std::span<const double> xs) noexcept {
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc;
+}
+
+}  // namespace hpsum

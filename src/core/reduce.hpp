@@ -1,0 +1,30 @@
+// Sequential reduction kernels over arrays of doubles.
+//
+// These are the inner loops every backend (OpenMP, mpisim, cudasim, phisim)
+// and every bench builds on: convert each double to the accumulator format
+// and add it to a running partial sum.
+#pragma once
+
+#include <span>
+
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+
+namespace hpsum {
+
+/// HP sum of a slice with a compile-time format. Exact and order-invariant.
+template <int N, int K>
+[[nodiscard]] HpFixed<N, K> reduce_hp(std::span<const double> xs) noexcept {
+  HpFixed<N, K> acc;
+  for (const double x : xs) acc += x;
+  return acc;
+}
+
+/// HP sum of a slice with a runtime format.
+[[nodiscard]] HpDyn reduce_hp(std::span<const double> xs, HpConfig cfg);
+
+/// Plain left-to-right double sum (the paper's "double precision" baseline;
+/// order-dependent).
+[[nodiscard]] double reduce_double(std::span<const double> xs) noexcept;
+
+}  // namespace hpsum

@@ -1,0 +1,56 @@
+// Device-side accumulation primitives for the Fig 7 kernels.
+//
+// These mirror what the paper's CUDA kernel does to one of the 256 shared
+// partial sums, built on nothing but the device's atomicCAS-derived adds
+// (§III.B.2: "an atomic adder can be constructed with carry out detection
+// using only CAS"). Per-summand global memory traffic matches the paper's
+// §IV.B accounting: HP(6,3) reads 7 words and writes 6; double reads 2 and
+// writes 1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/hp_fixed.hpp"
+#include "cudasim/cudasim.hpp"
+#include "hallberg/hallberg.hpp"
+
+namespace hpsum::cudasim {
+
+/// Atomically adds a thread-local HP value into a device-memory partial sum
+/// of N big-endian limbs. Only the N limb RMWs touch shared state; the
+/// carry chain lives in the calling thread.
+template <int N, int K>
+void device_hp_atomic_add(Device& dev, std::uint64_t* partial,
+                          const HpFixed<N, K>& v) noexcept {
+  const auto& b = v.limbs();
+  bool carry = false;
+  for (int i = N - 1; i >= 0; --i) {
+    const std::uint64_t x =
+        b[static_cast<std::size_t>(i)] + static_cast<std::uint64_t>(carry);
+    const bool xwrap = carry && x == 0;
+    bool sumwrap = false;
+    if (x != 0) {
+      const std::uint64_t old = dev.atomic_add_u64_cas(&partial[i], x);
+      sumwrap = static_cast<std::uint64_t>(old + x) < old;
+    }
+    carry = xwrap || sumwrap;
+  }
+}
+
+/// Atomically adds a thread-local Hallberg value into a device-memory
+/// partial sum of N limbs. No carries by design — one independent atomic
+/// add per limb (but 2N+1 reads / 2N writes of traffic at N=10 vs HP's 7/6
+/// at N=6, the paper's explanation for Hallberg's larger GPU slowdown).
+template <int N, int M>
+void device_hallberg_atomic_add(Device& dev, std::int64_t* partial,
+                                const HallbergFixed<N, M>& v) noexcept {
+  const auto& b = v.limbs();
+  for (int i = 0; i < N; ++i) {
+    // Two's-complement addition is bit-identical for signed/unsigned.
+    dev.atomic_add_u64_cas(
+        reinterpret_cast<std::uint64_t*>(&partial[i]),
+        static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]));
+  }
+}
+
+}  // namespace hpsum::cudasim

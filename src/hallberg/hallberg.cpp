@@ -1,0 +1,115 @@
+#include "hallberg/hallberg.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace hpsum {
+
+HallbergParams HallbergParams::solve(int precision_bits,
+                                     std::uint64_t summands) {
+  if (precision_bits < 1 || summands < 1) {
+    throw std::invalid_argument("HallbergParams::solve: bad arguments");
+  }
+  // Carry buffer must absorb `summands` accumulations: 2^(63-M)-1 >= S.
+  const int buffer_bits = std::bit_width(summands);
+  const int m = 63 - buffer_bits;
+  if (m < 1) {
+    throw std::invalid_argument(
+        "HallbergParams::solve: summand count leaves no payload bits");
+  }
+  const int n = (precision_bits + m - 1) / m;  // ceil(bits / M)
+  return HallbergParams{n, m};
+}
+
+Hallberg::Hallberg(HallbergParams p) : p_(p) {
+  if (p.n < 1 || p.n > kMaxLimbs || p.m < 1 || p.m > 62 ||
+      p.n * p.m / 2 + 62 > 1022) {
+    throw std::invalid_argument("Hallberg: parameters out of range");
+  }
+  a_.assign(static_cast<std::size_t>(p.n), 0);
+  w_.resize(static_cast<std::size_t>(p.n));
+  winv_.resize(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) {
+    const int e = i * p.m - p.n * p.m / 2;
+    w_[static_cast<std::size_t>(i)] = detail::pow2(e);
+    winv_[static_cast<std::size_t>(i)] = detail::pow2(-e);
+  }
+  range_max_ = p.range_max();
+}
+
+bool Hallberg::add_checked(double r) noexcept {
+  // The runtime carry-out guard the paper calls prohibitively expensive:
+  // scan every limb for headroom exhaustion before each accumulation.
+  constexpr std::int64_t kGuard = std::int64_t{1} << 62;
+  for (const std::int64_t limb : a_) {
+    if (limb >= kGuard || limb <= -kGuard) {
+      normalize();
+      ++normalizations_;
+      break;
+    }
+  }
+  return add(r);
+}
+
+void Hallberg::add(const Hallberg& other) {
+  if (other.p_ != p_) {
+    throw std::invalid_argument("Hallberg: mixed formats in add");
+  }
+  for (std::size_t i = 0; i < a_.size(); ++i) {
+    a_[i] = detail::wrap_add_i64(a_[i], other.a_[i]);
+  }
+}
+
+HpDyn Hallberg::to_hp(HpConfig cfg) const {
+  HpDyn acc(cfg);
+  std::vector<util::Limb> term(static_cast<std::size_t>(cfg.n));
+
+  for (int i = 0; i < p_.n; ++i) {
+    const std::int64_t ai = a_[static_cast<std::size_t>(i)];
+    if (ai == 0) continue;
+    const bool neg = ai < 0;
+    std::uint64_t mag = neg ? 0 - static_cast<std::uint64_t>(ai)
+                            : static_cast<std::uint64_t>(ai);
+    // Bit position (from the HP lsb) of this limb's unit weight.
+    int p = (i * p_.m - p_.n * p_.m / 2) + 64 * cfg.k;
+    HpStatus st = HpStatus::kOk;
+    if (p < 0) {
+      if (-p >= 64) {
+        acc.or_status(HpStatus::kInexact);
+        continue;
+      }
+      if ((mag & ((std::uint64_t{1} << -p) - 1)) != 0) st = HpStatus::kInexact;
+      mag >>= -p;
+      p = 0;
+      if (mag == 0) {
+        acc.or_status(st);
+        continue;
+      }
+    }
+    const int msb = p + 63 - std::countl_zero(mag);
+    if (msb >= 64 * cfg.n - 1) {
+      acc.or_status(HpStatus::kConvertOverflow);
+      continue;
+    }
+    std::fill(term.begin(), term.end(), 0);
+    const std::size_t li = static_cast<std::size_t>(cfg.n - 1 - p / 64);
+    const int off = p % 64;
+    term[li] |= mag << off;
+    if (off != 0 && li >= 1) term[li - 1] |= mag >> (64 - off);
+    if (neg) util::negate_twos(util::LimbSpan(term));
+
+    HpDyn t(cfg);
+    t.from_bytes(reinterpret_cast<const std::byte*>(term.data()));
+    acc += t;
+    acc.or_status(st);
+  }
+  return acc;
+}
+
+void Hallberg::clear() {
+  std::fill(a_.begin(), a_.end(), 0);
+  normalizations_ = 0;
+}
+
+}  // namespace hpsum

@@ -1,0 +1,242 @@
+// Hallberg & Adcroft (2014) order-invariant sum — the paper's baseline.
+//
+// A real r is represented by N signed 64-bit integers a_i (eq. 1):
+//
+//   r = sum_{i=0}^{N-1} a_i * 2^(i*M - N*M/2)
+//
+// (limb 0 least significant here, following the weight formula). Each limb
+// carries M < 63 payload bits; the remaining 63-M bits are a carry buffer,
+// so limb-wise addition needs NO carry propagation for up to
+// 2^(63-M) - 1 accumulations — carry *minimization*, where HP chooses
+// information-content *maximization*. The price (paper §II.B):
+//   - storage overhead: only M of every 64 bits carry value;
+//   - aliasing: many limb images denote the same real, so comparison
+//     requires normalize();
+//   - the summand count must be known a priori or limbs overflow
+//     catastrophically (add_checked() shows the runtime-guard alternative
+//     the paper dismisses as expensive).
+//
+// HallbergFixed<N,M> is the compile-time-format variant used in hot bench
+// loops (mirroring HpFixed); Hallberg is the runtime-format variant.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/hp_convert.hpp"  // detail::pow2
+#include "core/hp_dyn.hpp"
+
+namespace hpsum {
+
+namespace detail {
+
+/// Wrapping signed add: two's-complement semantics even on (deliberate)
+/// limb overflow — the Hallberg failure mode past max_summands() must be a
+/// wrong answer, not undefined behavior.
+inline std::int64_t wrap_add_i64(std::int64_t a, std::int64_t b) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+/// Accumulates double `r` into Hallberg limbs: strips one M-bit slice per
+/// limb from the most significant weight down. Cost per limb: 2 FP
+/// multiplies + 1 FP add + 1 integer add (the paper's 2N mult / N add
+/// count). Bits below the lsb weight truncate toward zero. Returns false
+/// (accumulating nothing) if |r| is outside the representable range
+/// [0, range_max) or non-finite — the analogue of HP's kConvertOverflow.
+inline bool hallberg_accumulate(double r, std::int64_t* a, int n,
+                                const double* w, const double* winv,
+                                double range_max) noexcept {
+  if (!(std::fabs(r) < range_max)) return false;  // also rejects NaN
+  for (int i = n - 1; i >= 0; --i) {
+    const auto t = static_cast<std::int64_t>(r * winv[i]);
+    a[i] = wrap_add_i64(a[i], t);
+    r -= static_cast<double>(t) * w[i];
+  }
+  return true;
+}
+
+/// Carry propagation to canonical form: every limb except the top lands in
+/// [0, 2^M); the top limb keeps the sign. Resolves aliasing.
+inline void hallberg_normalize(std::int64_t* a, int n, int m) noexcept {
+  for (int i = 0; i < n - 1; ++i) {
+    const std::int64_t c = a[i] >> m;  // floor division by 2^M (C++20)
+    a[i] -= c << m;
+    a[i + 1] = wrap_add_i64(a[i + 1], c);
+  }
+}
+
+/// Deterministic conversion to double: normalize first, then sum limb
+/// contributions from the most significant down (same order on every
+/// architecture, hence reproducible, though multiply-rounded like any
+/// float conversion of a >53-bit value).
+inline double hallberg_to_double(const std::int64_t* a, int n, int m,
+                                 const double* w) noexcept {
+  std::int64_t tmp[kMaxLimbs];
+  for (int i = 0; i < n; ++i) tmp[i] = a[i];
+  hallberg_normalize(tmp, n, m);
+  double r = 0.0;
+  for (int i = n - 1; i >= 0; --i) {
+    r += static_cast<double>(tmp[i]) * w[i];
+  }
+  return r;
+}
+
+}  // namespace detail
+
+/// Hallberg format descriptor + the Table 2 parameter solver.
+struct HallbergParams {
+  int n = 10;  ///< limbs
+  int m = 38;  ///< payload bits per limb, 1 <= m <= 62
+
+  /// Payload precision in bits (Table 2 "Precision Bits" = N*M).
+  [[nodiscard]] constexpr int precision_bits() const noexcept { return n * m; }
+
+  /// Max guaranteed-safe accumulations without normalization,
+  /// 2^(63-M) - 1 (Table 2 "Maximum Summands").
+  [[nodiscard]] constexpr std::uint64_t max_summands() const noexcept {
+    return (std::uint64_t{1} << (63 - m)) - 1;
+  }
+
+  /// Largest representable magnitude, 2^(N*M/2).
+  [[nodiscard]] double range_max() const noexcept {
+    return detail::pow2(n * m / 2);
+  }
+
+  /// Solves for the minimal-storage parameters providing at least
+  /// `precision_bits` of payload while guaranteeing `summands` carry-free
+  /// accumulations: M = 63 - ceil(log2(summands+1)), N = ceil(bits/M).
+  /// Regenerates Table 2 for bits=512, summands in {2048, 1M, 64M}.
+  static HallbergParams solve(int precision_bits, std::uint64_t summands);
+
+  friend constexpr bool operator==(const HallbergParams&,
+                                   const HallbergParams&) = default;
+};
+
+/// Compile-time-format Hallberg accumulator (the hot-loop variant).
+template <int N, int M>
+class HallbergFixed {
+  static_assert(N >= 1 && N <= kMaxLimbs);
+  static_assert(M >= 1 && M <= 62);
+  static_assert(N * M / 2 + 62 <= 1022, "weights exceed double range");
+
+ public:
+  /// Zero value.
+  constexpr HallbergFixed() = default;
+
+  static constexpr HallbergParams params() noexcept { return {N, M}; }
+
+  /// Accumulates a double; carry-free (2 FP mul + 1 FP add + 1 int add per
+  /// limb). Out-of-range/non-finite values accumulate nothing and return
+  /// false. After params().max_summands() accumulations without
+  /// normalize(), limbs may overflow undetected — the a-priori contract.
+  bool add(double r) noexcept {
+    return detail::hallberg_accumulate(r, a_.data(), N, kW.data(),
+                                       kWinv.data(), kRangeMax);
+  }
+
+  /// Merges another partial sum (N integer adds).
+  void add(const HallbergFixed& other) noexcept {
+    for (int i = 0; i < N; ++i) {
+      a_[i] = detail::wrap_add_i64(a_[i], other.a_[i]);
+    }
+  }
+
+  /// Canonicalizes the limb image (resolves aliasing, restores carry
+  /// headroom). Needed before comparing images or after max_summands().
+  void normalize() noexcept { detail::hallberg_normalize(a_.data(), N, M); }
+
+  /// Deterministic conversion to double.
+  [[nodiscard]] double to_double() const noexcept {
+    return detail::hallberg_to_double(a_.data(), N, M, kW.data());
+  }
+
+  /// Raw limbs (limb 0 least significant).
+  [[nodiscard]] const std::array<std::int64_t, N>& limbs() const noexcept {
+    return a_;
+  }
+  [[nodiscard]] std::array<std::int64_t, N>& limbs() noexcept { return a_; }
+
+  /// Resets to zero.
+  void clear() noexcept { a_.fill(0); }
+
+ private:
+  static constexpr std::array<double, N> kW = [] {
+    std::array<double, N> out{};
+    for (int i = 0; i < N; ++i) out[i] = detail::pow2(i * M - N * M / 2);
+    return out;
+  }();
+  static constexpr std::array<double, N> kWinv = [] {
+    std::array<double, N> out{};
+    for (int i = 0; i < N; ++i) out[i] = detail::pow2(-(i * M - N * M / 2));
+    return out;
+  }();
+  static constexpr double kRangeMax = detail::pow2(N * M / 2);
+
+  std::array<std::int64_t, N> a_{};
+};
+
+/// Runtime-format Hallberg accumulator.
+class Hallberg {
+ public:
+  /// Zero value. Throws std::invalid_argument for out-of-range parameters.
+  explicit Hallberg(HallbergParams p);
+
+  [[nodiscard]] HallbergParams params() const noexcept { return p_; }
+
+  /// Accumulates a double (carry-free; see HallbergFixed::add).
+  bool add(double r) noexcept {
+    return detail::hallberg_accumulate(r, a_.data(), p_.n, w_.data(),
+                                       winv_.data(), range_max_);
+  }
+
+  /// Accumulates with a runtime headroom guard: when any limb magnitude
+  /// reaches 2^62, normalize() first. This is the "expensive carryout
+  /// detection ... which defeats the purpose" alternative the paper
+  /// mentions; bench/ablate_adaptive quantifies it.
+  bool add_checked(double r) noexcept;
+
+  /// Merges another partial sum. Formats must match (throws
+  /// std::invalid_argument).
+  void add(const Hallberg& other);
+
+  /// Canonicalizes the limb image.
+  void normalize() noexcept {
+    detail::hallberg_normalize(a_.data(), p_.n, p_.m);
+  }
+
+  /// Deterministic conversion to double.
+  [[nodiscard]] double to_double() const noexcept {
+    return detail::hallberg_to_double(a_.data(), p_.n, p_.m, w_.data());
+  }
+
+  /// Exact conversion into an HP value (for bit-exact cross-method tests;
+  /// cfg must be wide enough to hold every payload bit, or the returned
+  /// value's status flags report the loss).
+  [[nodiscard]] HpDyn to_hp(HpConfig cfg) const;
+
+  /// Number of normalizations add_checked() performed.
+  [[nodiscard]] std::int64_t normalizations() const noexcept {
+    return normalizations_;
+  }
+
+  /// Raw limbs (limb 0 least significant).
+  [[nodiscard]] const std::vector<std::int64_t>& limbs() const noexcept {
+    return a_;
+  }
+  [[nodiscard]] std::vector<std::int64_t>& limbs() noexcept { return a_; }
+
+  /// Resets to zero.
+  void clear();
+
+ private:
+  HallbergParams p_;
+  std::vector<std::int64_t> a_;
+  std::vector<double> w_, winv_;
+  double range_max_ = 0.0;
+  std::int64_t normalizations_ = 0;
+};
+
+}  // namespace hpsum

@@ -1,0 +1,68 @@
+// HallbergAtomic — thread-safe Hallberg accumulator.
+//
+// Hallberg's carry-free representation is the easy case for atomicity:
+// limbs never interact during accumulation, so one independent atomic add
+// per limb suffices — no carry chain, no CAS loop (contrast HpAtomic).
+// The cost is the usual Hallberg contract: at most max_summands()
+// accumulations before a (non-atomic) normalize().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "hallberg/hallberg.hpp"
+
+namespace hpsum {
+
+/// Thread-safe Hallberg accumulator with the HallbergFixed<N,M> format.
+template <int N, int M>
+class HallbergAtomic {
+ public:
+  using Value = HallbergFixed<N, M>;
+
+  HallbergAtomic() {
+    for (auto& limb : a_) limb.store(0, std::memory_order_relaxed);
+  }
+
+  HallbergAtomic(const HallbergAtomic&) = delete;
+  HallbergAtomic& operator=(const HallbergAtomic&) = delete;
+
+  /// Atomically merges a thread-local value: N independent fetch_adds.
+  /// Safe from any number of threads (within the max_summands() budget).
+  void add(const Value& v) noexcept {
+    const auto& b = v.limbs();
+    for (int i = 0; i < N; ++i) {
+      // Wrapping unsigned add == two's-complement signed add.
+      a_[i].fetch_add(
+          static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]),
+          std::memory_order_relaxed);
+    }
+  }
+
+  /// Converts thread-locally, then add().
+  void add(double r) noexcept {
+    Value v;
+    v.add(r);
+    add(v);
+  }
+
+  /// Snapshot (exact once all adders joined; see HpAtomic::load).
+  [[nodiscard]] Value load() const noexcept {
+    Value out;
+    for (int i = 0; i < N; ++i) {
+      out.limbs()[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+          a_[i].load(std::memory_order_relaxed));
+    }
+    return out;
+  }
+
+  /// Resets to zero. Must not race with adders.
+  void clear() noexcept {
+    for (auto& limb : a_) limb.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> a_[N];
+};
+
+}  // namespace hpsum

@@ -1,0 +1,87 @@
+#include "mpisim/hp_ops.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "core/hp_convert.hpp"
+
+namespace hpsum::mpisim {
+
+Datatype hp_datatype(HpConfig cfg) {
+  validate(cfg);
+  return Datatype::contiguous(
+      static_cast<std::size_t>(cfg.n) * sizeof(util::Limb),
+      "hp{" + std::to_string(cfg.n) + "," + std::to_string(cfg.k) + "}");
+}
+
+Op hp_sum_op(HpConfig cfg) {
+  validate(cfg);
+  const int n = cfg.n;
+  return Op{
+      [n](std::byte* inout, const std::byte* in) {
+        // memcpy in/out of aligned scratch: message buffers carry no
+        // alignment guarantee, and this models real (de)serialization.
+        util::Limb a[kMaxLimbs];
+        util::Limb b[kMaxLimbs];
+        const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(util::Limb);
+        std::memcpy(a, inout, bytes);
+        std::memcpy(b, in, bytes);
+        detail::add_impl(a, b, n);
+        std::memcpy(inout, a, bytes);
+      },
+      "hp-sum"};
+}
+
+Datatype hallberg_datatype(HallbergParams p) {
+  return Datatype::contiguous(
+      static_cast<std::size_t>(p.n) * sizeof(std::int64_t),
+      "hallberg{" + std::to_string(p.n) + "," + std::to_string(p.m) + "}");
+}
+
+Op hallberg_sum_op(HallbergParams p) {
+  const int n = p.n;
+  return Op{
+      [n](std::byte* inout, const std::byte* in) {
+        std::int64_t a[kMaxLimbs];
+        std::int64_t b[kMaxLimbs];
+        const std::size_t bytes =
+            static_cast<std::size_t>(n) * sizeof(std::int64_t);
+        std::memcpy(a, inout, bytes);
+        std::memcpy(b, in, bytes);
+        for (int i = 0; i < n; ++i) a[i] = detail::wrap_add_i64(a[i], b[i]);
+        std::memcpy(inout, a, bytes);
+      },
+      "hallberg-sum"};
+}
+
+Op f64_sum_op() {
+  return Op{
+      [](std::byte* inout, const std::byte* in) {
+        double a = 0;
+        double b = 0;
+        std::memcpy(&a, inout, sizeof a);
+        std::memcpy(&b, in, sizeof b);
+        a += b;
+        std::memcpy(inout, &a, sizeof a);
+      },
+      "f64-sum"};
+}
+
+HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
+                      ReduceAlgo algo) {
+  const HpConfig cfg = local.config();
+  std::vector<std::byte> send(local.byte_size());
+  local.to_bytes(send.data());
+  std::vector<std::byte> recv(local.byte_size());
+  comm.reduce(send.data(), recv.data(), 1, hp_datatype(cfg), hp_sum_op(cfg),
+              root, algo);
+  HpDyn out(cfg);
+  if (comm.rank() == root) {
+    out.from_bytes(recv.data());
+  } else {
+    out = local;
+  }
+  return out;
+}
+
+}  // namespace hpsum::mpisim

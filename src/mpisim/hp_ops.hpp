@@ -1,0 +1,33 @@
+// Datatype + reduction-op registrations for HP, Hallberg and double values
+// — the analogue of the paper's custom MPI datatype and MPI_Op
+// (§IV.B: "this necessitated the creation of a custom MPI data type and
+// MPI_Op operation to support reduction with MPI_Reduce()").
+#pragma once
+
+#include "core/hp_dyn.hpp"
+#include "hallberg/hallberg.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace hpsum::mpisim {
+
+/// Datatype describing one HP value of format `cfg` (n contiguous limbs).
+[[nodiscard]] Datatype hp_datatype(HpConfig cfg);
+
+/// Element-wise HP addition op (exact, order-invariant).
+[[nodiscard]] Op hp_sum_op(HpConfig cfg);
+
+/// Datatype describing one Hallberg value of format `p`.
+[[nodiscard]] Datatype hallberg_datatype(HallbergParams p);
+
+/// Element-wise Hallberg merge op (limb adds, carry-free).
+[[nodiscard]] Op hallberg_sum_op(HallbergParams p);
+
+/// Plain double addition op (the order-sensitive baseline).
+[[nodiscard]] Op f64_sum_op();
+
+/// Convenience wrapper: reduce one HP value to `root` (returns the combined
+/// value on root, the local value elsewhere).
+[[nodiscard]] HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
+                                    ReduceAlgo algo = ReduceAlgo::kBinomialTree);
+
+}  // namespace hpsum::mpisim

@@ -1,0 +1,404 @@
+#include "mpisim/mpisim.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+namespace hpsum::mpisim {
+
+namespace {
+/// Collective operations stamp their messages with tags at or above this
+/// base (a per-rank sequence number keeps successive collectives apart).
+/// User point-to-point tags must stay below it.
+constexpr int kCollectiveTagBase = 1 << 20;
+}  // namespace
+
+/// Shared state for one run(): mailboxes (the "network") and the barrier.
+class Runtime {
+ public:
+  struct Message {
+    int source = 0;
+    int tag = 0;
+    std::vector<std::byte> data;
+  };
+
+  explicit Runtime(int nranks)
+      : nranks_(nranks), barrier_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {}
+
+  [[nodiscard]] int size() const noexcept { return nranks_; }
+
+  /// Delivers a deep-copied message into `dest`'s mailbox.
+  void post(int dest, Message msg) {
+    check_rank(dest);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    {
+      const std::lock_guard<std::mutex> lock(box.mu);
+      box.queue.push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+  }
+
+  /// Blocks until a message from (source, tag) is available for `dest`,
+  /// removes and returns it.
+  Message take(int dest, int source, int tag) {
+    check_rank(dest);
+    check_rank(source);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    std::unique_lock<std::mutex> lock(box.mu);
+    for (;;) {
+      const auto it = std::find_if(
+          box.queue.begin(), box.queue.end(), [&](const Message& m) {
+            return m.source == source && m.tag == tag;
+          });
+      if (it != box.queue.end()) {
+        Message msg = std::move(*it);
+        box.queue.erase(it);
+        return msg;
+      }
+      box.cv.wait(lock);
+    }
+  }
+
+  /// Non-blocking take: returns the matching message if one is queued.
+  std::optional<Message> try_take(int dest, int source, int tag) {
+    check_rank(dest);
+    check_rank(source);
+    Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+    const std::lock_guard<std::mutex> lock(box.mu);
+    const auto it = std::find_if(
+        box.queue.begin(), box.queue.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it == box.queue.end()) return std::nullopt;
+    Message msg = std::move(*it);
+    box.queue.erase(it);
+    return msg;
+  }
+
+  void barrier_wait() { barrier_.arrive_and_wait(); }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void check_rank(int r) const {
+    if (r < 0 || r >= nranks_) {
+      throw std::out_of_range("mpisim: rank out of range");
+    }
+  }
+
+  int nranks_;
+  std::barrier<> barrier_;
+  std::vector<Mailbox> mailboxes_;
+};
+
+int Comm::size() const noexcept { return rt_->size(); }
+
+void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
+  Runtime::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  const auto* p = static_cast<const std::byte*>(buf);
+  msg.data.assign(p, p + bytes);
+  rt_->post(dest, std::move(msg));
+}
+
+void Comm::recv(int source, int tag, void* buf, std::size_t bytes) {
+  Runtime::Message msg = rt_->take(rank_, source, tag);
+  if (msg.data.size() != bytes) {
+    throw std::logic_error("mpisim: recv size mismatch (expected " +
+                           std::to_string(bytes) + ", got " +
+                           std::to_string(msg.data.size()) + ")");
+  }
+  std::memcpy(buf, msg.data.data(), bytes);
+}
+
+void Comm::barrier() { rt_->barrier_wait(); }
+
+Request Comm::irecv(int source, int tag, void* buf, std::size_t bytes) {
+  Request req;
+  req.comm_ = this;
+  req.source_ = source;
+  req.tag_ = tag;
+  req.buf_ = buf;
+  req.bytes_ = bytes;
+  req.done_ = false;
+  return req;
+}
+
+void Request::wait() {
+  if (done_) return;
+  comm_->recv(source_, tag_, buf_, bytes_);
+  done_ = true;
+}
+
+bool Request::test() {
+  if (done_) return true;
+  auto msg = comm_->rt_->try_take(comm_->rank_, source_, tag_);
+  if (!msg) return false;
+  if (msg->data.size() != bytes_) {
+    throw std::logic_error("mpisim: irecv size mismatch");
+  }
+  std::memcpy(buf_, msg->data.data(), bytes_);
+  done_ = true;
+  return true;
+}
+
+void Comm::bcast(void* buf, std::size_t bytes, int root) {
+  const int tag = kCollectiveTagBase + coll_seq_++;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, tag, buf, bytes);
+    }
+  } else {
+    recv(root, tag, buf, bytes);
+  }
+}
+
+void Comm::gather(const void* send_buf, std::size_t bytes_each, void* recv_buf,
+                  int root) {
+  const int tag = kCollectiveTagBase + coll_seq_++;
+  if (rank_ == root) {
+    auto* out = static_cast<std::byte*>(recv_buf);
+    for (int r = 0; r < size(); ++r) {
+      std::byte* slot = out + static_cast<std::size_t>(r) * bytes_each;
+      if (r == root) {
+        std::memcpy(slot, send_buf, bytes_each);
+      } else {
+        recv(r, tag, slot, bytes_each);
+      }
+    }
+  } else {
+    send(root, tag, send_buf, bytes_each);
+  }
+}
+
+void Comm::scatter(const void* send_buf, std::size_t bytes_each,
+                   void* recv_buf, int root) {
+  const int tag = kCollectiveTagBase + coll_seq_++;
+  if (rank_ == root) {
+    const auto* in = static_cast<const std::byte*>(send_buf);
+    for (int r = 0; r < size(); ++r) {
+      const std::byte* slot = in + static_cast<std::size_t>(r) * bytes_each;
+      if (r == root) {
+        std::memcpy(recv_buf, slot, bytes_each);
+      } else {
+        send(r, tag, slot, bytes_each);
+      }
+    }
+  } else {
+    recv(root, tag, recv_buf, bytes_each);
+  }
+}
+
+void Comm::allgather(const void* send_buf, std::size_t bytes_each,
+                     void* recv_buf) {
+  gather(send_buf, bytes_each, recv_buf, /*root=*/0);
+  bcast(recv_buf, bytes_each * static_cast<std::size_t>(size()), /*root=*/0);
+}
+
+void Comm::sendrecv(int dest, const void* send_buf, std::size_t send_bytes,
+                    int source, void* recv_buf, std::size_t recv_bytes,
+                    int tag) {
+  send(dest, tag, send_buf, send_bytes);
+  recv(source, tag, recv_buf, recv_bytes);
+}
+
+void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
+                  const Datatype& dt, const Op& op, int root,
+                  ReduceAlgo algo) {
+  const int tag = kCollectiveTagBase + coll_seq_++;
+  const std::size_t bytes = count * dt.size;
+  const int p = size();
+
+  const auto combine = [&](std::byte* inout, const std::byte* in) {
+    for (std::size_t e = 0; e < count; ++e) {
+      op.fn(inout + e * dt.size, in + e * dt.size);
+    }
+  };
+
+  if (algo == ReduceAlgo::kLinear) {
+    if (rank_ == root) {
+      auto* out = static_cast<std::byte*>(recv_buf);
+      std::memcpy(out, send_buf, bytes);
+      std::vector<std::byte> incoming(bytes);
+      // Deterministic order: ascending rank, regardless of arrival order.
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        recv(r, tag, incoming.data(), bytes);
+        combine(out, incoming.data());
+      }
+    } else {
+      send(root, tag, send_buf, bytes);
+    }
+    return;
+  }
+
+  // Binomial tree on root-relative ranks: log2(p) rounds, each combining
+  // the higher partner into the lower (a different deterministic op order
+  // than kLinear — bit-identical for HP, different rounding for doubles).
+  const int vr = (rank_ - root + p) % p;
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), send_buf, bytes);
+  std::vector<std::byte> incoming(bytes);
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vr & step) != 0) {
+      const int dest = (vr - step + root) % p;
+      send(dest, tag, acc.data(), bytes);
+      break;
+    }
+    if (vr + step < p) {
+      const int src = (vr + step + root) % p;
+      recv(src, tag, incoming.data(), bytes);
+      combine(acc.data(), incoming.data());
+    }
+  }
+  if (rank_ == root) {
+    std::memcpy(recv_buf, acc.data(), bytes);
+  }
+}
+
+void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
+                     const Datatype& dt, const Op& op, ReduceAlgo algo) {
+  const std::size_t bytes = count * dt.size;
+  reduce(send_buf, recv_buf, count, dt, op, /*root=*/0, algo);
+  bcast(recv_buf, bytes, /*root=*/0);
+}
+
+Comm::Group Comm::split(int color, int key) {
+  // Collective: allgather every rank's (color, key).
+  struct ColorKey {
+    int color;
+    int key;
+  };
+  const ColorKey mine{color, key};
+  std::vector<ColorKey> all(static_cast<std::size_t>(size()));
+  allgather(&mine, sizeof mine, all.data());
+
+  // Group members: ranks with my color, ordered by (key, parent rank).
+  std::vector<int> members;
+  for (int r = 0; r < size(); ++r) {
+    if (all[static_cast<std::size_t>(r)].color == color) members.push_back(r);
+  }
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    return all[static_cast<std::size_t>(a)].key <
+           all[static_cast<std::size_t>(b)].key;
+  });
+  int my_index = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == rank_) my_index = static_cast<int>(i);
+  }
+  return Group(*this, std::move(members), my_index);
+}
+
+void Comm::Group::barrier() {
+  const int tag = kCollectiveTagBase + parent_->coll_seq_++;
+  const char token = 0;
+  if (my_index_ == 0) {
+    char sink = 0;
+    for (int g = 1; g < size(); ++g) {
+      parent_->recv(parent_rank(g), tag, &sink, sizeof sink);
+    }
+    for (int g = 1; g < size(); ++g) {
+      parent_->send(parent_rank(g), tag, &token, sizeof token);
+    }
+  } else {
+    parent_->send(parent_rank(0), tag, &token, sizeof token);
+    char sink = 0;
+    parent_->recv(parent_rank(0), tag, &sink, sizeof sink);
+  }
+}
+
+void Comm::Group::bcast(void* buf, std::size_t bytes, int group_root) {
+  const int tag = kCollectiveTagBase + parent_->coll_seq_++;
+  if (my_index_ == group_root) {
+    for (int g = 0; g < size(); ++g) {
+      if (g != group_root) parent_->send(parent_rank(g), tag, buf, bytes);
+    }
+  } else {
+    parent_->recv(parent_rank(group_root), tag, buf, bytes);
+  }
+}
+
+void Comm::Group::reduce(const void* send_buf, void* recv_buf,
+                         std::size_t count, const Datatype& dt, const Op& op,
+                         int group_root, ReduceAlgo algo) {
+  const int tag = kCollectiveTagBase + parent_->coll_seq_++;
+  const std::size_t bytes = count * dt.size;
+  const int p = size();
+
+  const auto combine = [&](std::byte* inout, const std::byte* in) {
+    for (std::size_t e = 0; e < count; ++e) {
+      op.fn(inout + e * dt.size, in + e * dt.size);
+    }
+  };
+
+  if (algo == ReduceAlgo::kLinear) {
+    if (my_index_ == group_root) {
+      auto* out = static_cast<std::byte*>(recv_buf);
+      std::memcpy(out, send_buf, bytes);
+      std::vector<std::byte> incoming(bytes);
+      for (int g = 0; g < p; ++g) {
+        if (g == group_root) continue;
+        parent_->recv(parent_rank(g), tag, incoming.data(), bytes);
+        combine(out, incoming.data());
+      }
+    } else {
+      parent_->send(parent_rank(group_root), tag, send_buf, bytes);
+    }
+    return;
+  }
+
+  const int vr = (my_index_ - group_root + p) % p;
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), send_buf, bytes);
+  std::vector<std::byte> incoming(bytes);
+  for (int step = 1; step < p; step <<= 1) {
+    if ((vr & step) != 0) {
+      const int dest = (vr - step + group_root) % p;
+      parent_->send(parent_rank(dest), tag, acc.data(), bytes);
+      break;
+    }
+    if (vr + step < p) {
+      const int src = (vr + step + group_root) % p;
+      parent_->recv(parent_rank(src), tag, incoming.data(), bytes);
+      combine(acc.data(), incoming.data());
+    }
+  }
+  if (my_index_ == group_root) {
+    std::memcpy(recv_buf, acc.data(), bytes);
+  }
+}
+
+void run(int nranks, const std::function<void(Comm&)>& body) {
+  if (nranks < 1) {
+    throw std::invalid_argument("mpisim::run: nranks must be >= 1");
+  }
+  Runtime rt(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&rt, &body, &errors, r] {
+        Comm comm(rt, r);
+        try {
+          body(comm);
+        } catch (...) {
+          errors[static_cast<std::size_t>(r)] = std::current_exception();
+        }
+      });
+    }
+  }
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace hpsum::mpisim

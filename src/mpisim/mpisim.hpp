@@ -1,0 +1,222 @@
+// mpisim — an in-process message-passing runtime (the MPI substitute).
+//
+// No MPI implementation is installed on this host, so the paper's MPI
+// experiment (Fig 6: MPI_Reduce over a custom HP datatype with a custom
+// MPI_Op) runs on this runtime instead (DESIGN.md §2). It preserves the
+// properties the experiment exercises:
+//   - ranks have separate address spaces for message data: every send deep-
+//     copies into the receiver's mailbox, so HP values really are
+//     serialized, moved, and deserialized;
+//   - reductions take a user-registered Datatype + Op, exactly the
+//     MPI_Type_contiguous / MPI_Op_create shape the paper describes;
+//   - two reduction algorithms (linear and binomial tree) apply the op in
+//     different deterministic orders, which is precisely what makes double
+//     sums irreproducible and HP sums bit-identical across topologies.
+//
+// The API mirrors the MPI subset the paper uses; rank bodies run on
+// std::jthreads.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpsum::mpisim {
+
+/// Element type descriptor (MPI_Datatype analogue): contiguous bytes.
+struct Datatype {
+  std::size_t size = 0;  ///< bytes per element
+  std::string name;
+
+  /// Built-in: one double.
+  static Datatype f64() { return {sizeof(double), "f64"}; }
+
+  /// Contiguous blob of `bytes` bytes (how HP and Hallberg values travel:
+  /// the analogue of MPI_Type_contiguous over MPI_UINT64_T).
+  static Datatype contiguous(std::size_t bytes, std::string type_name) {
+    return {bytes, std::move(type_name)};
+  }
+};
+
+/// Reduction operator (MPI_Op analogue): combines one element in place,
+/// inout = inout (op) in.
+struct Op {
+  std::function<void(std::byte* inout, const std::byte* in)> fn;
+  std::string name;
+};
+
+/// Reduction algorithm. Different algorithms apply Op in different (but
+/// deterministic) orders — the order-invariance testbed.
+enum class ReduceAlgo {
+  kLinear,       ///< root folds ranks 1..p-1 into its buffer in rank order
+  kBinomialTree  ///< log2(p) rounds of pairwise combines
+};
+
+class Runtime;
+class Comm;
+
+/// Handle for a non-blocking receive (MPI_Request analogue). Obtained from
+/// Comm::irecv; completed by wait() or polled by test(). Destroying an
+/// incomplete Request is an error surfaced by assertion in debug builds.
+class Request {
+ public:
+  Request() = default;
+
+  /// Blocks until the message arrives and is copied into the buffer.
+  void wait();
+
+  /// Non-blocking completion check; copies and returns true if available.
+  [[nodiscard]] bool test();
+
+  /// True once the message has been delivered into the buffer.
+  [[nodiscard]] bool done() const noexcept { return done_; }
+
+ private:
+  friend class Comm;
+  Comm* comm_ = nullptr;
+  int source_ = -1;
+  int tag_ = -1;
+  void* buf_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool done_ = true;
+};
+
+/// Per-rank communicator handle (valid only inside the rank body).
+class Comm {
+ public:
+  /// This rank's id in [0, size()).
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+
+  /// Number of ranks.
+  [[nodiscard]] int size() const noexcept;
+
+  /// Blocking tagged point-to-point send (deep copy; never deadlocks on
+  /// itself since delivery is asynchronous).
+  void send(int dest, int tag, const void* buf, std::size_t bytes);
+
+  /// Blocking tagged receive from a specific source. `bytes` must match the
+  /// sent size (checked; throws std::logic_error on mismatch — the
+  /// classic truncated-message failure surfaced loudly).
+  void recv(int source, int tag, void* buf, std::size_t bytes);
+
+  /// Synchronizes all ranks.
+  void barrier();
+
+  /// Broadcasts root's buffer to all ranks.
+  void bcast(void* buf, std::size_t bytes, int root);
+
+  /// Gathers `bytes_each` from every rank into root's `recv` buffer
+  /// (rank-major). `recv` may be null on non-root ranks.
+  void gather(const void* send, std::size_t bytes_each, void* recv, int root);
+
+  /// Scatters rank-major slices of root's `send` buffer: each rank receives
+  /// its `bytes_each` slice into `recv`. `send` may be null on non-root
+  /// ranks. This is how the Fig 6 benchmark distributes the summand array.
+  void scatter(const void* send, std::size_t bytes_each, void* recv, int root);
+
+  /// Gather followed by broadcast: every rank ends with all ranks'
+  /// contributions (rank-major) in `recv`.
+  void allgather(const void* send, std::size_t bytes_each, void* recv);
+
+  /// Combined send+recv (never deadlocks: delivery is asynchronous).
+  void sendrecv(int dest, const void* send_buf, std::size_t send_bytes,
+                int source, void* recv_buf, std::size_t recv_bytes, int tag);
+
+  /// Non-blocking send (MPI_Isend analogue). Because sends deep-copy into
+  /// the destination mailbox immediately, the buffer is reusable on
+  /// return; no request object is needed (equivalent to MPI_Ibsend with
+  /// infinite buffering).
+  void isend(int dest, int tag, const void* buf, std::size_t bytes) {
+    send(dest, tag, buf, bytes);
+  }
+
+  /// Non-blocking receive (MPI_Irecv analogue): returns immediately; the
+  /// buffer is filled when the returned Request is wait()ed or test()s
+  /// true. Lets a rank post a receive, keep computing, then synchronize.
+  [[nodiscard]] Request irecv(int source, int tag, void* buf,
+                              std::size_t bytes);
+
+  /// Element-wise reduction of `count` elements of `dt` to `root`
+  /// (MPI_Reduce analogue). `recv` may be null on non-root ranks.
+  void reduce(const void* send, void* recv, std::size_t count,
+              const Datatype& dt, const Op& op, int root,
+              ReduceAlgo algo = ReduceAlgo::kBinomialTree);
+
+  /// Reduction delivered to every rank (MPI_Allreduce analogue;
+  /// implemented as reduce + bcast).
+  void allreduce(const void* send, void* recv, std::size_t count,
+                 const Datatype& dt, const Op& op,
+                 ReduceAlgo algo = ReduceAlgo::kBinomialTree);
+
+  /// Splits the communicator by color (MPI_Comm_split analogue): ranks
+  /// sharing a color form a group, ordered by (key, parent rank). The
+  /// returned group handle supports the collective subset hierarchical
+  /// reductions need (rank/size/barrier/bcast/reduce). Must be called by
+  /// every rank (it is itself a collective).
+  class Group;
+  [[nodiscard]] Group split(int color, int key = 0);
+
+ private:
+  friend void run(int nranks, const std::function<void(Comm&)>& body);
+  friend class Request;
+  Comm(Runtime& rt, int rank) : rt_(&rt), rank_(rank) {}
+  Runtime* rt_;
+  int rank_;
+  /// Per-rank collective sequence number; stamps collective message tags so
+  /// back-to-back collectives cannot cross-match.
+  int coll_seq_ = 0;
+};
+
+/// A color group produced by Comm::split: the subset collectives used for
+/// hierarchical (e.g. intra-node then inter-node) reductions. All tag
+/// management rides on the parent communicator, so every group member must
+/// issue the same sequence of group collectives (the usual SPMD contract).
+class Comm::Group {
+ public:
+  /// This rank's index within the group, in (key, parent-rank) order.
+  [[nodiscard]] int rank() const noexcept { return my_index_; }
+
+  /// Number of ranks in the group.
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(members_.size());
+  }
+
+  /// Parent rank of group member `group_rank`.
+  [[nodiscard]] int parent_rank(int group_rank) const {
+    return members_.at(static_cast<std::size_t>(group_rank));
+  }
+
+  /// Synchronizes the group (linear gather + release through group root).
+  void barrier();
+
+  /// Broadcasts group-root's buffer to the group.
+  void bcast(void* buf, std::size_t bytes, int group_root);
+
+  /// Element-wise reduction to the group root (same semantics as
+  /// Comm::reduce, restricted to the group).
+  void reduce(const void* send, void* recv, std::size_t count,
+              const Datatype& dt, const Op& op, int group_root,
+              ReduceAlgo algo = ReduceAlgo::kBinomialTree);
+
+ private:
+  friend class Comm;
+  Group(Comm& parent, std::vector<int> members, int my_index)
+      : parent_(&parent), members_(std::move(members)), my_index_(my_index) {}
+
+  Comm* parent_;
+  std::vector<int> members_;  ///< parent ranks, group order
+  int my_index_;
+};
+
+/// Launches `nranks` rank bodies on threads and waits for completion.
+/// Exceptions thrown by any rank are rethrown (first one wins).
+void run(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace hpsum::mpisim

@@ -1,0 +1,28 @@
+#include "rblas/rblas.hpp"
+
+#include <cmath>
+
+#include "core/hp_dyn.hpp"
+
+namespace hpsum::rblas {
+
+double sum(std::span<const double> x, HpConfig cfg) {
+  return reduce_hp(x, cfg).to_double();
+}
+
+double asum(std::span<const double> x, HpConfig cfg) {
+  HpDyn acc(cfg);
+  for (const double v : x) acc += std::fabs(v);
+  return acc.to_double();
+}
+
+double dot(std::span<const double> x, std::span<const double> y,
+           HpConfig cfg) {
+  return dot_hp(x, y, cfg).to_double();
+}
+
+double nrm2(std::span<const double> x, HpConfig cfg) {
+  return std::sqrt(dot_hp(x, x, cfg).to_double());
+}
+
+}  // namespace hpsum::rblas

@@ -1,0 +1,65 @@
+#include "reprosum/reprosum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpsum::reprosum {
+
+ReproSum::ReproSum(double max_abs, std::size_t max_count)
+    : max_abs_(max_abs), max_count_(max_count) {
+  if (!std::isfinite(max_abs) || max_abs <= 0.0) {
+    throw std::invalid_argument("ReproSum: max_abs must be finite positive");
+  }
+  // Bin-exactness budget: a bin holds up to max_count values, each a
+  // multiple of u_l with magnitude < 2^kBitsPerLevel * u_l (level 0: the
+  // ceiling itself). Their sum stays below C_l's ulp-stability window when
+  // log2(count) + kBitsPerLevel <= 51.
+  if (max_count < 1 || max_count >= (std::size_t{1} << 31)) {
+    throw std::invalid_argument("ReproSum: max_count out of budget");
+  }
+  const int e0 = std::ilogb(max_abs) + 1;  // |x| <= max_abs < 2^e0
+  if (e0 > 900 || e0 < -900) {
+    throw std::invalid_argument("ReproSum: ceiling exponent out of range");
+  }
+  for (int l = 0; l < kLevels; ++l) {
+    // Unit u_l = 2^(e0 - (l+1)*W); C_l = 1.5 * 2^52 * u_l, whose ulp is
+    // exactly u_l throughout the accumulation window.
+    c_[l] = std::ldexp(1.5, e0 - (l + 1) * kBitsPerLevel + 52);
+    bins_[l] = 0.0;
+  }
+}
+
+bool ReproSum::add(double x) noexcept {
+  if (!(std::fabs(x) <= max_abs_) || count_ >= max_count_) {
+    return false;  // also rejects NaN
+  }
+  ++count_;
+  for (int l = 0; l < kLevels; ++l) {
+    // Extraction EFT: q is x rounded to a multiple of u_l, computed
+    // exactly; the residue x - q is exact as well (|x - q| <= u_l / 2).
+    const double t = c_[l] + x;
+    const double q = t - c_[l];
+    bins_[l] += q;
+    x -= q;
+  }
+  // Residue below u_{K-1}/2 is discarded: the method's rounding.
+  return true;
+}
+
+void ReproSum::merge(const ReproSum& other) {
+  if (other.max_abs_ != max_abs_ || other.max_count_ != max_count_) {
+    throw std::invalid_argument("ReproSum: merging different bindings");
+  }
+  for (int l = 0; l < kLevels; ++l) bins_[l] += other.bins_[l];
+  count_ += other.count_;
+}
+
+double ReproSum::result() const noexcept {
+  // Deterministic top-down fold; every run with the same binding folds the
+  // same bin values in the same order.
+  double r = 0.0;
+  for (int l = 0; l < kLevels; ++l) r += bins_[l];
+  return r;
+}
+
+}  // namespace hpsum::reprosum

@@ -1,0 +1,71 @@
+// reprosum — Demmel & Nguyen-style reproducible binned summation.
+//
+// The paper's related work (§I, refs [6-8]) contrasts HP with the other
+// major road to reproducibility: pre-rounded / binned summation as in
+// Demmel & Nguyen's "Fast Reproducible Floating-Point Summation" and
+// ReproBLAS. This module implements that technique (simplified: fixed K
+// levels of W bits, bound to a known magnitude ceiling) so the two
+// philosophies can be compared head to head in this repo's benches:
+//
+//   - reprosum: plain doubles only, ~1 FP op per level per summand,
+//     REPRODUCIBLE (bit-identical for any order/partitioning) but NOT
+//     exact — it keeps only the top K*W bits below the magnitude ceiling;
+//   - HP: exact AND reproducible, at integer-limb cost.
+//
+// How it works: each level l owns a power-of-two unit u_l and the constant
+// C_l = 1.5 * 2^52 * u_l. fl((C_l + x) - C_l) rounds x to a multiple of
+// u_l EXACTLY (the classic extraction EFT), the residue x - q moves to the
+// next level, and each bin accumulates multiples of u_l that provably
+// never round (count and magnitude are budgeted) — so bin values are
+// order-invariant integers in disguise, and only the final top-down fold
+// rounds, deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpsum::reprosum {
+
+/// Reproducible binned accumulator. All accumulators that will ever be
+/// merged must be constructed with the SAME (max_abs, max_count) binding —
+/// that shared binding is what makes the bins commensurable (the same
+/// a-priori-knowledge contract the paper notes for fixed-point methods).
+class ReproSum {
+ public:
+  /// Levels of extraction and bits per level: the result keeps roughly
+  /// kLevels * kBitsPerLevel bits below the magnitude ceiling.
+  static constexpr int kLevels = 3;
+  static constexpr int kBitsPerLevel = 20;
+
+  /// Binds the accumulator to a magnitude ceiling (|x| <= max_abs for
+  /// every future summand) and a total count budget (sum of all adds
+  /// across all merged accumulators). Throws std::invalid_argument for
+  /// non-finite/non-positive ceilings or budgets that would overflow the
+  /// bins (max_count must be < 2^31).
+  ReproSum(double max_abs, std::size_t max_count);
+
+  /// Accumulates one summand. Returns false (and accumulates nothing) if
+  /// |x| exceeds the binding or the count budget is exhausted.
+  bool add(double x) noexcept;
+
+  /// Merges another accumulator with the identical binding (checked;
+  /// throws std::invalid_argument). Exact: bins add without rounding.
+  void merge(const ReproSum& other);
+
+  /// The reproducible result: deterministic top-down fold of the bins.
+  /// Identical for every summation order and partitioning under the same
+  /// binding; accurate to ~2^(-kLevels*kBitsPerLevel) * max_abs * count.
+  [[nodiscard]] double result() const noexcept;
+
+  /// Summands accumulated so far (across merges).
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  double c_[kLevels];     ///< extraction constants C_l
+  double bins_[kLevels];  ///< bin partial sums (multiples of u_l, exact)
+  double max_abs_;
+  std::size_t max_count_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hpsum::reprosum

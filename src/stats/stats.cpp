@@ -1,0 +1,71 @@
+#include "stats/stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace hpsum::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::add(double x) noexcept {
+  const std::size_t bins = counts_.size();
+  double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(bins);
+  if (t < 0.0) t = 0.0;
+  auto i = static_cast<std::size_t>(t);
+  if (i >= bins) i = bins - 1;
+  ++counts_[i];
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+std::vector<std::pair<double, std::uint64_t>> Histogram::rows() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  out.reserve(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out.emplace_back(bin_center(i), counts_[i]);
+  }
+  return out;
+}
+
+Summary summarize(std::span<const double> xs) noexcept {
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  Summary s;
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  if (rs.count() > 0) {
+    s.min = rs.min();
+    s.max = rs.max();
+  }
+  return s;
+}
+
+}  // namespace hpsum::stats

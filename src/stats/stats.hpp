@@ -1,0 +1,92 @@
+// Streaming statistics and histograms for the error-distribution study.
+//
+// Fig 1 needs the standard deviation of thousands of residual sums; Fig 2
+// needs their histogram. Welford's algorithm keeps the statistics
+// numerically stable (fitting, for a paper about rounding error).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hpsum::stats {
+
+/// Welford streaming mean/variance with min/max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean (0 if empty).
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance (0 if fewer than two observations).
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation (+inf if empty).
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation (-inf if empty).
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range, fixed-bin-count histogram.
+class Histogram {
+ public:
+  /// `bins` equal-width bins over [lo, hi). Out-of-range observations land
+  /// in the nearest edge bin (so no sample is silently dropped).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Per-bin counts.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Center value of bin `i`.
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+
+  /// Total observations.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII rendering (one row per bin: center, count, bar), for the bench
+  /// binaries' stdout reports.
+  [[nodiscard]] std::vector<std::pair<double, std::uint64_t>> rows() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// One-shot summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes Summary over a span.
+[[nodiscard]] Summary summarize(std::span<const double> xs) noexcept;
+
+}  // namespace hpsum::stats

@@ -1,0 +1,74 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hpsum::util {
+
+Args::Args(int argc, char** argv, std::vector<std::string> known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag[=value], got: " +
+                                  std::string(arg));
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value = "true";
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+    }
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+std::optional<std::string> Args::raw(std::string_view name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t Args::get_int(std::string_view name, std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::string s = *v;
+  std::int64_t scale = 1;
+  if (!s.empty()) {
+    switch (s.back()) {
+      case 'k': case 'K': scale = 1024; s.pop_back(); break;
+      case 'm': case 'M': scale = 1024 * 1024; s.pop_back(); break;
+      case 'g': case 'G': scale = 1024 * 1024 * 1024; s.pop_back(); break;
+      default: break;
+    }
+  }
+  return std::stoll(s) * scale;
+}
+
+double Args::get_double(std::string_view name, double fallback) const {
+  const auto v = raw(name);
+  return v ? std::stod(*v) : fallback;
+}
+
+std::string Args::get_string(std::string_view name, std::string fallback) const {
+  const auto v = raw(name);
+  return v ? *v : fallback;
+}
+
+bool Args::get_bool(std::string_view name) const {
+  const auto v = raw(name);
+  return v && (*v == "true" || *v == "1" || *v == "yes");
+}
+
+bool Args::full_scale() {
+  const char* env = std::getenv("HPSUM_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace hpsum::util

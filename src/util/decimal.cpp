@@ -1,0 +1,190 @@
+#include "util/decimal.hpp"
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+namespace hpsum::util {
+
+std::string to_decimal_string(ConstLimbSpan limbs, std::size_t frac_limbs,
+                              std::size_t max_frac_digits) {
+  std::vector<Limb> mag(limbs.begin(), limbs.end());
+  const bool negative = sign_bit(limbs);
+  if (negative) negate_twos(LimbSpan(mag));
+
+  const std::size_t n = mag.size();
+  const std::size_t int_limbs = n - frac_limbs;
+
+  // Integer part: repeated division by 10^19 (the largest power of ten in
+  // a limb) peels off 19 decimal digits per pass.
+  std::string int_part;
+  {
+    std::vector<Limb> whole(mag.begin(), mag.begin() + int_limbs);
+    constexpr Limb kPow10_19 = 10'000'000'000'000'000'000ull;
+    if (int_limbs == 0 || is_zero(ConstLimbSpan(whole))) {
+      int_part = "0";
+    } else {
+      while (!is_zero(ConstLimbSpan(whole))) {
+        Limb chunk = divmod_small(LimbSpan(whole), kPow10_19);
+        const bool more = !is_zero(ConstLimbSpan(whole));
+        char buf[20];
+        int len = 0;
+        do {
+          buf[len++] = static_cast<char>('0' + (chunk % 10));
+          chunk /= 10;
+        } while (chunk != 0);
+        // Interior chunks must be zero-padded to their full 19 digits.
+        if (more) {
+          while (len < 19) buf[len++] = '0';
+        }
+        int_part.append(buf, buf + len);  // reversed; fixed below
+      }
+      std::reverse(int_part.begin(), int_part.end());
+    }
+  }
+
+  // Fraction part: repeated multiplication by 10; the carry out of the top
+  // fractional limb is the next digit.
+  std::string frac_part;
+  bool truncated = false;
+  if (frac_limbs > 0) {
+    std::vector<Limb> frac(mag.begin() + int_limbs, mag.end());
+    while (!is_zero(ConstLimbSpan(frac))) {
+      if (max_frac_digits != 0 && frac_part.size() >= max_frac_digits) {
+        truncated = true;
+        break;
+      }
+      const Limb digit = mul_small(LimbSpan(frac), 10);
+      frac_part += static_cast<char>('0' + digit);
+    }
+    // Trailing zeros are noise in a complete expansion but placeholders in
+    // a truncated one ("0.0000000000..." must keep them).
+    if (!truncated) {
+      while (!frac_part.empty() && frac_part.back() == '0') frac_part.pop_back();
+    }
+  }
+
+  std::string out;
+  if (negative) out += '-';
+  out += int_part;
+  if (!frac_part.empty()) {
+    out += '.';
+    out += frac_part;
+    if (truncated) out += "...";
+  }
+  return out;
+}
+
+namespace {
+
+// Little helper for the fraction parser: big unsigned integers in
+// big-endian limb vectors, value < 10^d for d decimal digits.
+using BigInt = std::vector<Limb>;
+
+// v *= 2 in place (widths are sized with headroom, so no carry out).
+void double_in_place(BigInt& v) {
+  shift_left_bits(LimbSpan(v), 1);
+}
+
+}  // namespace
+
+ParseResult parse_decimal(std::string_view s, LimbSpan limbs,
+                          std::size_t frac_limbs) {
+  for (auto& limb : limbs) limb = 0;
+  const std::size_t n = limbs.size();
+  if (frac_limbs > n || s.empty()) return ParseResult::kSyntax;
+  const std::size_t int_limbs = n - frac_limbs;
+
+  bool negative = false;
+  if (s.front() == '-' || s.front() == '+') {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  bool inexact = false;
+  if (s.ends_with("...")) {  // truncated rendering from to_decimal_string
+    inexact = true;
+    s.remove_suffix(3);
+  }
+  const std::size_t dot = s.find('.');
+  const std::string_view int_digits = s.substr(0, dot);
+  const std::string_view frac_digits =
+      dot == std::string_view::npos ? std::string_view{} : s.substr(dot + 1);
+  if (int_digits.empty() && frac_digits.empty()) return ParseResult::kSyntax;
+  for (const char c : int_digits) {
+    if (c < '0' || c > '9') return ParseResult::kSyntax;
+  }
+  for (const char c : frac_digits) {
+    if (c < '0' || c > '9') return ParseResult::kSyntax;
+  }
+
+  // Integer part: value = value*10 + digit over the top int_limbs limbs.
+  for (const char c : int_digits) {
+    if (int_limbs == 0) {
+      if (c != '0') return ParseResult::kOverflow;
+      continue;
+    }
+    const LimbSpan whole = limbs.first(int_limbs);
+    if (mul_small(whole, 10) != 0) {
+      for (auto& limb : limbs) limb = 0;
+      return ParseResult::kOverflow;
+    }
+    Limb carry = static_cast<Limb>(c - '0');
+    for (std::size_t i = int_limbs; carry != 0 && i-- > 0;) {
+      const Limb before = limbs[i];
+      limbs[i] += carry;
+      carry = (limbs[i] < before) ? 1 : 0;
+    }
+    if (carry != 0) {
+      for (auto& limb : limbs) limb = 0;
+      return ParseResult::kOverflow;
+    }
+  }
+
+  // Fraction part: with F = digit-string value and D = 10^d, emit bits by
+  // repeated doubling: bit = (2F >= D), F = 2F - D when set.
+  if (!frac_digits.empty() && frac_limbs > 0) {
+    const std::size_t big_limbs = frac_digits.size() / 19 + 2;
+    BigInt f(big_limbs, 0);
+    BigInt d10(big_limbs, 0);
+    d10.back() = 1;
+    for (const char c : frac_digits) {
+      mul_small(LimbSpan(f), 10);
+      Limb carry = static_cast<Limb>(c - '0');
+      for (std::size_t i = big_limbs; carry != 0 && i-- > 0;) {
+        const Limb before = f[i];
+        f[i] += carry;
+        carry = (f[i] < before) ? 1 : 0;
+      }
+      mul_small(LimbSpan(d10), 10);
+    }
+    for (std::size_t bit = 0; bit < 64 * frac_limbs; ++bit) {
+      if (is_zero(ConstLimbSpan(f))) break;
+      double_in_place(f);
+      const bool set = compare_unsigned(ConstLimbSpan(f), ConstLimbSpan(d10)) >= 0;
+      if (set) {
+        sub_into(LimbSpan(f), ConstLimbSpan(d10));
+        const std::size_t li = int_limbs + bit / 64;
+        limbs[li] |= (Limb{1} << (63 - bit % 64));
+      }
+    }
+    if (!is_zero(ConstLimbSpan(f))) inexact = true;
+  } else if (!frac_digits.empty()) {
+    // No fraction limbs in the format: any nonzero fraction digit is lost.
+    for (const char c : frac_digits) {
+      if (c != '0') {
+        inexact = true;
+        break;
+      }
+    }
+  }
+
+  // The magnitude must leave the sign bit clear.
+  if ((limbs[0] >> 63) != 0) {
+    for (auto& limb : limbs) limb = 0;
+    return ParseResult::kOverflow;
+  }
+  if (negative) negate_twos(limbs);
+  return inexact ? ParseResult::kInexact : ParseResult::kOk;
+}
+
+}  // namespace hpsum::util

@@ -1,0 +1,43 @@
+// Exact decimal rendering of fixed-point multiword values.
+//
+// A two's-complement value with k fractional limbs has an exact finite
+// decimal expansion (binary fractions always do). Tests use this to compare
+// HP sums against independently computed references without any rounding,
+// and the examples use it to show users what "perfect precision" means.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/limbs.hpp"
+
+namespace hpsum::util {
+
+/// Renders a two's-complement fixed-point value exactly in decimal.
+///
+/// `limbs` is big-endian (limbs[0] most significant); the last `frac_limbs`
+/// limbs hold the fraction. `max_frac_digits` truncates the fractional
+/// expansion (0 means unlimited — up to 64*frac_limbs*log10(2) digits);
+/// trailing zeros are trimmed either way. A truncated expansion ends with
+/// "...".
+[[nodiscard]] std::string to_decimal_string(ConstLimbSpan limbs,
+                                            std::size_t frac_limbs,
+                                            std::size_t max_frac_digits = 0);
+
+/// Result of parse_decimal.
+enum class ParseResult {
+  kOk,        ///< parsed exactly
+  kInexact,   ///< parsed; fraction bits below the lsb truncated toward zero
+  kOverflow,  ///< integer part does not fit the format (limbs zeroed)
+  kSyntax,    ///< not a valid "[-]digits[.digits[...]]" string (limbs zeroed)
+};
+
+/// Parses a decimal string into a two's-complement fixed-point value with
+/// `frac_limbs` fractional limbs — the exact inverse of to_decimal_string
+/// (a trailing "..." from a truncated rendering parses as kInexact). This
+/// makes HP values round-trippable through text logs and checkpoints with
+/// no precision loss.
+ParseResult parse_decimal(std::string_view s, LimbSpan limbs,
+                          std::size_t frac_limbs);
+
+}  // namespace hpsum::util

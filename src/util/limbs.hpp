@@ -1,0 +1,78 @@
+// Multiword ("limb") integer arithmetic on spans of 64-bit words.
+//
+// Limb order convention: **big-endian**, i.e. limbs[0] is the MOST
+// significant word. This matches the paper's indexing (eq. 2: a_0 carries
+// the largest weight 2^(64*(N-k-1))), so the core HP code and these helpers
+// can share spans without reversing.
+//
+// Values are interpreted either as unsigned magnitudes or as two's
+// complement, per function. All operations are allocation-free and operate
+// in place, which is what the hot reduction loops need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hpsum::util {
+
+using Limb = std::uint64_t;
+using LimbSpan = std::span<Limb>;
+using ConstLimbSpan = std::span<const Limb>;
+
+/// a += b (same length). Returns the carry out of the most significant limb.
+bool add_into(LimbSpan a, ConstLimbSpan b) noexcept;
+
+/// a -= b (same length). Returns the borrow out of the most significant limb.
+bool sub_into(LimbSpan a, ConstLimbSpan b) noexcept;
+
+/// a += 1 at the least significant limb. Returns the carry out of the top.
+bool increment(LimbSpan a) noexcept;
+
+/// Two's complement negation in place: a = ~a + 1.
+void negate_twos(LimbSpan a) noexcept;
+
+/// True iff every limb is zero.
+[[nodiscard]] bool is_zero(ConstLimbSpan a) noexcept;
+
+/// Sign bit of a two's-complement value (bit 63 of the most significant limb).
+[[nodiscard]] bool sign_bit(ConstLimbSpan a) noexcept;
+
+/// Three-way comparison of unsigned magnitudes: -1, 0, or +1.
+[[nodiscard]] int compare_unsigned(ConstLimbSpan a, ConstLimbSpan b) noexcept;
+
+/// Three-way comparison of two's-complement values: -1, 0, or +1.
+[[nodiscard]] int compare_twos(ConstLimbSpan a, ConstLimbSpan b) noexcept;
+
+/// Shifts left (towards the most significant limb) by whole limbs,
+/// filling vacated low limbs with zero. Bits shifted past the top are lost.
+void shift_left_limbs(LimbSpan a, std::size_t count) noexcept;
+
+/// Shifts right (towards the least significant limb) by whole limbs,
+/// filling vacated high limbs with `fill` (use ~0ull for arithmetic shift
+/// of a negative two's-complement value, 0 otherwise).
+void shift_right_limbs(LimbSpan a, std::size_t count, Limb fill = 0) noexcept;
+
+/// Shifts left by `bits` (0 <= bits < 64) across limb boundaries.
+void shift_left_bits(LimbSpan a, unsigned bits) noexcept;
+
+/// Logical shift right by `bits` (0 <= bits < 64) across limb boundaries.
+void shift_right_bits(LimbSpan a, unsigned bits) noexcept;
+
+/// a *= m for a small multiplier; value treated as unsigned.
+/// Returns the carry (overflow) out of the most significant limb.
+Limb mul_small(LimbSpan a, Limb m) noexcept;
+
+/// a /= d for a small divisor; value treated as unsigned.
+/// Returns the remainder. Precondition: d != 0.
+Limb divmod_small(LimbSpan a, Limb d) noexcept;
+
+/// Index of the highest set bit treating the span as one big unsigned
+/// integer, or -1 if the value is zero. Bit 0 is the least significant bit
+/// of the last limb.
+[[nodiscard]] int highest_set_bit(ConstLimbSpan a) noexcept;
+
+/// Hex rendering "0x..." with limbs separated by '_' (debugging aid).
+[[nodiscard]] std::string to_hex(ConstLimbSpan a);
+
+}  // namespace hpsum::util

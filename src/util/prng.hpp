@@ -1,0 +1,129 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// Benchmarks and property tests in this project must be reproducible run to
+// run, so all randomness flows through the generators here (never
+// std::random_device or rand()). xoshiro256** is the workhorse; splitmix64
+// seeds it and decorrelates user-supplied seeds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hpsum::util {
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used to expand a single
+/// user seed into the 256-bit state of Xoshiro256ss, and handy on its own
+/// for hashing loop indices into independent streams.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, passes BigCrush, and small enough
+/// to embed one instance per thread / per rank without cache pressure.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state from a single 64-bit seed via SplitMix64.
+  constexpr explicit Xoshiro256ss(std::uint64_t seed = 0x6A09E667F3BCC908ull) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Returns the next 64-bit value in the stream.
+  constexpr result_type next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1) with 53 significant bits.
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    __extension__ using U128 = unsigned __int128;
+    // Degenerate bound of 0 maps to 0 so callers need not special-case it.
+    if (bound == 0) return 0;
+    U128 m = static_cast<U128>(next()) * static_cast<U128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<U128>(next()) * static_cast<U128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Jump function: advances the stream by 2^128 steps. Used to carve one
+  /// seed into many provably non-overlapping per-thread substreams.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull,
+        0xA9582618E03FC9AAull, 0x39ABDC4529B1661Cull};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        next();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Returns a generator whose stream is the `stream`-th 2^128-step jump of
+/// the stream seeded by `seed`. Distinct streams never overlap, which keeps
+/// per-rank / per-thread workload generation independent yet reproducible.
+inline Xoshiro256ss make_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  Xoshiro256ss g(seed);
+  for (std::uint64_t i = 0; i < stream; ++i) g.jump();
+  return g;
+}
+
+}  // namespace hpsum::util

@@ -1,0 +1,44 @@
+// Column-aligned table and CSV output for bench harnesses.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates (EXPERIMENTS.md records them), so presentation lives in one
+// place instead of per-bench printf soup.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpsum::util {
+
+/// Accumulates rows of stringly-typed cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Starts a new row. Cells are added with add_cell / add_num.
+  void begin_row();
+
+  /// Appends a string cell to the current row.
+  void add_cell(std::string cell);
+
+  /// Appends a formatted numeric cell (%.*g).
+  void add_num(double value, int precision = 6);
+
+  /// Appends an integer cell.
+  void add_int(std::int64_t value);
+
+  /// Writes the aligned table (headers, rule, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Writes the same data as CSV to `os` (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpsum::util

@@ -1,0 +1,13 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+
+namespace hpsum::util {
+
+std::int64_t ThreadCpuTimer::now_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace hpsum::util

@@ -1,0 +1,63 @@
+// Workload generators for the paper's experiments.
+//
+// Every generator is deterministic in its seed so experiments are exactly
+// repeatable, and each matches a dataset described in the paper:
+//   cancellation_set — §II.A rounding-error study (Figs 1-2)
+//   uniform_set      — §IV.B global-reduction scaling (Figs 5-8)
+//   wide_range_set   — §IV.A HP vs Hallberg sweep (Fig 4)
+//   nbody_force_set  — the N-body force-accumulation pattern the intro
+//                      motivates (examples/nbody_forces)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpsum::workload {
+
+/// §II.A set: n/2 uniform doubles in [0, max_mag] plus their negations, so
+/// the exact sum is zero on an infinitely precise machine. `n` must be even
+/// (throws std::invalid_argument otherwise). The pairing protects against
+/// catastrophic cancellation only at the very last addition once shuffled.
+[[nodiscard]] std::vector<double> cancellation_set(std::size_t n,
+                                                   std::uint64_t seed,
+                                                   double max_mag = 1e-3);
+
+/// §IV.B set: n uniform doubles in [lo, hi) (paper: [-0.5, 0.5], 32M).
+[[nodiscard]] std::vector<double> uniform_set(std::size_t n,
+                                              std::uint64_t seed,
+                                              double lo = -0.5,
+                                              double hi = 0.5);
+
+/// §IV.A set: log-uniform magnitudes spanning [2^min_exp, 2^max_exp) with
+/// random sign (paper: values in [-2^191, 2^191], smallest ±2^-223).
+[[nodiscard]] std::vector<double> wide_range_set(std::size_t n,
+                                                 std::uint64_t seed,
+                                                 int min_exp = -223,
+                                                 int max_exp = 191);
+
+/// N-body-like force increments: zero-mean Gaussian contributions of scale
+/// `sigma` (Box-Muller), the accumulation pattern that motivates the paper.
+[[nodiscard]] std::vector<double> nbody_force_set(std::size_t n,
+                                                  std::uint64_t seed,
+                                                  double sigma = 1e-3);
+
+/// Deterministic Fisher-Yates shuffle (for random summation orders).
+void shuffle(std::span<double> xs, std::uint64_t seed);
+
+/// An ill-conditioned dot-product instance with a known exact answer.
+struct DotProblem {
+  std::vector<double> a;
+  std::vector<double> b;
+  double exact = 0.0;  ///< the mathematically exact dot product
+};
+
+/// Builds vectors whose dot product cancels catastrophically: `pairs`
+/// cancelling pairs of products with magnitudes up to ~2^spread_exp, plus
+/// one tiny surviving product (the exact answer). Condition number is
+/// ~2^spread_exp / |exact|. Element order is shuffled (jointly).
+[[nodiscard]] DotProblem ill_conditioned_dot(std::size_t pairs,
+                                             int spread_exp,
+                                             std::uint64_t seed);
+
+}  // namespace hpsum::workload

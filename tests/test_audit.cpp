@@ -1,0 +1,58 @@
+// Tests for the order-sensitivity audit.
+#include "audit/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace hpsum::audit {
+namespace {
+
+TEST(Audit, CancellationDataIsSensitive) {
+  const auto xs = workload::cancellation_set(4096, 1);
+  const auto report = order_sensitivity(xs, 128, 7);
+  EXPECT_EQ(report.trials, 128u);
+  EXPECT_EQ(report.exact, 0.0);     // the construction guarantees it
+  EXPECT_GT(report.stddev, 0.0);    // doubles wobble around it
+  EXPECT_GT(report.worst_abs_error, 0.0);
+  EXPECT_GE(report.worst_abs_error, report.stddev);
+}
+
+TEST(Audit, BenignDataIsInsensitive) {
+  // Small integers: every partial sum is exact in double, so every order
+  // gives the same result and the audit reports zero spread.
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(static_cast<double>(i % 7 - 3));
+  const auto report = order_sensitivity(xs, 64, 8);
+  EXPECT_EQ(report.stddev, 0.0);
+  EXPECT_EQ(report.worst_abs_error, 0.0);
+  EXPECT_EQ(report.naive_error, 0.0);
+}
+
+TEST(Audit, ConfigIsSizedFromData) {
+  const auto xs = workload::uniform_set(1000, 2);
+  const auto report = order_sensitivity(xs, 16, 9);
+  EXPECT_GE(report.config.k, 1);
+  EXPECT_GE(report.config.n, report.config.k);
+}
+
+TEST(Audit, DeterministicInSeed) {
+  const auto xs = workload::cancellation_set(2048, 3);
+  const auto a = order_sensitivity(xs, 64, 42);
+  const auto b = order_sensitivity(xs, 64, 42);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.worst_abs_error, b.worst_abs_error);
+  const auto c = order_sensitivity(xs, 64, 43);
+  EXPECT_NE(a.stddev, c.stddev);
+}
+
+TEST(Audit, RejectsNonFinite) {
+  const std::vector<double> bad = {1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_THROW((void)order_sensitivity(bad, 8, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpsum::audit

@@ -1,0 +1,99 @@
+// Tests for the scaling drivers and accumulator adapters.
+#include "backends/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "backends/accumulators.hpp"
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::backends {
+namespace {
+
+TEST(Partition, BalancedSlices) {
+  const std::vector<double> xs(103, 1.0);
+  const auto slices = partition(xs, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(slices[0].size(), 26u);
+  EXPECT_EQ(slices[1].size(), 26u);
+  EXPECT_EQ(slices[2].size(), 26u);
+  EXPECT_EQ(slices[3].size(), 25u);
+  std::size_t total = 0;
+  for (const auto& s : slices) total += s.size();
+  EXPECT_EQ(total, xs.size());
+}
+
+TEST(Partition, MorePesThanElements) {
+  const std::vector<double> xs(3, 1.0);
+  const auto slices = partition(xs, 8);
+  ASSERT_EQ(slices.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& s : slices) total += s.size();
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Accumulators, NamesAreDescriptive) {
+  EXPECT_EQ(DoubleSum::name(), "double");
+  EXPECT_EQ((HpSum<6, 3>::name()), "HP(N=6,k=3)");
+  EXPECT_EQ((HallbergSum<10, 38>::name()), "Hallberg(N=10,M=38)");
+}
+
+TEST(RunThreads, HpResultIndependentOfPeCount) {
+  const auto xs = workload::uniform_set(50000, 31);
+  const auto ref = reduce_hp<6, 3>(xs).to_double();
+  for (const int pes : {1, 2, 3, 8, 16}) {
+    const auto point = run_threads<HpSum<6, 3>>(xs, pes);
+    EXPECT_EQ(point.value, ref) << "pes=" << pes;
+    EXPECT_EQ(point.pes, pes);
+    EXPECT_GT(point.modeled_wall, 0.0);
+    EXPECT_GE(point.busy_total, point.busy_max);
+  }
+}
+
+TEST(RunThreads, DoubleResultUsuallyVariesWithPeCount) {
+  // The premise of the paper: partial-sum boundaries change the rounding.
+  const auto xs = workload::uniform_set(100000, 32);
+  const auto p1 = run_threads<DoubleSum>(xs, 1);
+  bool any_diff = false;
+  for (const int pes : {2, 3, 7, 16}) {
+    any_diff = any_diff || (run_threads<DoubleSum>(xs, pes).value != p1.value);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RunThreads, HallbergResultIndependentOfPeCount) {
+  const auto xs = workload::uniform_set(50000, 33);
+  const auto ref = run_threads<HallbergSum<10, 38>>(xs, 1).value;
+  for (const int pes : {2, 4, 16}) {
+    EXPECT_EQ((run_threads<HallbergSum<10, 38>>(xs, pes).value), ref);
+  }
+}
+
+TEST(RunOpenmp, MatchesThreadDriverBitExact) {
+  const auto xs = workload::uniform_set(50000, 34);
+  for (const int pes : {1, 2, 4}) {
+    const auto omp_point = run_openmp<HpSum<6, 3>>(xs, pes);
+    const auto thr_point = run_threads<HpSum<6, 3>>(xs, pes);
+    EXPECT_EQ(omp_point.value, thr_point.value);
+  }
+}
+
+TEST(RunOpenmp, EfficiencyIsComputable) {
+  const auto xs = workload::uniform_set(200000, 35);
+  const auto p1 = run_openmp<HpSum<6, 3>>(xs, 1);
+  const auto p4 = run_openmp<HpSum<6, 3>>(xs, 4);
+  const double e = efficiency(p1, p4);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 2.0);  // sane range; exact value is host-dependent
+}
+
+TEST(RunThreads, EmptyInput) {
+  const std::vector<double> xs;
+  const auto point = run_threads<HpSum<3, 2>>(xs, 4);
+  EXPECT_EQ(point.value, 0.0);
+}
+
+}  // namespace
+}  // namespace hpsum::backends

@@ -1,0 +1,102 @@
+// Tests for the compensated-summation baselines.
+#include "compensated/compensated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(TwoSum, ErrorTermIsExact) {
+  // Classic example: 1 + 2^-60 loses the small addend; TwoSum recovers it.
+  const auto r = two_sum(1.0, std::ldexp(1.0, -60));
+  EXPECT_EQ(r.sum, 1.0);
+  EXPECT_EQ(r.err, std::ldexp(1.0, -60));
+}
+
+TEST(TwoSum, RandomizedInvariant) {
+  // sum + err == a + b exactly, verified in higher precision.
+  util::Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double a = rng.uniform(-1e10, 1e10);
+    const double b = rng.uniform(-1e-10, 1e-10);
+    const auto r = two_sum(a, b);
+    const long double exact =
+        static_cast<long double>(a) + static_cast<long double>(b);
+    EXPECT_EQ(static_cast<long double>(r.sum) + static_cast<long double>(r.err),
+              exact);
+  }
+}
+
+TEST(FastTwoSum, MatchesTwoSumWhenOrdered) {
+  util::Xoshiro256ss rng(2);
+  for (int trial = 0; trial < 10000; ++trial) {
+    double a = rng.uniform(-1e6, 1e6);
+    double b = rng.uniform(-1e6, 1e6);
+    if (std::fabs(a) < std::fabs(b)) std::swap(a, b);
+    const auto fast = fast_two_sum(a, b);
+    const auto full = two_sum(a, b);
+    EXPECT_EQ(fast.sum, full.sum);
+    EXPECT_EQ(fast.err, full.err);
+  }
+}
+
+TEST(Compensated, KahanRecoversClassicFailure) {
+  // 1 + 1e-16 + 1e-16 + ... : naive drops every addend, Kahan keeps them.
+  std::vector<double> xs(10001, 1e-16);
+  xs[0] = 1.0;
+  const double naive = sum_naive(xs);
+  const double kahan = sum_kahan(xs);
+  EXPECT_EQ(naive, 1.0);  // every 1e-16 was lost
+  // Kahan's running sum is still a double, so the recovered mass lands
+  // within one ulp(1) of the true value.
+  EXPECT_NEAR(kahan, 1.0 + 1e-12, 1e-15);
+}
+
+TEST(Compensated, NeumaierHandlesLargeLateAddend) {
+  // Kahan's known failure: the big value arrives second.
+  const std::vector<double> xs = {1.0, 1e100, 1.0, -1e100};
+  EXPECT_EQ(sum_kahan(xs), 0.0);     // Kahan loses the two 1.0s
+  EXPECT_EQ(sum_neumaier(xs), 2.0);  // Neumaier keeps them
+}
+
+TEST(Compensated, PairwiseMatchesNaiveOnTinyInputs) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.5};
+  EXPECT_EQ(sum_pairwise(xs), 10.5);
+  EXPECT_EQ(sum_pairwise(std::span<const double>{}), 0.0);
+}
+
+TEST(Compensated, AccuracyLadderOnCancellationSets) {
+  // On the paper's §II.A workload the expected |error| ordering is
+  // naive >= pairwise >= kahan/neumaier (statistically; we use one seed
+  // and assert the coarse ladder).
+  auto xs = workload::cancellation_set(65536, 3);
+  workload::shuffle(xs, 17);
+  const double e_naive = std::fabs(sum_naive(xs));
+  const double e_pair = std::fabs(sum_pairwise(xs));
+  const double e_neum = std::fabs(sum_neumaier(xs));
+  EXPECT_GT(e_naive, 0.0);    // naive is wrong
+  EXPECT_LE(e_neum, e_pair);  // compensation beats reordering
+  EXPECT_LE(e_pair, e_naive);
+  EXPECT_LT(e_neum, 1e-18);   // near-exact, though not guaranteed zero
+}
+
+TEST(Compensated, StreamingAccumulatorsMatchBatch) {
+  const auto xs = workload::uniform_set(10000, 4);
+  KahanAccumulator k;
+  NeumaierAccumulator n;
+  for (const double x : xs) {
+    k.add(x);
+    n.add(x);
+  }
+  EXPECT_EQ(k.value(), sum_kahan(xs));
+  EXPECT_EQ(n.value(), sum_neumaier(xs));
+}
+
+}  // namespace
+}  // namespace hpsum

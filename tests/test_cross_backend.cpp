@@ -1,0 +1,160 @@
+// The paper's architecture-invariance claim, end to end: one data set,
+// reduced through every execution environment this repo provides —
+// sequential, std::thread, OpenMP, the message-passing runtime (both
+// reduction algorithms), the CUDA-style simulator with CAS atomics, and the
+// offload simulator — must produce the SAME HP sum, bit for bit.
+// ("It is possible to add a sequence of real numbers separately on an Intel
+// CPU and on an Nvidia GPU and derive the same result in both cases.")
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "backends/accumulators.hpp"
+#include "backends/scaling.hpp"
+#include "core/reduce.hpp"
+#include "cudasim/cudasim.hpp"
+#include "cudasim/hp_kernels.hpp"
+#include "mpisim/hp_ops.hpp"
+#include "mpisim/mpisim.hpp"
+#include "phisim/phisim.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+constexpr int kN = 6;
+constexpr int kK = 3;
+
+HpFixed<kN, kK> via_sequential(const std::vector<double>& xs) {
+  return reduce_hp<kN, kK>(xs);
+}
+
+HpFixed<kN, kK> via_threads(const std::vector<double>& xs, int pes) {
+  const auto slices = backends::partition(xs, pes);
+  std::vector<backends::HpSum<kN, kK>> partials(static_cast<std::size_t>(pes));
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < pes; ++t) {
+      threads.emplace_back([&, t] {
+        for (const double x : slices[static_cast<std::size_t>(t)]) {
+          partials[static_cast<std::size_t>(t)].accumulate(x);
+        }
+      });
+    }
+  }
+  HpFixed<kN, kK> total;
+  for (const auto& p : partials) total += p.v;
+  return total;
+}
+
+HpFixed<kN, kK> via_openmp(const std::vector<double>& xs, int pes) {
+  backends::HpSum<kN, kK> total;
+  const auto point = backends::run_openmp<backends::HpSum<kN, kK>>(xs, pes);
+  // run_openmp returns only the rounded value; redo the merge here to get
+  // the full HP value for bit comparison.
+  const auto slices = backends::partition(xs, pes);
+  std::vector<backends::HpSum<kN, kK>> partials(static_cast<std::size_t>(pes));
+#pragma omp parallel num_threads(pes)
+  {
+    const int t = omp_get_thread_num();
+    for (const double x : slices[static_cast<std::size_t>(t)]) {
+      partials[static_cast<std::size_t>(t)].accumulate(x);
+    }
+  }
+  (void)point;
+  HpFixed<kN, kK> out;
+  for (const auto& p : partials) out += p.v;
+  return out;
+}
+
+HpFixed<kN, kK> via_mpisim(const std::vector<double>& xs, int ranks,
+                           mpisim::ReduceAlgo algo) {
+  const HpConfig cfg{kN, kK};
+  HpFixed<kN, kK> out;
+  mpisim::run(ranks, [&](mpisim::Comm& comm) {
+    const auto slices = backends::partition(xs, comm.size());
+    HpDyn local(cfg);
+    for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
+      local += x;
+    }
+    const HpDyn total = mpisim::reduce_hp_value(comm, local, 0, algo);
+    if (comm.rank() == 0) {
+      std::memcpy(out.limbs().data(), total.limbs().data(),
+                  sizeof(util::Limb) * kN);
+    }
+  });
+  return out;
+}
+
+HpFixed<kN, kK> via_cudasim(const std::vector<double>& xs) {
+  cudasim::Device dev;
+  constexpr int kPartials = 8;
+  auto* partials = static_cast<std::uint64_t*>(
+      dev.dmalloc(kPartials * kN * sizeof(std::uint64_t)));
+  auto* data = static_cast<double*>(dev.dmalloc(xs.size() * sizeof(double)));
+  dev.memcpy_h2d(data, xs.data(), xs.size() * sizeof(double));
+  const int total_threads = 32 * 32;
+  dev.launch(32, 32, [&](const cudasim::ThreadCtx& ctx) {
+    const int tid = ctx.global_id();
+    for (std::size_t i = static_cast<std::size_t>(tid); i < xs.size();
+         i += static_cast<std::size_t>(total_threads)) {
+      const HpFixed<kN, kK> v(data[i]);
+      cudasim::device_hp_atomic_add(dev, &partials[(tid % kPartials) * kN], v);
+    }
+  });
+  HpFixed<kN, kK> total;
+  for (int p = 0; p < kPartials; ++p) {
+    HpFixed<kN, kK> part;
+    std::memcpy(part.limbs().data(), &partials[p * kN],
+                kN * sizeof(std::uint64_t));
+    total += part;
+  }
+  dev.dfree(partials);
+  dev.dfree(data);
+  return total;
+}
+
+TEST(CrossBackend, AllEnvironmentsAgreeBitForBit) {
+  const auto xs = workload::uniform_set(50000, 777);
+  const auto ref = via_sequential(xs);
+
+  EXPECT_EQ(via_threads(xs, 4), ref);
+  EXPECT_EQ(via_threads(xs, 13), ref);
+  EXPECT_EQ(via_openmp(xs, 4), ref);
+  EXPECT_EQ(via_mpisim(xs, 8, mpisim::ReduceAlgo::kLinear), ref);
+  EXPECT_EQ(via_mpisim(xs, 8, mpisim::ReduceAlgo::kBinomialTree), ref);
+  EXPECT_EQ(via_mpisim(xs, 3, mpisim::ReduceAlgo::kBinomialTree), ref);
+  EXPECT_EQ(via_cudasim(xs), ref);
+
+  phisim::OffloadDevice phi;
+  const auto offload =
+      phi.offload_reduce<backends::HpSum<kN, kK>>(xs, 24);
+  EXPECT_EQ(offload.value, ref.to_double());
+}
+
+TEST(CrossBackend, CancellationWorkloadIsZeroEverywhere) {
+  auto xs = workload::cancellation_set(32768, 778);
+  workload::shuffle(xs, 1);
+  EXPECT_TRUE(via_sequential(xs).is_zero());
+  EXPECT_TRUE(via_threads(xs, 7).is_zero());
+  EXPECT_TRUE(via_mpisim(xs, 5, mpisim::ReduceAlgo::kBinomialTree).is_zero());
+  EXPECT_TRUE(via_cudasim(xs).is_zero());
+}
+
+TEST(CrossBackend, DoubleBaselineDisagreesSomewhere) {
+  // The motivating failure: the same pipeline with doubles produces at
+  // least two distinct results across environments/PE counts.
+  const auto xs = workload::uniform_set(50000, 779);
+  std::vector<double> results;
+  results.push_back(reduce_double(xs));
+  for (const int pes : {2, 4, 8, 16}) {
+    results.push_back(backends::run_threads<backends::DoubleSum>(xs, pes).value);
+  }
+  bool any_diff = false;
+  for (const double r : results) any_diff = any_diff || (r != results[0]);
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,172 @@
+// Unit tests for exact decimal rendering of fixed-point limb values.
+#include "util/decimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/prng.hpp"
+
+namespace hpsum::util {
+namespace {
+
+TEST(Decimal, ZeroIsZero) {
+  const std::array<Limb, 3> a = {0, 0, 0};
+  EXPECT_EQ(to_decimal_string(a, 1), "0");
+}
+
+TEST(Decimal, SmallIntegers) {
+  std::array<Limb, 2> a = {0, 42};
+  EXPECT_EQ(to_decimal_string(a, 0), "42");
+  a = {0, 1};
+  EXPECT_EQ(to_decimal_string(a, 0), "1");
+}
+
+TEST(Decimal, NegativeIntegers) {
+  // -1 in two's complement over 2 limbs.
+  const std::array<Limb, 2> a = {~Limb{0}, ~Limb{0}};
+  EXPECT_EQ(to_decimal_string(a, 0), "-1");
+}
+
+TEST(Decimal, MultiLimbInteger) {
+  // 2^64 = 18446744073709551616.
+  const std::array<Limb, 2> a = {1, 0};
+  EXPECT_EQ(to_decimal_string(a, 0), "18446744073709551616");
+}
+
+TEST(Decimal, ChunkPaddingAcrossPow10Boundary) {
+  // A value whose second 19-digit chunk starts with zeros:
+  // 10^19 + 7 renders as "10000000000000000007", not "1...7" mangled.
+  // 10^19 = 0x8AC7230489E80000 which exceeds one limb slightly.
+  std::array<Limb, 2> a = {0, 0};
+  // Build 10^19 + 7 = 10000000000000000007.
+  const unsigned __int128 v =
+      static_cast<unsigned __int128>(10000000000000000000ull) + 7;
+  a[0] = static_cast<Limb>(v >> 64);
+  a[1] = static_cast<Limb>(v);
+  EXPECT_EQ(to_decimal_string(a, 0), "10000000000000000007");
+}
+
+TEST(Decimal, SimpleFractions) {
+  // 0.5 with 1 fractional limb: limbs = [int=0, frac=2^63].
+  const std::array<Limb, 2> a = {0, Limb{1} << 63};
+  EXPECT_EQ(to_decimal_string(a, 1), "0.5");
+  // 0.25
+  const std::array<Limb, 2> b = {0, Limb{1} << 62};
+  EXPECT_EQ(to_decimal_string(b, 1), "0.25");
+}
+
+TEST(Decimal, MixedWholeAndFraction) {
+  // 3.75 = 3 + 0.5 + 0.25.
+  const std::array<Limb, 2> a = {3, (Limb{1} << 63) | (Limb{1} << 62)};
+  EXPECT_EQ(to_decimal_string(a, 1), "3.75");
+}
+
+TEST(Decimal, NegativeFraction) {
+  // -0.5: two's complement of (0, 2^63) over 2 limbs.
+  std::array<Limb, 2> a = {0, Limb{1} << 63};
+  negate_twos(a);
+  EXPECT_EQ(to_decimal_string(a, 1), "-0.5");
+}
+
+TEST(Decimal, SmallestFractionOfOneLimb) {
+  // 2^-64 has a 64-digit exact expansion ending in ...5625.
+  const std::array<Limb, 2> a = {0, 1};
+  const std::string s = to_decimal_string(a, 1);
+  EXPECT_EQ(s.substr(0, 6), "0.0000");
+  EXPECT_EQ(s.back(), '5');
+  // 64 fraction digits + "0." prefix.
+  EXPECT_EQ(s.size(), 2 + 64u);
+}
+
+TEST(Decimal, TruncationMarksEllipsis) {
+  const std::array<Limb, 2> a = {0, 1};  // 2^-64, 64 digits
+  const std::string s = to_decimal_string(a, 1, 10);
+  EXPECT_TRUE(s.ends_with("..."));
+  EXPECT_EQ(s.substr(0, 2), "0.");
+}
+
+TEST(Decimal, TrailingZerosTrimmed) {
+  // 0.5 must not render as 0.5000...
+  const std::array<Limb, 3> a = {0, Limb{1} << 63, 0};
+  EXPECT_EQ(to_decimal_string(a, 2), "0.5");
+}
+
+TEST(DecimalParse, SimpleValues) {
+  std::array<Limb, 2> limbs{};
+  EXPECT_EQ(parse_decimal("42", limbs, 1), ParseResult::kOk);
+  EXPECT_EQ(limbs[0], 42u);
+  EXPECT_EQ(limbs[1], 0u);
+
+  EXPECT_EQ(parse_decimal("0.5", limbs, 1), ParseResult::kOk);
+  EXPECT_EQ(limbs[0], 0u);
+  EXPECT_EQ(limbs[1], Limb{1} << 63);
+
+  EXPECT_EQ(parse_decimal("-2.25", limbs, 1), ParseResult::kOk);
+  EXPECT_EQ(to_decimal_string(limbs, 1), "-2.25");
+}
+
+TEST(DecimalParse, SyntaxErrors) {
+  std::array<Limb, 2> limbs{};
+  EXPECT_EQ(parse_decimal("", limbs, 1), ParseResult::kSyntax);
+  EXPECT_EQ(parse_decimal("-", limbs, 1), ParseResult::kSyntax);
+  EXPECT_EQ(parse_decimal(".", limbs, 1), ParseResult::kSyntax);
+  EXPECT_EQ(parse_decimal("1.2.3", limbs, 1), ParseResult::kSyntax);
+  EXPECT_EQ(parse_decimal("12a", limbs, 1), ParseResult::kSyntax);
+  EXPECT_EQ(parse_decimal("1e5", limbs, 1), ParseResult::kSyntax);
+}
+
+TEST(DecimalParse, OverflowDetected) {
+  std::array<Limb, 2> limbs{};
+  // 2^63 does not fit one integer limb with a sign bit.
+  EXPECT_EQ(parse_decimal("9223372036854775808", limbs, 1),
+            ParseResult::kOverflow);
+  EXPECT_EQ(parse_decimal("9223372036854775807", limbs, 1), ParseResult::kOk);
+  // Pure-fraction format (k == n): range is (-1/2, 1/2), so a nonzero
+  // integer part — and 0.5 itself, whose bit is the sign bit — overflow.
+  EXPECT_EQ(parse_decimal("1.5", limbs, 2), ParseResult::kOverflow);
+  EXPECT_EQ(parse_decimal("0.5", limbs, 2), ParseResult::kOverflow);
+  EXPECT_EQ(parse_decimal("0.25", limbs, 2), ParseResult::kOk);
+}
+
+TEST(DecimalParse, InexactFractionTruncates) {
+  std::array<Limb, 2> limbs{};
+  // 0.1 has no finite binary expansion: parses inexact, truncated toward 0.
+  EXPECT_EQ(parse_decimal("0.1", limbs, 1), ParseResult::kInexact);
+  EXPECT_LT(limbs[1], (Limb{1} << 63));  // strictly below 0.5
+  // Ellipsis from a truncated rendering is accepted and marked inexact.
+  EXPECT_EQ(parse_decimal("0.25...", limbs, 1), ParseResult::kInexact);
+  EXPECT_EQ(limbs[1], Limb{1} << 62);
+}
+
+TEST(DecimalParse, RoundTripsRandomFixedPointValues) {
+  // to_decimal_string is exact and untruncated, so parsing it back must
+  // reproduce the limbs bit for bit — including negatives.
+  Xoshiro256ss rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::array<Limb, 3> orig = {rng.next() >> 1, rng.next(), rng.next()};
+    if (trial % 2 == 1) orig[0] |= Limb{1} << 63;  // negative half the time
+    const std::string s = to_decimal_string(orig, 1);
+    std::array<Limb, 3> back{};
+    ASSERT_EQ(parse_decimal(s, back, 1), ParseResult::kOk) << s;
+    EXPECT_EQ(back, orig) << s;
+  }
+}
+
+TEST(DecimalParse, PlusSignAccepted) {
+  std::array<Limb, 2> limbs{};
+  EXPECT_EQ(parse_decimal("+7.5", limbs, 1), ParseResult::kOk);
+  EXPECT_EQ(to_decimal_string(limbs, 1), "7.5");
+}
+
+TEST(Decimal, AllFractionLimbs) {
+  // Format with k == n (pure fraction): raw 0.75*2^128 with the sign bit
+  // set is two's-complement -0.25.
+  std::array<Limb, 2> a = {(Limb{1} << 63) | (Limb{1} << 62), 0};
+  EXPECT_EQ(to_decimal_string(a, 2), "-0.25");
+}
+
+}  // namespace
+}  // namespace hpsum::util

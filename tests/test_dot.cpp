@@ -1,0 +1,124 @@
+// Tests for the exact order-invariant dot product (core/dot) and its
+// compensated baselines.
+#include "core/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compensated/compensated.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(TwoProduct, RecoversExactProduct) {
+  util::Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const double a = rng.uniform(-1e8, 1e8);
+    const double b = rng.uniform(-1e-8, 1e-8);
+    const auto r = two_product(a, b);
+    // sum + err == a*b exactly; verify with long double (64-bit mantissa
+    // suffices since |err| < ulp(sum)).
+    const long double exact =
+        static_cast<long double>(a) * static_cast<long double>(b);
+    const long double recon =
+        static_cast<long double>(r.sum) + static_cast<long double>(r.err);
+    // The product needs up to 106 bits; compare the double-double halves
+    // against the 64-bit-mantissa long double within its own rounding.
+    EXPECT_NEAR(static_cast<double>(recon - exact), 0.0,
+                std::fabs(r.sum) * 1e-18);
+  }
+}
+
+TEST(TwoProduct, ExactOnSmallIntegers) {
+  const auto r = two_product(3.0, 7.0);
+  EXPECT_EQ(r.sum, 21.0);
+  EXPECT_EQ(r.err, 0.0);
+}
+
+TEST(DotHp, MatchesIntegerOracle) {
+  // Small integer vectors: every product and the sum are exact in int64.
+  util::Xoshiro256ss rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a(64);
+    std::vector<double> b(64);
+    std::int64_t oracle = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto ai = static_cast<std::int64_t>(rng.bounded(2000)) - 1000;
+      const auto bi = static_cast<std::int64_t>(rng.bounded(2000)) - 1000;
+      a[i] = static_cast<double>(ai);
+      b[i] = static_cast<double>(bi);
+      oracle += ai * bi;
+    }
+    EXPECT_EQ((dot_hp<4, 2>(a, b).to_double()), static_cast<double>(oracle));
+  }
+}
+
+TEST(DotHp, ExactOnIllConditionedProblem) {
+  // Condition number ~2^120 / 3e-18: naive and even Dot2 lose, HP is exact.
+  const auto prob = workload::ill_conditioned_dot(5000, 120, 3);
+  const double hp = dot_hp<8, 4>(prob.a, prob.b).to_double();
+  EXPECT_EQ(hp, prob.exact);
+
+  const double naive = dot_naive(prob.a, prob.b);
+  EXPECT_NE(naive, prob.exact);  // catastrophically wrong
+}
+
+TEST(DotHp, Dot2IsBetterThanNaiveButNotExactAtExtremeCondition) {
+  const auto prob = workload::ill_conditioned_dot(5000, 180, 4);
+  const double naive_err = std::fabs(dot_naive(prob.a, prob.b) - prob.exact);
+  const double dot2_err = std::fabs(dot2(prob.a, prob.b) - prob.exact);
+  const double hp_err =
+      std::fabs(dot_hp<8, 4>(prob.a, prob.b).to_double() - prob.exact);
+  EXPECT_LE(dot2_err, naive_err);
+  EXPECT_EQ(hp_err, 0.0);
+}
+
+TEST(DotHp, OrderInvariantBitExact) {
+  auto prob = workload::ill_conditioned_dot(2000, 80, 5);
+  const auto ref = dot_hp<6, 3>(prob.a, prob.b);
+  util::Xoshiro256ss rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Joint permutation.
+    for (std::size_t i = prob.a.size(); i > 1; --i) {
+      const std::uint64_t j = rng.bounded(i);
+      std::swap(prob.a[i - 1], prob.a[j]);
+      std::swap(prob.b[i - 1], prob.b[j]);
+    }
+    EXPECT_EQ((dot_hp<6, 3>(prob.a, prob.b)), ref);
+  }
+}
+
+TEST(DotHp, RuntimeConfigMatchesTemplate) {
+  const auto prob = workload::ill_conditioned_dot(500, 60, 7);
+  const auto fixed = dot_hp<6, 3>(prob.a, prob.b);
+  const HpDyn dyn = dot_hp(prob.a, prob.b, HpConfig{6, 3});
+  EXPECT_EQ(dyn.to_double(), fixed.to_double());
+  for (std::size_t i = 0; i < dyn.limbs().size(); ++i) {
+    EXPECT_EQ(dyn.limbs()[i], fixed.limbs()[i]);
+  }
+}
+
+TEST(DotHp, EmptyVectorsGiveZero) {
+  const std::vector<double> empty;
+  EXPECT_TRUE((dot_hp<3, 2>(empty, empty).is_zero()));
+}
+
+TEST(DotHp, SelfDotIsSumOfSquares) {
+  const std::vector<double> v = {0.5, -1.5, 2.0};
+  EXPECT_EQ((dot_hp<3, 2>(v, v).to_double()), 0.25 + 2.25 + 4.0);
+}
+
+TEST(IllConditionedDot, GeneratorContract) {
+  const auto prob = workload::ill_conditioned_dot(100, 50, 8);
+  EXPECT_EQ(prob.a.size(), 201u);
+  EXPECT_EQ(prob.b.size(), 201u);
+  EXPECT_EQ(prob.exact, 3.0 * std::ldexp(1.0, -60));
+  EXPECT_THROW(workload::ill_conditioned_dot(10, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hpsum

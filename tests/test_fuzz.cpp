@@ -1,0 +1,161 @@
+// Fuzz-style differential tests: random bit patterns and adversarial
+// sequences, always checked against an independent implementation or an
+// algebraic identity. Deterministic seeds keep failures reproducible.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <iomanip>
+#include <cmath>
+#include <vector>
+
+#include "core/hp_convert.hpp"
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+#include "core/reduce.hpp"
+#include "util/prng.hpp"
+
+namespace hpsum {
+namespace {
+
+using util::Limb;
+
+/// Random finite double from raw bits (any sign/exponent/mantissa).
+double random_bits_double(util::Xoshiro256ss& rng) {
+  for (;;) {
+    const double d = std::bit_cast<double>(rng.next());
+    if (std::isfinite(d)) return d;
+  }
+}
+
+class FuzzFormats : public ::testing::TestWithParam<HpConfig> {};
+
+INSTANTIATE_TEST_SUITE_P(Formats, FuzzFormats,
+                         ::testing::Values(HpConfig{2, 1}, HpConfig{3, 2},
+                                           HpConfig{6, 3}, HpConfig{8, 4},
+                                           HpConfig{2, 0}, HpConfig{3, 3},
+                                           HpConfig{16, 8}),
+                         [](const auto& param_info) {
+                           return "N" + std::to_string(param_info.param.n) + "k" +
+                                  std::to_string(param_info.param.k);
+                         });
+
+TEST_P(FuzzFormats, ConversionPathsAgreeOnArbitraryBitPatterns) {
+  // The strongest conversion property: for ANY finite double — in range,
+  // out of range, sub-lsb, subnormal — the paper's float-scaling pass and
+  // the bit-placement path produce the same limbs AND the same flags.
+  const HpConfig cfg = GetParam();
+  util::Xoshiro256ss rng(9000 + static_cast<std::uint64_t>(cfg.n * 8 + cfg.k));
+  std::vector<Limb> a(static_cast<std::size_t>(cfg.n));
+  std::vector<Limb> b(static_cast<std::size_t>(cfg.n));
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double r = random_bits_double(rng);
+    const HpStatus s1 = detail::from_double_impl(r, a.data(), cfg.n, cfg.k);
+    const HpStatus s2 = detail::from_double_exact(r, b.data(), cfg.n, cfg.k);
+    // Overflow zeroes the limbs on both paths; compare images and flags.
+    ASSERT_EQ(a, b) << "value " << std::hexfloat << r;
+    ASSERT_EQ(s1, s2) << "value " << std::hexfloat << r
+                      << " impl=" << to_string(s1) << " exact=" << to_string(s2);
+  }
+}
+
+TEST_P(FuzzFormats, AddThenSubtractIsIdentity) {
+  // x + y - y == x in HP whenever no overflow occurred (exact arithmetic).
+  const HpConfig cfg = GetParam();
+  util::Xoshiro256ss rng(9100 + static_cast<std::uint64_t>(cfg.n));
+  for (int trial = 0; trial < 5000; ++trial) {
+    HpDyn x(cfg);
+    HpDyn y(cfg);
+    // In-range magnitudes with random sub-lsb truncation possibilities.
+    const int hi = max_exponent(cfg) - 3;
+    const int lo = min_exponent(cfg);
+    const auto gen = [&] {
+      const int e = lo + static_cast<int>(rng.bounded(
+                            static_cast<std::uint64_t>(hi - lo)));
+      const double mag = std::ldexp(1.0 + rng.uniform01(), e);
+      return (rng.next() & 1) ? -mag : mag;
+    };
+    x += gen();
+    y += gen();
+    HpDyn sum = x;
+    sum += y;
+    if (any_overflow(sum.status())) continue;  // legal saturation case
+    sum -= y;
+    EXPECT_EQ(sum.limbs()[0], x.limbs()[0]);
+    for (std::size_t i = 0; i < sum.limbs().size(); ++i) {
+      ASSERT_EQ(sum.limbs()[i], x.limbs()[i]) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Fuzz, RandomPairCancellationAlwaysZero) {
+  // Millions of random-bit values paired with their negations: any format
+  // wide enough never leaves residue, regardless of magnitude chaos.
+  util::Xoshiro256ss rng(9200);
+  HpFixed<20, 10> acc;  // ±2^639 range, 2^-640 lsb: covers most finites
+  int used = 0;
+  for (int trial = 0; trial < 200000; ++trial) {
+    const double r = random_bits_double(rng);
+    if (std::fabs(r) >= std::ldexp(1.0, 630) ||
+        (r != 0 && std::fabs(r) < std::ldexp(1.0, -580))) {
+      continue;  // outside this format's exact window
+    }
+    acc += r;
+    acc -= r;
+    ++used;
+  }
+  EXPECT_GT(used, 100000);
+  EXPECT_TRUE(acc.is_zero());
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+}
+
+TEST(Fuzz, ShuffledChunkedSumsMatchForRandomSignPatterns) {
+  // Adversarial accumulation orders over heavy-tailed data (log-uniform
+  // exponents): flat sum == chunked sum == reversed sum, bitwise.
+  util::Xoshiro256ss rng(9300);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    const int e = static_cast<int>(rng.bounded(120)) - 60;
+    x = std::ldexp(1.0 + rng.uniform01(),
+                   e) * ((rng.next() & 1) ? 1.0 : -1.0);
+  }
+  const auto ref = reduce_hp<6, 3>(xs);
+
+  HpFixed<6, 3> reversed;
+  for (std::size_t i = xs.size(); i-- > 0;) reversed += xs[i];
+  EXPECT_EQ(reversed, ref);
+
+  HpFixed<6, 3> chunked;
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    const std::size_t len = std::min<std::size_t>(1 + rng.bounded(777),
+                                                  xs.size() - i);
+    chunked += reduce_hp<6, 3>(std::span<const double>(xs).subspan(i, len));
+    i += len;
+  }
+  EXPECT_EQ(chunked, ref);
+}
+
+TEST(Fuzz, DecimalRoundTripOnRandomBitLimbs) {
+  // parse(to_decimal(x)) == x for completely random limb images across
+  // several formats (two's complement negatives included).
+  util::Xoshiro256ss rng(9400);
+  for (const int k : {0, 1, 2, 3}) {
+    for (int trial = 0; trial < 300; ++trial) {
+      std::vector<Limb> limbs = {rng.next(), rng.next(), rng.next()};
+      // Avoid the (unrepresentable-magnitude) most negative value.
+      if (limbs[0] == (Limb{1} << 63) && limbs[1] == 0 && limbs[2] == 0) {
+        limbs[2] = 1;
+      }
+      const std::string s =
+          util::to_decimal_string(util::ConstLimbSpan(limbs), k);
+      std::vector<Limb> back(3);
+      ASSERT_EQ(util::parse_decimal(s, util::LimbSpan(back), k),
+                util::ParseResult::kOk)
+          << s;
+      ASSERT_EQ(back, limbs) << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpsum

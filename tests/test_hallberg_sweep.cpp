@@ -1,0 +1,89 @@
+// Parameterized sweep over Hallberg formats: the §II.B properties must
+// hold for every (N, M), not just the paper's picks.
+#include "hallberg/hallberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+class HallbergFormats : public ::testing::TestWithParam<HallbergParams> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, HallbergFormats,
+    ::testing::Values(HallbergParams{4, 20}, HallbergParams{6, 40},
+                      HallbergParams{10, 38}, HallbergParams{10, 52},
+                      HallbergParams{12, 43}, HallbergParams{14, 37},
+                      HallbergParams{3, 10}, HallbergParams{8, 30}),
+    [](const auto& param_info) {
+      return "N" + std::to_string(param_info.param.n) + "M" +
+             std::to_string(param_info.param.m);
+    });
+
+TEST_P(HallbergFormats, CancellationSumsToZero) {
+  const HallbergParams p = GetParam();
+  auto xs = workload::cancellation_set(2048, 100 + p.n);
+  workload::shuffle(xs, 1);
+  Hallberg acc(p);
+  for (const double x : xs) ASSERT_TRUE(acc.add(x));
+  EXPECT_EQ(acc.to_double(), 0.0);
+}
+
+TEST_P(HallbergFormats, OrderInvariantAfterNormalize) {
+  const HallbergParams p = GetParam();
+  // Stay within both range and the carry budget of the narrowest formats.
+  auto xs = workload::uniform_set(
+      std::min<std::size_t>(1000, p.max_summands()), 200 + p.n, -1.0, 1.0);
+  Hallberg ref(p);
+  for (const double x : xs) ref.add(x);
+  ref.normalize();
+  for (const std::uint64_t seed : {5u, 6u}) {
+    workload::shuffle(xs, seed);
+    Hallberg acc(p);
+    for (const double x : xs) acc.add(x);
+    acc.normalize();
+    EXPECT_EQ(acc.limbs(), ref.limbs());
+  }
+}
+
+TEST_P(HallbergFormats, RoundTripRepresentableValues) {
+  const HallbergParams p = GetParam();
+  // Values whose bits all sit inside [lsb, range): exact round trips.
+  const int top = p.n * p.m / 2 - 2;
+  const int bot = -(p.n * p.m / 2) + 53;
+  if (top <= bot) GTEST_SKIP() << "format too narrow for 53-bit doubles";
+  util::Xoshiro256ss rng(300 + static_cast<std::uint64_t>(p.n));
+  for (int trial = 0; trial < 500; ++trial) {
+    const int e = bot + static_cast<int>(rng.bounded(
+                          static_cast<std::uint64_t>(top - bot)));
+    const double v = std::ldexp(1.0 + rng.uniform01(), e) *
+                     ((rng.next() & 1) ? 1.0 : -1.0);
+    Hallberg acc(p);
+    ASSERT_TRUE(acc.add(v));
+    EXPECT_EQ(acc.to_double(), v) << v;
+  }
+}
+
+TEST_P(HallbergFormats, RangeGuardAtBoundary) {
+  const HallbergParams p = GetParam();
+  Hallberg acc(p);
+  EXPECT_FALSE(acc.add(p.range_max()));
+  EXPECT_FALSE(acc.add(-p.range_max() * 2));
+  EXPECT_TRUE(acc.add(std::ldexp(p.range_max(), -1)));
+}
+
+TEST_P(HallbergFormats, MaxSummandsFormula) {
+  const HallbergParams p = GetParam();
+  EXPECT_EQ(p.max_summands(), (std::uint64_t{1} << (63 - p.m)) - 1);
+  EXPECT_EQ(p.precision_bits(), p.n * p.m);
+}
+
+}  // namespace
+}  // namespace hpsum

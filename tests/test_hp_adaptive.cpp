@@ -1,0 +1,153 @@
+// Tests for HpAdaptive, the self-widening accumulator (paper §V future work).
+#include "core/hp_adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpAdaptive, StartsSmallAndStaysSmallForSmallData) {
+  HpAdaptive acc;
+  acc += 1.0;
+  acc += -0.5;
+  EXPECT_EQ(acc.to_double(), 0.5);
+  EXPECT_EQ(acc.config().n, 2);
+  EXPECT_EQ(acc.growth_events(), 0);
+}
+
+TEST(HpAdaptive, GrowsIntegerSideForLargeMagnitudes) {
+  HpAdaptive acc;  // starts (2,1): range ±2^63
+  acc += 1e30;     // needs ~100 integer bits
+  EXPECT_GT(acc.config().n - acc.config().k, 1);
+  EXPECT_GT(acc.growth_events(), 0);
+  EXPECT_EQ(acc.to_double(), 1e30);
+}
+
+TEST(HpAdaptive, GrowsFractionSideForTinyMagnitudes) {
+  HpAdaptive acc;  // starts (2,1): lsb 2^-64
+  acc += std::ldexp(1.0, -200);
+  EXPECT_GE(acc.config().k, 4);  // needs >= 253 fraction bits
+  EXPECT_EQ(acc.to_double(), std::ldexp(1.0, -200));
+}
+
+TEST(HpAdaptive, ExactAcrossTwentyOrdersOfMagnitude) {
+  HpAdaptive acc;
+  acc += 1e18;
+  acc += 1e-18;
+  acc += -1e18;
+  EXPECT_EQ(acc.to_double(), 1e-18);
+  // The sum is exact, not merely close: the residual decimal is the exact
+  // expansion of the double nearest 1e-18.
+  HpAdaptive only_small;
+  only_small += 1e-18;
+  EXPECT_EQ(acc.to_decimal_string(), only_small.to_decimal_string());
+}
+
+TEST(HpAdaptive, RunningTotalOverflowIsRepaired) {
+  // Each summand fits (2,1) but the total outgrows it; the wrap must be
+  // algebraically repaired, not saturated or flagged away.
+  HpAdaptive acc;
+  const double big = std::ldexp(1.0, 62);
+  for (int i = 0; i < 8; ++i) acc += big;  // 2^65 total
+  EXPECT_EQ(acc.to_double(), std::ldexp(1.0, 65));
+  EXPECT_GT(acc.growth_events(), 0);
+}
+
+TEST(HpAdaptive, NegativeRunningTotalOverflowIsRepaired) {
+  HpAdaptive acc;
+  const double big = -std::ldexp(1.0, 62);
+  for (int i = 0; i < 8; ++i) acc += big;
+  EXPECT_EQ(acc.to_double(), -std::ldexp(1.0, 65));
+}
+
+TEST(HpAdaptive, RepeatedOverflowRepairsCompose) {
+  HpAdaptive acc;
+  double oracle = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::ldexp(1.0, 55 + (i % 9));
+    acc += x;
+    oracle += x;  // exact: all values are large powers of two
+  }
+  EXPECT_EQ(acc.to_double(), oracle);
+}
+
+TEST(HpAdaptive, RejectsNonFinite) {
+  HpAdaptive acc;
+  EXPECT_THROW(acc += std::numeric_limits<double>::infinity(),
+               std::invalid_argument);
+  EXPECT_THROW(acc += std::numeric_limits<double>::quiet_NaN(),
+               std::invalid_argument);
+}
+
+TEST(HpAdaptive, GrowthCapThrows) {
+  HpAdaptive acc(HpConfig{2, 1}, /*max_limbs=*/3);
+  EXPECT_THROW(acc += 1e300, std::overflow_error);  // needs ~16 int limbs
+}
+
+TEST(HpAdaptive, BadConstructionThrows) {
+  EXPECT_THROW(HpAdaptive(HpConfig{4, 2}, /*max_limbs=*/3),
+               std::invalid_argument);
+  EXPECT_THROW(HpAdaptive(HpConfig{2, 1}, kMaxLimbs + 1),
+               std::invalid_argument);
+}
+
+TEST(HpAdaptive, MergeUnifiesFormats) {
+  HpAdaptive big;
+  big += 1e30;
+  HpAdaptive small;
+  small += std::ldexp(1.0, -200);
+  big += small;
+  EXPECT_EQ(big.to_double(), 1e30);
+  // The merged value holds BOTH contributions exactly.
+  HpAdaptive check;
+  check += -1e30;
+  big += check;
+  EXPECT_EQ(big.to_double(), std::ldexp(1.0, -200));
+}
+
+TEST(HpAdaptive, MergeOverflowRepaired) {
+  HpAdaptive a;
+  HpAdaptive b;
+  const double big = std::ldexp(1.0, 62);
+  for (int i = 0; i < 3; ++i) {
+    a += big;
+    b += big;
+  }
+  a += b;
+  EXPECT_EQ(a.to_double(), 6.0 * big);
+}
+
+TEST(HpAdaptive, MatchesCancellationOracle) {
+  auto xs = workload::cancellation_set(2048, 77);
+  workload::shuffle(xs, 5);
+  HpAdaptive acc;
+  for (const double x : xs) acc += x;
+  EXPECT_EQ(acc.to_double(), 0.0);
+  EXPECT_EQ(acc.to_decimal_string(), "0");
+}
+
+TEST(HpAdaptive, ZeroAddsAreFreeNoGrowth) {
+  HpAdaptive acc;
+  for (int i = 0; i < 10; ++i) acc += 0.0;
+  EXPECT_EQ(acc.growth_events(), 0);
+  EXPECT_TRUE(acc.value().is_zero());
+}
+
+TEST(HpAdaptive, SubnormalInputsHandled) {
+  const double tiny = std::numeric_limits<double>::denorm_min();  // 2^-1074
+  HpAdaptive acc;
+  acc += tiny;
+  acc += tiny;
+  EXPECT_EQ(acc.to_double(), 2.0 * tiny);
+  EXPECT_GE(acc.config().k, 17);  // needs 1074 fraction bits
+}
+
+}  // namespace
+}  // namespace hpsum

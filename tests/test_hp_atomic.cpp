@@ -1,0 +1,135 @@
+// Tests for HpAtomic: the CAS-only thread-safe accumulator (§III.B.2).
+//
+// The torn-limb hazard is real: an adder updates limb N-1, is preempted,
+// and another adder reads/updates the same partial. Correctness relies on
+// limb-wise adds with deferred carries commuting; these tests hammer that
+// property with real threads.
+#include "core/hp_atomic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpAtomic, SingleThreadMatchesSequential) {
+  const auto xs = workload::uniform_set(10000, 1);
+  HpAtomic<6, 3> atomic_acc;
+  for (const double x : xs) atomic_acc.add(x);
+  const auto ref = reduce_hp<6, 3>(xs);
+  EXPECT_EQ(atomic_acc.load(), ref);
+}
+
+TEST(HpAtomic, ConcurrentAddersMatchSequentialBitExact) {
+  const auto xs = workload::uniform_set(40000, 2);
+  const auto ref = reduce_hp<6, 3>(xs);
+
+  for (const int nthreads : {2, 4, 8}) {
+    HpAtomic<6, 3> shared;
+    {
+      std::vector<std::jthread> threads;
+      for (int t = 0; t < nthreads; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::size_t i = static_cast<std::size_t>(t); i < xs.size();
+               i += static_cast<std::size_t>(nthreads)) {
+            shared.add(xs[i]);
+          }
+        });
+      }
+    }
+    EXPECT_EQ(shared.load(), ref) << "threads=" << nthreads;
+  }
+}
+
+TEST(HpAtomic, ConcurrentCarryStorm) {
+  // Values just below 1.0 in a k=1 format make nearly every add carry out
+  // of the fractional limb — the worst case for cross-limb atomicity.
+  std::vector<double> xs(20000, 0.999999999999);
+  for (std::size_t i = 0; i < xs.size(); i += 2) xs[i] = -0.999999999999;
+  const auto ref = reduce_hp<2, 1>(xs);
+
+  HpAtomic<2, 1> shared;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size(); i += 4) {
+          shared.add(xs[i]);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(shared.load(), ref);
+  EXPECT_EQ(shared.load().to_double(), 0.0);
+}
+
+TEST(HpAtomic, MixedSignsConcurrent) {
+  const auto xs = workload::cancellation_set(16384, 3);
+  HpAtomic<3, 2> shared;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size(); i += 4) {
+          shared.add(xs[i]);
+        }
+      });
+    }
+  }
+  EXPECT_TRUE(shared.load().is_zero());
+}
+
+TEST(HpAtomic, FetchAddVariantMatchesCas) {
+  const auto xs = workload::uniform_set(20000, 4);
+  HpAtomic<6, 3> cas_acc;
+  HpAtomic<6, 3> fa_acc;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size(); i += 4) {
+          const HpFixed<6, 3> v(xs[i]);
+          cas_acc.add(v);
+          fa_acc.add_fetch_add(v);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(cas_acc.load(), fa_acc.load());
+  EXPECT_EQ(cas_acc.load(), (reduce_hp<6, 3>(xs)));
+}
+
+TEST(HpAtomic, ClearResets) {
+  HpAtomic<3, 2> acc;
+  acc.add(5.0);
+  acc.clear();
+  EXPECT_TRUE(acc.load().is_zero());
+}
+
+TEST(HpAtomic, ManyPartialsLikeCudaKernel) {
+  // The Fig 7 structure: threads accumulate into (t % 4) of 4 shared
+  // partials, partials are then combined — result must equal sequential.
+  const auto xs = workload::uniform_set(20000, 5);
+  HpAtomic<6, 3> partials[4];
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size(); i += 8) {
+          partials[t % 4].add(xs[i]);
+        }
+      });
+    }
+  }
+  HpFixed<6, 3> total;
+  for (const auto& p : partials) total += p.load();
+  EXPECT_EQ(total, (reduce_hp<6, 3>(xs)));
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,105 @@
+// Tests for HpDyn, the runtime-formatted HP value.
+#include "core/hp_dyn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hp_fixed.hpp"
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpDyn, RejectsInvalidConfigs) {
+  EXPECT_THROW(HpDyn(HpConfig{0, 0}), std::invalid_argument);
+  EXPECT_THROW(HpDyn(HpConfig{3, 4}), std::invalid_argument);
+  EXPECT_THROW(HpDyn(HpConfig{3, -1}), std::invalid_argument);
+  EXPECT_THROW(HpDyn(HpConfig{kMaxLimbs + 1, 1}), std::length_error);
+}
+
+TEST(HpDyn, BasicArithmetic) {
+  HpDyn acc(HpConfig{6, 3});
+  acc += 1.5;
+  acc += -0.25;
+  EXPECT_EQ(acc.to_double(), 1.25);
+  acc.negate();
+  EXPECT_EQ(acc.to_double(), -1.25);
+  EXPECT_TRUE(acc.is_negative());
+}
+
+TEST(HpDyn, MatchesHpFixedBitForBit) {
+  const auto xs = workload::uniform_set(5000, 11);
+  const auto fixed = reduce_hp<6, 3>(xs);
+  HpDyn dyn(HpConfig{6, 3});
+  for (const double x : xs) dyn += x;
+  ASSERT_EQ(dyn.limbs().size(), fixed.limbs().size());
+  for (std::size_t i = 0; i < dyn.limbs().size(); ++i) {
+    EXPECT_EQ(dyn.limbs()[i], fixed.limbs()[i]);
+  }
+  EXPECT_EQ(dyn.to_double(), fixed.to_double());
+}
+
+TEST(HpDyn, MixedFormatAddThrows) {
+  HpDyn a(HpConfig{6, 3});
+  const HpDyn b(HpConfig{8, 4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(HpDyn, ValueAddAndSub) {
+  HpDyn a(HpConfig{3, 2}, 2.5);
+  const HpDyn b(HpConfig{3, 2}, 0.75);
+  a += b;
+  EXPECT_EQ(a.to_double(), 3.25);
+  a -= b;
+  EXPECT_EQ(a.to_double(), 2.5);
+}
+
+TEST(HpDyn, SerializationRoundTrip) {
+  HpDyn a(HpConfig{6, 3});
+  a += 123.456;
+  a += -0.001;
+  std::vector<std::byte> buf(a.byte_size());
+  a.to_bytes(buf.data());
+
+  HpDyn b(HpConfig{6, 3});
+  b.from_bytes(buf.data());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.to_double(), a.to_double());
+}
+
+TEST(HpDyn, EqualityRequiresSameFormat) {
+  const HpDyn a(HpConfig{6, 3}, 1.0);
+  const HpDyn b(HpConfig{8, 4}, 1.0);
+  EXPECT_FALSE(a == b);
+  const HpDyn c(HpConfig{6, 3}, 1.0);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(HpDyn, StatusFlagsAndClear) {
+  HpDyn acc(HpConfig{2, 1});
+  acc += 1e40;  // beyond 2^63 range
+  EXPECT_TRUE(has(acc.status(), HpStatus::kConvertOverflow));
+  acc.clear();
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+  EXPECT_TRUE(acc.is_zero());
+}
+
+TEST(HpDyn, ReduceHelperMatchesLoop) {
+  const auto xs = workload::uniform_set(2000, 12);
+  const HpDyn r = reduce_hp(xs, HpConfig{6, 3});
+  HpDyn loop(HpConfig{6, 3});
+  for (const double x : xs) loop += x;
+  EXPECT_EQ(r, loop);
+}
+
+TEST(HpDyn, DecimalRendering) {
+  HpDyn v(HpConfig{3, 2}, -2.5);
+  EXPECT_EQ(v.to_decimal_string(), "-2.5");
+}
+
+}  // namespace
+}  // namespace hpsum

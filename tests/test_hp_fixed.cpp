@@ -1,0 +1,214 @@
+// Tests for HpFixed<N,K>, the compile-time-format HP value type.
+#include "core/hp_fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpFixed, DefaultIsZero) {
+  const HpFixed<6, 3> v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_FALSE(v.is_negative());
+  EXPECT_EQ(v.to_double(), 0.0);
+  EXPECT_EQ(v.status(), HpStatus::kOk);
+}
+
+TEST(HpFixed, ConstructFromDoubleRoundTrips) {
+  const HpFixed<6, 3> v(3.141592653589793);
+  EXPECT_EQ(v.to_double(), 3.141592653589793);
+  EXPECT_EQ(v.status(), HpStatus::kOk);
+}
+
+TEST(HpFixed, Table1ConstantsMatchPaper) {
+  EXPECT_NEAR((HpFixed<2, 1>::max_range()), 9.223372e18, 1e12);
+  EXPECT_NEAR((HpFixed<2, 1>::smallest()), 5.421011e-20, 1e-26);
+  EXPECT_NEAR((HpFixed<3, 2>::max_range()), 9.223372e18, 1e12);
+  EXPECT_NEAR((HpFixed<3, 2>::smallest()), 2.938736e-39, 1e-45);
+  EXPECT_NEAR((HpFixed<6, 3>::max_range()), 3.138551e57, 1e51);
+  EXPECT_NEAR((HpFixed<6, 3>::smallest()), 1.593092e-58, 1e-64);
+  EXPECT_NEAR((HpFixed<8, 4>::max_range()), 5.789604e76, 1e70);
+  EXPECT_NEAR((HpFixed<8, 4>::smallest()), 8.636169e-78, 1e-84);
+  EXPECT_EQ((HpFixed<6, 3>::precision_bits()), 383);
+}
+
+TEST(HpFixed, MixedSignAccumulation) {
+  HpFixed<3, 2> acc;
+  acc += 1.5;
+  acc += -0.25;
+  acc += 10.0;
+  acc -= 1.25;
+  EXPECT_EQ(acc.to_double(), 10.0);
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+}
+
+TEST(HpFixed, ValueOperators) {
+  const HpFixed<3, 2> a(2.5);
+  const HpFixed<3, 2> b(0.5);
+  EXPECT_EQ((a + b).to_double(), 3.0);
+  EXPECT_EQ((a - b).to_double(), 2.0);
+}
+
+TEST(HpFixed, NegateRoundTrips) {
+  HpFixed<3, 2> a(2.5);
+  a.negate();
+  EXPECT_EQ(a.to_double(), -2.5);
+  EXPECT_TRUE(a.is_negative());
+  a.negate();
+  EXPECT_EQ(a.to_double(), 2.5);
+}
+
+TEST(HpFixed, NegateMostNegativeOverflows) {
+  HpFixed<2, 1> v;
+  v.limbs()[0] = util::Limb{1} << 63;  // -2^63 (the asymmetric extreme)
+  v.negate();
+  EXPECT_TRUE(has(v.status(), HpStatus::kAddOverflow));
+}
+
+TEST(HpFixed, ComparisonsAreNumeric) {
+  const HpFixed<3, 2> neg(-1.0);
+  const HpFixed<3, 2> zero;
+  const HpFixed<3, 2> small(0.5);
+  const HpFixed<3, 2> big(7.0);
+  EXPECT_LT(neg, zero);
+  EXPECT_LT(zero, small);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, neg);
+  EXPECT_EQ(small, (HpFixed<3, 2>(0.5)));
+}
+
+TEST(HpFixed, StatusIsStickyAcrossOperations) {
+  HpFixed<2, 1> acc;
+  acc += HpFixed<2, 1>::max_range() * 2.0;  // convert overflow
+  EXPECT_TRUE(has(acc.status(), HpStatus::kConvertOverflow));
+  acc += 1.0;  // ok op does not clear it
+  EXPECT_TRUE(has(acc.status(), HpStatus::kConvertOverflow));
+  acc.clear_status();
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+}
+
+TEST(HpFixed, StatusPropagatesThroughMerge) {
+  HpFixed<2, 1> bad;
+  bad += std::numeric_limits<double>::infinity();
+  HpFixed<2, 1> good(1.0);
+  good += bad;
+  EXPECT_TRUE(has(good.status(), HpStatus::kConvertOverflow));
+}
+
+TEST(HpFixed, AddOverflowFlagged) {
+  HpFixed<2, 1> acc;
+  const double half = std::ldexp(1.0, 62);
+  acc += half;
+  acc += half;  // reaches 2^63 == max range
+  EXPECT_TRUE(has(acc.status(), HpStatus::kAddOverflow));
+}
+
+TEST(HpFixed, InexactFlaggedOnUnderflow) {
+  HpFixed<2, 1> acc;  // lsb 2^-64
+  acc += std::ldexp(1.0, -100);
+  EXPECT_TRUE(has(acc.status(), HpStatus::kInexact));
+  EXPECT_EQ(acc.to_double(), 0.0);
+}
+
+TEST(HpFixed, ClearResetsEverything) {
+  HpFixed<2, 1> acc(5.0);
+  acc += std::numeric_limits<double>::quiet_NaN();
+  acc.clear();
+  EXPECT_TRUE(acc.is_zero());
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+}
+
+TEST(HpFixed, DecimalStringShowsExactBinaryFraction) {
+  HpFixed<3, 2> v(0.1);  // 0.1 is NOT exactly 1/10 as a double
+  const std::string s = v.to_decimal_string();
+  EXPECT_EQ(s.substr(0, 12), "0.1000000000");
+  EXPECT_NE(s, "0.1");  // the exact expansion exposes the binary value
+}
+
+TEST(HpFixed, SumOfCancellationSetIsExactlyZero) {
+  // The paper's Fig 1 claim at unit-test scale: HP(3,2) sums the §II.A
+  // sets to exactly zero, for several sizes and shuffles.
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    std::vector<double> xs = workload::cancellation_set(n, 500 + n);
+    for (const std::uint64_t shuffle_seed : {1u, 2u, 3u}) {
+      workload::shuffle(xs, shuffle_seed);
+      HpFixed<3, 2> acc;
+      for (const double x : xs) acc += x;
+      EXPECT_TRUE(acc.is_zero()) << "n=" << n << " seed=" << shuffle_seed;
+      EXPECT_EQ(acc.status(), HpStatus::kOk);
+    }
+  }
+}
+
+TEST(HpFixed, OrderInvarianceBitExact) {
+  // Permuting the summands changes nothing, not even one bit.
+  std::vector<double> xs = workload::uniform_set(4096, 42);
+  HpFixed<6, 3> ref;
+  for (const double x : xs) ref += x;
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    workload::shuffle(xs, seed);
+    HpFixed<6, 3> acc;
+    for (const double x : xs) acc += x;
+    EXPECT_EQ(acc, ref);
+  }
+}
+
+TEST(HpFixed, DoubleSumDiffersAcrossOrders) {
+  // Sanity check of the premise: the same experiment with plain doubles
+  // does depend on order (if it didn't, the paper would be pointless).
+  std::vector<double> xs = workload::uniform_set(65536, 43);
+  double ref = 0;
+  for (const double x : xs) ref += x;
+  bool any_diff = false;
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    workload::shuffle(xs, seed);
+    double acc = 0;
+    for (const double x : xs) acc += x;
+    any_diff = any_diff || (acc != ref);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(HpFixed, MatchesLongDoubleOracleOnRandomData) {
+  // For sums that fit in 64 fractional bits, x87 long double accumulation
+  // of a few values is exact and provides an independent oracle.
+  util::Xoshiro256ss rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    HpFixed<4, 2> acc;
+    long double oracle = 0.0L;
+    for (int i = 0; i < 8; ++i) {
+      const double x = std::ldexp(1.0 + rng.uniform01(), static_cast<int>(rng.bounded(20)));
+      acc += x;
+      oracle += static_cast<long double>(x);
+    }
+    EXPECT_EQ(static_cast<long double>(acc.to_double()),
+              static_cast<long double>(static_cast<double>(oracle)));
+  }
+}
+
+TEST(HpFixed, KEqualsZeroIsIntegerFormat) {
+  HpFixed<2, 0> acc;
+  acc += 1e18;
+  acc += 1.0;
+  acc += -3.0;
+  EXPECT_EQ(acc.to_double(), 1e18 - 2.0);
+}
+
+TEST(HpFixed, KEqualsNIsPureFraction) {
+  HpFixed<2, 2> acc;
+  acc += 0.25;
+  acc += 0.125;
+  EXPECT_EQ(acc.to_double(), 0.375);
+  EXPECT_EQ(acc.to_decimal_string(), "0.375");
+}
+
+}  // namespace
+}  // namespace hpsum

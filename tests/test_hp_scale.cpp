@@ -1,0 +1,156 @@
+// Tests for exact scaling (scale_pow2), small division (div_small — exact
+// means), and decimal-string round trips on the HP value types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+#include "core/reduce.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpScale, PowerOfTwoScalingIsExact) {
+  HpFixed<4, 2> v(3.75);
+  v.scale_pow2(3);
+  EXPECT_EQ(v.to_double(), 30.0);
+  v.scale_pow2(-5);
+  EXPECT_EQ(v.to_double(), 0.9375);
+  EXPECT_EQ(v.status(), HpStatus::kOk);
+}
+
+TEST(HpScale, NegativeValuesScaleSymmetrically) {
+  HpFixed<4, 2> v(-3.75);
+  v.scale_pow2(2);
+  EXPECT_EQ(v.to_double(), -15.0);
+  v.scale_pow2(-2);
+  EXPECT_EQ(v.to_double(), -3.75);
+}
+
+TEST(HpScale, RandomizedAgainstLdexp) {
+  util::Xoshiro256ss rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const double x = rng.uniform(-100.0, 100.0);
+    const int e = static_cast<int>(rng.bounded(41)) - 20;
+    HpFixed<6, 3> v(x);
+    v.scale_pow2(e);
+    // x has <= 53 significant bits well inside (6,3): scaling by 2^e within
+    // +/-20 stays exact, so it must equal ldexp exactly.
+    EXPECT_EQ(v.to_double(), std::ldexp(x, e)) << x << " * 2^" << e;
+  }
+}
+
+TEST(HpScale, ShiftAcrossLimbBoundaries) {
+  HpFixed<4, 2> v(1.0);
+  v.scale_pow2(70);  // more than one limb
+  EXPECT_EQ(v.to_double(), std::ldexp(1.0, 70));
+  v.scale_pow2(-140);
+  EXPECT_EQ(v.to_double(), std::ldexp(1.0, -70));
+  EXPECT_EQ(v.status(), HpStatus::kOk);
+}
+
+TEST(HpScale, OverflowAndInexactFlagged) {
+  HpFixed<2, 1> big(std::ldexp(1.0, 62));
+  big.scale_pow2(2);
+  EXPECT_TRUE(has(big.status(), HpStatus::kAddOverflow));
+
+  HpFixed<2, 1> tiny(std::ldexp(1.0, -63));
+  tiny.scale_pow2(-2);  // falls below the 2^-64 lsb
+  EXPECT_TRUE(has(tiny.status(), HpStatus::kInexact));
+  EXPECT_EQ(tiny.to_double(), 0.0);
+
+  HpFixed<2, 1> zero;
+  zero.scale_pow2(1000);
+  EXPECT_EQ(zero.status(), HpStatus::kOk);  // scaling zero is always exact
+}
+
+TEST(HpDiv, ExactDivision) {
+  HpFixed<4, 2> v(21.0);
+  EXPECT_EQ(v.div_small(3), 0u);
+  EXPECT_EQ(v.to_double(), 7.0);
+  EXPECT_EQ(v.status(), HpStatus::kOk);
+}
+
+TEST(HpDiv, RemainderReportedInLsbUnits) {
+  // 1 / 3 at k=1: quotient floor(2^64/3) lsbs, remainder 1.
+  HpFixed<2, 1> v(1.0);
+  const std::uint64_t rem = v.div_small(3);
+  EXPECT_EQ(rem, 1u);
+  EXPECT_TRUE(has(v.status(), HpStatus::kInexact));
+  EXPECT_NEAR(v.to_double(), 1.0 / 3.0, 1e-18);
+}
+
+TEST(HpDiv, NegativeTruncatesTowardZero) {
+  HpFixed<2, 1> v(-1.0);
+  const std::uint64_t rem = v.div_small(3);
+  EXPECT_EQ(rem, 1u);
+  EXPECT_NEAR(v.to_double(), -1.0 / 3.0, 1e-18);
+  // Magnitude quotient is exactly floor(2^64/3) = 0x5555555555555555 lsbs:
+  // |result| rounded down, i.e. truncation toward zero.
+  HpFixed<2, 1> mag = v;
+  mag.negate();
+  EXPECT_EQ(mag.limbs()[0], 0u);
+  EXPECT_EQ(mag.limbs()[1], 0x5555555555555555ull);
+}
+
+TEST(HpDiv, ExactMeanIsOrderInvariant) {
+  // mean = sum/n computed exactly at lsb resolution: identical whatever
+  // order the sum was taken in.
+  auto xs = workload::uniform_set(9973, 2);  // prime count, inexact mean
+  auto mean_of = [&](const std::vector<double>& data) {
+    HpFixed<6, 3> acc;
+    for (const double x : data) acc += x;
+    acc.div_small(data.size());
+    return acc;
+  };
+  const auto ref = mean_of(xs);
+  for (const std::uint64_t seed : {7u, 8u}) {
+    workload::shuffle(xs, seed);
+    EXPECT_EQ(mean_of(xs), ref);
+  }
+}
+
+TEST(HpDecimalRoundTrip, FixedType) {
+  HpFixed<4, 2> v;
+  v += 0.1;  // inexact decimal, exact binary
+  v += -12345.0625;
+  const auto back = HpFixed<4, 2>::from_decimal_string(v.to_decimal_string());
+  EXPECT_EQ(back, v);
+  EXPECT_EQ(back.status(), HpStatus::kOk);
+}
+
+TEST(HpDecimalRoundTrip, DynType) {
+  const auto xs = workload::uniform_set(1000, 3);
+  const HpDyn v = reduce_hp(xs, HpConfig{6, 3});
+  const HpDyn back =
+      HpDyn::from_decimal_string(v.to_decimal_string(), HpConfig{6, 3});
+  EXPECT_EQ(back, v);
+}
+
+TEST(HpDecimalRoundTrip, SyntaxErrorsThrow) {
+  EXPECT_THROW(HpDyn::from_decimal_string("not-a-number", HpConfig{3, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(HpDyn::from_decimal_string("1e9", HpConfig{3, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((HpFixed<3, 2>::from_decimal_string("")),
+               std::invalid_argument);
+}
+
+TEST(HpDecimalRoundTrip, OverflowFlagOnHugeLiteral) {
+  // 2^64 does not fit (2,1)'s +/-2^63 range.
+  const HpDyn over =
+      HpDyn::from_decimal_string("18446744073709551616", HpConfig{2, 1});
+  EXPECT_TRUE(has(over.status(), HpStatus::kConvertOverflow));
+  EXPECT_TRUE(over.is_zero());
+
+  const auto inexact = HpFixed<2, 1>::from_decimal_string("0.1");
+  EXPECT_TRUE(has(inexact.status(), HpStatus::kInexact));
+}
+
+}  // namespace
+}  // namespace hpsum

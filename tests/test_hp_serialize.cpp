@@ -1,0 +1,91 @@
+// Tests for canonical endian-safe serialization.
+#include "core/hp_serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpSerialize, RoundTripsValueFormatAndStatus) {
+  const auto xs = workload::uniform_set(1000, 1);
+  HpDyn v = reduce_hp(xs, HpConfig{6, 3});
+  v += 1e-300;  // below the lsb: sets kInexact
+  ASSERT_TRUE(has(v.status(), HpStatus::kInexact));
+
+  const auto bytes = serialize(v);
+  EXPECT_EQ(bytes.size(), serialized_size(v.config()));
+  const HpDyn back = deserialize(bytes);
+  EXPECT_EQ(back, v);
+  EXPECT_EQ(back.config(), v.config());
+  EXPECT_TRUE(has(back.status(), HpStatus::kInexact));
+}
+
+TEST(HpSerialize, EncodingIsByteExactLittleEndian) {
+  HpDyn v(HpConfig{2, 1});
+  v += 1.0;  // limbs: [1, 0]
+  const auto bytes = serialize(v);
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(bytes[0], std::byte{0x48});  // 'H'
+  EXPECT_EQ(bytes[1], std::byte{0x50});  // 'P'
+  EXPECT_EQ(bytes[2], std::byte{1});     // version
+  EXPECT_EQ(bytes[3], std::byte{2});     // n
+  EXPECT_EQ(bytes[4], std::byte{1});     // k
+  EXPECT_EQ(bytes[5], std::byte{0});     // status ok
+  // limb 0 == 1 encoded little-endian at offset 8.
+  EXPECT_EQ(bytes[8], std::byte{1});
+  for (int i = 9; i < 24; ++i) {
+    EXPECT_EQ(bytes[static_cast<std::size_t>(i)], std::byte{0}) << i;
+  }
+}
+
+TEST(HpSerialize, RejectsCorruptImages) {
+  HpDyn v(HpConfig{3, 2}, 1.5);
+  auto bytes = serialize(v);
+
+  auto bad = bytes;
+  bad[0] = std::byte{0};
+  EXPECT_THROW(deserialize(bad), std::invalid_argument);
+
+  bad = bytes;
+  bad[2] = std::byte{99};  // future version
+  EXPECT_THROW(deserialize(bad), std::invalid_argument);
+
+  bad = bytes;
+  bad[3] = std::byte{200};  // absurd limb count
+  EXPECT_THROW(deserialize(bad), std::invalid_argument);
+
+  bad = bytes;
+  bad[4] = std::byte{5};  // k > n
+  EXPECT_THROW(deserialize(bad), std::invalid_argument);
+
+  bad.assign(4, std::byte{0});
+  EXPECT_THROW(deserialize(bad), std::invalid_argument);
+
+  bad = bytes;
+  bad.pop_back();  // truncated
+  EXPECT_THROW(deserialize(bad), std::invalid_argument);
+}
+
+TEST(HpSerialize, NegativeValuesSurvive) {
+  HpDyn v(HpConfig{4, 2}, -123.456);
+  const HpDyn back = deserialize(serialize(v));
+  EXPECT_EQ(back.to_double(), v.to_double());
+  EXPECT_TRUE(back.is_negative());
+}
+
+TEST(HpSerialize, ManyRandomValuesRoundTrip) {
+  const auto xs = workload::wide_range_set(200, 2, -60, 60);
+  for (const double x : xs) {
+    HpDyn v(HpConfig{4, 2}, x);
+    EXPECT_EQ(deserialize(serialize(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,93 @@
+// Tests for the fail-fast HpStrict policy wrapper.
+#include "core/hp_strict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(HpStrict, NormalAccumulationWorks) {
+  HpStrict<3, 2> acc;
+  acc += 1.5;
+  acc += -0.25;
+  acc -= 0.25;
+  EXPECT_EQ(acc.to_double(), 1.0);
+  EXPECT_EQ(acc.value().status(), HpStatus::kOk);
+}
+
+TEST(HpStrict, ConvertOverflowThrowsAndLeavesValueUnchanged) {
+  HpStrict<2, 1> acc;
+  acc += 100.0;
+  EXPECT_THROW(acc += 1e40, HpRangeError);
+  EXPECT_EQ(acc.to_double(), 100.0);  // strong guarantee
+}
+
+TEST(HpStrict, AddOverflowThrowsAndLeavesValueUnchanged) {
+  HpStrict<2, 1> acc;
+  const double big = std::ldexp(1.0, 62);
+  acc += big;
+  EXPECT_THROW(acc += big + big, HpRangeError);  // convert stage overflows
+  acc += std::ldexp(1.0, 61);                    // total 1.5 * 2^62: fine
+  try {
+    acc += big;  // running total would reach 1.25 * 2^63
+    FAIL() << "expected HpRangeError";
+  } catch (const HpRangeError& e) {
+    EXPECT_TRUE(has(e.status(), HpStatus::kAddOverflow));
+  }
+  EXPECT_EQ(acc.to_double(), big + std::ldexp(1.0, 61));
+}
+
+TEST(HpStrict, NonFiniteThrows) {
+  HpStrict<3, 2> acc;
+  EXPECT_THROW(acc += std::numeric_limits<double>::infinity(), HpRangeError);
+  EXPECT_THROW(acc += std::nan(""), HpRangeError);
+  EXPECT_EQ(acc.to_double(), 0.0);
+}
+
+TEST(HpStrict, DefaultPolicyAllowsTruncation) {
+  HpStrict<2, 1> acc;  // lsb 2^-64
+  acc += std::ldexp(1.0, -100);  // truncates silently under kNoOverflow
+  EXPECT_EQ(acc.to_double(), 0.0);
+}
+
+TEST(HpStrict, ExactPolicyRejectsTruncation) {
+  HpStrict<2, 1> acc(Strictness::kExact);
+  acc += 0.5;
+  EXPECT_THROW(acc += std::ldexp(1.0, -100), HpRangeError);
+  EXPECT_EQ(acc.to_double(), 0.5);
+}
+
+TEST(HpStrict, MergePropagatesContract) {
+  HpStrict<2, 1> a;
+  HpStrict<2, 1> b;
+  const double big = std::ldexp(1.0, 62);
+  a += big;
+  b += big;
+  EXPECT_THROW(a += b, HpRangeError);
+  EXPECT_EQ(a.to_double(), big);
+
+  HpStrict<2, 1> c;
+  c += 1.0;
+  a += c;  // big + 1 fits: merge succeeds
+  EXPECT_EQ(a.to_double(), big + 1.0);
+}
+
+TEST(HpStrict, CleanRunMatchesHpFixed) {
+  const auto xs = workload::uniform_set(5000, 71);
+  HpStrict<6, 3> strict;
+  HpFixed<6, 3> plain;
+  for (const double x : xs) {
+    strict += x;
+    plain += x;
+  }
+  EXPECT_EQ(strict.value(), plain);
+  EXPECT_EQ(strict.to_decimal_string(), plain.to_decimal_string());
+}
+
+}  // namespace
+}  // namespace hpsum

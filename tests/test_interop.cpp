@@ -1,0 +1,171 @@
+// Tests for long double interop, the packaged cudasim reduction, and the
+// atomic Hallberg accumulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <thread>
+#include <vector>
+
+#include "core/hp_fixed.hpp"
+#include "core/reduce.hpp"
+#include "cudasim/reduce.hpp"
+#include "hallberg/hallberg_atomic.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(LongDoubleInterop, Exact64BitMantissaConversion) {
+  // A value needing more than 53 mantissa bits: 2^60 + 1 is exact in x87
+  // long double but not in double.
+  const long double v = std::ldexp(1.0L, 60) + 1.0L;
+  // Guard: the platform's long double must actually hold the +1 (x87 does;
+  // if long double == double this test would be vacuous).
+  ASSERT_NE(v, std::ldexp(1.0L, 60))
+      << "platform long double lacks extended precision; test is vacuous";
+  HpFixed<4, 2> acc;
+  acc += v;
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+  EXPECT_EQ(acc.to_decimal_string(), "1152921504606846977");  // 2^60 + 1
+}
+
+TEST(LongDoubleInterop, MatchesDoublePathOnDoubleValues) {
+  const auto xs = workload::uniform_set(2000, 61);
+  HpFixed<6, 3> via_double;
+  HpFixed<6, 3> via_long;
+  for (const double x : xs) {
+    via_double += x;
+    via_long += static_cast<long double>(x);
+  }
+  EXPECT_EQ(via_double, via_long);
+}
+
+TEST(LongDoubleInterop, NegativeAndStatusHandling) {
+  HpFixed<3, 2> acc;
+  acc += -2.5L;
+  EXPECT_EQ(acc.to_double(), -2.5);
+  acc += std::numeric_limits<long double>::infinity();
+  EXPECT_TRUE(has(acc.status(), HpStatus::kConvertOverflow));
+
+  HpFixed<2, 1> tiny;
+  tiny += std::ldexp(1.0L, -100);  // below the 2^-64 lsb
+  EXPECT_TRUE(has(tiny.status(), HpStatus::kInexact));
+}
+
+TEST(LongDoubleInterop, RuntimeWrapper) {
+  const HpConfig cfg{4, 2};
+  std::vector<util::Limb> limbs(4);
+  const HpStatus st =
+      hp_from_long_double(std::ldexp(1.0L, 60) + 1.0L, util::LimbSpan(limbs), cfg);
+  EXPECT_EQ(st, HpStatus::kOk);
+  double out = 0;
+  hp_to_double(util::ConstLimbSpan(limbs), cfg, &out);
+  EXPECT_EQ(out, std::ldexp(1.0, 60));  // rounds the +1 away, as it must
+}
+
+TEST(CudasimReduce, PackagedReductionMatchesSequential) {
+  const auto xs = workload::uniform_set(30000, 62);
+  cudasim::Device dev;
+  auto* data = static_cast<double*>(dev.dmalloc(xs.size() * sizeof(double)));
+  dev.memcpy_h2d(data, xs.data(), xs.size() * sizeof(double));
+
+  cudasim::LaunchStats stats;
+  const auto total = cudasim::reduce_hp_device<6, 3>(dev, data, xs.size(), 16,
+                                                     64, 32, &stats);
+  EXPECT_EQ(total, (reduce_hp<6, 3>(xs)));
+  EXPECT_EQ(stats.total_threads, 16 * 64);
+
+  const double dbl = cudasim::reduce_f64_device(dev, data, xs.size(), 16, 64);
+  EXPECT_NEAR(dbl, total.to_double(), 1e-9);
+  dev.dfree(data);
+}
+
+TEST(CudasimReduce, InvariantAcrossLaunchGeometries) {
+  const auto xs = workload::uniform_set(20000, 63);
+  cudasim::Device dev;
+  auto* data = static_cast<double*>(dev.dmalloc(xs.size() * sizeof(double)));
+  dev.memcpy_h2d(data, xs.data(), xs.size() * sizeof(double));
+  const auto ref = cudasim::reduce_hp_device<6, 3>(dev, data, xs.size(), 1, 32, 1);
+  for (const auto& [grid, block, parts] :
+       {std::tuple{8, 32, 4}, {32, 64, 256}, {3, 7, 5}}) {
+    EXPECT_EQ((cudasim::reduce_hp_device<6, 3>(dev, data, xs.size(), grid,
+                                               block, parts)),
+              ref);
+  }
+  dev.dfree(data);
+}
+
+TEST(CudasimReduce, TreeKernelMatchesAtomicKernelBitExact) {
+  const auto xs = workload::uniform_set(25000, 65);
+  cudasim::Device dev;
+  auto* data = static_cast<double*>(dev.dmalloc(xs.size() * sizeof(double)));
+  dev.memcpy_h2d(data, xs.data(), xs.size() * sizeof(double));
+
+  const auto ref = reduce_hp<6, 3>(xs);
+  for (const auto& [grid, block] : {std::pair{8, 64}, {16, 32}, {3, 128}}) {
+    cudasim::LaunchStats stats;
+    const auto tree = cudasim::reduce_hp_device_tree<6, 3>(
+        dev, data, xs.size(), grid, block, &stats);
+    EXPECT_EQ(tree, ref) << grid << "x" << block;
+    EXPECT_EQ(stats.total_threads, grid * block);
+  }
+  EXPECT_THROW(((void)cudasim::reduce_hp_device_tree<6, 3>(dev, data, xs.size(), 4,
+                                                     48)),  // not 2^m
+               std::invalid_argument);
+  dev.dfree(data);
+}
+
+TEST(CudasimReduce, PhasedLaunchBarrierSemantics) {
+  // Phase 1 must observe every thread's phase-0 write within the block.
+  cudasim::Device dev;
+  constexpr int kBlock = 32;
+  auto* ok = static_cast<std::uint64_t*>(dev.dmalloc(sizeof(std::uint64_t)));
+  dev.launch_phased(
+      4, kBlock, 2, kBlock * sizeof(std::uint64_t),
+      [&](const cudasim::ThreadCtx& ctx, std::byte* shared, int phase) {
+        auto* slots = reinterpret_cast<std::uint64_t*>(shared);
+        if (phase == 0) {
+          slots[ctx.thread_idx] = 1;
+        } else if (ctx.thread_idx == 0) {
+          std::uint64_t sum = 0;
+          for (int t = 0; t < kBlock; ++t) sum += slots[t];
+          if (sum == kBlock) dev.atomic_add_u64_native(ok, 1);
+        }
+      });
+  EXPECT_EQ(*ok, 4u);  // every block saw all of its phase-0 writes
+  dev.dfree(ok);
+}
+
+TEST(HallbergAtomic, ConcurrentAddersMatchSequential) {
+  const auto xs = workload::uniform_set(30000, 64);
+  HallbergAtomic<10, 38> shared;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size(); i += 4) {
+          shared.add(xs[i]);
+        }
+      });
+    }
+  }
+  HallbergFixed<10, 38> ref;
+  for (const double x : xs) ref.add(x);
+  auto got = shared.load();
+  got.normalize();
+  ref.normalize();
+  EXPECT_EQ(got.limbs(), ref.limbs());
+}
+
+TEST(HallbergAtomic, ClearAndReload) {
+  HallbergAtomic<10, 38> shared;
+  shared.add(5.0);
+  EXPECT_EQ(shared.load().to_double(), 5.0);
+  shared.clear();
+  EXPECT_EQ(shared.load().to_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,200 @@
+// Unit tests for the multiword limb toolkit (util/limbs).
+#include "util/limbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpsum::util {
+namespace {
+
+using U128 = unsigned __int128;
+
+U128 to_u128(ConstLimbSpan a) {
+  return (static_cast<U128>(a[0]) << 64) | a[1];
+}
+
+std::array<Limb, 2> from_u128(U128 v) {
+  return {static_cast<Limb>(v >> 64), static_cast<Limb>(v)};
+}
+
+TEST(Limbs, AddNoCarry) {
+  std::array<Limb, 2> a = {1, 2};
+  const std::array<Limb, 2> b = {3, 4};
+  EXPECT_FALSE(add_into(a, b));
+  EXPECT_EQ(a[0], 4u);
+  EXPECT_EQ(a[1], 6u);
+}
+
+TEST(Limbs, AddCarryChainsThroughAllOnes) {
+  std::array<Limb, 3> a = {0, ~Limb{0}, ~Limb{0}};
+  const std::array<Limb, 3> b = {0, 0, 1};
+  EXPECT_FALSE(add_into(a, b));
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_EQ(a[2], 0u);
+}
+
+TEST(Limbs, AddCarryOutOfTop) {
+  std::array<Limb, 2> a = {~Limb{0}, ~Limb{0}};
+  const std::array<Limb, 2> b = {0, 1};
+  EXPECT_TRUE(add_into(a, b));
+  EXPECT_TRUE(is_zero(ConstLimbSpan(a)));
+}
+
+TEST(Limbs, AddMatchesU128Randomized) {
+  Xoshiro256ss rng(42);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto a = from_u128((static_cast<U128>(rng.next()) << 64) | rng.next());
+    const auto b = from_u128((static_cast<U128>(rng.next()) << 64) | rng.next());
+    const U128 expect = to_u128(a) + to_u128(b);
+    add_into(a, b);
+    EXPECT_EQ(to_u128(a), expect);
+  }
+}
+
+TEST(Limbs, SubMatchesU128Randomized) {
+  Xoshiro256ss rng(43);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto a = from_u128((static_cast<U128>(rng.next()) << 64) | rng.next());
+    const auto b = from_u128((static_cast<U128>(rng.next()) << 64) | rng.next());
+    const U128 ua = to_u128(a);
+    const U128 ub = to_u128(b);
+    const bool borrow = sub_into(a, b);
+    EXPECT_EQ(to_u128(a), ua - ub);
+    EXPECT_EQ(borrow, ua < ub);
+  }
+}
+
+TEST(Limbs, SubBorrowDetected) {
+  std::array<Limb, 2> a = {0, 0};
+  const std::array<Limb, 2> b = {0, 1};
+  EXPECT_TRUE(sub_into(a, b));
+  EXPECT_EQ(a[0], ~Limb{0});
+  EXPECT_EQ(a[1], ~Limb{0});
+}
+
+TEST(Limbs, IncrementRollsOver) {
+  std::array<Limb, 2> a = {~Limb{0}, ~Limb{0}};
+  EXPECT_TRUE(increment(a));
+  EXPECT_TRUE(is_zero(ConstLimbSpan(a)));
+}
+
+TEST(Limbs, NegateTwosIsAdditiveInverse) {
+  Xoshiro256ss rng(44);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<Limb, 3> a = {rng.next(), rng.next(), rng.next()};
+    std::array<Limb, 3> neg = a;
+    negate_twos(neg);
+    add_into(a, neg);
+    EXPECT_TRUE(is_zero(ConstLimbSpan(a)));
+  }
+}
+
+TEST(Limbs, NegateZeroIsZero) {
+  std::array<Limb, 4> a = {0, 0, 0, 0};
+  negate_twos(a);
+  EXPECT_TRUE(is_zero(ConstLimbSpan(a)));
+}
+
+TEST(Limbs, SignBit) {
+  std::array<Limb, 2> a = {Limb{1} << 63, 0};
+  EXPECT_TRUE(sign_bit(ConstLimbSpan(a)));
+  a[0] = (Limb{1} << 63) - 1;
+  EXPECT_FALSE(sign_bit(ConstLimbSpan(a)));
+}
+
+TEST(Limbs, CompareUnsigned) {
+  const std::array<Limb, 2> a = {1, 0};
+  const std::array<Limb, 2> b = {0, ~Limb{0}};
+  EXPECT_EQ(compare_unsigned(a, b), 1);
+  EXPECT_EQ(compare_unsigned(b, a), -1);
+  EXPECT_EQ(compare_unsigned(a, a), 0);
+}
+
+TEST(Limbs, CompareTwosMixedSigns) {
+  const std::array<Limb, 2> neg = {~Limb{0}, ~Limb{0}};  // -1
+  const std::array<Limb, 2> pos = {0, 1};                // +1
+  const std::array<Limb, 2> zero = {0, 0};
+  EXPECT_EQ(compare_twos(neg, pos), -1);
+  EXPECT_EQ(compare_twos(pos, neg), 1);
+  EXPECT_EQ(compare_twos(neg, zero), -1);
+  EXPECT_EQ(compare_twos(zero, zero), 0);
+}
+
+TEST(Limbs, ShiftLimbsLeftRight) {
+  std::array<Limb, 4> a = {1, 2, 3, 4};
+  shift_left_limbs(a, 2);
+  EXPECT_EQ((std::array<Limb, 4>{3, 4, 0, 0}), a);
+  a = {1, 2, 3, 4};
+  shift_right_limbs(a, 1, ~Limb{0});
+  EXPECT_EQ((std::array<Limb, 4>{~Limb{0}, 1, 2, 3}), a);
+  a = {1, 2, 3, 4};
+  shift_left_limbs(a, 4);
+  EXPECT_TRUE(is_zero(ConstLimbSpan(a)));
+}
+
+TEST(Limbs, ShiftBitsAcrossBoundary) {
+  std::array<Limb, 2> a = {0, Limb{1} << 63};
+  shift_left_bits(a, 1);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+  shift_right_bits(a, 1);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[1], Limb{1} << 63);
+}
+
+TEST(Limbs, MulSmallMatchesU128) {
+  Xoshiro256ss rng(45);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const Limb lo = rng.next();
+    const Limb m = rng.next() >> 32;  // keep product within 128 bits mostly
+    std::array<Limb, 2> a = {0, lo};
+    const Limb carry = mul_small(a, m);
+    const U128 expect = static_cast<U128>(lo) * m;
+    EXPECT_EQ(carry, 0u);
+    EXPECT_EQ(to_u128(a), expect);
+  }
+}
+
+TEST(Limbs, DivModSmallRoundTrip) {
+  Xoshiro256ss rng(46);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::array<Limb, 3> a = {rng.next() >> 1, rng.next(), rng.next()};
+    const std::array<Limb, 3> orig = a;
+    const Limb d = (rng.next() >> 32) | 1;  // nonzero
+    const Limb rem = divmod_small(a, d);
+    EXPECT_LT(rem, d);
+    // a * d + rem == orig
+    std::array<Limb, 3> back = a;
+    const Limb mc = mul_small(back, d);
+    EXPECT_EQ(mc, 0u);
+    std::array<Limb, 3> radd = {0, 0, rem};
+    add_into(back, radd);
+    EXPECT_EQ(back, orig);
+  }
+}
+
+TEST(Limbs, HighestSetBit) {
+  std::array<Limb, 2> a = {0, 0};
+  EXPECT_EQ(highest_set_bit(ConstLimbSpan(a)), -1);
+  a = {0, 1};
+  EXPECT_EQ(highest_set_bit(ConstLimbSpan(a)), 0);
+  a = {0, Limb{1} << 63};
+  EXPECT_EQ(highest_set_bit(ConstLimbSpan(a)), 63);
+  a = {1, 0};
+  EXPECT_EQ(highest_set_bit(ConstLimbSpan(a)), 64);
+  a = {Limb{1} << 62, 0};
+  EXPECT_EQ(highest_set_bit(ConstLimbSpan(a)), 126);
+}
+
+TEST(Limbs, ToHexFormat) {
+  const std::array<Limb, 2> a = {0xDEADBEEFull, 0x1ull};
+  EXPECT_EQ(to_hex(ConstLimbSpan(a)), "0x00000000deadbeef_0000000000000001");
+}
+
+}  // namespace
+}  // namespace hpsum::util

@@ -1,0 +1,120 @@
+// Coverage for corners not exercised elsewhere: non-zero reduction roots,
+// datatype metadata, degenerate histograms, CLI duplicate flags, and the
+// atomic accumulator across formats.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hp_atomic.hpp"
+#include "core/reduce.hpp"
+#include "mpisim/hp_ops.hpp"
+#include "mpisim/mpisim.hpp"
+#include "stats/stats.hpp"
+#include "util/cli.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(MiscMpisim, ReduceToNonzeroRootBothAlgorithms) {
+  for (const auto algo :
+       {mpisim::ReduceAlgo::kLinear, mpisim::ReduceAlgo::kBinomialTree}) {
+    mpisim::run(7, [&](mpisim::Comm& comm) {
+      const double mine = comm.rank() + 0.5;
+      double out = -1;
+      comm.reduce(&mine, &out, 1, mpisim::Datatype::f64(),
+                  mpisim::f64_sum_op(), /*root=*/3, algo);
+      if (comm.rank() == 3) {
+        EXPECT_EQ(out, 0.5 * 7 + 21.0);  // sum of 0..6 + 7*0.5
+      } else {
+        EXPECT_EQ(out, -1);  // non-root buffers untouched
+      }
+    });
+  }
+}
+
+TEST(MiscMpisim, HpReduceToNonzeroRoot) {
+  const auto xs = workload::uniform_set(5000, 21);
+  const HpConfig cfg{6, 3};
+  const double expect = reduce_hp(xs, cfg).to_double();
+  mpisim::run(4, [&](mpisim::Comm& comm) {
+    HpDyn local(cfg);
+    for (std::size_t i = static_cast<std::size_t>(comm.rank()); i < xs.size();
+         i += 4) {
+      local += xs[i];
+    }
+    const HpDyn total = mpisim::reduce_hp_value(comm, local, /*root=*/2);
+    if (comm.rank() == 2) EXPECT_EQ(total.to_double(), expect);
+  });
+}
+
+TEST(MiscMpisim, DatatypeMetadata) {
+  const auto dt = mpisim::hp_datatype(HpConfig{6, 3});
+  EXPECT_EQ(dt.size, 48u);
+  EXPECT_EQ(dt.name, "hp{6,3}");
+  const auto hdt = mpisim::hallberg_datatype(HallbergParams{10, 38});
+  EXPECT_EQ(hdt.size, 80u);
+  EXPECT_EQ(mpisim::Datatype::f64().size, sizeof(double));
+  EXPECT_EQ(mpisim::hp_sum_op(HpConfig{6, 3}).name, "hp-sum");
+}
+
+TEST(MiscStats, SingleBinHistogram) {
+  stats::Histogram h(0.0, 1.0, 1);
+  h.add(0.2);
+  h.add(0.9);
+  h.add(-5.0);
+  EXPECT_EQ(h.counts()[0], 3u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(MiscCli, LastDuplicateWins) {
+  std::vector<const char*> argv = {"prog", "--n=1", "--n=2"};
+  const util::Args args(static_cast<int>(argv.size()),
+                        const_cast<char**>(argv.data()), {"n"});
+  EXPECT_EQ(args.get_int("n", 0), 2);
+}
+
+template <int N, int K>
+void hammer_atomic(const std::vector<double>& xs) {
+  HpAtomic<N, K> shared;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < xs.size(); i += 4) {
+          shared.add(xs[i]);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(shared.load(), (reduce_hp<N, K>(xs)))
+      << "format " << N << "," << K;
+}
+
+TEST(MiscAtomic, AllPaperFormatsConcurrently) {
+  const auto xs = workload::uniform_set(12000, 22);
+  hammer_atomic<2, 1>(xs);
+  hammer_atomic<3, 2>(xs);
+  hammer_atomic<6, 3>(xs);
+  hammer_atomic<8, 4>(xs);
+}
+
+TEST(MiscStatus, ToStringCoversAllFlags) {
+  EXPECT_EQ(to_string(HpStatus::kOk), "ok");
+  EXPECT_EQ(to_string(HpStatus::kConvertOverflow), "convert-overflow");
+  const HpStatus all = HpStatus::kConvertOverflow | HpStatus::kAddOverflow |
+                       HpStatus::kToDoubleOverflow | HpStatus::kInexact |
+                       HpStatus::kToDoubleInexact;
+  const std::string s = to_string(all);
+  EXPECT_NE(s.find("add-overflow"), std::string::npos);
+  EXPECT_NE(s.find("to-double-overflow"), std::string::npos);
+  EXPECT_NE(s.find("inexact"), std::string::npos);
+  EXPECT_TRUE(any_overflow(all));
+  EXPECT_FALSE(any_overflow(HpStatus::kInexact));
+}
+
+}  // namespace
+}  // namespace hpsum

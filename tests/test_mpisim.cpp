@@ -1,0 +1,399 @@
+// Tests for the message-passing runtime and its HP reduction ops.
+#include "mpisim/mpisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "backends/scaling.hpp"
+#include "core/reduce.hpp"
+#include "mpisim/hp_ops.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::mpisim {
+namespace {
+
+TEST(Mpisim, RunGivesEveryRankCorrectIdentity) {
+  std::vector<int> seen(8, -1);
+  run(8, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 8);
+    seen[static_cast<std::size_t>(comm.rank())] = comm.rank();
+  });
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(seen[static_cast<std::size_t>(r)], r);
+}
+
+TEST(Mpisim, RunRejectsBadRankCount) {
+  EXPECT_THROW(run(0, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Mpisim, SendRecvRoundTrip) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double payload = 42.5;
+      comm.send(1, 7, &payload, sizeof payload);
+    } else {
+      double got = 0;
+      comm.recv(0, 7, &got, sizeof got);
+      EXPECT_EQ(got, 42.5);
+    }
+  });
+}
+
+TEST(Mpisim, TagsKeepMessagesApart) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const int a = 1;
+      const int b = 2;
+      comm.send(1, 10, &a, sizeof a);
+      comm.send(1, 20, &b, sizeof b);
+    } else {
+      int got = 0;
+      comm.recv(0, 20, &got, sizeof got);  // out of send order
+      EXPECT_EQ(got, 2);
+      comm.recv(0, 10, &got, sizeof got);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(Mpisim, RecvSizeMismatchThrows) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       const double payload = 1.0;
+                       comm.send(1, 1, &payload, sizeof payload);
+                     } else {
+                       float small = 0;
+                       comm.recv(0, 1, &small, sizeof small);
+                     }
+                   }),
+               std::logic_error);
+}
+
+TEST(Mpisim, SendToInvalidRankThrows) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       const int x = 1;
+                       comm.send(5, 1, &x, sizeof x);
+                     }
+                   }),
+               std::out_of_range);
+}
+
+TEST(Mpisim, BarrierOrdersPhases) {
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  run(8, [&](Comm& comm) {
+    phase1.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must observe all 8 phase-1 increments.
+    if (phase1.load() != 8) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Mpisim, BcastDeliversRootValue) {
+  run(6, [](Comm& comm) {
+    double v = (comm.rank() == 2) ? 3.25 : 0.0;
+    comm.bcast(&v, sizeof v, /*root=*/2);
+    EXPECT_EQ(v, 3.25);
+  });
+}
+
+TEST(Mpisim, GatherCollectsRankMajor) {
+  run(5, [](Comm& comm) {
+    const int mine = comm.rank() * 11;
+    std::vector<int> all(5, -1);
+    comm.gather(&mine, sizeof mine, all.data(), /*root=*/0);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < 5; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], r * 11);
+    }
+  });
+}
+
+TEST(Mpisim, ScatterDistributesRankMajorSlices) {
+  run(4, [](Comm& comm) {
+    std::vector<double> all;
+    if (comm.rank() == 1) {
+      for (int i = 0; i < 8; ++i) all.push_back(i * 1.5);
+    }
+    double mine[2] = {0, 0};
+    comm.scatter(all.data(), sizeof mine, mine, /*root=*/1);
+    EXPECT_EQ(mine[0], comm.rank() * 2 * 1.5);
+    EXPECT_EQ(mine[1], (comm.rank() * 2 + 1) * 1.5);
+  });
+}
+
+TEST(Mpisim, AllgatherGivesEveryoneEverything) {
+  run(5, [](Comm& comm) {
+    const int mine = comm.rank() + 100;
+    std::vector<int> all(5, -1);
+    comm.allgather(&mine, sizeof mine, all.data());
+    for (int r = 0; r < 5; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], r + 100);
+    }
+  });
+}
+
+TEST(Mpisim, SendrecvRingRotation) {
+  // Classic ring shift: rank r sends to r+1, receives from r-1.
+  run(6, [](Comm& comm) {
+    const int p = comm.size();
+    const int next = (comm.rank() + 1) % p;
+    const int prev = (comm.rank() + p - 1) % p;
+    const int mine = comm.rank() * 7;
+    int got = -1;
+    comm.sendrecv(next, &mine, sizeof mine, prev, &got, sizeof got, 3);
+    EXPECT_EQ(got, prev * 7);
+  });
+}
+
+TEST(Mpisim, IrecvOverlapsComputeThenWaits) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      double got = 0;
+      Request req = comm.irecv(1, 5, &got, sizeof got);
+      // "Compute" while the message is (maybe) in flight...
+      double local = 0;
+      for (int i = 1; i <= 1000; ++i) local += 1.0 / i;
+      req.wait();
+      EXPECT_TRUE(req.done());
+      EXPECT_EQ(got, 2.5);
+      EXPECT_GT(local, 0.0);
+    } else {
+      const double payload = 2.5;
+      comm.isend(0, 5, &payload, sizeof payload);
+    }
+  });
+}
+
+TEST(Mpisim, RequestTestPollsWithoutBlocking) {
+  run(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      int got = 0;
+      Request req = comm.irecv(1, 6, &got, sizeof got);
+      // The sender waits for our go-ahead, so the first test must fail.
+      EXPECT_FALSE(req.test());
+      const int go = 1;
+      comm.send(1, 7, &go, sizeof go);
+      while (!req.test()) {
+      }
+      EXPECT_EQ(got, 99);
+      EXPECT_TRUE(req.test());  // idempotent once done
+    } else {
+      int go = 0;
+      comm.recv(0, 7, &go, sizeof go);
+      const int payload = 99;
+      comm.isend(0, 6, &payload, sizeof payload);
+    }
+  });
+}
+
+TEST(Mpisim, ReduceDoubleLinearMatchesSequentialOrder) {
+  // The linear algorithm folds ranks in ascending order, which is exactly
+  // a left-to-right double sum of the per-rank values.
+  const std::vector<double> vals = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+  run(7, [&](Comm& comm) {
+    const double mine = vals[static_cast<std::size_t>(comm.rank())];
+    double out = 0;
+    comm.reduce(&mine, &out, 1, Datatype::f64(), f64_sum_op(), 0,
+                ReduceAlgo::kLinear);
+    if (comm.rank() == 0) {
+      double expect = 0;
+      for (const double v : vals) expect += v;
+      EXPECT_EQ(out, expect);
+    }
+  });
+}
+
+TEST(Mpisim, ReduceMultiElementAppliesOpPerElement) {
+  run(4, [](Comm& comm) {
+    const double mine[3] = {1.0 * comm.rank(), 2.0, -1.0};
+    double out[3] = {0, 0, 0};
+    comm.reduce(mine, out, 3, Datatype::f64(), f64_sum_op(), 0,
+                ReduceAlgo::kBinomialTree);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out[0], 0.0 + 1.0 + 2.0 + 3.0);
+      EXPECT_EQ(out[1], 8.0);
+      EXPECT_EQ(out[2], -4.0);
+    }
+  });
+}
+
+TEST(Mpisim, AllreduceAgreesOnAllRanks) {
+  std::vector<double> results(9, 0.0);
+  run(9, [&](Comm& comm) {
+    const double mine = 1.5;
+    double out = 0;
+    comm.allreduce(&mine, &out, 1, Datatype::f64(), f64_sum_op());
+    results[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (const double r : results) EXPECT_EQ(r, 13.5);
+}
+
+TEST(Mpisim, SplitFormsOrderedGroups) {
+  run(8, [](Comm& comm) {
+    // Even/odd split with key = descending parent rank.
+    auto group = comm.split(comm.rank() % 2, -comm.rank());
+    EXPECT_EQ(group.size(), 4);
+    // Members are ordered by key: highest parent rank first.
+    const int expect_first = comm.rank() % 2 == 0 ? 6 : 7;
+    EXPECT_EQ(group.parent_rank(0), expect_first);
+    // My index is consistent with my key order.
+    EXPECT_EQ(group.parent_rank(group.rank()), comm.rank());
+  });
+}
+
+TEST(Mpisim, GroupBarrierAndBcast) {
+  run(6, [](Comm& comm) {
+    auto group = comm.split(comm.rank() / 3);  // {0,1,2} and {3,4,5}
+    ASSERT_EQ(group.size(), 3);
+    int v = (group.rank() == 0) ? comm.rank() + 1000 : -1;
+    group.bcast(&v, sizeof v, 0);
+    // Group root is the lowest parent rank in each group.
+    EXPECT_EQ(v, (comm.rank() / 3) * 3 + 1000);
+    group.barrier();  // and the barrier completes
+  });
+}
+
+TEST(Mpisim, HierarchicalHpReductionMatchesFlat) {
+  // Two-level reduce — intra-"node" groups, then node leaders — must give
+  // the bit-identical HP sum of a flat reduce (and of the sequential sum).
+  const auto xs = workload::uniform_set(24000, 65);
+  const HpConfig cfg{6, 3};
+  const HpDyn ref = reduce_hp(xs, cfg);
+
+  for (const int ranks_per_node : {2, 4}) {
+    std::vector<util::Limb> root_limbs;
+    run(8, [&](Comm& comm) {
+      const auto slices = backends::partition(xs, comm.size());
+      HpDyn local(cfg);
+      for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
+        local += x;
+      }
+
+      // Level 1: reduce within the node group.
+      auto node = comm.split(comm.rank() / ranks_per_node);
+      std::vector<std::byte> send(local.byte_size());
+      local.to_bytes(send.data());
+      std::vector<std::byte> node_total(local.byte_size());
+      node.reduce(send.data(), node_total.data(), 1, hp_datatype(cfg),
+                  hp_sum_op(cfg), 0);
+
+      // Level 2: node leaders reduce across nodes.
+      const bool leader = node.rank() == 0;
+      auto leaders = comm.split(leader ? 0 : 1);
+      if (leader) {
+        std::vector<std::byte> global(local.byte_size());
+        leaders.reduce(node_total.data(), global.data(), 1, hp_datatype(cfg),
+                       hp_sum_op(cfg), 0, ReduceAlgo::kLinear);
+        if (comm.rank() == 0) {
+          HpDyn total(cfg);
+          total.from_bytes(global.data());
+          root_limbs.assign(total.limbs().begin(), total.limbs().end());
+        }
+      }
+    });
+    ASSERT_EQ(root_limbs.size(), ref.limbs().size());
+    for (std::size_t i = 0; i < root_limbs.size(); ++i) {
+      EXPECT_EQ(root_limbs[i], ref.limbs()[i]) << "rpn=" << ranks_per_node;
+    }
+  }
+}
+
+TEST(Mpisim, HpReduceIsInvariantAcrossAlgorithmsAndRankCounts) {
+  // The Fig 6 headline: the same global data reduced over different rank
+  // topologies and reduction trees gives a bit-identical HP sum.
+  const auto xs = workload::uniform_set(30000, 61);
+  const HpConfig cfg{6, 3};
+  const HpDyn ref = reduce_hp(xs, cfg);
+
+  for (const int ranks : {1, 2, 5, 8, 16}) {
+    for (const ReduceAlgo algo :
+         {ReduceAlgo::kLinear, ReduceAlgo::kBinomialTree}) {
+      std::vector<util::Limb> root_limbs;
+      run(ranks, [&](Comm& comm) {
+        const auto slices = backends::partition(xs, comm.size());
+        HpDyn local(cfg);
+        for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
+          local += x;
+        }
+        const HpDyn total = reduce_hp_value(comm, local, 0, algo);
+        if (comm.rank() == 0) {
+          root_limbs.assign(total.limbs().begin(), total.limbs().end());
+        }
+      });
+      ASSERT_EQ(root_limbs.size(), ref.limbs().size());
+      for (std::size_t i = 0; i < root_limbs.size(); ++i) {
+        EXPECT_EQ(root_limbs[i], ref.limbs()[i])
+            << "ranks=" << ranks << " algo=" << static_cast<int>(algo);
+      }
+    }
+  }
+}
+
+TEST(Mpisim, DoubleReduceVariesAcrossTopologies) {
+  // The premise: the identical experiment with the double op is NOT
+  // invariant — linear vs tree orderings round differently.
+  const auto xs = workload::uniform_set(30000, 62);
+  std::vector<double> results;
+  for (const int ranks : {4, 16}) {
+    for (const ReduceAlgo algo :
+         {ReduceAlgo::kLinear, ReduceAlgo::kBinomialTree}) {
+      double root_val = 0;
+      run(ranks, [&](Comm& comm) {
+        const auto slices = backends::partition(xs, comm.size());
+        double local = 0;
+        for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
+          local += x;
+        }
+        double out = 0;
+        comm.reduce(&local, &out, 1, Datatype::f64(), f64_sum_op(), 0, algo);
+        if (comm.rank() == 0) root_val = out;
+      });
+      results.push_back(root_val);
+    }
+  }
+  bool any_diff = false;
+  for (const double r : results) any_diff = any_diff || (r != results[0]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Mpisim, HallbergReduceInvariantAfterNormalize) {
+  const auto xs = workload::uniform_set(20000, 63);
+  const HallbergParams p{10, 38};
+  Hallberg ref(p);
+  for (const double x : xs) ref.add(x);
+  ref.normalize();
+
+  for (const int ranks : {3, 8}) {
+    std::vector<std::int64_t> root_limbs;
+    run(ranks, [&](Comm& comm) {
+      const auto slices = backends::partition(xs, comm.size());
+      Hallberg local(p);
+      for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
+        local.add(x);
+      }
+      std::vector<std::byte> send(local.limbs().size() * sizeof(std::int64_t));
+      std::memcpy(send.data(), local.limbs().data(), send.size());
+      std::vector<std::byte> recv(send.size());
+      comm.reduce(send.data(), recv.data(), 1, hallberg_datatype(p),
+                  hallberg_sum_op(p), 0);
+      if (comm.rank() == 0) {
+        Hallberg total(p);
+        std::memcpy(total.limbs().data(), recv.data(), recv.size());
+        total.normalize();
+        root_limbs = total.limbs();
+      }
+    });
+    EXPECT_EQ(root_limbs, ref.limbs()) << "ranks=" << ranks;
+  }
+}
+
+}  // namespace
+}  // namespace hpsum::mpisim

@@ -1,0 +1,70 @@
+// Tests for the OpenMP declare-reduction integration.
+#include "backends/omp_reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+HPSUM_DECLARE_OMP_REDUCTION(HpSum63, hpsum::HpFixed<6, 3>)
+HPSUM_DECLARE_OMP_REDUCTION(HpSum32, hpsum::HpFixed<3, 2>)
+
+namespace hpsum {
+namespace {
+
+TEST(OmpReduction, MatchesSequentialBitExact) {
+  const auto xs = workload::uniform_set(50000, 21);
+  const auto ref = reduce_hp<6, 3>(xs);
+  for (const int threads : {1, 2, 4, 8}) {
+    HpFixed<6, 3> acc;
+    const auto n = static_cast<std::int64_t>(xs.size());
+#pragma omp parallel for reduction(HpSum63 : acc) num_threads(threads)
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc += xs[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(acc, ref) << "threads=" << threads;
+  }
+}
+
+TEST(OmpReduction, SchedulesDoNotChangeTheResult) {
+  const auto xs = workload::cancellation_set(32768, 22);
+  const auto n = static_cast<std::int64_t>(xs.size());
+
+  HpFixed<3, 2> dynamic_sched;
+#pragma omp parallel for reduction(HpSum32 : dynamic_sched) \
+    schedule(dynamic, 64) num_threads(4)
+  for (std::int64_t i = 0; i < n; ++i) {
+    dynamic_sched += xs[static_cast<std::size_t>(i)];
+  }
+
+  HpFixed<3, 2> static_sched;
+#pragma omp parallel for reduction(HpSum32 : static_sched) \
+    schedule(static, 1) num_threads(3)
+  for (std::int64_t i = 0; i < n; ++i) {
+    static_sched += xs[static_cast<std::size_t>(i)];
+  }
+
+  EXPECT_EQ(dynamic_sched, static_sched);
+  EXPECT_TRUE(dynamic_sched.is_zero());  // the cancellation oracle
+}
+
+TEST(OmpReduction, NonzeroInitialValueEntersOnce) {
+  // OpenMP semantics: the pre-loop value of the reduction variable must be
+  // combined exactly once, regardless of thread count.
+  const std::vector<double> xs(1000, 0.5);
+  for (const int threads : {1, 3, 8}) {
+    HpFixed<6, 3> acc(100.0);
+    const auto n = static_cast<std::int64_t>(xs.size());
+#pragma omp parallel for reduction(HpSum63 : acc) num_threads(threads)
+    for (std::int64_t i = 0; i < n; ++i) {
+      acc += xs[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(acc.to_double(), 600.0) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,155 @@
+// Property tests of the paper's headline claim (§III.B.3): given sufficient
+// precision, an HP sum is invariant to summation order — bit for bit —
+// under permutations, partitionings, and merge-tree shapes; and the claim
+// holds across every paper configuration and workload family.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/hp_dyn.hpp"
+#include "core/reduce.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+enum class Family { kCancellation, kUniform, kNbody };
+
+std::vector<double> make_family(Family f, std::size_t n, std::uint64_t seed) {
+  switch (f) {
+    case Family::kCancellation:
+      return workload::cancellation_set(n, seed);
+    case Family::kUniform:
+      return workload::uniform_set(n, seed);
+    case Family::kNbody:
+      return workload::nbody_force_set(n, seed);
+  }
+  return {};
+}
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kCancellation: return "cancel";
+    case Family::kUniform: return "uniform";
+    case Family::kNbody: return "nbody";
+  }
+  return "?";
+}
+
+class Invariance
+    : public ::testing::TestWithParam<std::tuple<HpConfig, Family>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigsAndWorkloads, Invariance,
+    ::testing::Combine(::testing::Values(HpConfig{3, 2}, HpConfig{6, 3},
+                                         HpConfig{8, 4}),
+                       ::testing::Values(Family::kCancellation,
+                                         Family::kUniform, Family::kNbody)),
+    [](const auto& param_info) {
+      const HpConfig cfg = std::get<0>(param_info.param);
+      return "N" + std::to_string(cfg.n) + "k" + std::to_string(cfg.k) + "_" +
+             family_name(std::get<1>(param_info.param));
+    });
+
+TEST_P(Invariance, PermutationsAreBitIdentical) {
+  const auto& [cfg, fam] = GetParam();
+  auto xs = make_family(fam, 4096, 1001);
+  const HpDyn ref = reduce_hp(xs, cfg);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    workload::shuffle(xs, seed);
+    EXPECT_EQ(reduce_hp(xs, cfg), ref) << "shuffle seed " << seed;
+  }
+}
+
+TEST_P(Invariance, RandomPartitionsMergeToSameSum) {
+  // Split the array at random boundaries, sum each part, merge the partial
+  // sums in order — the partition must not matter.
+  const auto& [cfg, fam] = GetParam();
+  const auto xs = make_family(fam, 4096, 1002);
+  const HpDyn ref = reduce_hp(xs, cfg);
+  util::Xoshiro256ss rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    HpDyn total(cfg);
+    std::size_t i = 0;
+    while (i < xs.size()) {
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng.bounded(997), xs.size() - i);
+      total += reduce_hp(std::span<const double>(xs).subspan(i, len), cfg);
+      i += len;
+    }
+    EXPECT_EQ(total, ref) << "trial " << trial;
+  }
+}
+
+TEST_P(Invariance, MergeTreeShapeIsIrrelevant) {
+  // Left-leaning chain vs balanced binary tree vs right-leaning chain over
+  // 64 chunk partial sums.
+  const auto& [cfg, fam] = GetParam();
+  const auto xs = make_family(fam, 4096, 1003);
+  constexpr std::size_t kChunks = 64;
+  const std::size_t chunk = xs.size() / kChunks;
+  std::vector<HpDyn> parts;
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    parts.push_back(
+        reduce_hp(std::span<const double>(xs).subspan(c * chunk, chunk), cfg));
+  }
+
+  // Left chain.
+  HpDyn left(cfg);
+  for (const auto& p : parts) left += p;
+
+  // Right chain.
+  HpDyn right(cfg);
+  for (std::size_t c = kChunks; c-- > 0;) right += parts[c];
+
+  // Balanced tree.
+  std::vector<HpDyn> level = parts;
+  while (level.size() > 1) {
+    std::vector<HpDyn> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      HpDyn merged = level[i];
+      merged += level[i + 1];
+      next.push_back(merged);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, level[0]);
+  EXPECT_EQ(left, reduce_hp(xs, cfg));
+}
+
+TEST_P(Invariance, DuplicatedDataSumsToDouble) {
+  // sum(xs ++ xs) == sum(xs) + sum(xs): associativity smoke at value level.
+  const auto& [cfg, fam] = GetParam();
+  const auto xs = make_family(fam, 2048, 1004);
+  std::vector<double> twice(xs);
+  twice.insert(twice.end(), xs.begin(), xs.end());
+  HpDyn expect = reduce_hp(xs, cfg);
+  expect += reduce_hp(xs, cfg);
+  EXPECT_EQ(reduce_hp(twice, cfg), expect);
+}
+
+TEST(InvarianceEdge, SignFlippedDataSumsToExactZero) {
+  // xs ++ (-xs) must cancel exactly whatever xs is.
+  const auto xs = workload::uniform_set(2048, 1005);
+  std::vector<double> sym(xs);
+  for (const double x : xs) sym.push_back(-x);
+  workload::shuffle(sym, 3);
+  const HpDyn total = reduce_hp(sym, HpConfig{6, 3});
+  EXPECT_TRUE(total.is_zero());
+}
+
+TEST(InvarianceEdge, SingleElementAndEmpty) {
+  const HpConfig cfg{3, 2};
+  EXPECT_TRUE(reduce_hp(std::span<const double>{}, cfg).is_zero());
+  const std::vector<double> one = {0.125};
+  EXPECT_EQ(reduce_hp(one, cfg).to_double(), 0.125);
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,130 @@
+// Parity tests: runtime-format (HpDyn) operations must match the
+// compile-time (HpFixed) ones bit for bit, and multi-element reductions
+// through the message-passing runtime must behave element-wise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "backends/scaling.hpp"
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+#include "core/reduce.hpp"
+#include "mpisim/hp_ops.hpp"
+#include "mpisim/mpisim.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+TEST(Parity, ScalePow2DynMatchesFixed) {
+  util::Xoshiro256ss rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x = rng.uniform(-1e6, 1e6);
+    const int e = static_cast<int>(rng.bounded(161)) - 80;
+    HpFixed<6, 3> fixed(x);
+    HpDyn dyn(HpConfig{6, 3}, x);
+    fixed.scale_pow2(e);
+    dyn.scale_pow2(e);
+    ASSERT_EQ(dyn.to_double(), fixed.to_double()) << x << " 2^" << e;
+    for (std::size_t i = 0; i < dyn.limbs().size(); ++i) {
+      ASSERT_EQ(dyn.limbs()[i], fixed.limbs()[i]);
+    }
+    EXPECT_EQ(dyn.status(), fixed.status());
+  }
+}
+
+TEST(Parity, DivSmallDynMatchesFixed) {
+  util::Xoshiro256ss rng(12);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double x = rng.uniform(-1e9, 1e9);
+    const std::uint64_t d = 1 + rng.bounded(1000000);
+    HpFixed<6, 3> fixed(x);
+    HpDyn dyn(HpConfig{6, 3}, x);
+    const auto rf = fixed.div_small(d);
+    const auto rd = dyn.div_small(d);
+    ASSERT_EQ(rd, rf);
+    for (std::size_t i = 0; i < dyn.limbs().size(); ++i) {
+      ASSERT_EQ(dyn.limbs()[i], fixed.limbs()[i]);
+    }
+  }
+}
+
+TEST(Parity, ExactMeanViaDivIsOrderInvariantDyn) {
+  auto xs = workload::nbody_force_set(9973, 13);
+  const auto mean_of = [&](const std::vector<double>& data) {
+    HpDyn acc = reduce_hp(data, HpConfig{6, 3});
+    acc.div_small(data.size());
+    return acc;
+  };
+  const HpDyn ref = mean_of(xs);
+  workload::shuffle(xs, 1);
+  EXPECT_EQ(mean_of(xs), ref);
+}
+
+TEST(Parity, MpisimMultiElementHpReduce) {
+  // Reduce a VECTOR of HP values in one call (count = 4): each element is
+  // an independent exact sum, e.g. the four components of a force/virial
+  // tally reduced together.
+  const HpConfig cfg{4, 2};
+  constexpr int kElems = 4;
+  const auto xs = workload::uniform_set(8000, 14);
+
+  std::vector<double> reduced(kElems, 0.0);
+  mpisim::run(5, [&](mpisim::Comm& comm) {
+    const auto slices = backends::partition(xs, comm.size());
+    const auto slice = slices[static_cast<std::size_t>(comm.rank())];
+    // Element e accumulates every value scaled by (e+1).
+    std::vector<HpDyn> locals;
+    for (int e = 0; e < kElems; ++e) {
+      HpDyn acc(cfg);
+      for (const double x : slice) acc += (e + 1) * x;
+      locals.push_back(acc);
+    }
+    const std::size_t each = locals[0].byte_size();
+    std::vector<std::byte> send(each * kElems);
+    for (int e = 0; e < kElems; ++e) {
+      locals[static_cast<std::size_t>(e)].to_bytes(send.data() + each * e);
+    }
+    std::vector<std::byte> recv(send.size());
+    comm.reduce(send.data(), recv.data(), kElems, mpisim::hp_datatype(cfg),
+                mpisim::hp_sum_op(cfg), 0);
+    if (comm.rank() == 0) {
+      for (int e = 0; e < kElems; ++e) {
+        HpDyn total(cfg);
+        total.from_bytes(recv.data() + each * e);
+        reduced[static_cast<std::size_t>(e)] = total.to_double();
+      }
+    }
+  });
+
+  for (int e = 0; e < kElems; ++e) {
+    HpDyn expect(cfg);
+    for (const double x : xs) expect += (e + 1) * x;
+    EXPECT_EQ(reduced[static_cast<std::size_t>(e)], expect.to_double())
+        << "element " << e;
+  }
+}
+
+TEST(Parity, ReduceHelpersAgreeAcrossFormats) {
+  const auto xs = workload::uniform_set(3000, 15);
+  const auto check = [&]<int N, int K>() {
+    const auto fixed = reduce_hp<N, K>(xs);
+    const HpDyn dyn = reduce_hp(xs, HpConfig{N, K});
+    ASSERT_EQ(dyn.to_double(), fixed.to_double());
+    for (std::size_t i = 0; i < dyn.limbs().size(); ++i) {
+      ASSERT_EQ(dyn.limbs()[i],
+                fixed.limbs()[static_cast<std::size_t>(i)]);
+    }
+  };
+  check.operator()<2, 1>();
+  check.operator()<3, 2>();
+  check.operator()<6, 3>();
+  check.operator()<8, 4>();
+  check.operator()<12, 6>();
+}
+
+}  // namespace
+}  // namespace hpsum

@@ -1,0 +1,64 @@
+// Tests for the offload-model simulator.
+#include "phisim/phisim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "backends/accumulators.hpp"
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::phisim {
+namespace {
+
+TEST(Phisim, BadPropsThrow) {
+  PhiProps props;
+  props.max_threads = 0;
+  EXPECT_THROW(OffloadDevice{props}, std::invalid_argument);
+  props = PhiProps{};
+  props.transfer_bandwidth = 0;
+  EXPECT_THROW(OffloadDevice{props}, std::invalid_argument);
+}
+
+TEST(Phisim, ThreadCountValidation) {
+  OffloadDevice dev;
+  const auto xs = workload::uniform_set(100, 81);
+  EXPECT_THROW((dev.offload_reduce<backends::DoubleSum>(xs, 0)),
+               std::invalid_argument);
+  EXPECT_THROW((dev.offload_reduce<backends::DoubleSum>(xs, 241)),
+               std::invalid_argument);
+  EXPECT_NO_THROW((dev.offload_reduce<backends::DoubleSum>(xs, 240)));
+}
+
+TEST(Phisim, TransferCostIsBytesOverBandwidth) {
+  PhiProps props;
+  props.transfer_bandwidth = 1e9;
+  OffloadDevice dev(props);
+  const auto xs = workload::uniform_set(1000, 82);
+  const auto point = dev.offload_reduce<backends::DoubleSum>(xs, 4);
+  EXPECT_DOUBLE_EQ(point.transfer_seconds, 8000.0 / 1e9);
+  EXPECT_GE(point.modeled_wall, point.transfer_seconds);
+}
+
+TEST(Phisim, HpOffloadMatchesHostSequentialAcrossThreadCounts) {
+  OffloadDevice dev;
+  const auto xs = workload::uniform_set(30000, 83);
+  const double ref = reduce_hp<6, 3>(xs).to_double();
+  for (const int threads : {1, 2, 60, 240}) {
+    const auto point = dev.offload_reduce<backends::HpSum<6, 3>>(xs, threads);
+    EXPECT_EQ(point.value, ref) << "threads=" << threads;
+    EXPECT_EQ(point.threads, threads);
+  }
+}
+
+TEST(Phisim, ModeledWallDecomposes) {
+  OffloadDevice dev;
+  const auto xs = workload::uniform_set(5000, 84);
+  const auto point = dev.offload_reduce<backends::HpSum<6, 3>>(xs, 8);
+  EXPECT_DOUBLE_EQ(point.modeled_wall,
+                   point.transfer_seconds + point.busy_max + point.merge_time);
+}
+
+}  // namespace
+}  // namespace hpsum::phisim

@@ -1,0 +1,104 @@
+// Unit tests for the deterministic PRNGs.
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace hpsum::util {
+namespace {
+
+TEST(Prng, SplitMixKnownValues) {
+  // Reference values for seed 0 from the public-domain reference code.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454Full);
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Xoshiro256ss a(123);
+  Xoshiro256ss b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Prng, Uniform01InRange) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Prng, UniformRespectsBounds) {
+  Xoshiro256ss rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 3.5);
+  }
+}
+
+TEST(Prng, Uniform01MeanIsHalf) {
+  Xoshiro256ss rng(9);
+  double sum = 0;
+  constexpr int kN = 1 << 20;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.002);
+}
+
+TEST(Prng, BoundedStaysInBounds) {
+  Xoshiro256ss rng(10);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, BoundedZeroIsZero) {
+  Xoshiro256ss rng(11);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Prng, BoundedIsRoughlyUniform) {
+  Xoshiro256ss rng(12);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.bounded(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / 8, kN / 8 * 0.08);
+  }
+}
+
+TEST(Prng, JumpProducesDisjointStream) {
+  Xoshiro256ss base(99);
+  Xoshiro256ss jumped(99);
+  jumped.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(base.next());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) collisions += first.count(jumped.next());
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Prng, MakeStreamMatchesManualJumps) {
+  Xoshiro256ss manual(5);
+  manual.jump();
+  manual.jump();
+  Xoshiro256ss stream = make_stream(5, 2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(manual.next(), stream.next());
+}
+
+}  // namespace
+}  // namespace hpsum::util

@@ -1,0 +1,123 @@
+// Tests for the reproducible BLAS extension (rblas).
+#include "rblas/rblas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::rblas {
+namespace {
+
+TEST(Rblas, SumMatchesCore) {
+  const auto xs = workload::uniform_set(10000, 1);
+  EXPECT_EQ(sum(xs), (reduce_hp<8, 4>(xs).to_double()));
+  EXPECT_EQ(sum(xs, HpConfig{8, 4}), sum(xs));
+}
+
+TEST(Rblas, AsumIsExactAndPermutationInvariant) {
+  auto xs = workload::uniform_set(20000, 2);
+  const double ref = asum(xs);
+  // asum of the cancellation structure equals twice the positive half.
+  EXPECT_GT(ref, 0.0);
+  for (const std::uint64_t seed : {3u, 4u}) {
+    workload::shuffle(xs, seed);
+    EXPECT_EQ(asum(xs), ref);
+    EXPECT_EQ(asum(xs, HpConfig{8, 4}), ref);
+  }
+}
+
+TEST(Rblas, AsumIntegerOracle) {
+  const std::vector<double> xs = {-3.0, 4.0, -5.0};
+  EXPECT_EQ((asum<4, 2>(xs)), 12.0);
+}
+
+TEST(Rblas, DotMatchesCoreDot) {
+  const auto prob = workload::ill_conditioned_dot(1000, 100, 5);
+  EXPECT_EQ(dot(prob.a, prob.b), prob.exact);
+  EXPECT_EQ(dot(prob.a, prob.b, HpConfig{8, 4}), prob.exact);
+}
+
+TEST(Rblas, Nrm2IsPermutationInvariant) {
+  auto xs = workload::uniform_set(10000, 6);
+  const double ref = nrm2(xs);
+  EXPECT_GT(ref, 0.0);
+  for (const std::uint64_t seed : {7u, 8u, 9u}) {
+    workload::shuffle(xs, seed);
+    EXPECT_EQ(nrm2(xs), ref);  // bit-identical, not merely close
+  }
+}
+
+TEST(Rblas, Nrm2PythagoreanOracle) {
+  const std::vector<double> xs = {3.0, 4.0};
+  EXPECT_EQ((nrm2<4, 2>(xs)), 5.0);
+}
+
+TEST(Rblas, SumParallelBitIdenticalAcrossThreadCounts) {
+  const auto xs = workload::uniform_set(50000, 10);
+  const double ref = sum(xs);
+  for (const int threads : {1, 2, 3, 4, 8}) {
+    EXPECT_EQ(sum_parallel(xs, threads), ref) << "threads=" << threads;
+  }
+}
+
+TEST(Rblas, GemvMatchesIntegerOracle) {
+  // 3x4 integer matrix times integer vector: exact in int64.
+  const std::vector<double> a = {1, 2,  3,  4,   //
+                                 5, 6,  7,  8,   //
+                                 9, 10, 11, -12};
+  const std::vector<double> x = {2, -1, 3, 1};
+  std::vector<double> y(3, 0.0);
+  gemv<4, 2>(3, 4, a, x, y);
+  EXPECT_EQ(y[0], 1 * 2 + 2 * -1 + 3 * 3 + 4 * 1);
+  EXPECT_EQ(y[1], 5 * 2 + 6 * -1 + 7 * 3 + 8 * 1);
+  EXPECT_EQ(y[2], 9 * 2 + 10 * -1 + 11 * 3 + -12 * 1);
+}
+
+TEST(Rblas, GemvColumnPermutationInvariance) {
+  // Permuting columns of A together with entries of x permutes each row's
+  // dot product terms — results must not move by a single bit.
+  util::Xoshiro256ss rng(11);
+  const std::size_t m = 16;
+  const std::size_t n = 64;
+  std::vector<double> a(m * n);
+  std::vector<double> x(n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> y_ref(m, 0.0);
+  gemv(m, n, a, x, y_ref);
+
+  // Build the column permutation.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.bounded(i)]);
+  }
+  std::vector<double> a2(m * n);
+  std::vector<double> x2(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x2[j] = x[perm[j]];
+    for (std::size_t i = 0; i < m; ++i) a2[i * n + j] = a[i * n + perm[j]];
+  }
+  std::vector<double> y2(m, 0.0);
+  gemv(m, n, a2, x2, y2);
+  EXPECT_EQ(y2, y_ref);
+}
+
+TEST(Rblas, NaiveBlasWouldFailTheseInvariances) {
+  // Sanity of the premise at rblas scale: a naive sum over a permuted
+  // array usually changes. (If this ever flakes the data got too tame.)
+  auto xs = workload::uniform_set(100000, 12);
+  double naive1 = 0;
+  for (const double v : xs) naive1 += v;
+  workload::shuffle(xs, 13);
+  double naive2 = 0;
+  for (const double v : xs) naive2 += v;
+  EXPECT_NE(naive1, naive2);
+}
+
+}  // namespace
+}  // namespace hpsum::rblas

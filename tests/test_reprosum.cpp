@@ -1,0 +1,125 @@
+// Tests for the Demmel-Nguyen-style reproducible binned summation.
+#include "reprosum/reprosum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::reprosum {
+namespace {
+
+constexpr double kCeil = 1.0;
+constexpr std::size_t kBudget = 1u << 22;
+
+double repro_sum(const std::vector<double>& xs) {
+  ReproSum acc(kCeil, kBudget);
+  for (const double x : xs) EXPECT_TRUE(acc.add(x));
+  return acc.result();
+}
+
+TEST(ReproSum, BadBindingsThrow) {
+  EXPECT_THROW(ReproSum(0.0, 100), std::invalid_argument);
+  EXPECT_THROW(ReproSum(-1.0, 100), std::invalid_argument);
+  EXPECT_THROW(ReproSum(std::numeric_limits<double>::infinity(), 100),
+               std::invalid_argument);
+  EXPECT_THROW(ReproSum(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(ReproSum(1.0, std::size_t{1} << 31), std::invalid_argument);
+}
+
+TEST(ReproSum, RejectsOutOfBindingValues) {
+  ReproSum acc(1.0, 100);
+  EXPECT_TRUE(acc.add(1.0));
+  EXPECT_FALSE(acc.add(1.5));
+  EXPECT_FALSE(acc.add(std::nan("")));
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(ReproSum, CountBudgetEnforced) {
+  ReproSum acc(1.0, 3);
+  EXPECT_TRUE(acc.add(0.1));
+  EXPECT_TRUE(acc.add(0.1));
+  EXPECT_TRUE(acc.add(0.1));
+  EXPECT_FALSE(acc.add(0.1));
+}
+
+TEST(ReproSum, BitIdenticalAcrossPermutations) {
+  auto xs = workload::uniform_set(100000, 81);
+  const double ref = repro_sum(xs);
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    workload::shuffle(xs, seed);
+    EXPECT_EQ(repro_sum(xs), ref);  // bitwise, not approximately
+  }
+}
+
+TEST(ReproSum, BitIdenticalAcrossPartitionings) {
+  const auto xs = workload::uniform_set(50000, 82);
+  const double flat = repro_sum(xs);
+  for (const int parts : {2, 7, 16}) {
+    std::vector<ReproSum> partials;
+    for (int p = 0; p < parts; ++p) partials.emplace_back(kCeil, kBudget);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      partials[i % parts].add(xs[i]);
+    }
+    ReproSum total(kCeil, kBudget);
+    for (const auto& p : partials) total.merge(p);
+    EXPECT_EQ(total.result(), flat) << parts;
+    EXPECT_EQ(total.count(), xs.size());
+  }
+}
+
+TEST(ReproSum, MismatchedBindingsCannotMerge) {
+  ReproSum a(1.0, 100);
+  const ReproSum b(2.0, 100);
+  const ReproSum c(1.0, 200);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ReproSum, AccurateToItsAdvertisedBits) {
+  // Error bound ~ count * 2^(e0 - K*W) = n * 2^-59 for ceiling 1.0.
+  const auto xs = workload::uniform_set(100000, 83);
+  const double exact = reduce_hp<6, 3>(xs).to_double();
+  const double repro = repro_sum(xs);
+  EXPECT_NEAR(repro, exact, 100000.0 * std::ldexp(1.0, -59));
+  // And it genuinely beats naive summation on cancellation data.
+  auto cxs = workload::cancellation_set(65536, 84);
+  workload::shuffle(cxs, 1);
+  ReproSum acc(1e-3, kBudget);
+  for (const double x : cxs) acc.add(x);
+  EXPECT_LT(std::fabs(acc.result()), 65536.0 * std::ldexp(1e-3, -59));
+}
+
+TEST(ReproSum, NotExactInGeneral) {
+  // The contrast with HP: reproducible, but the discarded sub-bin residue
+  // is real. A value below the last bin's unit vanishes entirely.
+  ReproSum acc(1.0, 100);
+  acc.add(1.0);
+  acc.add(std::ldexp(1.0, -80));  // far below u_2 = 2^-59
+  EXPECT_EQ(acc.result(), 1.0);   // the tiny summand is gone
+
+  HpFixed<3, 2> hp;
+  hp += 1.0;
+  hp += std::ldexp(1.0, -80);
+  EXPECT_GT(hp.to_decimal_string().size(), 10u);  // HP kept it exactly
+}
+
+TEST(ReproSum, NegativeCeilingExponentsWork) {
+  // Ceiling far below 1.0 (e.g. force increments ~1e-3).
+  ReproSum acc(1e-3, 1000);
+  double oracle = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = ((i % 2) ? 1 : -1) * 1e-4;
+    acc.add(x);
+    oracle += x;
+  }
+  EXPECT_NEAR(acc.result(), oracle, 1e-15);
+}
+
+}  // namespace
+}  // namespace hpsum::reprosum

@@ -1,0 +1,101 @@
+// Architecture-invariance property the paper implies but cannot test on one
+// machine: HP results do not depend on the FPU rounding mode.
+//
+// Listing 1's float operations are multiplications by powers of two and
+// subtractions of exactly-representable parts — all EXACT, so they round
+// identically under every IEEE rounding mode; the integer arithmetic is
+// mode-free by construction. Plain double summation, by contrast, changes
+// under FE_UPWARD/FE_DOWNWARD — a stand-in for "different architecture,
+// different answer". (The test restores the mode even on failure.)
+#include <gtest/gtest.h>
+
+#include <cfenv>
+#include <vector>
+
+#include "core/reduce.hpp"
+#include "hallberg/hallberg.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum {
+namespace {
+
+class RoundingModeGuard {
+ public:
+  RoundingModeGuard() : saved_(std::fegetround()) {}
+  ~RoundingModeGuard() { std::fesetround(saved_); }
+  RoundingModeGuard(const RoundingModeGuard&) = delete;
+  RoundingModeGuard& operator=(const RoundingModeGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+// GCC needs to know the FP environment is live in this translation unit.
+// (Without strict mode, constant folding may bypass fesetround; keeping
+// the summation in separately compiled library code — reduce_double /
+// reduce_hp — sidesteps that.)
+
+TEST(RoundingModes, DoubleSumsDependOnTheMode) {
+  const auto xs = workload::uniform_set(100000, 51);
+  RoundingModeGuard guard;
+  ASSERT_EQ(std::fesetround(FE_TONEAREST), 0);
+  const double nearest = reduce_double(xs);
+  ASSERT_EQ(std::fesetround(FE_UPWARD), 0);
+  const double upward = reduce_double(xs);
+  ASSERT_EQ(std::fesetround(FE_DOWNWARD), 0);
+  const double downward = reduce_double(xs);
+  EXPECT_LT(downward, upward);     // directed modes bracket the sum
+  EXPECT_NE(nearest, upward);      // and differ from round-to-nearest
+}
+
+TEST(RoundingModes, HpSumsAreModeInvariant) {
+  const auto xs = workload::uniform_set(100000, 52);
+  RoundingModeGuard guard;
+  ASSERT_EQ(std::fesetround(FE_TONEAREST), 0);
+  const auto nearest = reduce_hp<6, 3>(xs);
+  ASSERT_EQ(std::fesetround(FE_UPWARD), 0);
+  const auto upward = reduce_hp<6, 3>(xs);
+  ASSERT_EQ(std::fesetround(FE_DOWNWARD), 0);
+  const auto downward = reduce_hp<6, 3>(xs);
+  ASSERT_EQ(std::fesetround(FE_TOWARDZERO), 0);
+  const auto toward_zero = reduce_hp<6, 3>(xs);
+  EXPECT_EQ(nearest, upward);
+  EXPECT_EQ(nearest, downward);
+  EXPECT_EQ(nearest, toward_zero);
+}
+
+TEST(RoundingModes, HallbergSumsAreModeInvariantOnExactData) {
+  // Hallberg's conversion arithmetic (power-of-two multiply, exact
+  // subtract) is likewise exact, so the limb image is mode-independent.
+  const auto xs = workload::uniform_set(50000, 53);
+  const HallbergParams p{10, 38};
+  RoundingModeGuard guard;
+
+  ASSERT_EQ(std::fesetround(FE_UPWARD), 0);
+  Hallberg up(p);
+  for (const double x : xs) up.add(x);
+  up.normalize();
+
+  ASSERT_EQ(std::fesetround(FE_DOWNWARD), 0);
+  Hallberg down(p);
+  for (const double x : xs) down.add(x);
+  down.normalize();
+
+  EXPECT_EQ(up.limbs(), down.limbs());
+}
+
+TEST(RoundingModes, HpConversionOfSingleValuesModeInvariant) {
+  const auto xs = workload::wide_range_set(2000, 54, -150, 150);
+  RoundingModeGuard guard;
+  for (const double x : xs) {
+    ASSERT_EQ(std::fesetround(FE_UPWARD), 0);
+    const HpFixed<6, 3> up(x);
+    ASSERT_EQ(std::fesetround(FE_DOWNWARD), 0);
+    const HpFixed<6, 3> down(x);
+    ASSERT_EQ(up, down) << x;
+  }
+  std::fesetround(FE_TONEAREST);
+}
+
+}  // namespace
+}  // namespace hpsum

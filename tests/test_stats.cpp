@@ -1,0 +1,120 @@
+// Tests for streaming statistics and histograms.
+#include "stats/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace hpsum::stats {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroish) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_DOUBLE_EQ(rs.variance(), 32.0 / 7.0);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_EQ(rs.mean(), 3.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 3.5);
+  EXPECT_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStats, WelfordIsStableAroundLargeOffset) {
+  // Naive sum-of-squares cancels catastrophically at offset 1e9; Welford
+  // must not.
+  RunningStats rs;
+  util::Xoshiro256ss rng(1);
+  for (int i = 0; i < 100000; ++i) rs.add(1e9 + rng.uniform(-1.0, 1.0));
+  EXPECT_NEAR(rs.stddev(), std::sqrt(1.0 / 3.0), 0.01);
+}
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.99);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[9], 1u);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.counts()[0], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, RowsMatchCounts) {
+  Histogram h(-1.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(0.5);
+  h.add(0.6);
+  const auto rows = h.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].first, -0.5);
+  EXPECT_EQ(rows[0].second, 1u);
+  EXPECT_EQ(rows[1].second, 2u);
+}
+
+TEST(Histogram, GaussianLooksGaussian) {
+  // Symmetry sanity: a zero-mean normal sample puts ~equal mass on both
+  // sides and most mass within 1 sigma of the center.
+  util::Xoshiro256ss rng(2);
+  Histogram h(-4.0, 4.0, 8);
+  for (int i = 0; i < 100000; ++i) {
+    const double u1 = 1.0 - rng.uniform01();
+    const double u2 = rng.uniform01();
+    h.add(std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2));
+  }
+  const auto& c = h.counts();
+  std::uint64_t left = c[0] + c[1] + c[2] + c[3];
+  std::uint64_t right = c[4] + c[5] + c[6] + c[7];
+  EXPECT_NEAR(static_cast<double>(left) / static_cast<double>(right), 1.0, 0.05);
+  EXPECT_GT(c[3] + c[4], (c[0] + c[7]) * 10);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  const std::vector<double> xs = {1.0, -2.0, 3.5, 0.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.625);
+  EXPECT_EQ(s.min, -2.0);
+  EXPECT_EQ(s.max, 3.5);
+}
+
+TEST(Summarize, EmptySpanIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace hpsum::stats
