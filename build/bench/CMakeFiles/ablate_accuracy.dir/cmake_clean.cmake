@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_accuracy.dir/ablate_accuracy.cpp.o"
+  "CMakeFiles/ablate_accuracy.dir/ablate_accuracy.cpp.o.d"
+  "ablate_accuracy"
+  "ablate_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

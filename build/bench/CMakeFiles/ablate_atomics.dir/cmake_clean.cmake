@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_atomics.dir/ablate_atomics.cpp.o"
+  "CMakeFiles/ablate_atomics.dir/ablate_atomics.cpp.o.d"
+  "ablate_atomics"
+  "ablate_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

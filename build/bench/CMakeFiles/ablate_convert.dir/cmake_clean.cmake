@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_convert.dir/ablate_convert.cpp.o"
+  "CMakeFiles/ablate_convert.dir/ablate_convert.cpp.o.d"
+  "ablate_convert"
+  "ablate_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

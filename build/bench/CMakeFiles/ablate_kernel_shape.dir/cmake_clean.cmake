@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_kernel_shape.dir/ablate_kernel_shape.cpp.o"
+  "CMakeFiles/ablate_kernel_shape.dir/ablate_kernel_shape.cpp.o.d"
+  "ablate_kernel_shape"
+  "ablate_kernel_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_kernel_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

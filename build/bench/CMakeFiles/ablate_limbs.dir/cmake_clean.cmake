@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_limbs.dir/ablate_limbs.cpp.o"
+  "CMakeFiles/ablate_limbs.dir/ablate_limbs.cpp.o.d"
+  "ablate_limbs"
+  "ablate_limbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_limbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

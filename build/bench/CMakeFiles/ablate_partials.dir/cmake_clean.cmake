@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_partials.dir/ablate_partials.cpp.o"
+  "CMakeFiles/ablate_partials.dir/ablate_partials.cpp.o.d"
+  "ablate_partials"
+  "ablate_partials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_partials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reduce_algo.dir/ablate_reduce_algo.cpp.o"
+  "CMakeFiles/ablate_reduce_algo.dir/ablate_reduce_algo.cpp.o.d"
+  "ablate_reduce_algo"
+  "ablate_reduce_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reduce_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

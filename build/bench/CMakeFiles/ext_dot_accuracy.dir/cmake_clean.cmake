@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dot_accuracy.dir/ext_dot_accuracy.cpp.o"
+  "CMakeFiles/ext_dot_accuracy.dir/ext_dot_accuracy.cpp.o.d"
+  "ext_dot_accuracy"
+  "ext_dot_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dot_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_rounding_error.dir/fig1_rounding_error.cpp.o"
+  "CMakeFiles/fig1_rounding_error.dir/fig1_rounding_error.cpp.o.d"
+  "fig1_rounding_error"
+  "fig1_rounding_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_rounding_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hp_vs_hallberg.dir/fig4_hp_vs_hallberg.cpp.o"
+  "CMakeFiles/fig4_hp_vs_hallberg.dir/fig4_hp_vs_hallberg.cpp.o.d"
+  "fig4_hp_vs_hallberg"
+  "fig4_hp_vs_hallberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hp_vs_hallberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

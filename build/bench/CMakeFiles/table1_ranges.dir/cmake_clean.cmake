@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ranges.dir/table1_ranges.cpp.o"
+  "CMakeFiles/table1_ranges.dir/table1_ranges.cpp.o.d"
+  "table1_ranges"
+  "table1_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

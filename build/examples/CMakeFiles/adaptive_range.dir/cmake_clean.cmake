@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_range.dir/adaptive_range.cpp.o"
+  "CMakeFiles/adaptive_range.dir/adaptive_range.cpp.o.d"
+  "adaptive_range"
+  "adaptive_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_reduction.dir/climate_reduction.cpp.o"
+  "CMakeFiles/climate_reduction.dir/climate_reduction.cpp.o.d"
+  "climate_reduction"
+  "climate_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_sum_cli.dir/exact_sum_cli.cpp.o"
+  "CMakeFiles/exact_sum_cli.dir/exact_sum_cli.cpp.o.d"
+  "exact_sum_cli"
+  "exact_sum_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_sum_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_forces.dir/nbody_forces.cpp.o"
+  "CMakeFiles/nbody_forces.dir/nbody_forces.cpp.o.d"
+  "nbody_forces"
+  "nbody_forces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_forces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("compensated")
+subdirs("reprosum")
+subdirs("core")
+subdirs("hallberg")
+subdirs("workload")
+subdirs("stats")
+subdirs("backends")
+subdirs("rblas")
+subdirs("audit")
+subdirs("capi")
+subdirs("mpisim")
+subdirs("cudasim")
+subdirs("phisim")

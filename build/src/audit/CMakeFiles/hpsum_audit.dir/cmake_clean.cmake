@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_audit.dir/audit.cpp.o"
+  "CMakeFiles/hpsum_audit.dir/audit.cpp.o.d"
+  "libhpsum_audit.a"
+  "libhpsum_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

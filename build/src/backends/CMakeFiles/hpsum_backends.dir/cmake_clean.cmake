@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_backends.dir/scaling.cpp.o"
+  "CMakeFiles/hpsum_backends.dir/scaling.cpp.o.d"
+  "libhpsum_backends.a"
+  "libhpsum_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_capi.dir/hpsum_c.cpp.o"
+  "CMakeFiles/hpsum_capi.dir/hpsum_c.cpp.o.d"
+  "libhpsum_capi.a"
+  "libhpsum_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

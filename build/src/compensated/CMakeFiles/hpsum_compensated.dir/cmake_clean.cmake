@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_compensated.dir/compensated.cpp.o"
+  "CMakeFiles/hpsum_compensated.dir/compensated.cpp.o.d"
+  "libhpsum_compensated.a"
+  "libhpsum_compensated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_compensated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dot.cpp" "src/core/CMakeFiles/hpsum_core.dir/dot.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/dot.cpp.o.d"
+  "/root/repo/src/core/hp_adaptive.cpp" "src/core/CMakeFiles/hpsum_core.dir/hp_adaptive.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/hp_adaptive.cpp.o.d"
+  "/root/repo/src/core/hp_convert.cpp" "src/core/CMakeFiles/hpsum_core.dir/hp_convert.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/hp_convert.cpp.o.d"
+  "/root/repo/src/core/hp_dyn.cpp" "src/core/CMakeFiles/hpsum_core.dir/hp_dyn.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/hp_dyn.cpp.o.d"
+  "/root/repo/src/core/hp_plan.cpp" "src/core/CMakeFiles/hpsum_core.dir/hp_plan.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/hp_plan.cpp.o.d"
+  "/root/repo/src/core/hp_serialize.cpp" "src/core/CMakeFiles/hpsum_core.dir/hp_serialize.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/hp_serialize.cpp.o.d"
+  "/root/repo/src/core/reduce.cpp" "src/core/CMakeFiles/hpsum_core.dir/reduce.cpp.o" "gcc" "src/core/CMakeFiles/hpsum_core.dir/reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpsum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensated/CMakeFiles/hpsum_compensated.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

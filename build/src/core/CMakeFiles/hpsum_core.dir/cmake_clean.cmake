@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_core.dir/dot.cpp.o"
+  "CMakeFiles/hpsum_core.dir/dot.cpp.o.d"
+  "CMakeFiles/hpsum_core.dir/hp_adaptive.cpp.o"
+  "CMakeFiles/hpsum_core.dir/hp_adaptive.cpp.o.d"
+  "CMakeFiles/hpsum_core.dir/hp_convert.cpp.o"
+  "CMakeFiles/hpsum_core.dir/hp_convert.cpp.o.d"
+  "CMakeFiles/hpsum_core.dir/hp_dyn.cpp.o"
+  "CMakeFiles/hpsum_core.dir/hp_dyn.cpp.o.d"
+  "CMakeFiles/hpsum_core.dir/hp_plan.cpp.o"
+  "CMakeFiles/hpsum_core.dir/hp_plan.cpp.o.d"
+  "CMakeFiles/hpsum_core.dir/hp_serialize.cpp.o"
+  "CMakeFiles/hpsum_core.dir/hp_serialize.cpp.o.d"
+  "CMakeFiles/hpsum_core.dir/reduce.cpp.o"
+  "CMakeFiles/hpsum_core.dir/reduce.cpp.o.d"
+  "libhpsum_core.a"
+  "libhpsum_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_cudasim.dir/cudasim.cpp.o"
+  "CMakeFiles/hpsum_cudasim.dir/cudasim.cpp.o.d"
+  "libhpsum_cudasim.a"
+  "libhpsum_cudasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_cudasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

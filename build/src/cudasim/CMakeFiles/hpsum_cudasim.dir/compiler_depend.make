@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpsum_cudasim.
+# This may be replaced when dependencies are built.

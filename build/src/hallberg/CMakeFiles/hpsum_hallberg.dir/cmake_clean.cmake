@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_hallberg.dir/hallberg.cpp.o"
+  "CMakeFiles/hpsum_hallberg.dir/hallberg.cpp.o.d"
+  "libhpsum_hallberg.a"
+  "libhpsum_hallberg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_hallberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_mpisim.dir/hp_ops.cpp.o"
+  "CMakeFiles/hpsum_mpisim.dir/hp_ops.cpp.o.d"
+  "CMakeFiles/hpsum_mpisim.dir/mpisim.cpp.o"
+  "CMakeFiles/hpsum_mpisim.dir/mpisim.cpp.o.d"
+  "libhpsum_mpisim.a"
+  "libhpsum_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_phisim.dir/phisim.cpp.o"
+  "CMakeFiles/hpsum_phisim.dir/phisim.cpp.o.d"
+  "libhpsum_phisim.a"
+  "libhpsum_phisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_phisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

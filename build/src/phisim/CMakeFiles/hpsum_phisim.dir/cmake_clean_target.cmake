@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpsum_phisim.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rblas/rblas.cpp" "src/rblas/CMakeFiles/hpsum_rblas.dir/rblas.cpp.o" "gcc" "src/rblas/CMakeFiles/hpsum_rblas.dir/rblas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpsum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensated/CMakeFiles/hpsum_compensated.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpsum_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_rblas.dir/rblas.cpp.o"
+  "CMakeFiles/hpsum_rblas.dir/rblas.cpp.o.d"
+  "libhpsum_rblas.a"
+  "libhpsum_rblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_rblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_reprosum.dir/reprosum.cpp.o"
+  "CMakeFiles/hpsum_reprosum.dir/reprosum.cpp.o.d"
+  "libhpsum_reprosum.a"
+  "libhpsum_reprosum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_reprosum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hpsum_reprosum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpsum_reprosum.
+# This may be replaced when dependencies are built.

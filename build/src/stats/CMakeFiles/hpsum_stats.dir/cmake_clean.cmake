@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_stats.dir/stats.cpp.o"
+  "CMakeFiles/hpsum_stats.dir/stats.cpp.o.d"
+  "libhpsum_stats.a"
+  "libhpsum_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_util.dir/cli.cpp.o"
+  "CMakeFiles/hpsum_util.dir/cli.cpp.o.d"
+  "CMakeFiles/hpsum_util.dir/decimal.cpp.o"
+  "CMakeFiles/hpsum_util.dir/decimal.cpp.o.d"
+  "CMakeFiles/hpsum_util.dir/limbs.cpp.o"
+  "CMakeFiles/hpsum_util.dir/limbs.cpp.o.d"
+  "CMakeFiles/hpsum_util.dir/table.cpp.o"
+  "CMakeFiles/hpsum_util.dir/table.cpp.o.d"
+  "CMakeFiles/hpsum_util.dir/timer.cpp.o"
+  "CMakeFiles/hpsum_util.dir/timer.cpp.o.d"
+  "libhpsum_util.a"
+  "libhpsum_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpsum_workload.dir/workload.cpp.o"
+  "CMakeFiles/hpsum_workload.dir/workload.cpp.o.d"
+  "libhpsum_workload.a"
+  "libhpsum_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpsum_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

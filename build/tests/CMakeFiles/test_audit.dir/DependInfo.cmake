@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_audit.cpp" "tests/CMakeFiles/test_audit.dir/test_audit.cpp.o" "gcc" "tests/CMakeFiles/test_audit.dir/test_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reprosum/CMakeFiles/hpsum_reprosum.dir/DependInfo.cmake"
+  "/root/repo/build/src/rblas/CMakeFiles/hpsum_rblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/hpsum_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hpsum_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpsum_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/capi/CMakeFiles/hpsum_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/hpsum_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/hpsum_cudasim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phisim/CMakeFiles/hpsum_phisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/hpsum_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/hallberg/CMakeFiles/hpsum_hallberg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hpsum_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpsum_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/compensated/CMakeFiles/hpsum_compensated.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compensated.dir/test_compensated.cpp.o"
+  "CMakeFiles/test_compensated.dir/test_compensated.cpp.o.d"
+  "test_compensated"
+  "test_compensated.pdb"
+  "test_compensated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compensated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

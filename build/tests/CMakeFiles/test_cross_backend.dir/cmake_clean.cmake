@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_backend.dir/test_cross_backend.cpp.o"
+  "CMakeFiles/test_cross_backend.dir/test_cross_backend.cpp.o.d"
+  "test_cross_backend"
+  "test_cross_backend.pdb"
+  "test_cross_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

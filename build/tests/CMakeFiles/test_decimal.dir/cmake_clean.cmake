@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decimal.dir/test_decimal.cpp.o"
+  "CMakeFiles/test_decimal.dir/test_decimal.cpp.o.d"
+  "test_decimal"
+  "test_decimal.pdb"
+  "test_decimal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decimal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

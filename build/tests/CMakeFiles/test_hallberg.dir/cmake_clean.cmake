@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hallberg.dir/test_hallberg.cpp.o"
+  "CMakeFiles/test_hallberg.dir/test_hallberg.cpp.o.d"
+  "test_hallberg"
+  "test_hallberg.pdb"
+  "test_hallberg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hallberg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hallberg_sweep.dir/test_hallberg_sweep.cpp.o"
+  "CMakeFiles/test_hallberg_sweep.dir/test_hallberg_sweep.cpp.o.d"
+  "test_hallberg_sweep"
+  "test_hallberg_sweep.pdb"
+  "test_hallberg_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hallberg_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_adaptive.dir/test_hp_adaptive.cpp.o"
+  "CMakeFiles/test_hp_adaptive.dir/test_hp_adaptive.cpp.o.d"
+  "test_hp_adaptive"
+  "test_hp_adaptive.pdb"
+  "test_hp_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_atomic.dir/test_hp_atomic.cpp.o"
+  "CMakeFiles/test_hp_atomic.dir/test_hp_atomic.cpp.o.d"
+  "test_hp_atomic"
+  "test_hp_atomic.pdb"
+  "test_hp_atomic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_atomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_convert.dir/test_hp_convert.cpp.o"
+  "CMakeFiles/test_hp_convert.dir/test_hp_convert.cpp.o.d"
+  "test_hp_convert"
+  "test_hp_convert.pdb"
+  "test_hp_convert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_dyn.dir/test_hp_dyn.cpp.o"
+  "CMakeFiles/test_hp_dyn.dir/test_hp_dyn.cpp.o.d"
+  "test_hp_dyn"
+  "test_hp_dyn.pdb"
+  "test_hp_dyn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_dyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

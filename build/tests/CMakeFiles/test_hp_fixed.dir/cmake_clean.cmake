@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_fixed.dir/test_hp_fixed.cpp.o"
+  "CMakeFiles/test_hp_fixed.dir/test_hp_fixed.cpp.o.d"
+  "test_hp_fixed"
+  "test_hp_fixed.pdb"
+  "test_hp_fixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_plan.dir/test_hp_plan.cpp.o"
+  "CMakeFiles/test_hp_plan.dir/test_hp_plan.cpp.o.d"
+  "test_hp_plan"
+  "test_hp_plan.pdb"
+  "test_hp_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_serialize.dir/test_hp_serialize.cpp.o"
+  "CMakeFiles/test_hp_serialize.dir/test_hp_serialize.cpp.o.d"
+  "test_hp_serialize"
+  "test_hp_serialize.pdb"
+  "test_hp_serialize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

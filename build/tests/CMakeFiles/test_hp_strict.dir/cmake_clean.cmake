@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hp_strict.dir/test_hp_strict.cpp.o"
+  "CMakeFiles/test_hp_strict.dir/test_hp_strict.cpp.o.d"
+  "test_hp_strict"
+  "test_hp_strict.pdb"
+  "test_hp_strict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hp_strict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

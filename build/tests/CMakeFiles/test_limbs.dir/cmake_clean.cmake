@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_limbs.dir/test_limbs.cpp.o"
+  "CMakeFiles/test_limbs.dir/test_limbs.cpp.o.d"
+  "test_limbs"
+  "test_limbs.pdb"
+  "test_limbs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_limbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

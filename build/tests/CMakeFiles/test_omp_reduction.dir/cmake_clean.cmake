@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_reduction.dir/test_omp_reduction.cpp.o"
+  "CMakeFiles/test_omp_reduction.dir/test_omp_reduction.cpp.o.d"
+  "test_omp_reduction"
+  "test_omp_reduction.pdb"
+  "test_omp_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_order_invariance.dir/test_order_invariance.cpp.o"
+  "CMakeFiles/test_order_invariance.dir/test_order_invariance.cpp.o.d"
+  "test_order_invariance"
+  "test_order_invariance.pdb"
+  "test_order_invariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_order_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

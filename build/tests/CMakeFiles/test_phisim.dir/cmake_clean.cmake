@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phisim.dir/test_phisim.cpp.o"
+  "CMakeFiles/test_phisim.dir/test_phisim.cpp.o.d"
+  "test_phisim"
+  "test_phisim.pdb"
+  "test_phisim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

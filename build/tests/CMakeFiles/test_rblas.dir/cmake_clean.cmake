@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rblas.dir/test_rblas.cpp.o"
+  "CMakeFiles/test_rblas.dir/test_rblas.cpp.o.d"
+  "test_rblas"
+  "test_rblas.pdb"
+  "test_rblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reprosum.dir/test_reprosum.cpp.o"
+  "CMakeFiles/test_reprosum.dir/test_reprosum.cpp.o.d"
+  "test_reprosum"
+  "test_reprosum.pdb"
+  "test_reprosum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reprosum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

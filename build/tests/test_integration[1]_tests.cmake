@@ -1,0 +1,3 @@
+add_test([=[Integration.FullPipelineProducesOneAnswerEverywhere]=]  /root/repo/build/tests/test_integration [==[--gtest_filter=Integration.FullPipelineProducesOneAnswerEverywhere]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Integration.FullPipelineProducesOneAnswerEverywhere]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_integration_TESTS Integration.FullPipelineProducesOneAnswerEverywhere)
