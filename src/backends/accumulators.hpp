@@ -22,7 +22,9 @@ namespace hpsum::backends {
 struct DoubleSum {
   double v = 0.0;
 
+  // hplint: allow(fp-accumulate) — this IS the order-sensitive baseline
   void accumulate(double x) noexcept { v += x; }
+  // hplint: allow(fp-accumulate) — baseline partial-sum merge
   void merge(const DoubleSum& o) noexcept { v += o.v; }
   [[nodiscard]] double result() const noexcept { return v; }
   [[nodiscard]] static std::string name() { return "double"; }
@@ -31,11 +33,14 @@ struct DoubleSum {
 /// HP accumulation with a compile-time format.
 template <int N, int K>
 struct HpSum {
-  HpFixed<N, K> v;
+  // Named `hp`, not `v`: hplint tracks double-typed names file-wide, and
+  // DoubleSum::v above is a double — a shared name would read as FP
+  // accumulation here.
+  HpFixed<N, K> hp;
 
-  void accumulate(double x) noexcept { v += x; }
-  void merge(const HpSum& o) noexcept { v += o.v; }
-  [[nodiscard]] double result() const noexcept { return v.to_double(); }
+  void accumulate(double x) noexcept { hp += x; }
+  void merge(const HpSum& o) noexcept { hp += o.hp; }
+  [[nodiscard]] double result() const noexcept { return hp.to_double(); }
   [[nodiscard]] static std::string name() {
     return "HP(N=" + std::to_string(N) + ",k=" + std::to_string(K) + ")";
   }
@@ -44,11 +49,11 @@ struct HpSum {
 /// Hallberg accumulation with a compile-time format.
 template <int N, int M>
 struct HallbergSum {
-  HallbergFixed<N, M> v;
+  HallbergFixed<N, M> hb;
 
-  void accumulate(double x) noexcept { v.add(x); }
-  void merge(const HallbergSum& o) noexcept { v.add(o.v); }
-  [[nodiscard]] double result() const noexcept { return v.to_double(); }
+  void accumulate(double x) noexcept { hb.add(x); }
+  void merge(const HallbergSum& o) noexcept { hb.add(o.hb); }
+  [[nodiscard]] double result() const noexcept { return hb.to_double(); }
   [[nodiscard]] static std::string name() {
     return "Hallberg(N=" + std::to_string(N) + ",M=" + std::to_string(M) + ")";
   }

@@ -84,7 +84,7 @@ template <class Acc>
   out.merge_time = merge_time;
   for (const double b : busy) {
     out.busy_max = b > out.busy_max ? b : out.busy_max;
-    out.busy_total += b;
+    out.busy_total += b;  // hplint: allow(fp-accumulate) — wallclock stats, not summands
   }
   out.modeled_wall = out.busy_max + merge_time;
   return out;
@@ -124,7 +124,7 @@ template <class Acc>
   out.merge_time = merge_time;
   for (const double b : busy) {
     out.busy_max = b > out.busy_max ? b : out.busy_max;
-    out.busy_total += b;
+    out.busy_total += b;  // hplint: allow(fp-accumulate) — wallclock stats, not summands
   }
   out.modeled_wall = out.busy_max + merge_time;
   return out;

@@ -7,6 +7,13 @@
 // commutative and associative over Z/2^64N, the final value once all adders
 // have finished is exactly the sequential sum.
 //
+// Status flags stay sticky across threads: every add() ORs the operand's
+// flags (e.g. kInexact/kConvertOverflow picked up during double->HP
+// conversion) into a shared atomic mask, and load() folds that mask into
+// the returned value — so going through the concurrent accumulator never
+// silently drops a condition the sequential accumulator would have
+// reported.
+//
 // Two adder flavors are provided:
 //   add()            — CAS loop, the primitive the paper requires (CUDA has
 //                      only atomicCAS for 64-bit until fetch-add arrived);
@@ -14,8 +21,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "core/hp_fixed.hpp"
+#include "util/annotations.hpp"
 
 namespace hpsum {
 
@@ -34,8 +43,11 @@ class HpAtomic {
   HpAtomic& operator=(const HpAtomic&) = delete;
 
   /// Atomically adds an HP value using only compare-and-swap.
-  /// Safe to call concurrently from any number of threads.
+  /// Safe to call concurrently from any number of threads. The operand's
+  /// sticky flags join the accumulator's shared status.
+  HPSUM_ALLOW_UNSIGNED_WRAP
   void add(const Value& v) noexcept {
+    or_shared_status(v.status());
     const auto& b = v.limbs();
     bool carry = false;
     for (int i = N - 1; i >= 0; --i) {
@@ -58,11 +70,14 @@ class HpAtomic {
     // detectable after the fact by the caller's range reasoning).
   }
 
-  /// Atomically adds a double (converts thread-locally, then add()).
+  /// Atomically adds a double (converts thread-locally, then add(); any
+  /// conversion flags ride along into the shared status).
   void add(double r) noexcept { add(Value(r)); }
 
   /// Ablation variant of add() using fetch_add instead of a CAS loop.
+  HPSUM_ALLOW_UNSIGNED_WRAP
   void add_fetch_add(const Value& v) noexcept {
+    or_shared_status(v.status());
     const auto& b = v.limbs();
     bool carry = false;
     for (int i = N - 1; i >= 0; --i) {
@@ -77,25 +92,41 @@ class HpAtomic {
     }
   }
 
-  /// Snapshot of the current value. Only exact once all concurrent adders
-  /// have finished (e.g. after joining threads); mid-flight reads may
-  /// observe a sum whose carries are still in adders' local state.
+  /// Snapshot of the current value, including the sticky status collected
+  /// from every adder so far. Only exact once all concurrent adders have
+  /// finished (e.g. after joining threads); mid-flight reads may observe a
+  /// sum whose carries are still in adders' local state.
   [[nodiscard]] Value load() const noexcept {
     Value out;
     for (int i = 0; i < N; ++i) {
       out.limbs()[static_cast<std::size_t>(i)] =
           limbs_[i].load(std::memory_order_relaxed);
     }
+    out.or_status(status());
     return out;
   }
 
-  /// Resets to zero. Must not race with adders.
+  /// The shared sticky status on its own (no limb reads).
+  [[nodiscard]] HpStatus status() const noexcept {
+    return static_cast<HpStatus>(status_.load(std::memory_order_relaxed));
+  }
+
+  /// Resets to zero and clears the shared status. Must not race with adders.
   void clear() noexcept {
     for (auto& limb : limbs_) limb.store(0, std::memory_order_relaxed);
+    status_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  void or_shared_status(HpStatus s) noexcept {
+    if (s != HpStatus::kOk) {
+      status_.fetch_or(static_cast<std::uint8_t>(s),
+                       std::memory_order_relaxed);
+    }
+  }
+
   std::atomic<util::Limb> limbs_[N];
+  std::atomic<std::uint8_t> status_{0};
 };
 
 }  // namespace hpsum

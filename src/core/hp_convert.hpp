@@ -7,6 +7,13 @@
 // HpFixed<N,K> instantiates them with compile-time constants (the compiler
 // unrolls the N-step loops) while HpDyn calls the same code through the
 // runtime wrappers below. One implementation, two entry points.
+//
+// The double-path kernels are constexpr and libm-free: IEEE-754 fields are
+// read and written with std::bit_cast instead of frexp/ldexp/isfinite, so
+// the whole convert -> add -> convert pipeline can be evaluated at compile
+// time. tests/test_constexpr_proofs.cpp turns that into static_assert
+// proofs that the hot path is pure integer/bit arithmetic with no hidden
+// dependence on the FP environment.
 #pragma once
 
 #include <bit>
@@ -15,6 +22,7 @@
 
 #include "core/hp_config.hpp"
 #include "core/hp_status.hpp"
+#include "util/annotations.hpp"
 #include "util/limbs.hpp"
 
 namespace hpsum {
@@ -26,10 +34,24 @@ constexpr double pow2(int e) noexcept {
   return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + e) << 52);
 }
 
+/// IEEE-754 binary64 field accessors (constexpr stand-ins for isfinite &c).
+constexpr std::uint64_t f64_bits(double r) noexcept {
+  return std::bit_cast<std::uint64_t>(r);
+}
+constexpr int f64_biased_exp(double r) noexcept {
+  return static_cast<int>((f64_bits(r) >> 52) & 0x7FF);
+}
+constexpr bool f64_is_finite(double r) noexcept {
+  return f64_biased_exp(r) != 0x7FF;
+}
+constexpr double f64_abs(double r) noexcept {
+  return std::bit_cast<double>(f64_bits(r) & ~(std::uint64_t{1} << 63));
+}
+
 /// Extracts the 64 bits [lowbit+63 .. lowbit] of a big-endian magnitude,
 /// zero-filling positions outside [0, 64n). Bit 0 is the lsb of limbs[n-1].
-inline std::uint64_t extract_u64(const util::Limb* limbs, int n,
-                                 int lowbit) noexcept {
+constexpr std::uint64_t extract_u64(const util::Limb* limbs, int n,
+                                    int lowbit) noexcept {
   std::uint64_t out = 0;
   for (int b = 0; b < 64; ++b) {
     const int p = lowbit + b;
@@ -42,7 +64,8 @@ inline std::uint64_t extract_u64(const util::Limb* limbs, int n,
 }
 
 /// True iff any bit strictly below `bit` is set.
-inline bool any_bits_below(const util::Limb* limbs, int n, int bit) noexcept {
+constexpr bool any_bits_below(const util::Limb* limbs, int n,
+                              int bit) noexcept {
   if (bit <= 0) return false;
   const int full = bit / 64;  // count of fully-below limbs (from the bottom)
   for (int i = 0; i < full; ++i) {
@@ -71,14 +94,15 @@ inline bool any_bits_below(const util::Limb* limbs, int n, int bit) noexcept {
 ///
 /// Requires 64*(n-k-1) <= 960 (always true for n <= 16); larger formats must
 /// use from_double_exact.
-inline HpStatus from_double_impl(double r, util::Limb* a, int n,
-                                 int k) noexcept {
-  if (!std::isfinite(r)) {
+HPSUM_ALLOW_UNSIGNED_WRAP
+constexpr HpStatus from_double_impl(double r, util::Limb* a, int n,
+                                    int k) noexcept {
+  if (!f64_is_finite(r)) {
     for (int i = 0; i < n; ++i) a[i] = 0;
     return HpStatus::kConvertOverflow;
   }
   HpStatus st = HpStatus::kOk;
-  double dtmp = std::fabs(r) * pow2(-64 * (n - k - 1));
+  double dtmp = f64_abs(r) * pow2(-64 * (n - k - 1));
   if (dtmp >= pow2(63)) {
     for (int i = 0; i < n; ++i) a[i] = 0;
     return HpStatus::kConvertOverflow;
@@ -108,27 +132,30 @@ inline HpStatus from_double_impl(double r, util::Limb* a, int n,
   return st;
 }
 
-/// double -> HP by direct bit placement (frexp + shifts). Exact for every
-/// finite double and valid for any n <= kMaxLimbs; used as the reference
-/// implementation in tests and as the path for very wide formats.
-inline HpStatus from_double_exact(double r, util::Limb* a, int n,
-                                  int k) noexcept {
+/// double -> HP by direct bit placement. Exact for every finite double and
+/// valid for any n <= kMaxLimbs; used as the reference implementation in
+/// tests and as the path for very wide formats. Reads the IEEE fields
+/// directly: a normal double is (2^52 | frac) * 2^(E-1075), a subnormal is
+/// frac * 2^-1074; either way the mantissa lands at storage-bit position
+/// p = weight-of-lsb + 64k.
+constexpr HpStatus from_double_exact(double r, util::Limb* a, int n,
+                                     int k) noexcept {
   for (int i = 0; i < n; ++i) a[i] = 0;
   if (r == 0.0) return HpStatus::kOk;
-  if (!std::isfinite(r)) return HpStatus::kConvertOverflow;
+  if (!f64_is_finite(r)) return HpStatus::kConvertOverflow;
 
-  int exp = 0;
-  const double mant = std::frexp(std::fabs(r), &exp);  // |r| = mant * 2^exp
-  std::uint64_t m53 = static_cast<std::uint64_t>(std::ldexp(mant, 53));
-  // Bit 52 of m53 is the msb; its weight is 2^(exp-1). The lsb of m53 has
-  // weight 2^(exp-53); in storage-bit coordinates that is position:
-  int p = (exp - 53) + 64 * k;
+  const int be = f64_biased_exp(r);
+  std::uint64_t m53 = f64_bits(r) & ((std::uint64_t{1} << 52) - 1);
+  if (be != 0) m53 |= std::uint64_t{1} << 52;  // implicit leading bit
+  // Weight of m53's lsb: 2^(be-1075) for normals, 2^-1074 for subnormals;
+  // in storage-bit coordinates that is position:
+  int p = (be == 0 ? -1074 : be - 1075) + 64 * k;
   HpStatus st = HpStatus::kOk;
 
   if (p < 0) {
     // Low bits fall below 2^(-64k): truncate toward zero.
     if (-p >= 53) {
-      return (r != 0.0) ? HpStatus::kInexact : HpStatus::kOk;
+      return HpStatus::kInexact;  // r != 0 here, entirely below the lsb
     }
     if ((m53 & ((std::uint64_t{1} << -p) - 1)) != 0) st |= HpStatus::kInexact;
     m53 >>= -p;
@@ -145,15 +172,19 @@ inline HpStatus from_double_exact(double r, util::Limb* a, int n,
   a[li] |= m53 << off;
   if (off != 0 && li >= 1) a[li - 1] |= m53 >> (64 - off);
 
-  if (r < 0.0) util::negate_twos(util::LimbSpan(a, static_cast<std::size_t>(n)));
+  if ((f64_bits(r) >> 63) != 0) {
+    util::negate_twos(util::LimbSpan(a, static_cast<std::size_t>(n)));
+  }
   return st;
 }
 
 /// HP += HP (paper Listing 2): limb-wise addition from the least significant
 /// limb upward, with explicit carry propagation. Detects overflow by the
 /// sign rule the paper gives (§III.A): same-sign operands whose sum has the
-/// opposite sign.
-inline HpStatus add_impl(util::Limb* a, const util::Limb* b, int n) noexcept {
+/// opposite sign. Unsigned wraparound is the mechanism, not an accident.
+HPSUM_ALLOW_UNSIGNED_WRAP
+[[nodiscard]] constexpr HpStatus add_impl(util::Limb* a, const util::Limb* b,
+                                          int n) noexcept {
   const bool sa = (a[0] >> 63) != 0;
   const bool sb = (b[0] >> 63) != 0;
   if (n == 1) {
@@ -173,10 +204,13 @@ inline HpStatus add_impl(util::Limb* a, const util::Limb* b, int n) noexcept {
 
 /// HP -> double with a single correct round-to-nearest-even at the end —
 /// the "round once, after the reduction" promise of high-precision
-/// intermediate sum methods.
-inline HpStatus to_double_impl(const util::Limb* a, int n, int k,
-                               double* out) noexcept {
-  util::Limb mag[kMaxLimbs];
+/// intermediate sum methods. The result double is assembled field-by-field
+/// (bit_cast, not ldexp): mant is 53 bits with the msb set, so a normal
+/// result is encoded directly; a subnormal result re-rounds mant to the
+/// subnormal grid (ties to even), exactly as ldexp would.
+constexpr HpStatus to_double_impl(const util::Limb* a, int n, int k,
+                                  double* out) noexcept {
+  util::Limb mag[kMaxLimbs] = {};
   for (int i = 0; i < n; ++i) mag[i] = a[i];
   const auto span = util::LimbSpan(mag, static_cast<std::size_t>(n));
   const bool neg = util::sign_bit(span);
@@ -195,15 +229,38 @@ inline HpStatus to_double_impl(const util::Limb* a, int n, int k,
       round > 0x400 || (round == 0x400 && (sticky || (mant & 1) != 0));
   mant += static_cast<std::uint64_t>(roundup);
 
-  const int e = (h - 64 * k) - 52;  // exponent of mant's lsb
-  const double d = std::ldexp(static_cast<double>(mant), e);
+  int e = (h - 64 * k) - 52;  // exponent of mant's lsb
+  if (mant == (std::uint64_t{1} << 53)) {  // roundup carried out of 53 bits
+    mant >>= 1;
+    ++e;
+  }
+  const int be = e + 1075;  // biased exponent if encoded as a normal
   HpStatus st = HpStatus::kOk;
-  if (std::isinf(d)) st |= HpStatus::kToDoubleOverflow;
-  // Below the normal-double floor ldexp itself rounds the 53-bit mantissa;
-  // conservatively flag any subnormal/zero result (may flag a subnormal
-  // that happened to convert exactly, never misses a lossy one).
-  if (d == 0.0 || std::fabs(d) < pow2(-1022)) st |= HpStatus::kToDoubleInexact;
-  *out = neg ? -d : d;
+  std::uint64_t dbits = 0;
+  if (be >= 0x7FF) {
+    dbits = std::uint64_t{0x7FF} << 52;  // +inf
+    st |= HpStatus::kToDoubleOverflow;
+  } else if (be >= 1) {
+    dbits = (static_cast<std::uint64_t>(be) << 52) |
+            (mant & ((std::uint64_t{1} << 52) - 1));
+  } else {
+    // Subnormal range: round mant to the 2^-1074 grid, ties to even (the
+    // same double rounding ldexp performed here before this was constexpr).
+    const int sh = 1 - be;
+    std::uint64_t q = 0;
+    if (sh <= 54) {  // mant < 2^53, so sh > 54 rounds to zero
+      q = mant >> sh;
+      const std::uint64_t rem = mant & ((std::uint64_t{1} << sh) - 1);
+      const std::uint64_t half = std::uint64_t{1} << (sh - 1);
+      if (rem > half || (rem == half && (q & 1) != 0)) ++q;
+    }
+    dbits = q;  // subnormal encoding; q == 2^52 rolls into the first normal
+    // Conservatively flag any subnormal/zero result (may flag a subnormal
+    // that happened to convert exactly, never misses a lossy one).
+    if (q < (std::uint64_t{1} << 52)) st |= HpStatus::kToDoubleInexact;
+  }
+  if (neg) dbits |= std::uint64_t{1} << 63;
+  *out = std::bit_cast<double>(dbits);
   return st;
 }
 
@@ -215,15 +272,17 @@ namespace detail {
 /// format carries a 64-bit mantissa, so sums computed in x87 registers can
 /// enter an HP accumulator without rounding to double first. Exact for any
 /// finite long double whose bits fit the format (others flag as usual).
+/// (Not constexpr: long double has no bit_cast-able object representation,
+/// so this path still goes through frexp/ldexp.)
 inline HpStatus from_long_double_exact(long double r, util::Limb* a, int n,
                                        int k) noexcept {
   for (int i = 0; i < n; ++i) a[i] = 0;
   if (r == 0.0L) return HpStatus::kOk;
   if (!std::isfinite(r)) return HpStatus::kConvertOverflow;
   int exp = 0;
-  const long double mant = std::frexp(r < 0 ? -r : r, &exp);
-  // |r| = mant * 2^exp with mant in [0.5, 1): extract 64 mantissa bits.
-  auto m64 = static_cast<std::uint64_t>(std::ldexp(mant, 64));
+  const long double ld_mant = std::frexp(r < 0 ? -r : r, &exp);
+  // |r| = ld_mant * 2^exp with ld_mant in [0.5, 1): extract 64 mantissa bits.
+  auto m64 = static_cast<std::uint64_t>(std::ldexp(ld_mant, 64));
   int p = (exp - 64) + 64 * k;  // storage-bit position of m64's lsb
   HpStatus st = HpStatus::kOk;
 

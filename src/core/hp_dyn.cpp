@@ -104,7 +104,15 @@ std::uint64_t HpDyn::div_small(std::uint64_t d) noexcept {
 
 double HpDyn::to_double() const noexcept {
   double out = 0.0;
+  // hplint: allow(discard-status) — value-only query on a const object;
+  // callers who care use the to_double(HpStatus&) overload below
   hp_to_double(limbs(), cfg_, &out);
+  return out;
+}
+
+double HpDyn::to_double(HpStatus& st) const noexcept {
+  double out = 0.0;
+  st |= hp_to_double(limbs(), cfg_, &out);
   return out;
 }
 

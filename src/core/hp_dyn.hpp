@@ -63,6 +63,10 @@ class HpDyn {
   /// Rounds to the nearest double (ties to even).
   [[nodiscard]] double to_double() const noexcept;
 
+  /// As to_double(), but ORs the conversion status (range overflow /
+  /// subnormal truncation) into `st`.
+  [[nodiscard]] double to_double(HpStatus& st) const noexcept;
+
   /// Exact decimal rendering.
   [[nodiscard]] std::string to_decimal_string(std::size_t max_frac_digits = 0) const;
 

@@ -41,7 +41,7 @@ class HpFixed {
   constexpr HpFixed() = default;
 
   /// Converts a double exactly (if in range; see status()).
-  explicit HpFixed(double r) { *this += r; }
+  constexpr explicit HpFixed(double r) { *this += r; }
 
   /// The format as a runtime descriptor.
   static constexpr HpConfig config() noexcept { return HpConfig{N, K}; }
@@ -56,7 +56,7 @@ class HpFixed {
   static double smallest() noexcept { return hpsum::smallest(config()); }
 
   /// Adds a double: exact conversion (Listing 1) + limb-wise add (Listing 2).
-  HpFixed& operator+=(double r) noexcept {
+  constexpr HpFixed& operator+=(double r) noexcept {
     util::Limb tmp[N];
     // Listing 1's float-scaling path needs its scale factors within double
     // exponent range; very wide formats use exact bit placement instead.
@@ -70,7 +70,7 @@ class HpFixed {
   }
 
   /// Subtracts a double.
-  HpFixed& operator-=(double r) noexcept { return *this += -r; }
+  constexpr HpFixed& operator-=(double r) noexcept { return *this += -r; }
 
   /// Adds a long double exactly (x87 80-bit extended carries a 64-bit
   /// mantissa; no pre-rounding to double happens).
@@ -85,26 +85,26 @@ class HpFixed {
   HpFixed& operator-=(long double r) noexcept { return *this += -r; }
 
   /// Adds another HP value of the same format.
-  HpFixed& operator+=(const HpFixed& other) noexcept {
+  constexpr HpFixed& operator+=(const HpFixed& other) noexcept {
     status_ |= other.status_;
     status_ |= detail::add_impl(limbs_.data(), other.limbs_.data(), N);
     return *this;
   }
 
   /// Subtracts another HP value of the same format.
-  HpFixed& operator-=(const HpFixed& other) noexcept {
+  constexpr HpFixed& operator-=(const HpFixed& other) noexcept {
     HpFixed neg = other;
     neg.negate();
     return *this += neg;
   }
 
-  friend HpFixed operator+(HpFixed a, const HpFixed& b) noexcept { return a += b; }
-  friend HpFixed operator-(HpFixed a, const HpFixed& b) noexcept { return a -= b; }
+  friend constexpr HpFixed operator+(HpFixed a, const HpFixed& b) noexcept { return a += b; }
+  friend constexpr HpFixed operator-(HpFixed a, const HpFixed& b) noexcept { return a -= b; }
 
   /// Scales by 2^e exactly (limb/bit shifts — no rounding for e >= 0).
   /// For e < 0 bits below the lsb truncate toward zero (kInexact); for
   /// e > 0 magnitude bits shifted past the range flag kAddOverflow.
-  void scale_pow2(int e) noexcept {
+  constexpr void scale_pow2(int e) noexcept {
     const bool neg = is_negative();
     if (neg) util::negate_twos(util::LimbSpan(limbs_.data(), N));
     const auto span = util::LimbSpan(limbs_.data(), N);
@@ -137,7 +137,7 @@ class HpFixed {
   /// (truncation toward zero); returns the remainder in lsb units.
   /// Together with the summand count this yields exact means:
   /// mean = (sum / n) with sub-lsb remainder reported, order-invariant.
-  std::uint64_t div_small(std::uint64_t d) noexcept {
+  constexpr std::uint64_t div_small(std::uint64_t d) noexcept {
     const bool neg = is_negative();
     const auto span = util::LimbSpan(limbs_.data(), N);
     if (neg) util::negate_twos(span);
@@ -149,7 +149,7 @@ class HpFixed {
 
   /// Two's complement negation in place. Negating the most negative value
   /// (-2^(64N-1)) overflows and is flagged.
-  void negate() noexcept {
+  constexpr void negate() noexcept {
     const bool was_min =
         limbs_[0] == (util::Limb{1} << 63) &&
         util::is_zero(util::ConstLimbSpan(limbs_.data() + 1, N - 1));
@@ -159,15 +159,17 @@ class HpFixed {
 
   /// Rounds to the nearest double (ties to even). The single rounding of
   /// the whole accumulated sum.
-  [[nodiscard]] double to_double() const noexcept {
+  [[nodiscard]] constexpr double to_double() const noexcept {
     double out = 0.0;
+    // hplint: allow(discard-status) — value-only query on a const object;
+    // the overload below reports the rounding/overflow status
     detail::to_double_impl(limbs_.data(), N, K, &out);
     return out;
   }
 
   /// As to_double(), but also reports conversion status (range overflow /
   /// subnormal truncation) into `st`.
-  [[nodiscard]] double to_double(HpStatus& st) const noexcept {
+  [[nodiscard]] constexpr double to_double(HpStatus& st) const noexcept {
     double out = 0.0;
     st |= detail::to_double_impl(limbs_.data(), N, K, &out);
     return out;
@@ -201,33 +203,38 @@ class HpFixed {
   }
 
   /// True iff the value is negative (sign bit set).
-  [[nodiscard]] bool is_negative() const noexcept { return (limbs_[0] >> 63) != 0; }
+  [[nodiscard]] constexpr bool is_negative() const noexcept { return (limbs_[0] >> 63) != 0; }
 
   /// True iff the value is exactly zero.
-  [[nodiscard]] bool is_zero() const noexcept {
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
     return util::is_zero(util::ConstLimbSpan(limbs_.data(), N));
   }
 
   /// Sticky status accumulated by every operation since the last clear.
-  [[nodiscard]] HpStatus status() const noexcept { return status_; }
+  [[nodiscard]] constexpr HpStatus status() const noexcept { return status_; }
 
   /// Clears the sticky status.
-  void clear_status() noexcept { status_ = HpStatus::kOk; }
+  constexpr void clear_status() noexcept { status_ = HpStatus::kOk; }
+
+  /// ORs externally detected conditions into the sticky status (used by
+  /// code that assembles limbs directly — deserialization, the device
+  /// reductions — so no observed flag is ever dropped on the floor).
+  constexpr void or_status(HpStatus s) noexcept { status_ |= s; }
 
   /// Resets to zero and clears status.
-  void clear() noexcept {
+  constexpr void clear() noexcept {
     limbs_.fill(0);
     status_ = HpStatus::kOk;
   }
 
   /// Bit-exact equality (well-defined: the representation is canonical,
   /// unlike Hallberg's aliased encodings).
-  friend bool operator==(const HpFixed& a, const HpFixed& b) noexcept {
+  friend constexpr bool operator==(const HpFixed& a, const HpFixed& b) noexcept {
     return a.limbs_ == b.limbs_;
   }
 
   /// Numeric ordering.
-  friend std::strong_ordering operator<=>(const HpFixed& a, const HpFixed& b) noexcept {
+  friend constexpr std::strong_ordering operator<=>(const HpFixed& a, const HpFixed& b) noexcept {
     const int c = util::compare_twos(util::ConstLimbSpan(a.limbs_.data(), N),
                                      util::ConstLimbSpan(b.limbs_.data(), N));
     return c <=> 0;
@@ -235,12 +242,12 @@ class HpFixed {
 
   /// Raw limbs, big-endian (limbs()[0] most significant). Exposed for
   /// serialization (mpisim datatypes) and for the atomic accumulator.
-  [[nodiscard]] const std::array<util::Limb, N>& limbs() const noexcept {
+  [[nodiscard]] constexpr const std::array<util::Limb, N>& limbs() const noexcept {
     return limbs_;
   }
 
   /// Mutable raw limbs (deserialization). Caller owns canonical-form duty.
-  [[nodiscard]] std::array<util::Limb, N>& limbs() noexcept { return limbs_; }
+  [[nodiscard]] constexpr std::array<util::Limb, N>& limbs() noexcept { return limbs_; }
 
  private:
   std::array<util::Limb, N> limbs_{};

@@ -9,9 +9,10 @@ HpDyn reduce_hp(std::span<const double> xs, HpConfig cfg) {
 }
 
 double reduce_double(std::span<const double> xs) noexcept {
-  double acc = 0.0;
-  for (const double x : xs) acc += x;
-  return acc;
+  double naive = 0.0;
+  // hplint: allow(fp-accumulate) — the paper's order-sensitive baseline
+  for (const double x : xs) naive += x;
+  return naive;
 }
 
 }  // namespace hpsum

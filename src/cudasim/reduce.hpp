@@ -6,6 +6,8 @@
 // benches and applications share one implementation of the pattern.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 
@@ -29,14 +31,24 @@ template <int N, int K>
       dev.dmalloc(static_cast<std::size_t>(partials_count) * N *
                   sizeof(std::uint64_t)));
   const int total_threads = grid * block;
+  // Conversion happens in thread-local registers, so its flags never reach
+  // the device partials; gather them in a launch-wide sticky mask instead
+  // of dropping them (the sequential accumulator would have kept them).
+  std::atomic<std::uint8_t> launch_status{0};
   const LaunchStats ls =
       dev.launch(grid, block, [&](const ThreadCtx& ctx) {
         const int tid = ctx.global_id();
         std::uint64_t* slot = &partials[(tid % partials_count) * N];
+        HpStatus local_status = HpStatus::kOk;
         for (std::size_t i = static_cast<std::size_t>(tid); i < n;
              i += static_cast<std::size_t>(total_threads)) {
           const HpFixed<N, K> v(data[i]);
+          local_status |= v.status();
           device_hp_atomic_add(dev, slot, v);
+        }
+        if (local_status != HpStatus::kOk) {
+          launch_status.fetch_or(static_cast<std::uint8_t>(local_status),
+                                 std::memory_order_relaxed);
         }
       });
   if (stats != nullptr) *stats = ls;
@@ -48,6 +60,8 @@ template <int N, int K>
                 N * sizeof(std::uint64_t));
     total += part;
   }
+  total.or_status(static_cast<HpStatus>(
+      launch_status.load(std::memory_order_relaxed)));
   dev.dfree(partials);
   return total;
 }
@@ -78,6 +92,15 @@ template <int N, int K>
   const std::size_t shared_bytes =
       static_cast<std::size_t>(block) * N * sizeof(std::uint64_t);
 
+  // Shared-memory slots and the global accumulator carry limbs only;
+  // conversion and combine flags ride in a launch-wide sticky mask.
+  std::atomic<std::uint8_t> launch_status{0};
+  const auto raise = [&launch_status](HpStatus st) {
+    if (st != HpStatus::kOk) {
+      launch_status.fetch_or(static_cast<std::uint8_t>(st),
+                             std::memory_order_relaxed);
+    }
+  };
   const LaunchStats ls = dev.launch_phased(
       grid, block, phases, shared_bytes,
       [&](const ThreadCtx& ctx, std::byte* shared, int phase) {
@@ -89,12 +112,14 @@ template <int N, int K>
                i < n; i += static_cast<std::size_t>(total_threads)) {
             local += data[i];
           }
+          raise(local.status());
           std::memcpy(&slots[t * N], local.limbs().data(),
                       N * sizeof(std::uint64_t));
         } else if (phase <= log2_block) {
           const int stride = block >> phase;
           if (t < stride) {
-            detail::add_impl(&slots[t * N], &slots[(t + stride) * N], N);
+            raise(detail::add_impl(&slots[t * N], &slots[(t + stride) * N],
+                                   N));
           }
         } else if (t == 0) {
           HpFixed<N, K> block_total;
@@ -107,6 +132,8 @@ template <int N, int K>
 
   HpFixed<N, K> total;
   std::memcpy(total.limbs().data(), global, N * sizeof(std::uint64_t));
+  total.or_status(static_cast<HpStatus>(
+      launch_status.load(std::memory_order_relaxed)));
   dev.dfree(global);
   return total;
 }
@@ -131,10 +158,11 @@ template <int N, int K>
         }
       });
   if (stats != nullptr) *stats = ls;
-  double total = 0;
-  for (int p = 0; p < partials_count; ++p) total += partials[p];
+  double naive = 0;
+  // hplint: allow(fp-accumulate) — Fig 7's order-sensitive double baseline
+  for (int p = 0; p < partials_count; ++p) naive += partials[p];
   dev.dfree(partials);
-  return total;
+  return naive;
 }
 
 }  // namespace hpsum::cudasim

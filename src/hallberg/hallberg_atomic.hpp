@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/annotations.hpp"
+
 #include "hallberg/hallberg.hpp"
 
 namespace hpsum {
@@ -29,6 +31,7 @@ class HallbergAtomic {
 
   /// Atomically merges a thread-local value: N independent fetch_adds.
   /// Safe from any number of threads (within the max_summands() budget).
+  HPSUM_ALLOW_UNSIGNED_WRAP
   void add(const Value& v) noexcept {
     const auto& b = v.limbs();
     for (int i = 0; i < N; ++i) {
@@ -39,11 +42,14 @@ class HallbergAtomic {
     }
   }
 
-  /// Converts thread-locally, then add().
-  void add(double r) noexcept {
+  /// Converts thread-locally, then add(). Returns false (and accumulates
+  /// nothing) for values outside the format's range, exactly like
+  /// HallbergFixed::add — previously that signal was silently dropped.
+  bool add(double r) noexcept {
     Value v;
-    v.add(r);
-    add(v);
+    const bool ok = v.add(r);
+    if (ok) add(v);
+    return ok;
   }
 
   /// Snapshot (exact once all adders joined; see HpAtomic::load).

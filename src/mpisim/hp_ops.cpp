@@ -1,6 +1,8 @@
 #include "mpisim/hp_ops.hpp"
 
+#include <atomic>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "core/hp_convert.hpp"
@@ -17,19 +19,39 @@ Datatype hp_datatype(HpConfig cfg) {
 Op hp_sum_op(HpConfig cfg) {
   validate(cfg);
   const int n = cfg.n;
-  return Op{
-      [n](std::byte* inout, const std::byte* in) {
-        // memcpy in/out of aligned scratch: message buffers carry no
-        // alignment guarantee, and this models real (de)serialization.
-        util::Limb a[kMaxLimbs];
-        util::Limb b[kMaxLimbs];
-        const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(util::Limb);
-        std::memcpy(a, inout, bytes);
-        std::memcpy(b, in, bytes);
-        detail::add_impl(a, b, n);
-        std::memcpy(inout, a, bytes);
-      },
-      "hp-sum"};
+  auto sticky = std::make_shared<std::atomic<std::uint8_t>>(0);
+  Op op;
+  op.fn = [n, sticky](std::byte* inout, const std::byte* in) {
+    // memcpy in/out of aligned scratch: message buffers carry no
+    // alignment guarantee, and this models real (de)serialization.
+    util::Limb a[kMaxLimbs];
+    util::Limb b[kMaxLimbs];
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(util::Limb);
+    std::memcpy(a, inout, bytes);
+    std::memcpy(b, in, bytes);
+    // The combine can overflow like any HP add; keep the flag, don't drop it.
+    const HpStatus st = detail::add_impl(a, b, n);
+    if (st != HpStatus::kOk) {
+      sticky->fetch_or(static_cast<std::uint8_t>(st),
+                       std::memory_order_relaxed);
+    }
+    std::memcpy(inout, a, bytes);
+  };
+  op.name = "hp-sum";
+  op.sticky_status = std::move(sticky);
+  return op;
+}
+
+Datatype hp_status_datatype() {
+  return Datatype::contiguous(1, "hp-status");
+}
+
+Op hp_status_or_op() {
+  return Op{[](std::byte* inout, const std::byte* in) {
+              *inout |= *in;
+            },
+            "hp-status-or",
+            nullptr};
 }
 
 Datatype hallberg_datatype(HallbergParams p) {
@@ -51,7 +73,8 @@ Op hallberg_sum_op(HallbergParams p) {
         for (int i = 0; i < n; ++i) a[i] = detail::wrap_add_i64(a[i], b[i]);
         std::memcpy(inout, a, bytes);
       },
-      "hallberg-sum"};
+      "hallberg-sum",
+      nullptr};
 }
 
 Op f64_sum_op() {
@@ -61,10 +84,11 @@ Op f64_sum_op() {
         double b = 0;
         std::memcpy(&a, inout, sizeof a);
         std::memcpy(&b, in, sizeof b);
-        a += b;
+        a += b;  // hplint: allow(fp-accumulate) — the order-sensitive double baseline op
         std::memcpy(inout, &a, sizeof a);
       },
-      "f64-sum"};
+      "f64-sum",
+      nullptr};
 }
 
 HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
@@ -73,11 +97,24 @@ HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
   std::vector<std::byte> send(local.byte_size());
   local.to_bytes(send.data());
   std::vector<std::byte> recv(local.byte_size());
-  comm.reduce(send.data(), recv.data(), 1, hp_datatype(cfg), hp_sum_op(cfg),
+  const Op op = hp_sum_op(cfg);
+  comm.reduce(send.data(), recv.data(), 1, hp_datatype(cfg), op, root, algo);
+
+  // The wire format carries limbs only, and combine steps run on whichever
+  // rank the algorithm places them on — so the status masks have to be
+  // reduced too (a 1-byte sticky OR) or a kAddOverflow seen by an interior
+  // tree rank would vanish. This is the order-invariance contract's "no
+  // silently dropped flag" rule applied to the network.
+  std::byte st_send{static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(local.status()) | op.observed_status())};
+  std::byte st_recv{0};
+  comm.reduce(&st_send, &st_recv, 1, hp_status_datatype(), hp_status_or_op(),
               root, algo);
+
   HpDyn out(cfg);
   if (comm.rank() == root) {
     out.from_bytes(recv.data());
+    out.or_status(static_cast<HpStatus>(st_recv));
   } else {
     out = local;
   }

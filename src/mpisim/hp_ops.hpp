@@ -13,8 +13,16 @@ namespace hpsum::mpisim {
 /// Datatype describing one HP value of format `cfg` (n contiguous limbs).
 [[nodiscard]] Datatype hp_datatype(HpConfig cfg);
 
-/// Element-wise HP addition op (exact, order-invariant).
+/// Element-wise HP addition op (exact, order-invariant). The returned Op
+/// tracks combine-step overflow in Op::sticky_status instead of dropping
+/// it; reduce_hp_value shows how to gather those flags across ranks.
 [[nodiscard]] Op hp_sum_op(HpConfig cfg);
+
+/// Datatype for one HpStatus mask (1 byte) and its sticky-OR combine op —
+/// reduce these alongside the values so every rank's conversion/overflow
+/// flags reach the root, not just the root's own.
+[[nodiscard]] Datatype hp_status_datatype();
+[[nodiscard]] Op hp_status_or_op();
 
 /// Datatype describing one Hallberg value of format `p`.
 [[nodiscard]] Datatype hallberg_datatype(HallbergParams p);

@@ -17,6 +17,7 @@
 // std::jthreads.
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <condition_variable>
 #include <cstddef>
@@ -50,6 +51,18 @@ struct Datatype {
 struct Op {
   std::function<void(std::byte* inout, const std::byte* in)> fn;
   std::string name;
+  /// Optional sticky condition mask. Ops whose combine step can observe
+  /// exceptional conditions (e.g. HP add overflow) OR them in here instead
+  /// of discarding them; copies of the Op share one mask. Collects only the
+  /// combines executed by the rank holding this Op — to gather conditions
+  /// from *all* ranks, reduce the mask too (see reduce_hp_value).
+  std::shared_ptr<std::atomic<std::uint8_t>> sticky_status;
+
+  /// The conditions observed so far by this op's combines (0 if the op
+  /// does not track any).
+  [[nodiscard]] std::uint8_t observed_status() const noexcept {
+    return sticky_status ? sticky_status->load(std::memory_order_relaxed) : 0;
+  }
 };
 
 /// Reduction algorithm. Different algorithms apply Op in different (but

@@ -1,0 +1,21 @@
+// Sanitizer and analyzer annotations for the limb kernels.
+//
+// The HP method's core trick is that unsigned 64-bit addition wraps mod
+// 2^64 — two's complement limb arithmetic *depends* on that wraparound, so
+// the overflow is intended, not a bug. Clang's -fsanitize=integer
+// (unsigned-integer-overflow) would report every carry as a finding;
+// HPSUM_ALLOW_UNSIGNED_WRAP marks the functions where wraparound is part of
+// the algorithm so those reports are suppressed deliberately and anything
+// *outside* an annotated kernel still gets flagged. GCC has no
+// unsigned-integer-overflow sanitizer (unsigned wrap is defined behavior),
+// so the macro expands to nothing there.
+//
+// docs/ANALYSIS.md lists every annotated site and why it wraps.
+#pragma once
+
+#if defined(__clang__)
+#define HPSUM_ALLOW_UNSIGNED_WRAP \
+  __attribute__((no_sanitize("unsigned-integer-overflow")))
+#else
+#define HPSUM_ALLOW_UNSIGNED_WRAP
+#endif

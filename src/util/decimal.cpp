@@ -148,6 +148,8 @@ ParseResult parse_decimal(std::string_view s, LimbSpan limbs,
     BigInt d10(big_limbs, 0);
     d10.back() = 1;
     for (const char c : frac_digits) {
+      // hplint: allow(discard-status) — f < 10^digits and big_limbs gives
+      // 128 spare bits of headroom, so the x10 carry-out cannot fire
       mul_small(LimbSpan(f), 10);
       Limb carry = static_cast<Limb>(c - '0');
       for (std::size_t i = big_limbs; carry != 0 && i-- > 0;) {
@@ -155,6 +157,7 @@ ParseResult parse_decimal(std::string_view s, LimbSpan limbs,
         f[i] += carry;
         carry = (f[i] < before) ? 1 : 0;
       }
+      // hplint: allow(discard-status) — same headroom argument for D=10^d
       mul_small(LimbSpan(d10), 10);
     }
     for (std::size_t bit = 0; bit < 64 * frac_limbs; ++bit) {
@@ -162,6 +165,8 @@ ParseResult parse_decimal(std::string_view s, LimbSpan limbs,
       double_in_place(f);
       const bool set = compare_unsigned(ConstLimbSpan(f), ConstLimbSpan(d10)) >= 0;
       if (set) {
+        // hplint: allow(discard-status) — guarded by compare_unsigned >= 0
+        // above, so the borrow-out cannot fire
         sub_into(LimbSpan(f), ConstLimbSpan(d10));
         const std::size_t li = int_limbs + bit / 64;
         limbs[li] |= (Limb{1} << (63 - bit % 64));

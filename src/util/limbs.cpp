@@ -1,158 +1,12 @@
+// Out-of-line pieces of the limb toolkit. The arithmetic lives in
+// limbs.hpp as constexpr inline functions (the compile-time proofs and the
+// unrolled kernels need the definitions visible); only the string
+// formatting, which drags in stdio, stays here.
 #include "util/limbs.hpp"
 
-#include <bit>
 #include <cstdio>
 
 namespace hpsum::util {
-
-__extension__ using U128 = unsigned __int128;
-
-namespace {
-// One full-width add step: *out = x + y + carry_in, returns carry out.
-inline bool addc(Limb x, Limb y, bool carry_in, Limb* out) noexcept {
-  const Limb s = x + y;
-  const bool c1 = s < x;
-  const Limb t = s + static_cast<Limb>(carry_in);
-  const bool c2 = t < s;
-  *out = t;
-  return c1 || c2;
-}
-
-// One full-width subtract step: *out = x - y - borrow_in, returns borrow out.
-inline bool subb(Limb x, Limb y, bool borrow_in, Limb* out) noexcept {
-  const Limb d = x - y;
-  const bool b1 = x < y;
-  const Limb t = d - static_cast<Limb>(borrow_in);
-  const bool b2 = d < static_cast<Limb>(borrow_in);
-  *out = t;
-  return b1 || b2;
-}
-}  // namespace
-
-bool add_into(LimbSpan a, ConstLimbSpan b) noexcept {
-  bool carry = false;
-  for (std::size_t i = a.size(); i-- > 0;) {
-    carry = addc(a[i], b[i], carry, &a[i]);
-  }
-  return carry;
-}
-
-bool sub_into(LimbSpan a, ConstLimbSpan b) noexcept {
-  bool borrow = false;
-  for (std::size_t i = a.size(); i-- > 0;) {
-    borrow = subb(a[i], b[i], borrow, &a[i]);
-  }
-  return borrow;
-}
-
-bool increment(LimbSpan a) noexcept {
-  for (std::size_t i = a.size(); i-- > 0;) {
-    if (++a[i] != 0) return false;
-  }
-  return true;
-}
-
-void negate_twos(LimbSpan a) noexcept {
-  for (auto& limb : a) limb = ~limb;
-  increment(a);
-}
-
-bool is_zero(ConstLimbSpan a) noexcept {
-  for (const Limb limb : a) {
-    if (limb != 0) return false;
-  }
-  return true;
-}
-
-bool sign_bit(ConstLimbSpan a) noexcept {
-  return !a.empty() && (a[0] >> 63) != 0;
-}
-
-int compare_unsigned(ConstLimbSpan a, ConstLimbSpan b) noexcept {
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
-  }
-  return 0;
-}
-
-int compare_twos(ConstLimbSpan a, ConstLimbSpan b) noexcept {
-  const bool sa = sign_bit(a);
-  const bool sb = sign_bit(b);
-  if (sa != sb) return sa ? -1 : 1;
-  // Same sign: two's-complement ordering matches unsigned ordering.
-  return compare_unsigned(a, b);
-}
-
-void shift_left_limbs(LimbSpan a, std::size_t count) noexcept {
-  if (count == 0) return;
-  const std::size_t n = a.size();
-  if (count >= n) {
-    for (auto& limb : a) limb = 0;
-    return;
-  }
-  for (std::size_t i = 0; i + count < n; ++i) a[i] = a[i + count];
-  for (std::size_t i = n - count; i < n; ++i) a[i] = 0;
-}
-
-void shift_right_limbs(LimbSpan a, std::size_t count, Limb fill) noexcept {
-  if (count == 0) return;
-  const std::size_t n = a.size();
-  if (count >= n) {
-    for (auto& limb : a) limb = fill;
-    return;
-  }
-  for (std::size_t i = n; i-- > count;) a[i] = a[i - count];
-  for (std::size_t i = 0; i < count; ++i) a[i] = fill;
-}
-
-void shift_left_bits(LimbSpan a, unsigned bits) noexcept {
-  if (bits == 0) return;
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Limb lo = (i + 1 < n) ? a[i + 1] : 0;
-    a[i] = (a[i] << bits) | (lo >> (64 - bits));
-  }
-}
-
-void shift_right_bits(LimbSpan a, unsigned bits) noexcept {
-  if (bits == 0) return;
-  const std::size_t n = a.size();
-  for (std::size_t i = n; i-- > 0;) {
-    const Limb hi = (i > 0) ? a[i - 1] : 0;
-    a[i] = (a[i] >> bits) | (hi << (64 - bits));
-  }
-}
-
-Limb mul_small(LimbSpan a, Limb m) noexcept {
-  Limb carry = 0;
-  for (std::size_t i = a.size(); i-- > 0;) {
-    const U128 p = static_cast<U128>(a[i]) * m + carry;
-    a[i] = static_cast<Limb>(p);
-    carry = static_cast<Limb>(p >> 64);
-  }
-  return carry;
-}
-
-Limb divmod_small(LimbSpan a, Limb d) noexcept {
-  Limb rem = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const U128 cur = (static_cast<U128>(rem) << 64) | a[i];
-    a[i] = static_cast<Limb>(cur / d);
-    rem = static_cast<Limb>(cur % d);
-  }
-  return rem;
-}
-
-int highest_set_bit(ConstLimbSpan a) noexcept {
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (a[i] != 0) {
-      const int within = 63 - std::countl_zero(a[i]);
-      return static_cast<int>((n - 1 - i) * 64) + within;
-    }
-  }
-  return -1;
-}
 
 std::string to_hex(ConstLimbSpan a) {
   std::string out = "0x";

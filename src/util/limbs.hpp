@@ -8,11 +8,19 @@
 // Values are interpreted either as unsigned magnitudes or as two's
 // complement, per function. All operations are allocation-free and operate
 // in place, which is what the hot reduction loops need.
+//
+// Everything except to_hex is constexpr: the conversion and addition
+// kernels built on these helpers are provably pure integer arithmetic
+// because the compiler can evaluate them at compile time
+// (tests/test_constexpr_proofs.cpp holds the static_assert proofs).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
+
+#include "util/annotations.hpp"
 
 namespace hpsum::util {
 
@@ -20,57 +28,187 @@ using Limb = std::uint64_t;
 using LimbSpan = std::span<Limb>;
 using ConstLimbSpan = std::span<const Limb>;
 
+namespace detail {
+
+__extension__ using U128 = unsigned __int128;
+
+// One full-width add step: *out = x + y + carry_in, returns carry out.
+// Unsigned wraparound intended: that is what carry detection observes.
+HPSUM_ALLOW_UNSIGNED_WRAP
+constexpr bool addc(Limb x, Limb y, bool carry_in, Limb* out) noexcept {
+  const Limb s = x + y;
+  const bool c1 = s < x;
+  const Limb t = s + static_cast<Limb>(carry_in);
+  const bool c2 = t < s;
+  *out = t;
+  return c1 || c2;
+}
+
+// One full-width subtract step: *out = x - y - borrow_in, returns borrow out.
+// Unsigned wraparound intended.
+HPSUM_ALLOW_UNSIGNED_WRAP
+constexpr bool subb(Limb x, Limb y, bool borrow_in, Limb* out) noexcept {
+  const Limb d = x - y;
+  const bool b1 = x < y;
+  const Limb t = d - static_cast<Limb>(borrow_in);
+  const bool b2 = d < static_cast<Limb>(borrow_in);
+  *out = t;
+  return b1 || b2;
+}
+
+}  // namespace detail
+
 /// a += b (same length). Returns the carry out of the most significant limb.
-bool add_into(LimbSpan a, ConstLimbSpan b) noexcept;
+constexpr bool add_into(LimbSpan a, ConstLimbSpan b) noexcept {
+  bool carry = false;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    carry = detail::addc(a[i], b[i], carry, &a[i]);
+  }
+  return carry;
+}
 
 /// a -= b (same length). Returns the borrow out of the most significant limb.
-bool sub_into(LimbSpan a, ConstLimbSpan b) noexcept;
+constexpr bool sub_into(LimbSpan a, ConstLimbSpan b) noexcept {
+  bool borrow = false;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    borrow = detail::subb(a[i], b[i], borrow, &a[i]);
+  }
+  return borrow;
+}
 
 /// a += 1 at the least significant limb. Returns the carry out of the top.
-bool increment(LimbSpan a) noexcept;
+HPSUM_ALLOW_UNSIGNED_WRAP
+constexpr bool increment(LimbSpan a) noexcept {
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (++a[i] != 0) return false;
+  }
+  return true;
+}
 
-/// Two's complement negation in place: a = ~a + 1.
-void negate_twos(LimbSpan a) noexcept;
+/// Two's complement negation in place: a = ~a + 1. The carry out of
+/// increment is dropped on purpose: negating zero wraps back to zero.
+constexpr void negate_twos(LimbSpan a) noexcept {
+  for (auto& limb : a) limb = ~limb;
+  increment(a);  // hplint: allow(discard-status) — carry out of ~0+1 is the identity -0 == 0
+}
 
 /// True iff every limb is zero.
-[[nodiscard]] bool is_zero(ConstLimbSpan a) noexcept;
+[[nodiscard]] constexpr bool is_zero(ConstLimbSpan a) noexcept {
+  for (const Limb limb : a) {
+    if (limb != 0) return false;
+  }
+  return true;
+}
 
 /// Sign bit of a two's-complement value (bit 63 of the most significant limb).
-[[nodiscard]] bool sign_bit(ConstLimbSpan a) noexcept;
+[[nodiscard]] constexpr bool sign_bit(ConstLimbSpan a) noexcept {
+  return !a.empty() && (a[0] >> 63) != 0;
+}
 
 /// Three-way comparison of unsigned magnitudes: -1, 0, or +1.
-[[nodiscard]] int compare_unsigned(ConstLimbSpan a, ConstLimbSpan b) noexcept;
+[[nodiscard]] constexpr int compare_unsigned(ConstLimbSpan a,
+                                             ConstLimbSpan b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
 
 /// Three-way comparison of two's-complement values: -1, 0, or +1.
-[[nodiscard]] int compare_twos(ConstLimbSpan a, ConstLimbSpan b) noexcept;
+[[nodiscard]] constexpr int compare_twos(ConstLimbSpan a,
+                                         ConstLimbSpan b) noexcept {
+  const bool sa = sign_bit(a);
+  const bool sb = sign_bit(b);
+  if (sa != sb) return sa ? -1 : 1;
+  // Same sign: two's-complement ordering matches unsigned ordering.
+  return compare_unsigned(a, b);
+}
 
 /// Shifts left (towards the most significant limb) by whole limbs,
 /// filling vacated low limbs with zero. Bits shifted past the top are lost.
-void shift_left_limbs(LimbSpan a, std::size_t count) noexcept;
+constexpr void shift_left_limbs(LimbSpan a, std::size_t count) noexcept {
+  if (count == 0) return;
+  const std::size_t n = a.size();
+  if (count >= n) {
+    for (auto& limb : a) limb = 0;
+    return;
+  }
+  for (std::size_t i = 0; i + count < n; ++i) a[i] = a[i + count];
+  for (std::size_t i = n - count; i < n; ++i) a[i] = 0;
+}
 
 /// Shifts right (towards the least significant limb) by whole limbs,
 /// filling vacated high limbs with `fill` (use ~0ull for arithmetic shift
 /// of a negative two's-complement value, 0 otherwise).
-void shift_right_limbs(LimbSpan a, std::size_t count, Limb fill = 0) noexcept;
+constexpr void shift_right_limbs(LimbSpan a, std::size_t count,
+                                 Limb fill = 0) noexcept {
+  if (count == 0) return;
+  const std::size_t n = a.size();
+  if (count >= n) {
+    for (auto& limb : a) limb = fill;
+    return;
+  }
+  for (std::size_t i = n; i-- > count;) a[i] = a[i - count];
+  for (std::size_t i = 0; i < count; ++i) a[i] = fill;
+}
 
 /// Shifts left by `bits` (0 <= bits < 64) across limb boundaries.
-void shift_left_bits(LimbSpan a, unsigned bits) noexcept;
+constexpr void shift_left_bits(LimbSpan a, unsigned bits) noexcept {
+  if (bits == 0) return;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Limb lo = (i + 1 < n) ? a[i + 1] : 0;
+    a[i] = (a[i] << bits) | (lo >> (64 - bits));
+  }
+}
 
 /// Logical shift right by `bits` (0 <= bits < 64) across limb boundaries.
-void shift_right_bits(LimbSpan a, unsigned bits) noexcept;
+constexpr void shift_right_bits(LimbSpan a, unsigned bits) noexcept {
+  if (bits == 0) return;
+  const std::size_t n = a.size();
+  for (std::size_t i = n; i-- > 0;) {
+    const Limb hi = (i > 0) ? a[i - 1] : 0;
+    a[i] = (a[i] >> bits) | (hi << (64 - bits));
+  }
+}
 
 /// a *= m for a small multiplier; value treated as unsigned.
 /// Returns the carry (overflow) out of the most significant limb.
-Limb mul_small(LimbSpan a, Limb m) noexcept;
+constexpr Limb mul_small(LimbSpan a, Limb m) noexcept {
+  Limb carry = 0;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    const detail::U128 p = static_cast<detail::U128>(a[i]) * m + carry;
+    a[i] = static_cast<Limb>(p);
+    carry = static_cast<Limb>(p >> 64);
+  }
+  return carry;
+}
 
 /// a /= d for a small divisor; value treated as unsigned.
 /// Returns the remainder. Precondition: d != 0.
-Limb divmod_small(LimbSpan a, Limb d) noexcept;
+constexpr Limb divmod_small(LimbSpan a, Limb d) noexcept {
+  Limb rem = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const detail::U128 cur = (static_cast<detail::U128>(rem) << 64) | a[i];
+    a[i] = static_cast<Limb>(cur / d);
+    rem = static_cast<Limb>(cur % d);
+  }
+  return rem;
+}
 
 /// Index of the highest set bit treating the span as one big unsigned
 /// integer, or -1 if the value is zero. Bit 0 is the least significant bit
 /// of the last limb.
-[[nodiscard]] int highest_set_bit(ConstLimbSpan a) noexcept;
+[[nodiscard]] constexpr int highest_set_bit(ConstLimbSpan a) noexcept {
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) {
+      const int within = 63 - std::countl_zero(a[i]);
+      return static_cast<int>((n - 1 - i) * 64) + within;
+    }
+  }
+  return -1;
+}
 
 /// Hex rendering "0x..." with limbs separated by '_' (debugging aid).
 [[nodiscard]] std::string to_hex(ConstLimbSpan a);

@@ -44,7 +44,7 @@ HpFixed<kN, kK> via_threads(const std::vector<double>& xs, int pes) {
     }
   }
   HpFixed<kN, kK> total;
-  for (const auto& p : partials) total += p.v;
+  for (const auto& p : partials) total += p.hp;
   return total;
 }
 
@@ -64,7 +64,7 @@ HpFixed<kN, kK> via_openmp(const std::vector<double>& xs, int pes) {
   }
   (void)point;
   HpFixed<kN, kK> out;
-  for (const auto& p : partials) out += p.v;
+  for (const auto& p : partials) out += p.hp;
   return out;
 }
 

@@ -42,8 +42,8 @@ TEST(Decimal, ChunkPaddingAcrossPow10Boundary) {
   // 10^19 = 0x8AC7230489E80000 which exceeds one limb slightly.
   std::array<Limb, 2> a = {0, 0};
   // Build 10^19 + 7 = 10000000000000000007.
-  const unsigned __int128 v =
-      static_cast<unsigned __int128>(10000000000000000000ull) + 7;
+  __extension__ using U128 = unsigned __int128;
+  const U128 v = static_cast<U128>(10000000000000000000ull) + 7;
   a[0] = static_cast<Limb>(v >> 64);
   a[1] = static_cast<Limb>(v);
   EXPECT_EQ(to_decimal_string(a, 0), "10000000000000000007");

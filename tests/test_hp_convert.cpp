@@ -317,8 +317,8 @@ TEST(HpConvert, ToDoubleMatchesHardwareU128Conversion) {
     const Limb hi = rng.next() >> 1;  // keep sign bit clear
     const Limb lo = rng.next();
     const std::vector<Limb> limbs = {hi, lo};
-    const unsigned __int128 v =
-        (static_cast<unsigned __int128>(hi) << 64) | lo;
+    __extension__ using U128 = unsigned __int128;
+    const U128 v = (static_cast<U128>(hi) << 64) | lo;
     EXPECT_EQ(back(limbs, cfg), static_cast<double>(v));
   }
 }

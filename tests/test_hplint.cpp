@@ -1,0 +1,297 @@
+// Self-tests for hplint (tools/hplint): each rule L1–L4 must fire on known
+// violations, stay quiet on clean idioms, honor `hplint: allow(...)`
+// annotations, and survive comments/strings. Fixture files with deliberate
+// violations live in tools/hplint/fixtures (path baked in at build time).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace lint = hpsum::lint;
+
+namespace {
+
+// Pseudo-paths placing a snippet into (or out of) each rule's scope.
+constexpr const char* kCore = "src/core/snippet.cpp";
+constexpr const char* kBench = "bench/snippet.cpp";
+
+std::set<int> lines_of(const std::vector<lint::Violation>& vs,
+                       lint::Rule rule) {
+  std::set<int> out;
+  for (const auto& v : vs) {
+    if (v.rule == rule) out.insert(v.line);
+  }
+  return out;
+}
+
+TEST(HplintRuleIds, StableNamesAndIds) {
+  EXPECT_EQ(lint::rule_id(lint::Rule::kFpAccumulate), "L1");
+  EXPECT_EQ(lint::rule_id(lint::Rule::kSignedLimb), "L2");
+  EXPECT_EQ(lint::rule_id(lint::Rule::kDiscardStatus), "L3");
+  EXPECT_EQ(lint::rule_id(lint::Rule::kNondeterminism), "L4");
+  EXPECT_EQ(lint::rule_name(lint::Rule::kFpAccumulate), "fp-accumulate");
+  EXPECT_EQ(lint::rule_name(lint::Rule::kSignedLimb), "signed-limb");
+  EXPECT_EQ(lint::rule_name(lint::Rule::kDiscardStatus), "discard-status");
+  EXPECT_EQ(lint::rule_name(lint::Rule::kNondeterminism), "nondeterminism");
+}
+
+TEST(HplintScope, ContractDirsGetAllRules) {
+  for (const char* p :
+       {"src/core/hp_fixed.hpp", "src/backends/accumulators.hpp",
+        "src/cudasim/reduce.hpp", "src/mpisim/hp_ops.cpp",
+        "src/phisim/phisim.hpp"}) {
+    const lint::RuleScope s = lint::scope_for_path(p);
+    EXPECT_TRUE(s.l1) << p;
+    EXPECT_TRUE(s.l2) << p;
+    EXPECT_TRUE(s.l3) << p;
+    EXPECT_TRUE(s.l4) << p;
+  }
+}
+
+TEST(HplintScope, UtilGetsLimbRuleButNotFpRule) {
+  const lint::RuleScope s = lint::scope_for_path("src/util/limbs.hpp");
+  EXPECT_FALSE(s.l1);  // util may hold double helpers (timers, stats)
+  EXPECT_TRUE(s.l2);
+  EXPECT_TRUE(s.l3);
+  EXPECT_TRUE(s.l4);
+}
+
+TEST(HplintScope, BenchOnlyGetsDiscardRule) {
+  const lint::RuleScope s = lint::scope_for_path("bench/fig6_mpi.cpp");
+  EXPECT_FALSE(s.l1);  // benches drive the double baseline on purpose
+  EXPECT_FALSE(s.l2);
+  EXPECT_TRUE(s.l3);
+  EXPECT_FALSE(s.l4);
+}
+
+// --- L1 -------------------------------------------------------------------
+
+TEST(HplintL1, CatchesDoublePlusEquals) {
+  const auto vs = lint::lint_source(kCore,
+                                    "double sum = 0;\n"
+                                    "void f(double x) { sum += x; }\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, lint::Rule::kFpAccumulate);
+  EXPECT_EQ(vs[0].line, 2);
+  EXPECT_NE(vs[0].message.find("sum"), std::string::npos);
+}
+
+TEST(HplintL1, CatchesStdAccumulateAndOmpReduction) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "double total = 0;\n"
+      "auto s = std::accumulate(b, e, 0.0);\n"
+      "#pragma omp parallel for reduction(+ : total)\n");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kFpAccumulate), (std::set<int>{2, 3}));
+}
+
+TEST(HplintL1, IgnoresIntegerAndHpAccumulation) {
+  const auto vs = lint::lint_source(kCore,
+                                    "int n = 0;\n"
+                                    "n += 3;\n"
+                                    "HpFixed<4, 2> acc;\n"
+                                    "acc += 1.5;\n"
+                                    "std::uint64_t limb = 0;\n"
+                                    "limb += 7;\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+TEST(HplintL1, OutOfScopePathIsQuiet) {
+  const auto vs = lint::lint_source(kBench,
+                                    "double sum = 0;\n"
+                                    "sum += 1.0;\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kFpAccumulate).empty());
+}
+
+// --- L2 -------------------------------------------------------------------
+
+TEST(HplintL2, CatchesSignedTypesTouchingLimbs) {
+  const auto vs = lint::lint_source(
+      kCore, "std::int64_t v = static_cast<std::int64_t>(limbs[0]);\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, lint::Rule::kSignedLimb);
+}
+
+TEST(HplintL2, WordBoundaryAvoidsKMaxLimbs) {
+  // `Limb` inside the identifier `kMaxLimbsTotal` must not count as a limb
+  // token; a signed loop bound alone is fine.
+  const auto vs = lint::lint_source(
+      kCore, "for (std::int32_t i = 0; i < kMaxLimbsTotal; ++i) f(i);\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+// --- L3 -------------------------------------------------------------------
+
+TEST(HplintL3, CatchesDiscardedStatusCalls) {
+  const auto vs = lint::lint_source(kCore,
+                                    "void f() {\n"
+                                    "  detail::add_impl(a, b, n);\n"
+                                    "  (void)util::increment(a);\n"
+                                    "}\n");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kDiscardStatus), (std::set<int>{2, 3}));
+}
+
+TEST(HplintL3, CapturedTestedReturnedAreFine) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "HpStatus g() {\n"
+      "  HpStatus st = detail::add_impl(a, b, n);\n"
+      "  st |= add_impl(a, b, n);\n"
+      "  if (from_double_impl(a, n, k, r) != HpStatus::kOk) return st;\n"
+      "  return add_impl(a, b, n);\n"
+      "}\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+TEST(HplintL3, MultiLineArgumentPositionIsNotADiscard) {
+  // A call that continues an expression from the previous line feeds its
+  // value to the outer call.
+  const auto vs = lint::lint_source(kCore,
+                                    "st = combine(\n"
+                                    "    add_impl(a, b, n),\n"
+                                    "    x);\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+TEST(HplintL3, DeclarationIsNotACall) {
+  const auto vs = lint::lint_source(
+      kCore, "HpStatus add_impl(util::Limb* a, const util::Limb* b, int n);\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDiscardStatus).empty());
+}
+
+// --- L4 -------------------------------------------------------------------
+
+TEST(HplintL4, CatchesRandAndUnorderedContainers) {
+  const auto vs = lint::lint_source(kCore,
+                                    "int a = rand();\n"
+                                    "std::random_device rd;\n"
+                                    "std::unordered_map<int, double> m;\n");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kNondeterminism),
+            (std::set<int>{1, 2, 3}));
+}
+
+TEST(HplintL4, IncludesAndNonCallUsesAreFine) {
+  const auto vs = lint::lint_source(kCore,
+                                    "#include <unordered_map>\n"
+                                    "int rand = 3;  // a variable, not a call\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+// --- Annotations, comments, strings ---------------------------------------
+
+TEST(HplintAnnotations, SameLineAndLineAboveAndCommentBlock) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "double sum = 0;\n"
+      "sum += 1;  // hplint: allow(fp-accumulate) — baseline\n"
+      "// hplint: allow(fp-accumulate) — next-line form\n"
+      "sum += 2;\n"
+      "// hplint: allow(fp-accumulate) — a multi-line justification\n"
+      "// that continues here\n"
+      "sum += 3;\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+TEST(HplintAnnotations, AllowListsSeveralRules) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "// hplint: allow(fp-accumulate, nondeterminism)\n"
+      "double x = rand(); x += 1;  // hplint: allow(fp-accumulate, nondeterminism)\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+TEST(HplintAnnotations, WrongRuleNameDoesNotSuppress) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "double sum = 0;\n"
+      "sum += 1;  // hplint: allow(discard-status) — wrong rule\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, lint::Rule::kFpAccumulate);
+}
+
+TEST(HplintStripping, CommentsAndStringsDoNotFire) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "// sum += x; rand(); std::int64_t limb;\n"
+      "/* double sum = 0; sum += 1; unordered_map */\n"
+      "const char* doc = \"rand() and sum += x on int64_t limbs\";\n"
+      "char c = '+';\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+// --- Output formats --------------------------------------------------------
+
+TEST(HplintOutput, TextAndJsonCarryFileLineRuleHint) {
+  const auto vs = lint::lint_source(kCore,
+                                    "double s = 0;\n"
+                                    "s += 1;\n");
+  ASSERT_EQ(vs.size(), 1u);
+  const std::string text = lint::to_text(vs);
+  EXPECT_NE(text.find("src/core/snippet.cpp:2"), std::string::npos);
+  EXPECT_NE(text.find("[L1:fp-accumulate]"), std::string::npos);
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+
+  const std::string json = lint::to_json(vs);
+  EXPECT_NE(json.find("\"file\": \"src/core/snippet.cpp\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"L1\""), std::string::npos);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(HplintOutput, EmptyJsonIsAnEmptyArray) {
+  EXPECT_EQ(lint::to_json({}), "[]");
+}
+
+// --- Fixture files ---------------------------------------------------------
+
+std::vector<lint::Violation> lint_fixture(const std::string& rel) {
+  bool io_error = false;
+  auto vs = lint::lint_file(std::string(HPLINT_FIXTURE_DIR "/") + rel, {},
+                            &io_error);
+  EXPECT_FALSE(io_error) << "cannot read fixture " << rel;
+  return vs;
+}
+
+TEST(HplintFixtures, FpAccumulateFixture) {
+  const auto vs = lint_fixture("src/core/bad_fp_accumulate.cpp");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kFpAccumulate),
+            (std::set<int>{10, 16, 21, 23, 30}))
+      << lint::to_text(vs);
+  EXPECT_TRUE(std::all_of(vs.begin(), vs.end(), [](const auto& v) {
+    return v.rule == lint::Rule::kFpAccumulate;
+  })) << lint::to_text(vs);
+}
+
+TEST(HplintFixtures, SignedLimbFixture) {
+  const auto vs = lint_fixture("src/core/bad_signed_limb.cpp");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kSignedLimb),
+            (std::set<int>{10, 15, 16}))
+      << lint::to_text(vs);
+}
+
+TEST(HplintFixtures, DiscardStatusFixture) {
+  const auto vs = lint_fixture("src/core/bad_discard_status.cpp");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kDiscardStatus),
+            (std::set<int>{13, 14, 15, 16}))
+      << lint::to_text(vs);
+}
+
+TEST(HplintFixtures, NondeterminismFixture) {
+  const auto vs = lint_fixture("src/core/bad_nondeterminism.cpp");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kNondeterminism),
+            (std::set<int>{8, 12, 16}))
+      << lint::to_text(vs);
+}
+
+TEST(HplintFixtures, AnnotatedFixtureIsClean) {
+  const auto vs = lint_fixture("src/core/clean_annotated.cpp");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+}  // namespace

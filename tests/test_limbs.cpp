@@ -11,7 +11,7 @@
 namespace hpsum::util {
 namespace {
 
-using U128 = unsigned __int128;
+__extension__ using U128 = unsigned __int128;
 
 U128 to_u128(ConstLimbSpan a) {
   return (static_cast<U128>(a[0]) << 64) | a[1];

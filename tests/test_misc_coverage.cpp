@@ -47,7 +47,9 @@ TEST(MiscMpisim, HpReduceToNonzeroRoot) {
       local += xs[i];
     }
     const HpDyn total = mpisim::reduce_hp_value(comm, local, /*root=*/2);
-    if (comm.rank() == 2) EXPECT_EQ(total.to_double(), expect);
+    if (comm.rank() == 2) {
+      EXPECT_EQ(total.to_double(), expect);
+    }
   });
 }
 

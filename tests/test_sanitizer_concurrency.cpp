@@ -1,0 +1,152 @@
+// Concurrency stress for the lock-free adders — the TSan target of the
+// sanitizer matrix (docs/ANALYSIS.md): many threads hammer HpAtomic,
+// HallbergAtomic and the OpenMP declared reduction concurrently with
+// readers. Under -DHPSUM_SANITIZE=thread this is where a data race in the
+// CAS loops or the sticky-status bytes would surface; in plain builds it
+// doubles as an order-invariance check (parallel result must be bit-exact
+// vs serial, any schedule).
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <thread>
+#include <vector>
+
+#include "backends/omp_reduction.hpp"
+#include "core/hp_atomic.hpp"
+#include "core/hp_fixed.hpp"
+#include "hallberg/hallberg_atomic.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using hpsum::HpAtomic;
+using hpsum::HpFixed;
+using hpsum::HpStatus;
+
+constexpr int kN = 6;
+constexpr int kK = 3;
+constexpr int kThreads = 8;
+constexpr int kPerThread = 2000;
+
+std::vector<double> stress_values() {
+  // Mixed magnitudes and signs: lots of carry chains across limbs.
+  hpsum::util::Xoshiro256ss rng(0xC0FFEEu);
+  std::vector<double> xs;
+  xs.reserve(kThreads * kPerThread);
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    const double mag = rng.uniform01() * 1e12;
+    xs.push_back((i % 2 == 0) ? mag : -mag * 0.5);
+  }
+  return xs;
+}
+
+TEST(SanitizerConcurrency, HpAtomicManyWritersBitExact) {
+  const std::vector<double> xs = stress_values();
+
+  HpFixed<kN, kK> serial;
+  for (const double x : xs) serial += x;
+
+  HpAtomic<kN, kK> atomic;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          atomic.add(xs[static_cast<std::size_t>(t * kPerThread + i)]);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(atomic.load(), serial);
+}
+
+TEST(SanitizerConcurrency, HpAtomicConcurrentReadersSeeTornFreeValues) {
+  // Readers race the writers; every observed value must be a prefix-sum of
+  // whole contributions of +1 (each add deposits the lsb limb only), so
+  // the fraction limbs a reader sees are always zero — a torn read would
+  // break that.
+  HpAtomic<kN, kK> atomic;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < 4; ++t) {
+      writers.emplace_back([&] {
+        for (int i = 0; i < 4000; ++i) atomic.add(1.0);
+      });
+    }
+    std::jthread reader([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const HpFixed<kN, kK> snap = atomic.load();
+        const double v = snap.to_double();
+        if (v != static_cast<std::uint64_t>(v)) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    writers.clear();  // join writers
+    stop.store(true, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(atomic.load().to_double(), 16000.0);
+}
+
+TEST(SanitizerConcurrency, HallbergAtomicManyWritersBitExact) {
+  const std::vector<double> xs = stress_values();
+
+  hpsum::HallbergFixed<kN, 40> serial;
+  for (const double x : xs) ASSERT_TRUE(serial.add(x));
+
+  hpsum::HallbergAtomic<kN, 40> atomic;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ASSERT_TRUE(
+              atomic.add(xs[static_cast<std::size_t>(t * kPerThread + i)]));
+        }
+      });
+    }
+  }
+  EXPECT_EQ(atomic.load().to_double(), serial.to_double());
+}
+
+HPSUM_DECLARE_OMP_REDUCTION(StressHpSum, HpFixed<kN, kK>)
+
+TEST(SanitizerConcurrency, OmpDeclaredReductionBitExact) {
+  const std::vector<double> xs = stress_values();
+
+  HpFixed<kN, kK> serial;
+  for (const double x : xs) serial += x;
+
+  HpFixed<kN, kK> acc;
+  const int n = static_cast<int>(xs.size());
+#pragma omp parallel for reduction(StressHpSum : acc) num_threads(kThreads)
+  for (int i = 0; i < n; ++i) {
+    acc += xs[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(acc, serial);
+}
+
+TEST(SanitizerConcurrency, ConcurrentStatusStaysSticky) {
+  // One thread feeds values the format cannot represent (conversion
+  // truncates), others feed clean ones; the sticky status byte must end up
+  // with kInexact set and no sanitizer complaint about the racing fetch_or.
+  HpAtomic<kN, kK> atomic;
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) atomic.add(1e-300);  // below 2^-192
+    });
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 1000; ++i) atomic.add(2.5);
+      });
+    }
+  }
+  EXPECT_TRUE(hpsum::has(atomic.status(), HpStatus::kInexact));
+  EXPECT_EQ(atomic.load().to_double(), 7500.0);
+}
+
+}  // namespace

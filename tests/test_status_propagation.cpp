@@ -1,0 +1,169 @@
+// Regression tests for sticky-status propagation through the parallel
+// reduction paths — the bugs hplint rule L3 (discard-status) exists to
+// prevent. Each of these paths used to drop a status mask on the floor:
+//   - HpAtomic::add(double) lost conversion flags (kInexact etc.),
+//   - mpisim reduce_hp_value lost combine-step overflow seen on interior
+//     tree ranks (and every non-root rank's conversion flags),
+//   - cudasim reduce_hp_device / _tree lost per-thread conversion flags,
+//   - HallbergAtomic::add(double) swallowed the out-of-range bool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/hp_atomic.hpp"
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+#include "cudasim/cudasim.hpp"
+#include "cudasim/reduce.hpp"
+#include "hallberg/hallberg_atomic.hpp"
+#include "mpisim/hp_ops.hpp"
+#include "mpisim/mpisim.hpp"
+
+namespace {
+
+using hpsum::has;
+using hpsum::HpAtomic;
+using hpsum::HpConfig;
+using hpsum::HpDyn;
+using hpsum::HpFixed;
+using hpsum::HpStatus;
+
+TEST(HpAtomicStatus, ConversionFlagsReachSharedStatus) {
+  // HpFixed<4,2> resolves down to 2^-128: 1e-300 truncates to zero and must
+  // leave kInexact in the *shared* accumulator status, not vanish inside
+  // the thread-local temporary.
+  HpAtomic<4, 2> acc;
+  acc.add(1.5);
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+  acc.add(1e-300);
+  EXPECT_TRUE(has(acc.status(), HpStatus::kInexact));
+  // The status is sticky and rides along on load().
+  acc.add(2.0);
+  EXPECT_TRUE(has(acc.load().status(), HpStatus::kInexact));
+  EXPECT_EQ(acc.load().to_double(), 3.5);
+  // clear() resets value and status together.
+  acc.clear();
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+}
+
+TEST(HpAtomicStatus, ConvertOverflowSticks) {
+  // HpFixed<2,1> tops out at 2^63; 1e40 cannot convert.
+  HpAtomic<2, 1> acc;
+  acc.add(1e40);
+  EXPECT_TRUE(has(acc.status(), HpStatus::kConvertOverflow));
+}
+
+TEST(HallbergAtomicStatus, OutOfRangeIsReported) {
+  // M=10 means each limb holds 10 value bits; N=3 limbs span ~2^15 above
+  // the binary point. 1e9 does not fit and add() must say so.
+  hpsum::HallbergAtomic<3, 10> acc;
+  EXPECT_TRUE(acc.add(1.0));
+  EXPECT_FALSE(acc.add(1e9));
+  EXPECT_EQ(acc.load().to_double(), 1.0);  // rejected value not applied
+}
+
+TEST(MpisimStatus, InteriorRankOverflowReachesRoot) {
+  // Four ranks each contribute 2^62 under config {2,1} (range ±2^63): every
+  // local value converts fine, but the reduction's combine steps overflow.
+  // With the binomial tree those combines run on ranks 0 and 2 — before the
+  // fix, rank 2's flag never reached the root's result.
+  const HpConfig cfg{2, 1};
+  constexpr double kBig = 4.611686018427387904e18;  // 2^62
+  hpsum::mpisim::run(4, [&](hpsum::mpisim::Comm& comm) {
+    const HpDyn local(cfg, kBig);
+    ASSERT_EQ(local.status(), HpStatus::kOk);
+    const HpDyn total = hpsum::mpisim::reduce_hp_value(
+        comm, local, /*root=*/0, hpsum::mpisim::ReduceAlgo::kBinomialTree);
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(has(total.status(), HpStatus::kAddOverflow))
+          << to_string(total.status());
+    }
+  });
+}
+
+TEST(MpisimStatus, NonRootConversionFlagsReachRoot) {
+  // Only rank 3's summand is inexact under {4,2}; the root must still see
+  // the flag after the status OR-reduction.
+  const HpConfig cfg{4, 2};
+  hpsum::mpisim::run(4, [&](hpsum::mpisim::Comm& comm) {
+    const double x = comm.rank() == 3 ? 1e-300 : 1.0;
+    const HpDyn local(cfg, x);
+    const HpDyn total = hpsum::mpisim::reduce_hp_value(
+        comm, local, /*root=*/0, hpsum::mpisim::ReduceAlgo::kLinear);
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(has(total.status(), HpStatus::kInexact));
+      EXPECT_EQ(total.to_double(), 3.0);
+    }
+  });
+}
+
+TEST(MpisimStatus, CleanReductionStaysOk) {
+  const HpConfig cfg{4, 2};
+  hpsum::mpisim::run(3, [&](hpsum::mpisim::Comm& comm) {
+    const HpDyn local(cfg, 1.25);
+    const HpDyn total =
+        hpsum::mpisim::reduce_hp_value(comm, local, /*root=*/0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(total.status(), HpStatus::kOk);
+      EXPECT_EQ(total.to_double(), 3.75);
+    }
+  });
+}
+
+TEST(CudasimStatus, ThreadLocalConversionFlagsReachTotal) {
+  hpsum::cudasim::Device dev;
+  std::vector<double> host(64, 1.0);
+  host[37] = 1e-300;  // truncates to zero under <4,2>
+  auto* d = static_cast<double*>(dev.dmalloc(host.size() * sizeof(double)));
+  dev.memcpy_h2d(d, host.data(), host.size() * sizeof(double));
+
+  const HpFixed<4, 2> total =
+      hpsum::cudasim::reduce_hp_device<4, 2>(dev, d, host.size(),
+                                             /*grid=*/4, /*block=*/8);
+  EXPECT_TRUE(has(total.status(), HpStatus::kInexact));
+  EXPECT_EQ(total.to_double(), 63.0);
+  dev.dfree(d);
+}
+
+TEST(CudasimStatus, TreeReductionPropagatesFlags) {
+  hpsum::cudasim::Device dev;
+  std::vector<double> host(32, 2.0);
+  host[5] = 1e-300;
+  auto* d = static_cast<double*>(dev.dmalloc(host.size() * sizeof(double)));
+  dev.memcpy_h2d(d, host.data(), host.size() * sizeof(double));
+
+  const HpFixed<4, 2> total = hpsum::cudasim::reduce_hp_device_tree<4, 2>(
+      dev, d, host.size(), /*grid=*/2, /*block=*/16);
+  EXPECT_TRUE(has(total.status(), HpStatus::kInexact));
+  EXPECT_EQ(total.to_double(), 62.0);
+  dev.dfree(d);
+}
+
+TEST(CudasimStatus, CleanReductionStaysOk) {
+  hpsum::cudasim::Device dev;
+  std::vector<double> host(16, 0.5);
+  auto* d = static_cast<double*>(dev.dmalloc(host.size() * sizeof(double)));
+  dev.memcpy_h2d(d, host.data(), host.size() * sizeof(double));
+  const HpFixed<4, 2> total =
+      hpsum::cudasim::reduce_hp_device<4, 2>(dev, d, host.size(), 2, 4);
+  EXPECT_EQ(total.status(), HpStatus::kOk);
+  EXPECT_EQ(total.to_double(), 8.0);
+  dev.dfree(d);
+}
+
+TEST(HpDynStatus, ToDoubleOverloadReportsOverflow) {
+  // {20,2} spans far beyond double range upward: 2 * 1e308 converts exactly
+  // into HP but cannot come back as a finite double.
+  const HpConfig cfg{20, 2};
+  HpDyn acc(cfg, 1e308);
+  acc += 1e308;
+  HpStatus st = HpStatus::kOk;
+  const double out = acc.to_double(st);
+  EXPECT_TRUE(has(st, HpStatus::kToDoubleOverflow)) << to_string(st);
+  EXPECT_TRUE(std::isinf(out));
+  // The plain overload still answers the value-only question.
+  EXPECT_TRUE(std::isinf(acc.to_double()));
+}
+
+}  // namespace

@@ -1,0 +1,25 @@
+// hplint fixture: L3 (discard-status) — status/carry returns dropped.
+namespace hpsum {
+enum class HpStatus : unsigned char { kOk = 0 };
+namespace detail {
+HpStatus add_impl(unsigned long long* a, const unsigned long long* b, int n);
+HpStatus from_double_impl(unsigned long long* out, int n, int k, double r);
+}  // namespace detail
+namespace util {
+bool increment(unsigned long long* a);
+}
+
+void bad_discards(unsigned long long* a, const unsigned long long* b, int n) {
+  detail::add_impl(a, b, n);  // line 13: mask dropped on the floor
+  detail::from_double_impl(a, n, 2, 1.5);  // line 14
+  util::increment(a);  // line 15: carry-out dropped
+  (void)detail::add_impl(a, b, n);  // line 16: cast away is still a discard
+}
+
+HpStatus good_uses(unsigned long long* a, const unsigned long long* b, int n) {
+  HpStatus st = detail::add_impl(a, b, n);  // captured: fine
+  if (detail::from_double_impl(a, n, 2, 0.5) != HpStatus::kOk) {  // tested: fine
+    return st;
+  }
+  return detail::add_impl(a, b, n);  // returned: fine
+}

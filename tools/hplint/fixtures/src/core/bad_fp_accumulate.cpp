@@ -1,0 +1,32 @@
+// hplint fixture: every construct L1 (fp-accumulate) must catch.
+// This file is NEVER compiled or scanned by hplint_clean (fixture dirs are
+// skipped); the self-tests lint it and assert on the exact findings.
+#include <numeric>
+#include <vector>
+
+double naive_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;  // line 10: the classic order-sensitive accumulation
+  }
+  return sum;
+}
+
+double accumulate_sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);  // line 16
+}
+
+double omp_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)  // line 21
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total += xs[i];  // line 23
+  }
+  return total;
+}
+
+float single_precision(const std::vector<float>& xs) {
+  float acc = 0.0f;
+  for (float x : xs) acc -= x;  // line 30: -= is accumulation too
+  return acc;
+}

@@ -1,0 +1,20 @@
+// hplint fixture: L4 (nondeterminism) — unseeded / unordered sources
+// feeding reduction order.
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+double bad_random_input() {
+  return static_cast<double>(rand());  // line 8
+}
+
+unsigned bad_seed() {
+  std::random_device rd;  // line 12
+  return rd();
+}
+
+double bad_iteration(const std::unordered_map<int, double>& m) {  // line 16
+  double s = 0;
+  for (const auto& [k, v] : m) s = v;
+  return s;
+}

@@ -1,0 +1,24 @@
+// hplint fixture: L2 (signed-limb) — signed integer types in limb paths.
+#include <cstdint>
+
+namespace util {
+using Limb = unsigned long long;
+}
+
+void bad_mix(util::Limb* limbs, int n) {
+  for (int i = 0; i < n; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(limbs[i]);  // line 10
+    limbs[i] = static_cast<util::Limb>(v + 1);
+  }
+}
+
+signed long long bad_return(const util::Limb* limbs) {  // line 15
+  return static_cast<signed long long>(limbs[0]);
+}
+
+// A signed loop index with no limb token on the line is fine:
+int fine_index(int n) {
+  int total = 0;
+  for (std::int32_t i = 0; i < n; ++i) total += i;
+  return total;
+}

@@ -1,0 +1,37 @@
+// hplint fixture: the escape hatch. Every construct here would violate a
+// rule, but each carries a `hplint: allow(...)` annotation — the file must
+// lint clean. Also exercises comment/string stripping (mentions of
+// "sum += x" or rand() inside comments and literals must not fire).
+#include <cstdlib>
+#include <vector>
+
+namespace hpsum {
+enum class HpStatus : unsigned char { kOk = 0 };
+namespace detail {
+HpStatus add_impl(unsigned long long* a, const unsigned long long* b, int n);
+}
+}  // namespace hpsum
+
+double baseline(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;  // hplint: allow(fp-accumulate) — deliberate paper baseline
+  }
+  // hplint: allow(fp-accumulate) — annotation on the line above also works
+  sum += 1.0;
+  return sum;
+}
+
+void annotated_discard(unsigned long long* a, const unsigned long long* b) {
+  // hplint: allow(discard-status) — carry provably cannot fire here
+  hpsum::detail::add_impl(a, b, 1);
+}
+
+double seeded() {
+  // hplint: allow(nondeterminism) — fixture exercising the annotation
+  return static_cast<double>(rand());
+}
+
+// These mention violations but only in comments/strings; no findings:
+//   sum += x;   rand();   std::int64_t limb;
+const char* kDoc = "call rand() and then sum += x on std::int64_t limbs";

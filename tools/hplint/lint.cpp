@@ -1,0 +1,577 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace hpsum::lint {
+
+namespace {
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True iff `text[pos..pos+word.size())` equals `word` with identifier
+/// boundaries on both sides.
+bool word_at(std::string_view text, std::size_t pos, std::string_view word) {
+  if (pos + word.size() > text.size()) return false;
+  if (text.substr(pos, word.size()) != word) return false;
+  if (pos > 0 && ident_char(text[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < text.size() && ident_char(text[end])) return false;
+  return true;
+}
+
+/// Finds the next whole-word occurrence of `word` at or after `from`.
+std::size_t find_word(std::string_view text, std::string_view word,
+                      std::size_t from = 0) {
+  for (std::size_t p = text.find(word, from); p != std::string_view::npos;
+       p = text.find(word, p + 1)) {
+    if (word_at(text, p, word)) return p;
+  }
+  return std::string_view::npos;
+}
+
+bool contains_word(std::string_view text, std::string_view word) {
+  return find_word(text, word) != std::string_view::npos;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// One source line after preprocessing.
+struct Line {
+  std::string code;              ///< comments and literals stripped
+  std::set<std::string> allows;  ///< rule names allowed on this line
+};
+
+/// Strips //, /*...*/ comments and string/char literals, keeping line
+/// structure, and collects `hplint: allow(name,...)` annotations (which
+/// live inside the comments being stripped).
+std::vector<Line> preprocess(std::string_view src) {
+  std::vector<Line> lines(1);
+  bool in_block_comment = false;
+  std::size_t i = 0;
+  const auto n = src.size();
+  std::string comment_text;  // accumulated comment on the current line
+
+  auto harvest_allows = [](std::string_view comment, std::set<std::string>& out) {
+    static constexpr std::string_view kTag = "hplint: allow(";
+    for (std::size_t p = comment.find(kTag); p != std::string_view::npos;
+         p = comment.find(kTag, p + 1)) {
+      const std::size_t open = p + kTag.size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string_view::npos) continue;
+      std::string_view list = comment.substr(open, close - open);
+      while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        out.insert(std::string(trim(list.substr(0, comma))));
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+    }
+  };
+
+  auto end_line = [&] {
+    harvest_allows(comment_text, lines.back().allows);
+    comment_text.clear();
+    lines.emplace_back();
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      end_line();
+      ++i;
+      continue;
+    }
+    if (in_block_comment) {
+      if (c == '*' && i + 1 < n && src[i + 1] == '/') {
+        in_block_comment = false;
+        i += 2;
+      } else {
+        comment_text.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      // Line comment: consume to end of line (newline handled above).
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t stop = eol == std::string_view::npos ? n : eol;
+      comment_text.append(src.substr(i, stop - i));
+      i = stop;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n && src[i] == quote) ++i;
+      lines.back().code.push_back(quote);  // keep a token so "x" != empty
+      lines.back().code.push_back(quote);
+      continue;
+    }
+    lines.back().code.push_back(c);
+    ++i;
+  }
+  end_line();  // flush trailing line's annotations
+  // An annotation on a comment-only line applies to the next code line, so
+  // multi-line justification comments work: cascade allows downward through
+  // blank/comment-only lines.
+  for (std::size_t j = 0; j + 1 < lines.size(); ++j) {
+    if (!lines[j].allows.empty() && trim(lines[j].code).empty()) {
+      lines[j + 1].allows.insert(lines[j].allows.begin(),
+                                 lines[j].allows.end());
+    }
+  }
+  return lines;
+}
+
+bool allowed(const std::vector<Line>& lines, std::size_t idx,
+             std::string_view rule) {
+  if (lines[idx].allows.count(std::string(rule)) != 0) return true;
+  if (idx > 0 && lines[idx - 1].allows.count(std::string(rule)) != 0) {
+    return true;
+  }
+  return false;
+}
+
+bool path_contains(std::string_view path, std::string_view dir) {
+  return path.find(dir) != std::string_view::npos;
+}
+
+// --- L1: floating-point accumulation --------------------------------------
+
+/// Collects names declared as double/float scalars anywhere in the file
+/// (one pass; block scoping is deliberately ignored — a false positive is
+/// one annotation away, a false negative is a reproducibility bug).
+std::set<std::string> collect_fp_vars(const std::vector<Line>& lines) {
+  std::set<std::string> vars;
+  for (const Line& ln : lines) {
+    const std::string_view code = ln.code;
+    for (std::string_view kw : {"double", "float"}) {
+      for (std::size_t p = find_word(code, kw); p != std::string_view::npos;
+           p = find_word(code, kw, p + 1)) {
+        std::size_t q = p + kw.size();
+        while (q < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[q]))) {
+          ++q;
+        }
+        if (q >= code.size() || !ident_char(code[q]) || code[q] == '*') {
+          continue;  // cast, pointer, template arg, ...
+        }
+        const std::size_t name_start = q;
+        while (q < code.size() && ident_char(code[q])) ++q;
+        std::string name(code.substr(name_start, q - name_start));
+        while (q < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[q]))) {
+          ++q;
+        }
+        // A following '(' means a function declaration, not a variable.
+        if (q < code.size() && code[q] == '(') continue;
+        if (name == "const" || name == "return") continue;
+        vars.insert(std::move(name));
+      }
+    }
+  }
+  return vars;
+}
+
+void check_l1(std::string_view path, const std::vector<Line>& lines,
+              std::vector<Violation>& out) {
+  const std::set<std::string> fp_vars = collect_fp_vars(lines);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    if (code.empty() || allowed(lines, i, rule_name(Rule::kFpAccumulate))) {
+      continue;
+    }
+    if (contains_word(code, "accumulate") &&
+        code.find("std::accumulate") != std::string_view::npos) {
+      out.push_back({std::string(path), static_cast<int>(i + 1),
+                     Rule::kFpAccumulate,
+                     "std::accumulate in a contract reduction path",
+                     "use reduce_hp()/HpFixed so the sum stays exact, or "
+                     "annotate `// hplint: allow(fp-accumulate)` if this is "
+                     "a deliberate baseline"});
+      continue;
+    }
+    // OpenMP FP reduction clause: reduction(+:x) where x is an FP scalar,
+    // or a literal fp type in the clause.
+    if (const std::size_t rp = code.find("reduction(");
+        rp != std::string_view::npos) {
+      const std::size_t close = code.find(')', rp);
+      const std::string_view clause =
+          code.substr(rp, close == std::string_view::npos
+                              ? std::string_view::npos
+                              : close - rp + 1);
+      bool fp = contains_word(clause, "double") ||
+                contains_word(clause, "float");
+      for (const std::string& v : fp_vars) {
+        if (contains_word(clause, v)) fp = true;
+      }
+      if (fp && clause.find('+') != std::string_view::npos) {
+        out.push_back({std::string(path), static_cast<int>(i + 1),
+                       Rule::kFpAccumulate,
+                       "OpenMP reduction(+) over a floating-point variable",
+                       "declare an HP reduction instead "
+                       "(HPSUM_DECLARE_OMP_REDUCTION) or annotate "
+                       "`// hplint: allow(fp-accumulate)`"});
+        continue;
+      }
+    }
+    // var += / var -= where var is a known double/float scalar.
+    for (std::size_t p = code.find("="); p != std::string_view::npos;
+         p = code.find("=", p + 1)) {
+      if (p == 0 || (code[p - 1] != '+' && code[p - 1] != '-')) continue;
+      if (p + 1 < code.size() && code[p + 1] == '=') continue;  // ==, !=
+      // Identifier immediately left of the += / -=.
+      std::size_t q = p - 1;
+      while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1]))) {
+        --q;
+      }
+      std::size_t e = q;
+      while (q > 0 && ident_char(code[q - 1])) --q;
+      const std::string name(code.substr(q, e - q));
+      if (!name.empty() && fp_vars.count(name) != 0) {
+        out.push_back({std::string(path), static_cast<int>(i + 1),
+                       Rule::kFpAccumulate,
+                       "floating-point accumulation `" + name + " " +
+                           code[p - 1] + "=` in a contract reduction path",
+                       "accumulate into an HP type (single rounding at the "
+                       "end) or annotate `// hplint: allow(fp-accumulate)` "
+                       "with the reason"});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+// --- L2: signed integer types in limb arithmetic --------------------------
+
+void check_l2(std::string_view path, const std::vector<Line>& lines,
+              std::vector<Violation>& out) {
+  static constexpr std::string_view kSigned[] = {
+      "int8_t", "int16_t", "int32_t", "int64_t", "intptr_t", "signed"};
+  static constexpr std::string_view kLimbTokens[] = {
+      "Limb", "LimbSpan", "ConstLimbSpan", "limb", "limbs"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    if (code.empty() || allowed(lines, i, rule_name(Rule::kSignedLimb))) {
+      continue;
+    }
+    bool has_signed = false;
+    std::string_view which;
+    for (std::string_view t : kSigned) {
+      if (contains_word(code, t)) {
+        has_signed = true;
+        which = t;
+        break;
+      }
+    }
+    if (!has_signed) continue;
+    for (std::string_view t : kLimbTokens) {
+      if (contains_word(code, t)) {
+        out.push_back({std::string(path), static_cast<int>(i + 1),
+                       Rule::kSignedLimb,
+                       "signed type `" + std::string(which) +
+                           "` mixed into limb arithmetic",
+                       "HP limbs are util::Limb (uint64): signed overflow "
+                       "is UB, the method needs defined unsigned wrap; use "
+                       "util::Limb or annotate "
+                       "`// hplint: allow(signed-limb)`"});
+        break;
+      }
+    }
+  }
+}
+
+// --- L3: discarded status/carry returns -----------------------------------
+
+/// Functions whose return value is a status mask or carry that must not be
+/// silently dropped.
+constexpr std::string_view kStatusFns[] = {
+    "add_impl",        "from_double_impl", "from_double_exact",
+    "from_long_double_exact", "to_double_impl",
+    "hp_add",          "hp_from_double",   "hp_from_double_exact",
+    "hp_from_long_double", "hp_to_double",
+    "add_into",        "sub_into",         "increment",
+    "mul_small"};
+
+/// Strips trailing namespace qualifiers ("detail::", "util::", ...) and
+/// whitespace from a statement prefix.
+std::string_view strip_qualifiers(std::string_view prefix) {
+  for (;;) {
+    prefix = trim(prefix);
+    if (prefix.size() >= 2 && prefix.substr(prefix.size() - 2) == "::") {
+      std::size_t q = prefix.size() - 2;
+      while (q > 0 && ident_char(prefix[q - 1])) --q;
+      prefix = prefix.substr(0, q);
+      continue;
+    }
+    return prefix;
+  }
+}
+
+/// Last non-whitespace character of the nearest preceding non-blank code
+/// line, or '\0' if none.
+char prev_code_tail(const std::vector<Line>& lines, std::size_t idx) {
+  for (std::size_t j = idx; j-- > 0;) {
+    const std::string_view t = trim(lines[j].code);
+    if (!t.empty()) return t.back();
+  }
+  return '\0';
+}
+
+void check_l3(std::string_view path, const std::vector<Line>& lines,
+              std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    if (code.empty() || allowed(lines, i, rule_name(Rule::kDiscardStatus))) {
+      continue;
+    }
+    for (std::string_view fn : kStatusFns) {
+      const std::size_t p = find_word(code, fn);
+      if (p == std::string_view::npos) continue;
+      // Must be a call: next non-space char is '('.
+      std::size_t q = p + fn.size();
+      while (q < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[q]))) {
+        ++q;
+      }
+      if (q >= code.size() || code[q] != '(') continue;
+      // Method-style access (x.increment()) is someone else's API.
+      if (p >= 1 && (code[p - 1] == '.' ||
+                     (p >= 2 && code[p - 1] == '>' && code[p - 2] == '-'))) {
+        continue;
+      }
+      const std::string_view prefix = strip_qualifiers(code.substr(0, p));
+      bool discarded = false;
+      if (prefix.empty()) {
+        // Start of line: part of a larger expression only if the previous
+        // line ends in an operator that consumes a value.
+        const char tail = prev_code_tail(lines, i);
+        discarded = tail == '\0' || tail == ';' || tail == '{' || tail == '}';
+      } else {
+        // `(void)foo()` is still a discard — the contract wants the mask
+        // ORed into a sticky accumulator, not cast away.
+        discarded = prefix == "(void)";
+      }
+      if (discarded) {
+        out.push_back({std::string(path), static_cast<int>(i + 1),
+                       Rule::kDiscardStatus,
+                       "return status/carry of `" + std::string(fn) +
+                           "` is discarded",
+                       "OR it into a sticky HpStatus (status_ |= ...) or "
+                       "annotate `// hplint: allow(discard-status)` with a "
+                       "proof it cannot fire"});
+        break;
+      }
+    }
+  }
+}
+
+// --- L4: nondeterminism in deterministic paths ----------------------------
+
+void check_l4(std::string_view path, const std::vector<Line>& lines,
+              std::vector<Violation>& out) {
+  struct Bad {
+    std::string_view token;
+    std::string_view why;
+  };
+  static constexpr Bad kBad[] = {
+      {"rand", "rand() is seed/order dependent"},
+      {"srand", "srand() reseeds global state"},
+      {"random_device", "std::random_device is nondeterministic"},
+      {"unordered_map", "unordered_map iteration order is unspecified"},
+      {"unordered_set", "unordered_set iteration order is unspecified"},
+      {"unordered_multimap", "unordered_multimap iteration order is unspecified"},
+      {"unordered_multiset", "unordered_multiset iteration order is unspecified"},
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    if (code.empty() || allowed(lines, i, rule_name(Rule::kNondeterminism))) {
+      continue;
+    }
+    // Preprocessor lines: an #include of <unordered_map> is not itself a
+    // nondeterministic use; the iteration/call site is where L4 fires.
+    if (!trim(code).empty() && trim(code).front() == '#') continue;
+    for (const Bad& b : kBad) {
+      const std::size_t p = find_word(code, b.token);
+      if (p == std::string_view::npos) continue;
+      // rand/srand must be calls; the containers count as uses anywhere.
+      if (b.token == "rand" || b.token == "srand") {
+        std::size_t q = p + b.token.size();
+        while (q < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[q]))) {
+          ++q;
+        }
+        if (q >= code.size() || code[q] != '(') continue;
+      }
+      out.push_back({std::string(path), static_cast<int>(i + 1),
+                     Rule::kNondeterminism,
+                     std::string(b.why) + " — deterministic paths must not "
+                     "depend on it",
+                     "use util::prng (seeded, reproducible) or an ordered "
+                     "container; or annotate "
+                     "`// hplint: allow(nondeterminism)`"});
+      break;
+    }
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view rule_id(Rule r) noexcept {
+  switch (r) {
+    case Rule::kFpAccumulate: return "L1";
+    case Rule::kSignedLimb: return "L2";
+    case Rule::kDiscardStatus: return "L3";
+    case Rule::kNondeterminism: return "L4";
+  }
+  return "L?";
+}
+
+std::string_view rule_name(Rule r) noexcept {
+  switch (r) {
+    case Rule::kFpAccumulate: return "fp-accumulate";
+    case Rule::kSignedLimb: return "signed-limb";
+    case Rule::kDiscardStatus: return "discard-status";
+    case Rule::kNondeterminism: return "nondeterminism";
+  }
+  return "?";
+}
+
+std::string_view rule_summary(Rule r) noexcept {
+  switch (r) {
+    case Rule::kFpAccumulate:
+      return "no floating-point accumulation in contract reduction paths";
+    case Rule::kSignedLimb:
+      return "no signed integer types in HP limb arithmetic";
+    case Rule::kDiscardStatus:
+      return "no discarded HpStatus/carry returns from the kernels";
+    case Rule::kNondeterminism:
+      return "no rand()/random_device/unordered iteration in deterministic paths";
+  }
+  return "?";
+}
+
+RuleScope scope_for_path(std::string_view path) noexcept {
+  RuleScope s;
+  const bool contract = path_contains(path, "src/core") ||
+                        path_contains(path, "src/backends") ||
+                        path_contains(path, "src/cudasim") ||
+                        path_contains(path, "src/mpisim") ||
+                        path_contains(path, "src/phisim");
+  s.l1 = contract;
+  s.l2 = contract || path_contains(path, "src/util");
+  s.l3 = true;  // discarding a status mask is wrong everywhere we scan
+  s.l4 = path_contains(path, "src/");
+  return s;
+}
+
+std::vector<Violation> lint_source(std::string_view path,
+                                   std::string_view source,
+                                   const Options& opts) {
+  const std::vector<Line> lines = preprocess(source);
+  const RuleScope scope = scope_for_path(path);
+  std::vector<Violation> out;
+  if (opts.l1 && scope.l1) check_l1(path, lines, out);
+  if (opts.l2 && scope.l2) check_l2(path, lines, out);
+  if (opts.l3 && scope.l3) check_l3(path, lines, out);
+  if (opts.l4 && scope.l4) check_l4(path, lines, out);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return a.line < b.line;
+  });
+  return out;
+}
+
+std::vector<Violation> lint_file(const std::string& path, const Options& opts,
+                                 bool* io_error) {
+  if (io_error != nullptr) *io_error = false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (io_error != nullptr) *io_error = true;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_source(path, buf.str(), opts);
+}
+
+std::string to_text(const std::vector<Violation>& vs) {
+  std::string out;
+  for (const Violation& v : vs) {
+    out += v.file;
+    out += ':';
+    out += std::to_string(v.line);
+    out += ": [";
+    out += rule_id(v.rule);
+    out += ':';
+    out += rule_name(v.rule);
+    out += "] ";
+    out += v.message;
+    out += "\n    hint: ";
+    out += v.hint;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Violation>& vs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const Violation& v = vs[i];
+    if (i != 0) out += ',';
+    out += "\n  {\"file\": \"" + json_escape(v.file) + "\"";
+    out += ", \"line\": " + std::to_string(v.line);
+    out += ", \"rule\": \"" + std::string(rule_id(v.rule)) + "\"";
+    out += ", \"name\": \"" + std::string(rule_name(v.rule)) + "\"";
+    out += ", \"message\": \"" + json_escape(v.message) + "\"";
+    out += ", \"hint\": \"" + json_escape(v.hint) + "\"}";
+  }
+  out += vs.empty() ? "]" : "\n]";
+  return out;
+}
+
+}  // namespace hpsum::lint

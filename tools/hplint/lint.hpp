@@ -1,0 +1,97 @@
+// hplint — project-specific static analysis for the order-invariance
+// contract.
+//
+// The hpsum library's value proposition is a *contract*: sums are bit-exact
+// and order-invariant because every hot path is pure unsigned integer limb
+// arithmetic with sticky status propagation. A single stray double
+// accumulation in a reduction path, one discarded HpStatus mask, or one
+// nondeterministic iteration order silently re-introduces exactly the
+// irreproducibility the paper eliminates. hplint scans the tree lexically
+// (no compiler needed, runs in milliseconds as a ctest) and enforces:
+//
+//   L1 fp-accumulate   no floating-point accumulation (double/float +=,
+//                      std::accumulate, omp reduction(+:fp-var)) inside the
+//                      contract directories (src/core, src/backends,
+//                      src/cudasim, src/mpisim, src/phisim).
+//   L2 signed-limb     no signed integer types in HP limb arithmetic where
+//                      util::Limb (uint64) is required — signed overflow is
+//                      UB; the method depends on defined unsigned wrap.
+//   L3 discard-status  no call to the status-returning kernels
+//                      (add_impl, from_double_impl/_exact,
+//                      from_long_double_exact, hp_add, add_into, sub_into,
+//                      increment, mul_small, ...) whose returned
+//                      status/carry is discarded.
+//   L4 nondeterminism  no rand()/srand()/std::random_device and no
+//                      unordered-container iteration feeding reduction
+//                      order in deterministic paths.
+//
+// Escape hatch: a `// hplint: allow(<rule-name>)` comment on the same line
+// or on the line directly above suppresses that rule there — the point is
+// that every exception is visible and justified in the diff, not silent.
+//
+// docs/ANALYSIS.md documents each rule with examples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpsum::lint {
+
+/// Rule identifiers. Values are stable (they appear in JSON output).
+enum class Rule {
+  kFpAccumulate,   // L1
+  kSignedLimb,     // L2
+  kDiscardStatus,  // L3
+  kNondeterminism, // L4
+};
+
+/// Short id, e.g. "L1".
+[[nodiscard]] std::string_view rule_id(Rule r) noexcept;
+/// Annotation name, e.g. "fp-accumulate" (what allow(...) takes).
+[[nodiscard]] std::string_view rule_name(Rule r) noexcept;
+/// One-line description for --list-rules.
+[[nodiscard]] std::string_view rule_summary(Rule r) noexcept;
+
+/// One finding.
+struct Violation {
+  std::string file;     ///< path as given to the linter
+  int line = 0;         ///< 1-based
+  Rule rule = Rule::kFpAccumulate;
+  std::string message;  ///< what was found
+  std::string hint;     ///< how to fix (or how to annotate if intended)
+};
+
+/// Which rule families apply to a file, derived from its (repo-relative)
+/// path. Exposed for tests.
+struct RuleScope {
+  bool l1 = false;  ///< contract reduction paths
+  bool l2 = false;  ///< HP limb arithmetic files
+  bool l3 = false;  ///< everything scanned
+  bool l4 = false;  ///< deterministic paths
+};
+[[nodiscard]] RuleScope scope_for_path(std::string_view path) noexcept;
+
+/// Lints one file's contents. `path` determines rule scope and is copied
+/// into the violations; `enabled` masks rules globally (all four by
+/// default).
+struct Options {
+  bool l1 = true, l2 = true, l3 = true, l4 = true;
+};
+[[nodiscard]] std::vector<Violation> lint_source(std::string_view path,
+                                                 std::string_view source,
+                                                 const Options& opts = {});
+
+/// Lints a file on disk (reads it, then lint_source). Returns violations;
+/// a file that cannot be read yields a single L3-less pseudo-violation via
+/// `io_error` (set to true) so callers can distinguish.
+[[nodiscard]] std::vector<Violation> lint_file(const std::string& path,
+                                               const Options& opts,
+                                               bool* io_error);
+
+/// Renders violations as text ("file:line: [L1:fp-accumulate] ...") or as
+/// a machine-readable JSON array.
+[[nodiscard]] std::string to_text(const std::vector<Violation>& vs);
+[[nodiscard]] std::string to_json(const std::vector<Violation>& vs);
+
+}  // namespace hpsum::lint

@@ -1,0 +1,168 @@
+// hplint CLI — scans C++ sources for order-invariance contract violations.
+//
+// Usage:
+//   hplint [--root=DIR] [--format=text|json] [--rules=L1,L3] [paths...]
+//
+// Paths are files or directories (recursed; *.hpp *.h *.cpp *.cc *.cxx),
+// relative to --root (default: current directory). With no paths, scans
+// src, examples and bench. Exit code: 0 clean, 1 violations found, 2 usage
+// or I/O error.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using namespace hpsum::lint;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc" ||
+         e == ".cxx" || e == ".hh";
+}
+
+/// Directories never worth scanning: build trees, VCS state, and the lint
+/// fixtures themselves (they contain deliberate violations).
+bool skip_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || name == ".git" || name == "fixtures";
+}
+
+void collect(const fs::path& p, std::vector<fs::path>& out) {
+  if (fs::is_directory(p)) {
+    for (fs::recursive_directory_iterator it(p), end; it != end; ++it) {
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && has_source_ext(it->path())) {
+        out.push_back(it->path());
+      }
+    }
+  } else {
+    out.push_back(p);
+  }
+}
+
+int usage(std::ostream& os, int code) {
+  os << "usage: hplint [--root=DIR] [--format=text|json] [--rules=L1,..]\n"
+        "              [--list-rules] [paths...]\n"
+        "Scans C++ sources for hpsum order-invariance contract violations.\n"
+        "Default paths (relative to --root): src examples bench\n"
+        "Exit: 0 clean, 1 violations, 2 error.\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  Options opts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "hplint: unknown format '" << format << "'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      opts = Options{false, false, false, false};
+      std::string list = arg.substr(8);
+      for (std::size_t pos = 0; pos < list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string r = list.substr(pos, comma - pos);
+        if (r == "L1") opts.l1 = true;
+        else if (r == "L2") opts.l2 = true;
+        else if (r == "L3") opts.l3 = true;
+        else if (r == "L4") opts.l4 = true;
+        else {
+          std::cerr << "hplint: unknown rule '" << r << "'\n";
+          return 2;
+        }
+        pos = comma + 1;
+      }
+    } else if (arg == "--list-rules") {
+      for (Rule r : {Rule::kFpAccumulate, Rule::kSignedLimb,
+                     Rule::kDiscardStatus, Rule::kNondeterminism}) {
+        std::cout << rule_id(r) << "  " << rule_name(r) << "  —  "
+                  << rule_summary(r) << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "hplint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "examples", "bench"};
+
+  std::error_code ec;
+  const fs::path root_path = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "hplint: cannot resolve --root '" << root << "': "
+              << ec.message() << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path full = fs::path(p).is_absolute() ? fs::path(p)
+                                                    : root_path / p;
+    if (!fs::exists(full)) {
+      std::cerr << "hplint: no such path: " << full.string() << "\n";
+      return 2;
+    }
+    collect(full, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Violation> all;
+  int io_errors = 0;
+  for (const fs::path& f : files) {
+    // Scope rules by the repo-relative path so absolute build paths and
+    // relative invocations classify identically.
+    const fs::path rel = f.lexically_relative(root_path);
+    const std::string rel_str =
+        rel.empty() || rel.native()[0] == '.' ? f.string()
+                                              : rel.generic_string();
+    bool io_error = false;
+    std::vector<Violation> vs = lint_file(f.string(), opts, &io_error);
+    if (io_error) {
+      std::cerr << "hplint: cannot read " << f.string() << "\n";
+      ++io_errors;
+      continue;
+    }
+    for (Violation& v : vs) {
+      v.file = rel_str;
+      all.push_back(std::move(v));
+    }
+  }
+
+  if (format == "json") {
+    std::cout << to_json(all) << "\n";
+  } else {
+    std::cout << to_text(all);
+    std::cout << "hplint: scanned " << files.size() << " files, "
+              << all.size() << " violation" << (all.size() == 1 ? "" : "s")
+              << "\n";
+  }
+  if (io_errors != 0) return 2;
+  return all.empty() ? 0 : 1;
+}
