@@ -6,13 +6,24 @@
 // for all-positive, all-negative, and mixed-sign streams, and compares the
 // float-scaling path against the exact bit-placement path.
 //
-// Flags: --n (default 4M conversions), --seed.
+// It also carries Ablation A2b: the scatter-add fast path. Since
+// operator+=(double) deposits the mantissa directly into the affected limbs
+// (detail::scatter_add_double), the old convert-into-temporary + O(N) carry
+// add survives only as HpFixed::add_double_reference. This bench times both
+// on identical streams; tools/bench_smoke.py captures the ratio in
+// BENCH_scatter.json and CI fails if the fast path regresses.
+//
+// Flags: --n (default 4M conversions), --seed, --json=PATH (write the
+// scatter ablation as BENCH_scatter.json-schema JSON; see EXPERIMENTS.md).
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "core/hp_convert.hpp"
+#include "core/hp_fixed.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
@@ -40,10 +51,31 @@ double time_convert(const std::vector<double>& xs, bool exact_path) {
   });
 }
 
+/// ns/summand for the scatter fast path (operator+=) or the reference
+/// convert+add pair on one stream.
+template <int N, int K>
+double time_accumulate(const std::vector<double>& xs, bool scatter) {
+  return bench::time_min(3, [&] {
+    HpFixed<N, K> acc;
+    if (scatter) {
+      for (const double x : xs) acc += x;
+    } else {
+      for (const double x : xs) acc.add_double_reference(x);
+    }
+    bench::sink(acc.to_double());
+  });
+}
+
+struct ScatterRow {
+  const char* stream;
+  double scatter_ns;
+  double reference_ns;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "seed", "csv"});
+  const util::Args args(argc, argv, {"n", "seed", "csv", "json"});
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
 
@@ -79,5 +111,72 @@ int main(int argc, char** argv) {
       "work; mixed streams land between. Listing 1's float-scaling loop "
       "vs the frexp bit-placement path shows the cost of the paper's "
       "FP-multiply-based design on this core.\n");
+
+  // --- A2b: scatter-add fast path vs the reference convert+add pair ------
+  std::printf(
+      "\n=== Ablation A2b: scatter-add deposit vs convert+add (HP(6,3)) "
+      "===\n");
+  util::TablePrinter table2(
+      {"format", "stream", "scatter ns/add", "convert+add ns/add",
+       "speedup"});
+  std::vector<ScatterRow> rows;
+  const auto row2 = [&](const char* label, const std::vector<double>& xs) {
+    const double ts = 1e9 * time_accumulate<6, 3>(xs, true) /
+                      static_cast<double>(xs.size());
+    const double tr = 1e9 * time_accumulate<6, 3>(xs, false) /
+                      static_cast<double>(xs.size());
+    rows.push_back({label, ts, tr});
+    table2.begin_row();
+    table2.add_cell("HP(6,3)");
+    table2.add_cell(label);
+    table2.add_num(ts, 4);
+    table2.add_num(tr, 4);
+    table2.add_num(tr / ts, 3);
+  };
+  row2("all-positive", positive);
+  row2("all-negative", negative);
+  row2("mixed", mixed);
+  bench::emit_table(table2, args);
+  std::printf(
+      "\nreading: the deposit touches 2-3 limbs and carries only until the "
+      "chain dies; the reference pair materializes an N-limb temporary and "
+      "pays an O(N) add per summand.\n");
+
+  // --json=PATH: the BENCH_scatter.json schema (EXPERIMENTS.md) consumed
+  // by tools/bench_smoke.py and the bench-smoke CI job.
+  const std::string json_path = args.get_string("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"ablate_convert_scatter\",\n"
+                 "  \"format\": {\"n\": 6, \"k\": 3},\n"
+                 "  \"stream_size\": %lld,\n"
+                 "  \"streams\": [\n",
+                 static_cast<long long>(n));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"stream\": \"%s\", \"scatter_ns_per_add\": %.4f, "
+                   "\"reference_ns_per_add\": %.4f, \"speedup\": %.4f}%s\n",
+                   rows[i].stream, rows[i].scatter_ns, rows[i].reference_ns,
+                   rows[i].reference_ns / rows[i].scatter_ns,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    double min_speedup = 1e300;
+    for (const auto& r : rows) {
+      min_speedup = std::min(min_speedup, r.reference_ns / r.scatter_ns);
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"min_speedup\": %.4f\n"
+                 "}\n",
+                 min_speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -21,12 +21,31 @@ std::vector<double> make_inputs(std::size_t n, double lo, double hi) {
   return xs;
 }
 
+// operator+=(double) is the scatter-add fast path: mantissa deposited
+// directly into the 2-3 affected limbs, carry propagated only until it
+// dies.
 template <int N, int K>
 void BM_HpAccumulate(benchmark::State& state) {
   const auto xs = make_inputs(4096, -0.5, 0.5);
   hpsum::HpFixed<N, K> acc;
   for (auto _ : state) {
     for (const double x : xs) acc += x;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+// The pre-fast-path reference: full-width conversion into an N-limb
+// temporary plus an O(N) carry add per summand (paper Listings 1+2).
+// Keeping it benchmarked alongside BM_HpAccumulate makes the scatter
+// ablation visible in every micro-kernel run.
+template <int N, int K>
+void BM_HpReferenceAccumulate(benchmark::State& state) {
+  const auto xs = make_inputs(4096, -0.5, 0.5);
+  hpsum::HpFixed<N, K> acc;
+  for (auto _ : state) {
+    for (const double x : xs) acc.add_double_reference(x);
     benchmark::DoNotOptimize(acc);
   }
   state.SetItemsProcessed(state.iterations() *
@@ -70,6 +89,9 @@ BENCHMARK(BM_DoubleAccumulate);
 BENCHMARK(BM_HpAccumulate<3, 2>);
 BENCHMARK(BM_HpAccumulate<6, 3>);
 BENCHMARK(BM_HpAccumulate<8, 4>);
+BENCHMARK(BM_HpReferenceAccumulate<3, 2>);
+BENCHMARK(BM_HpReferenceAccumulate<6, 3>);
+BENCHMARK(BM_HpReferenceAccumulate<8, 4>);
 BENCHMARK(BM_HallbergAccumulate<10, 38>);
 BENCHMARK(BM_HallbergAccumulate<10, 52>);
 BENCHMARK(BM_HallbergAccumulate<14, 37>);

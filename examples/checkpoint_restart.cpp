@@ -3,9 +3,14 @@
 // Long simulations checkpoint running sums. A checkpoint that stores the
 // accumulator as a double throws away everything below the 53rd bit, so
 // the restarted run silently diverges from the uninterrupted one. HP
-// accumulators serialize losslessly two ways — raw limbs (compact) or the
-// exact decimal string (human-readable, endian-proof) — and the restarted
-// run is bit-identical to never having stopped.
+// accumulators serialize losslessly two ways — the canonical binary format
+// (compact, self-describing: magic + format + sticky status + limbs,
+// docs/FORMAT.md) or the exact decimal string (human-readable,
+// endian-proof) — and the restarted run is bit-identical to never having
+// stopped. Note the binary path goes through serialize()/deserialize(),
+// NOT HpDyn::to_bytes: the raw limb image carries no status byte, so a
+// to_bytes checkpoint of a partial that had flagged kInexact or an
+// overflow would restore clean and the restarted run would under-report.
 //
 // Build & run:  ./build/examples/checkpoint_restart
 #include <cstdio>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "core/hp_dyn.hpp"
+#include "core/hp_serialize.hpp"
 #include "core/reduce.hpp"
 #include "workload/workload.hpp"
 
@@ -31,22 +37,22 @@ int main() {
   // Run to the midpoint and checkpoint.
   const HpDyn at_checkpoint = reduce_hp(first, cfg);
   const std::string decimal_ckpt = at_checkpoint.to_decimal_string();
-  std::vector<std::byte> binary_ckpt(at_checkpoint.byte_size());
-  at_checkpoint.to_bytes(binary_ckpt.data());
+  const std::vector<std::byte> binary_ckpt = serialize(at_checkpoint);
   const double double_ckpt = at_checkpoint.to_double();  // the lossy way
 
   std::printf("checkpoint after %zu of %zu summands\n", half, xs.size());
   std::printf("  decimal checkpoint: %.60s... (%zu digits)\n",
               decimal_ckpt.c_str(), decimal_ckpt.size());
-  std::printf("  binary checkpoint : %zu bytes\n\n", binary_ckpt.size());
+  std::printf("  binary checkpoint : %zu bytes (format + status + limbs)\n\n",
+              binary_ckpt.size());
 
   // Restart path A: exact decimal string.
   HpDyn restart_decimal = HpDyn::from_decimal_string(decimal_ckpt, cfg);
   for (const double x : second) restart_decimal += x;
 
-  // Restart path B: raw limbs.
-  HpDyn restart_binary(cfg);
-  restart_binary.from_bytes(binary_ckpt.data());
+  // Restart path B: canonical binary format (carries the sticky status, so
+  // a partial that had flagged kInexact/kAddOverflow restores flagged).
+  HpDyn restart_binary = deserialize(binary_ckpt);
   for (const double x : second) restart_binary += x;
 
   // Restart path C: the lossy double checkpoint.

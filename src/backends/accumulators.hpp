@@ -38,6 +38,8 @@ struct HpSum {
   // accumulation here.
   HpFixed<N, K> hp;
 
+  // operator+=(double) is the scatter-add fast path (hp_convert.hpp): the
+  // mantissa lands directly in the affected limbs, no full-width temp.
   void accumulate(double x) noexcept { hp += x; }
   void merge(const HpSum& o) noexcept { hp += o.hp; }
   [[nodiscard]] double result() const noexcept { return hp.to_double(); }

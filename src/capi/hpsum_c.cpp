@@ -10,6 +10,17 @@
 
 /* The opaque handle wraps an HpDyn. All exceptions are caught at the C
  * boundary and turned into NULL/0/no-op results. */
+static_assert(HPSUM_CONVERT_OVERFLOW ==
+              static_cast<int>(hpsum::HpStatus::kConvertOverflow));
+static_assert(HPSUM_ADD_OVERFLOW ==
+              static_cast<int>(hpsum::HpStatus::kAddOverflow));
+static_assert(HPSUM_TO_DOUBLE_OVERFLOW ==
+              static_cast<int>(hpsum::HpStatus::kToDoubleOverflow));
+static_assert(HPSUM_INEXACT == static_cast<int>(hpsum::HpStatus::kInexact));
+static_assert(HPSUM_TO_DOUBLE_INEXACT ==
+              static_cast<int>(hpsum::HpStatus::kToDoubleInexact));
+static_assert(HPSUM_INVALID_OP ==
+              static_cast<int>(hpsum::HpStatus::kInvalidOp));
 struct hpsum_s {
   hpsum::HpDyn value;
   explicit hpsum_s(hpsum::HpConfig cfg) : value(cfg) {}

@@ -34,7 +34,8 @@ enum {
   HPSUM_ADD_OVERFLOW = 1 << 1,
   HPSUM_TO_DOUBLE_OVERFLOW = 1 << 2,
   HPSUM_INEXACT = 1 << 3,
-  HPSUM_TO_DOUBLE_INEXACT = 1 << 4
+  HPSUM_TO_DOUBLE_INEXACT = 1 << 4,
+  HPSUM_INVALID_OP = 1 << 5
 };
 
 /* Creates a zero accumulator with n 64-bit limbs, k fractional

@@ -32,6 +32,12 @@ HpStatus hp_add(util::LimbSpan a, util::ConstLimbSpan b) noexcept {
   return detail::add_impl(a.data(), b.data(), static_cast<int>(a.size()));
 }
 
+HpStatus hp_scatter_add(util::LimbSpan limbs, const HpConfig& cfg,
+                        double r) noexcept {
+  assert(limbs.size() == static_cast<std::size_t>(cfg.n));
+  return detail::scatter_add_double(limbs.data(), cfg.n, cfg.k, r);
+}
+
 HpStatus hp_to_double(util::ConstLimbSpan limbs, const HpConfig& cfg,
                       double* out) noexcept {
   assert(limbs.size() == static_cast<std::size_t>(cfg.n));

@@ -202,6 +202,85 @@ HPSUM_ALLOW_UNSIGNED_WRAP
   return (sa == sb && sr != sa) ? HpStatus::kAddOverflow : HpStatus::kOk;
 }
 
+/// Fused double -> HP convert + add: the scatter-add fast path for the hot
+/// reduction loop (`acc += x`). A double's 53-bit mantissa lands in at most
+/// two adjacent limbs (plus a dying carry), so instead of materializing a
+/// full n-limb temporary (from_double_impl) and paying an O(n) carry add
+/// (add_impl), this places the mantissa directly into the affected limbs
+/// with the same bit-placement math as from_double_exact and propagates the
+/// carry upward only until it dies. Negative summands subtract the
+/// magnitude with borrow propagation — no full-width two's-complement
+/// temporary is ever built. (Neal's small-superaccumulator observation:
+/// touching only the affected words is the constant-factor win for exactly
+/// this representation; the paper's §III.A only requires the result be
+/// bit-identical, not that the temporary exist.)
+///
+/// Bit-exact contract (enforced by tests/test_scatter_add.cpp): for every
+/// finite/non-finite double and every accumulator state, the resulting
+/// limbs AND the returned status equal the reference two-step path
+/// `from_double_impl/_exact(r, tmp) ; add_impl(a, tmp)`:
+///   - kInexact     when bits below 2^(-64k) truncate toward zero,
+///   - kConvertOverflow for non-finite or out-of-range |r| (a unchanged),
+///   - kAddOverflow when the add leaves the range, by the same sign rule
+///     as add_impl (same-sign operands, opposite-sign result).
+/// Carry/borrow past the top limb wraps mod 2^(64n), exactly as add_impl
+/// wraps — the Z/2^(64n) group structure the overflow flag reports on.
+HPSUM_ALLOW_UNSIGNED_WRAP
+[[nodiscard]] constexpr HpStatus scatter_add_double(util::Limb* a, int n,
+                                                    int k, double r) noexcept {
+  if (!f64_is_finite(r)) return HpStatus::kConvertOverflow;
+  if (r == 0.0) return HpStatus::kOk;  // covers -0.0: canonical zero addend
+
+  const int be = f64_biased_exp(r);
+  std::uint64_t m53 = f64_bits(r) & ((std::uint64_t{1} << 52) - 1);
+  if (be != 0) m53 |= std::uint64_t{1} << 52;  // implicit leading bit
+  // Storage-bit position of the mantissa lsb (same math as
+  // from_double_exact; bit 0 is the lsb of a[n-1]).
+  int p = (be == 0 ? -1074 : be - 1075) + 64 * k;
+  HpStatus st = HpStatus::kOk;
+
+  if (p < 0) {
+    // Low bits fall below 2^(-64k): truncate toward zero.
+    if (-p >= 53) return HpStatus::kInexact;  // entirely sub-lsb, a unchanged
+    if ((m53 & ((std::uint64_t{1} << -p) - 1)) != 0) st |= HpStatus::kInexact;
+    m53 >>= -p;
+    p = 0;
+    if (m53 == 0) return st;
+  }
+  const int msb = p + 63 - std::countl_zero(m53);
+  if (msb >= 64 * n - 1) {
+    return HpStatus::kConvertOverflow;  // collides with or passes the sign bit
+  }
+
+  const bool isneg = (f64_bits(r) >> 63) != 0;
+  const bool sa = (a[0] >> 63) != 0;  // accumulator sign before the add
+  const int li = n - 1 - p / 64;
+  const int off = p % 64;
+  const util::Limb lo = m53 << off;
+  // The straddle limb; zero when off == 0, and provably zero when li == 0
+  // (msb < 64n-1 keeps the mantissa inside the top limb there).
+  const util::Limb hi = off != 0 ? m53 >> (64 - off) : 0;
+
+  if (!isneg) {
+    bool carry = util::detail::addc(a[li], lo, false, &a[li]);
+    if (li >= 1) {
+      carry = util::detail::addc(a[li - 1], hi, carry, &a[li - 1]);
+      for (int i = li - 2; i >= 0 && carry; --i) carry = ++a[i] == 0;
+    }
+  } else {
+    bool borrow = util::detail::subb(a[li], lo, false, &a[li]);
+    if (li >= 1) {
+      borrow = util::detail::subb(a[li - 1], hi, borrow, &a[li - 1]);
+      for (int i = li - 2; i >= 0 && borrow; --i) borrow = a[i]-- == 0;
+    }
+  }
+  // add_impl's sign rule: the (virtual) addend is nonzero here, so its sign
+  // is just the input's sign; compare against the result's sign.
+  const bool sr = (a[0] >> 63) != 0;
+  if (sa == isneg && sr != sa) st |= HpStatus::kAddOverflow;
+  return st;
+}
+
 /// HP -> double with a single correct round-to-nearest-even at the end —
 /// the "round once, after the reduction" promise of high-precision
 /// intermediate sum methods. The result double is assembled field-by-field
@@ -313,6 +392,10 @@ HpStatus hp_from_double(double r, util::LimbSpan limbs, const HpConfig& cfg) noe
 HpStatus hp_from_double_exact(double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
 HpStatus hp_from_long_double(long double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
 HpStatus hp_add(util::LimbSpan a, util::ConstLimbSpan b) noexcept;
+/// Fused `limbs += r` via detail::scatter_add_double — the hot-path
+/// equivalent of hp_from_double into a temporary followed by hp_add,
+/// bit-identical in limbs and status.
+HpStatus hp_scatter_add(util::LimbSpan limbs, const HpConfig& cfg, double r) noexcept;
 HpStatus hp_to_double(util::ConstLimbSpan limbs, const HpConfig& cfg, double* out) noexcept;
 
 }  // namespace hpsum

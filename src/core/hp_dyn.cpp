@@ -37,6 +37,14 @@ HpDyn HpDyn::from_decimal_string(std::string_view s, HpConfig cfg) {
 }
 
 HpDyn& HpDyn::operator+=(double r) noexcept {
+  // Fused scatter-add fast path — bit-identical (limbs and status) to the
+  // reference hp_from_double-into-a-temporary + hp_add pair, which remains
+  // available as add_double_reference() for differential testing.
+  status_ |= hp_scatter_add(limbs(), cfg_, r);
+  return *this;
+}
+
+HpDyn& HpDyn::add_double_reference(double r) noexcept {
   util::Limb tmp[kMaxLimbs];
   const auto span = util::LimbSpan(tmp, limbs_.size());
   status_ |= hp_from_double(r, span, cfg_);
@@ -93,6 +101,12 @@ void HpDyn::scale_pow2(int e) noexcept {
 }
 
 std::uint64_t HpDyn::div_small(std::uint64_t d) noexcept {
+  if (d == 0) {
+    // util::divmod_small requires d != 0; this is a public noexcept API, so
+    // report the misuse through the sticky status instead of UB.
+    status_ |= HpStatus::kInvalidOp;
+    return 0;
+  }
   const bool neg = is_negative();
   const auto span = limbs();
   if (neg) util::negate_twos(span);
@@ -131,11 +145,28 @@ void HpDyn::clear() noexcept {
 }
 
 void HpDyn::to_bytes(std::byte* out) const noexcept {
-  std::memcpy(out, limbs_.data(), byte_size());
+  // Explicit little-endian so the wire image matches serialize()'s limb
+  // encoding on every host (docs/FORMAT.md "Limb-image wire format"). The
+  // image carries limbs ONLY: the sticky status (and the format) must
+  // travel out of band — see serialize() for the self-describing container.
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const util::Limb v = limbs_[i];
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>(v >> (8 * b));
+    }
+  }
 }
 
 void HpDyn::from_bytes(const std::byte* in) noexcept {
-  std::memcpy(limbs_.data(), in, byte_size());
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    util::Limb v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<util::Limb>(in[8 * i + static_cast<std::size_t>(b)])
+           << (8 * b);
+    }
+    limbs_[i] = v;
+  }
 }
 
 }  // namespace hpsum

@@ -37,8 +37,14 @@ class HpDyn {
   /// The format.
   [[nodiscard]] HpConfig config() const noexcept { return cfg_; }
 
-  /// Adds a double: exact conversion + limb-wise add.
+  /// Adds a double through the fused scatter-add fast path (mantissa lands
+  /// directly in the affected limbs; carry propagates only until it dies).
   HpDyn& operator+=(double r) noexcept;
+
+  /// The original two-step convert+add path, bit-identical to operator+=
+  /// in limbs and status; retained as the reference implementation for
+  /// differential testing and the scatter ablation bench.
+  HpDyn& add_double_reference(double r) noexcept;
 
   /// Subtracts a double.
   HpDyn& operator-=(double r) noexcept { return *this += -r; }
@@ -105,11 +111,17 @@ class HpDyn {
     return limbs_.size() * sizeof(util::Limb);
   }
 
-  /// Copies the limbs into `out` (at least byte_size() bytes).
+  /// Writes the limb-image wire format (docs/FORMAT.md): limbs
+  /// most-significant-first, each little-endian, byte_size() bytes total.
+  /// The image carries limbs ONLY — the format and the sticky status must
+  /// travel out of band (the mpisim reductions OR-reduce a status byte
+  /// alongside the values). For self-contained storage such as checkpoints,
+  /// use serialize()/deserialize(), which carry format AND status; a raw
+  /// to_bytes checkpoint of a flagged partial would restore clean.
   void to_bytes(std::byte* out) const noexcept;
 
   /// Replaces the limbs from a byte image produced by to_bytes() with the
-  /// same format.
+  /// same format. Does not touch the sticky status (see to_bytes).
   void from_bytes(const std::byte* in) noexcept;
 
  private:

@@ -55,8 +55,22 @@ class HpFixed {
   /// Smallest positive representable value, 2^-64K (Table 1 "Smallest").
   static double smallest() noexcept { return hpsum::smallest(config()); }
 
-  /// Adds a double: exact conversion (Listing 1) + limb-wise add (Listing 2).
+  /// Adds a double through the fused scatter-add fast path: the mantissa
+  /// lands directly in the 2-3 affected limbs and the carry/borrow
+  /// propagates only until it dies — bit-identical (limbs and status) to
+  /// the reference convert+add pair, kept below as add_double_reference()
+  /// for differential testing.
   constexpr HpFixed& operator+=(double r) noexcept {
+    status_ |= detail::scatter_add_double(limbs_.data(), N, K, r);
+    return *this;
+  }
+
+  /// The original two-step path (paper Listings 1+2): full-width conversion
+  /// into a temporary, then an O(N) carry add. Semantically identical to
+  /// operator+=(double); retained as the reference implementation the
+  /// scatter fast path is differentially fuzzed against
+  /// (tests/test_scatter_add.cpp) and ablated against (bench/ablate_convert).
+  constexpr HpFixed& add_double_reference(double r) noexcept {
     util::Limb tmp[N];
     // Listing 1's float-scaling path needs its scale factors within double
     // exponent range; very wide formats use exact bit placement instead.
@@ -137,7 +151,14 @@ class HpFixed {
   /// (truncation toward zero); returns the remainder in lsb units.
   /// Together with the summand count this yields exact means:
   /// mean = (sum / n) with sub-lsb remainder reported, order-invariant.
+  /// d == 0 violates the divisor precondition: the value is left unchanged,
+  /// the remainder is 0, and kInvalidOp is raised (the sticky-status idiom
+  /// — this is a public noexcept API, so the precondition cannot be UB).
   constexpr std::uint64_t div_small(std::uint64_t d) noexcept {
+    if (d == 0) {
+      status_ |= HpStatus::kInvalidOp;
+      return 0;
+    }
     const bool neg = is_negative();
     const auto span = util::LimbSpan(limbs_.data(), N);
     if (neg) util::negate_twos(span);

@@ -56,12 +56,20 @@ HpDyn deserialize(std::span<const std::byte> bytes) {
   if (bytes.size() != serialized_size(cfg)) {
     throw std::invalid_argument("hp deserialize: size mismatch");
   }
+  // The status byte must contain only defined flags: ORing raw input into
+  // the sticky mask would let corrupt data plant undefined bits that then
+  // stick forever (and survive re-serialization). Reject, don't clear —
+  // unknown bits mean the image is from a future version or damaged.
+  const auto raw_status = static_cast<std::uint8_t>(bytes[5]);
+  if ((raw_status & ~kHpStatusMask) != 0) {
+    throw std::invalid_argument("hp deserialize: undefined status bits");
+  }
   HpDyn v(cfg);
   const auto limbs = v.limbs();
   for (std::size_t i = 0; i < limbs.size(); ++i) {
     limbs[i] = get_u64_le(bytes.data() + 8 + 8 * i);
   }
-  v.or_status(static_cast<HpStatus>(bytes[5]));
+  v.or_status(static_cast<HpStatus>(raw_status));
   return v;
 }
 

@@ -31,7 +31,21 @@ enum class HpStatus : std::uint8_t {
   /// The HP value has nonzero bits below the smallest double (subnormal
   /// floor); HP→double rounding lost them.
   kToDoubleInexact = 1u << 4,
+  /// An operation's precondition was violated (currently: div_small with a
+  /// zero divisor). The value is left unchanged; noexcept APIs report the
+  /// misuse here instead of invoking UB.
+  kInvalidOp = 1u << 5,
 };
+
+/// Bitmask of every defined flag. Deserializers validate incoming status
+/// bytes against this so corrupt input cannot plant undefined sticky bits.
+inline constexpr std::uint8_t kHpStatusMask =
+    static_cast<std::uint8_t>(HpStatus::kConvertOverflow) |
+    static_cast<std::uint8_t>(HpStatus::kAddOverflow) |
+    static_cast<std::uint8_t>(HpStatus::kToDoubleOverflow) |
+    static_cast<std::uint8_t>(HpStatus::kInexact) |
+    static_cast<std::uint8_t>(HpStatus::kToDoubleInexact) |
+    static_cast<std::uint8_t>(HpStatus::kInvalidOp);
 
 /// Combines two status masks.
 constexpr HpStatus operator|(HpStatus a, HpStatus b) noexcept {
@@ -75,6 +89,7 @@ inline std::string to_string(HpStatus s) {
   append(HpStatus::kToDoubleOverflow, "to-double-overflow");
   append(HpStatus::kInexact, "inexact");
   append(HpStatus::kToDoubleInexact, "to-double-inexact");
+  append(HpStatus::kInvalidOp, "invalid-op");
   return out;
 }
 

@@ -1,8 +1,12 @@
 // Sequential reduction kernels over arrays of doubles.
 //
 // These are the inner loops every backend (OpenMP, mpisim, cudasim, phisim)
-// and every bench builds on: convert each double to the accumulator format
-// and add it to a running partial sum.
+// and every bench builds on: each double is deposited into the running
+// partial sum via operator+=(double), which since the scatter-add fast path
+// (detail::scatter_add_double) places the mantissa directly into the 2-3
+// affected limbs instead of materializing a full-width converted temporary.
+// bench/ablate_convert.cpp --json quantifies the difference; HpFixed's
+// add_double_reference keeps the old convert+add pair callable.
 #pragma once
 
 #include <span>

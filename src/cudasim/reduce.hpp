@@ -110,6 +110,10 @@ template <int N, int K>
           HpFixed<N, K> local;
           for (std::size_t i = static_cast<std::size_t>(ctx.global_id());
                i < n; i += static_cast<std::size_t>(total_threads)) {
+            // Per-thread deposit rides the scatter-add fast path: each
+            // summand touches only its 2-3 limbs, which is what keeps the
+            // grid-stride loop's register pressure at O(1) limbs instead of
+            // a full N-limb converted temporary per element.
             local += data[i];
           }
           raise(local.status());

@@ -15,7 +15,10 @@ namespace hpsum::mpisim {
 
 /// Element-wise HP addition op (exact, order-invariant). The returned Op
 /// tracks combine-step overflow in Op::sticky_status instead of dropping
-/// it; reduce_hp_value shows how to gather those flags across ranks.
+/// it; reduce_hp_value shows how to gather those flags across ranks. The
+/// mask is scoped to one reduction (Comm::reduce resets it on entry), so an
+/// Op reused across reductions reports each reduction's conditions
+/// independently.
 [[nodiscard]] Op hp_sum_op(HpConfig cfg);
 
 /// Datatype for one HpStatus mask (1 byte) and its sticky-OR combine op —

@@ -213,6 +213,10 @@ void Comm::sendrecv(int dest, const void* send_buf, std::size_t send_bytes,
 void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
                   const Datatype& dt, const Op& op, int root,
                   ReduceAlgo algo) {
+  // Scope the op's condition mask to this reduction (each rank holds its
+  // own Op / mask): without the reset, a flag observed in one reduction
+  // bleeds into the reported status of later, unrelated ones.
+  op.reset_status();
   const int tag = kCollectiveTagBase + coll_seq_++;
   const std::size_t bytes = count * dt.size;
   const int p = size();
@@ -329,6 +333,7 @@ void Comm::Group::bcast(void* buf, std::size_t bytes, int group_root) {
 void Comm::Group::reduce(const void* send_buf, void* recv_buf,
                          std::size_t count, const Datatype& dt, const Op& op,
                          int group_root, ReduceAlgo algo) {
+  op.reset_status();  // per-operation status scope, as in Comm::reduce
   const int tag = kCollectiveTagBase + parent_->coll_seq_++;
   const std::size_t bytes = count * dt.size;
   const int p = size();

@@ -51,17 +51,29 @@ struct Datatype {
 struct Op {
   std::function<void(std::byte* inout, const std::byte* in)> fn;
   std::string name;
-  /// Optional sticky condition mask. Ops whose combine step can observe
+  /// Optional condition mask. Ops whose combine step can observe
   /// exceptional conditions (e.g. HP add overflow) OR them in here instead
   /// of discarding them; copies of the Op share one mask. Collects only the
   /// combines executed by the rank holding this Op — to gather conditions
   /// from *all* ranks, reduce the mask too (see reduce_hp_value).
+  ///
+  /// Scope is ONE reduction: Comm::reduce / Comm::Group::reduce clear the
+  /// mask on entry, so observed_status() after a reduction reports that
+  /// reduction's conditions only. (An Op reused across reductions used to
+  /// bleed an overflow seen in one allreduce into the status of later,
+  /// unrelated reductions.)
   std::shared_ptr<std::atomic<std::uint8_t>> sticky_status;
 
-  /// The conditions observed so far by this op's combines (0 if the op
-  /// does not track any).
+  /// The conditions observed by this op's combines during the most recent
+  /// reduction (0 if the op does not track any).
   [[nodiscard]] std::uint8_t observed_status() const noexcept {
     return sticky_status ? sticky_status->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Clears the condition mask — the start-of-reduction reset that scopes
+  /// observed_status() to a single operation.
+  void reset_status() const noexcept {
+    if (sticky_status) sticky_status->store(0, std::memory_order_relaxed);
   }
 };
 

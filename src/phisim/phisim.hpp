@@ -47,6 +47,9 @@ class OffloadDevice {
 
   /// Offloads `xs` (copy + modeled transfer), reduces it with `threads`
   /// device threads using accumulator Acc, and returns value + timing.
+  /// With Acc = backends::HpSum the per-thread inner loop is the
+  /// scatter-add fast path (core/hp_convert.hpp), so the amortization
+  /// curve in busy_max reflects the deposit cost, not convert+add.
   /// Throws std::invalid_argument if threads exceeds props().max_threads.
   template <class Acc>
   OffloadPoint offload_reduce(std::span<const double> xs, int threads) {

@@ -187,6 +187,55 @@ constexpr bool rounding_away_when_above_tie() {
 }
 static_assert(rounding_away_when_above_tie());
 
+// --- Scatter-add fast-path proofs ------------------------------------------
+
+/// The fused deposit is bit-identical — limbs AND status — to the
+/// reference convert+add pair. Checked by the compiler on a cancellation
+/// mix that spans the fraction, the integer part, and a subnormal.
+constexpr bool scatter_matches_reference() {
+  constexpr double xs[] = {1e16,  3.14159, -1e16,  2.71828, 1e-8,
+                           -12345.678, 0.5, 5e-324, -2.5e-310, 1e16};
+  HpFixed<6, 3> fast;
+  HpFixed<6, 3> ref;
+  for (const double x : xs) {
+    fast += x;  // scatter-add fast path
+    ref.add_double_reference(x);
+  }
+  return fast == ref && fast.status() == ref.status();
+}
+static_assert(scatter_matches_reference(),
+              "scatter-add is bit-identical to convert+add");
+
+/// Carry localization: a deposit into the low limb of an all-ones
+/// accumulator ripples to the top, and the inverse borrow restores it.
+constexpr bool scatter_carry_chain_works() {
+  util::Limb a[4] = {~0ull, ~0ull, ~0ull, ~0ull};  // -lsb
+  const HpStatus up =
+      hpsum::detail::scatter_add_double(a, 4, 2, 0x1p-128);  // +lsb
+  if (up != HpStatus::kOk) return false;
+  if (a[0] != 0 || a[1] != 0 || a[2] != 0 || a[3] != 0) return false;
+  const HpStatus down = hpsum::detail::scatter_add_double(a, 4, 2, -0x1p-128);
+  return down == HpStatus::kOk && a[0] == ~0ull && a[1] == ~0ull &&
+         a[2] == ~0ull && a[3] == ~0ull;
+}
+static_assert(scatter_carry_chain_works(),
+              "scatter carry/borrow ripples across every limb seam");
+
+/// Status contract at the edges: sub-lsb truncation flags kInexact and
+/// leaves the accumulator untouched; out-of-range flags kConvertOverflow.
+constexpr bool scatter_status_contract_holds() {
+  util::Limb a[2] = {0, 0};
+  if (hpsum::detail::scatter_add_double(a, 2, 1, 0x1p-200) !=
+      HpStatus::kInexact)
+    return false;
+  if (a[0] != 0 || a[1] != 0) return false;
+  if (hpsum::detail::scatter_add_double(a, 2, 1, 0x1p64) !=
+      HpStatus::kConvertOverflow)
+    return false;
+  return a[0] == 0 && a[1] == 0;
+}
+static_assert(scatter_status_contract_holds());
+
 // The gtest body exists so the suite registers the file; the proofs above
 // already ran inside the compiler.
 TEST(ConstexprProofs, AllStaticAssertsHeld) { SUCCEED(); }

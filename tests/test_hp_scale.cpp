@@ -98,6 +98,21 @@ TEST(HpDiv, NegativeTruncatesTowardZero) {
   EXPECT_EQ(mag.limbs()[1], 0x5555555555555555ull);
 }
 
+TEST(HpDiv, DivideByZeroFlagsInvalidOpAndPreservesValue) {
+  // div_small(0) used to execute a hardware divide by zero (UB); it now
+  // refuses: value untouched, remainder 0, kInvalidOp raised.
+  HpFixed<4, 2> v(21.0);
+  EXPECT_EQ(v.div_small(0), 0u);
+  EXPECT_EQ(v.to_double(), 21.0);
+  EXPECT_TRUE(has(v.status(), HpStatus::kInvalidOp));
+  EXPECT_FALSE(has(v.status(), HpStatus::kInexact));
+
+  HpDyn d(HpConfig{4, 2}, -8.5);
+  EXPECT_EQ(d.div_small(0), 0u);
+  EXPECT_EQ(d.to_double(), -8.5);
+  EXPECT_TRUE(has(d.status(), HpStatus::kInvalidOp));
+}
+
 TEST(HpDiv, ExactMeanIsOrderInvariant) {
   // mean = sum/n computed exactly at lsb resolution: identical whatever
   // order the sum was taken in.

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -70,6 +71,76 @@ TEST(HpSerialize, RejectsCorruptImages) {
   bad = bytes;
   bad.pop_back();  // truncated
   EXPECT_THROW(deserialize(bad), std::invalid_argument);
+}
+
+TEST(HpSerialize, RejectsUndefinedStatusBits) {
+  // deserialize used to OR the raw status byte straight into the sticky
+  // mask, so corrupt (or future-version) images could plant undefined bits
+  // that stuck forever and survived re-serialization. Undefined bits must
+  // reject, not silently clear.
+  HpDyn v(HpConfig{3, 2}, 1.5);
+  const auto bytes = serialize(v);
+  for (const std::uint8_t bad_bit : {0x40, 0x80}) {
+    auto bad = bytes;
+    bad[5] = static_cast<std::byte>(bad_bit);
+    EXPECT_THROW(deserialize(bad), std::invalid_argument) << int{bad_bit};
+    bad[5] = static_cast<std::byte>(kHpStatusMask | bad_bit);
+    EXPECT_THROW(deserialize(bad), std::invalid_argument) << int{bad_bit};
+  }
+  // Every defined flag combination still round-trips.
+  for (unsigned s = 0; s <= kHpStatusMask; ++s) {
+    if ((s & ~static_cast<unsigned>(kHpStatusMask)) != 0) continue;
+    auto img = bytes;
+    img[5] = static_cast<std::byte>(s);
+    EXPECT_EQ(static_cast<unsigned>(deserialize(img).status()), s);
+  }
+}
+
+TEST(HpSerialize, FlaggedPartialCheckpointRoundTrips) {
+  // The checkpoint/restart contract (examples/checkpoint_restart.cpp): a
+  // partial sum that has already flagged a condition must restore flagged,
+  // and resuming from the restored state must be bit-identical to never
+  // having stopped — status included.
+  const auto xs = workload::uniform_set(2000, 77);
+  const HpConfig cfg{6, 3};
+  HpDyn uninterrupted(cfg);
+  for (const double x : xs) uninterrupted += x;
+  uninterrupted += 1e-300;  // flags kInexact mid-run
+  for (const double x : xs) uninterrupted += x;
+
+  HpDyn partial(cfg);
+  for (const double x : xs) partial += x;
+  partial += 1e-300;
+  ASSERT_TRUE(has(partial.status(), HpStatus::kInexact));
+
+  HpDyn resumed = deserialize(serialize(partial));
+  EXPECT_TRUE(has(resumed.status(), HpStatus::kInexact));
+  for (const double x : xs) resumed += x;
+  EXPECT_EQ(resumed, uninterrupted);
+  EXPECT_EQ(resumed.status(), uninterrupted.status());
+}
+
+TEST(HpSerialize, ToBytesIsLimbsOnlyLittleEndian) {
+  // HpDyn::to_bytes writes the raw limb image ONLY (no header, no status)
+  // in limb order, each limb little-endian — the wire contract mpisim
+  // datatypes and test_parity depend on (docs/FORMAT.md). It used to
+  // memcpy native-endian, which broke the image on big-endian hosts.
+  HpDyn v(HpConfig{2, 1});
+  v += 1.0;  // limbs: [1, 0] (big-endian limb order, integer limb first)
+  std::vector<std::byte> img(v.byte_size());
+  ASSERT_EQ(img.size(), 16u);
+  v.to_bytes(img.data());
+  EXPECT_EQ(img[0], std::byte{1});  // limbs[0] lsb first
+  for (std::size_t i = 1; i < img.size(); ++i) {
+    EXPECT_EQ(img[i], std::byte{0}) << i;
+  }
+
+  // And from_bytes must not touch the sticky status.
+  HpDyn dst(v.config());
+  dst += 1e-300;  // kInexact
+  dst.from_bytes(img.data());
+  EXPECT_EQ(dst.to_double(), 1.0);
+  EXPECT_TRUE(has(dst.status(), HpStatus::kInexact));
 }
 
 TEST(HpSerialize, NegativeValuesSurvive) {

@@ -1,0 +1,332 @@
+// Differential fuzz of the scatter-add fast path (paper §III.A deposit,
+// Neal-style localized carry) against the reference convert+add pair.
+//
+// The contract under test: for every finite double r and every accumulator
+// state, detail::scatter_add_double(a, n, k, r) leaves a[] bit-identical to
+//
+//   from_double_impl(r, tmp, n, k)   (n <= 16; the dispatch hp_from_double
+//   from_double_exact(r, tmp, n, k)   uses for wider formats)
+//   add_impl(a, tmp, n)
+//
+// and returns exactly the OR of the two statuses. Both value AND status
+// must match — the scatter path is only a fast path if no caller can
+// distinguish it. The corpus is adversarial by construction: subnormals,
+// +-0, values straddling the 2^-64k lsb, values at max_range, mixed signs
+// with heavy cancellation, and accumulator states engineered for long
+// carry/borrow chains and sign-boundary crossings.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/hp_config.hpp"
+#include "core/hp_convert.hpp"
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+#include "util/prng.hpp"
+
+namespace hpsum {
+namespace {
+
+using util::Limb;
+
+// Reference semantics: full-width conversion into a temporary, then an
+// O(n) carry add, statuses ORed — exactly what HpFixed::operator+= did
+// before the fast path, using the same n <= 16 kernel dispatch.
+HpStatus reference_add(std::vector<Limb>& acc, const HpConfig& cfg,
+                       double r) {
+  std::vector<Limb> tmp(static_cast<std::size_t>(cfg.n));
+  HpStatus st = cfg.n <= 16
+                    ? detail::from_double_impl(r, tmp.data(), cfg.n, cfg.k)
+                    : detail::from_double_exact(r, tmp.data(), cfg.n, cfg.k);
+  st |= detail::add_impl(acc.data(), tmp.data(), cfg.n);
+  return st;
+}
+
+// Same, but always through the exact bit-placement kernel — the second
+// independent reference for the three-way check on n <= 16 formats.
+HpStatus reference_add_exact(std::vector<Limb>& acc, const HpConfig& cfg,
+                             double r) {
+  std::vector<Limb> tmp(static_cast<std::size_t>(cfg.n));
+  HpStatus st = detail::from_double_exact(r, tmp.data(), cfg.n, cfg.k);
+  st |= detail::add_impl(acc.data(), tmp.data(), cfg.n);
+  return st;
+}
+
+double make_double(bool neg, int biased_exp, std::uint64_t frac52) {
+  const std::uint64_t bits = (static_cast<std::uint64_t>(neg) << 63) |
+                             (static_cast<std::uint64_t>(biased_exp) << 52) |
+                             (frac52 & ((std::uint64_t{1} << 52) - 1));
+  return std::bit_cast<double>(bits);
+}
+
+/// One draw from the adversarial corpus. Cycles through the classes the
+/// issue names so every trial count exercises all of them.
+double adversarial_double(util::Xoshiro256ss& rng, const HpConfig& cfg) {
+  const bool neg = (rng.next() & 1) != 0;
+  switch (rng.bounded(8)) {
+    case 0:  // subnormal (biased exponent 0, random fraction)
+      return make_double(neg, 0, rng.next());
+    case 1:  // signed zero
+      return neg ? -0.0 : 0.0;
+    case 2: {  // straddling the 2^-64k lsb: exponent within +-60 of it
+      const int e = min_exponent(cfg) - 60 +
+                    static_cast<int>(rng.bounded(120));
+      const double v = std::ldexp(1.0 + rng.uniform01(), e);
+      return (neg ? -v : v);
+    }
+    case 3: {  // at / just past max_range: exponent within 4 of the top
+      const int e = max_exponent(cfg) - 2 + static_cast<int>(rng.bounded(4));
+      const double v = std::ldexp(1.0 + rng.uniform01(), e);
+      return (neg ? -v : v);
+    }
+    case 4: {  // exact power of two at a limb boundary (carry seam)
+      const int limb = static_cast<int>(rng.bounded(
+          static_cast<std::uint64_t>(cfg.n)));
+      const int e = min_exponent(cfg) + 64 * limb -
+                    1 + static_cast<int>(rng.bounded(3));
+      const double v = std::ldexp(1.0, e);
+      return (neg ? -v : v);
+    }
+    case 5: {  // fully random finite bit pattern (any exponent 0..2046)
+      const int be = static_cast<int>(rng.bounded(2047));
+      return make_double(neg, be, rng.next());
+    }
+    case 6:  // smallest subnormal / largest finite
+      return (rng.next() & 1)
+                 ? (neg ? -std::numeric_limits<double>::denorm_min()
+                        : std::numeric_limits<double>::denorm_min())
+                 : (neg ? -std::numeric_limits<double>::max()
+                        : std::numeric_limits<double>::max());
+    default: {  // representable mid-range value
+      const int lo = min_exponent(cfg) + 53;
+      const int hi = max_exponent(cfg) - 2;
+      const int e = hi <= lo ? lo
+                             : lo + static_cast<int>(rng.bounded(
+                                        static_cast<std::uint64_t>(hi - lo)));
+      const double v = std::ldexp(1.0 + rng.uniform01(), e);
+      return (neg ? -v : v);
+    }
+  }
+}
+
+/// One draw from the adversarial accumulator-state corpus.
+std::vector<Limb> adversarial_acc(util::Xoshiro256ss& rng,
+                                  const HpConfig& cfg) {
+  std::vector<Limb> a(static_cast<std::size_t>(cfg.n), 0);
+  switch (rng.bounded(6)) {
+    case 0:  // zero
+      break;
+    case 1:  // fully random
+      for (auto& l : a) l = rng.next();
+      break;
+    case 2:  // -lsb: every limb all-ones, longest possible borrow source
+      for (auto& l : a) l = ~Limb{0};
+      break;
+    case 3:  // largest positive: one add away from the sign bit
+      a[0] = ~Limb{0} >> 1;
+      for (std::size_t i = 1; i < a.size(); ++i) a[i] = ~Limb{0};
+      break;
+    case 4:  // most negative value
+      a[0] = Limb{1} << 63;
+      break;
+    default:  // low limbs saturated: any low-limb carry runs to the top
+      for (std::size_t i = 1; i < a.size(); ++i) a[i] = ~Limb{0};
+      break;
+  }
+  return a;
+}
+
+void expect_scatter_matches(const HpConfig& cfg, const std::vector<Limb>& acc,
+                            double r) {
+  std::vector<Limb> ref = acc;
+  std::vector<Limb> fast = acc;
+  const HpStatus rs = reference_add(ref, cfg, r);
+  const HpStatus fs =
+      detail::scatter_add_double(fast.data(), cfg.n, cfg.k, r);
+  ASSERT_EQ(ref, fast) << "limb mismatch: n=" << cfg.n << " k=" << cfg.k
+                       << " r=" << std::hexfloat << r;
+  ASSERT_EQ(rs, fs) << "status mismatch: n=" << cfg.n << " k=" << cfg.k
+                    << " r=" << std::hexfloat << r << " ref="
+                    << to_string(rs) << " scatter=" << to_string(fs);
+  // Three-way: the exact-placement reference must agree too (on n <= 16
+  // this checks from_double_impl against from_double_exact on the same
+  // adversarial inputs, a stronger corpus than the representable-only
+  // cross-check in test_hp_convert.cpp).
+  std::vector<Limb> ex = acc;
+  const HpStatus es = reference_add_exact(ex, cfg, r);
+  ASSERT_EQ(ex, fast) << "exact-path limb mismatch: n=" << cfg.n
+                      << " k=" << cfg.k << " r=" << std::hexfloat << r;
+  ASSERT_EQ(es, fs) << "exact-path status mismatch: n=" << cfg.n
+                    << " k=" << cfg.k << " r=" << std::hexfloat << r;
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive format sweep: every (n, k) with n <= 16, 0 <= k <= n.
+// ---------------------------------------------------------------------------
+
+TEST(ScatterAddFuzz, AllSmallFormatsBitIdenticalToReference) {
+  util::Xoshiro256ss rng(0x5CA77E2ADDull);
+  for (int n = 1; n <= 16; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      const HpConfig cfg{n, k};
+      for (int trial = 0; trial < 120; ++trial) {
+        const auto acc = adversarial_acc(rng, cfg);
+        const double r = adversarial_double(rng, cfg);
+        expect_scatter_matches(cfg, acc, r);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// The hp_from_double dispatch flips from the float-scaling kernel to exact
+// bit placement at n == 17; the scatter path must be bit-identical on both
+// sides of that seam (and out to kMaxLimbs).
+TEST(ScatterAddFuzz, WideFormatDispatchBoundary) {
+  util::Xoshiro256ss rng(0xB0A2DE2ull);
+  for (const HpConfig cfg :
+       {HpConfig{16, 8}, HpConfig{17, 8}, HpConfig{17, 17}, HpConfig{24, 12},
+        HpConfig{kMaxLimbs, kMaxLimbs / 2}}) {
+    for (int trial = 0; trial < 400; ++trial) {
+      const auto acc = adversarial_acc(rng, cfg);
+      const double r = adversarial_double(rng, cfg);
+      expect_scatter_matches(cfg, acc, r);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed edge cases (deterministic, not reliant on the fuzz draw).
+// ---------------------------------------------------------------------------
+
+TEST(ScatterAddEdge, NonFiniteAndZeroLeaveAccumulatorUntouched) {
+  const HpConfig cfg{6, 3};
+  util::Xoshiro256ss rng(7);
+  for (const double r : {std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::quiet_NaN(), 0.0,
+                         -0.0}) {
+    const auto acc = adversarial_acc(rng, cfg);
+    expect_scatter_matches(cfg, acc, r);
+  }
+}
+
+TEST(ScatterAddEdge, SubLsbValuesFlagInexactOnly) {
+  const HpConfig cfg{2, 1};
+  std::vector<Limb> acc(2, 0);
+  // Entirely below 2^-64: accumulator unchanged, kInexact.
+  const double tiny = std::ldexp(1.0, -200);
+  EXPECT_EQ(detail::scatter_add_double(acc.data(), 2, 1, tiny),
+            HpStatus::kInexact);
+  EXPECT_EQ(acc, (std::vector<Limb>{0, 0}));
+  // Straddling the lsb: truncated toward zero, kInexact, low bit lands.
+  const double straddle = std::ldexp(1.5, -64);  // 2^-64 + 2^-65
+  EXPECT_EQ(detail::scatter_add_double(acc.data(), 2, 1, straddle),
+            HpStatus::kInexact);
+  EXPECT_EQ(acc, (std::vector<Limb>{0, 1}));
+  expect_scatter_matches(cfg, {0, 0}, tiny);
+  expect_scatter_matches(cfg, {0, 0}, straddle);
+  expect_scatter_matches(cfg, {0, 0}, -straddle);
+}
+
+TEST(ScatterAddEdge, MaxRangeOverflowLeavesValueAndFlags) {
+  const HpConfig cfg{2, 1};
+  const double over = std::ldexp(1.0, max_exponent(cfg));  // 2^63: too big
+  const double under = std::ldexp(1.0, max_exponent(cfg) - 1);  // fits
+  std::vector<Limb> acc{0x1234, 0x5678};
+  EXPECT_EQ(detail::scatter_add_double(acc.data(), 2, 1, over),
+            HpStatus::kConvertOverflow);
+  EXPECT_EQ(acc, (std::vector<Limb>{0x1234, 0x5678}));  // untouched
+  EXPECT_EQ(detail::scatter_add_double(acc.data(), 2, 1, under),
+            HpStatus::kOk);
+  expect_scatter_matches(cfg, {0x1234, 0x5678}, over);
+  expect_scatter_matches(cfg, {0x1234, 0x5678}, under);
+  expect_scatter_matches(cfg, {0x1234, 0x5678}, -over);
+}
+
+TEST(ScatterAddEdge, CarryPropagatesAcrossEveryLimbSeam) {
+  // Accumulator -lsb plus +lsb must carry through all n limbs to zero;
+  // borrow case mirrors it.
+  for (int n = 1; n <= 8; ++n) {
+    const HpConfig cfg{n, n / 2};
+    std::vector<Limb> acc(static_cast<std::size_t>(n), ~Limb{0});
+    const double lsb = std::ldexp(1.0, min_exponent(cfg));
+    EXPECT_EQ(detail::scatter_add_double(acc.data(), n, cfg.k, lsb),
+              HpStatus::kOk)
+        << n;
+    EXPECT_EQ(acc, std::vector<Limb>(static_cast<std::size_t>(n), 0)) << n;
+    EXPECT_EQ(detail::scatter_add_double(acc.data(), n, cfg.k, -lsb),
+              HpStatus::kOk)
+        << n;
+    EXPECT_EQ(acc, std::vector<Limb>(static_cast<std::size_t>(n), ~Limb{0}))
+        << n;
+  }
+}
+
+TEST(ScatterAddEdge, AddOverflowSignRuleMatchesAddImpl) {
+  const HpConfig cfg{2, 0};
+  // Accumulator at the largest positive value; +1 must wrap negative and
+  // flag kAddOverflow exactly as the reference pair does.
+  const std::vector<Limb> top{~Limb{0} >> 1, ~Limb{0}};
+  expect_scatter_matches(cfg, top, 1.0);
+  expect_scatter_matches(cfg, top, -1.0);  // no overflow this direction
+  // Most negative value; -1 wraps positive.
+  const std::vector<Limb> bottom{Limb{1} << 63, 0};
+  expect_scatter_matches(cfg, bottom, -1.0);
+  expect_scatter_matches(cfg, bottom, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation sequences through the public API on both storage types.
+// ---------------------------------------------------------------------------
+
+TEST(ScatterAddSequences, MixedSignCancellationMatchesReferencePath) {
+  util::Xoshiro256ss rng(0xCA9CE1);
+  HpFixed<6, 3> fast;
+  HpFixed<6, 3> ref;
+  for (int i = 0; i < 20000; ++i) {
+    double x = adversarial_double(rng, HpConfig{6, 3});
+    // Force heavy cancellation: echo each value back negated two steps on.
+    if (i % 3 == 2 && std::isfinite(x)) x = -x;
+    fast += x;
+    ref.add_double_reference(x);
+  }
+  EXPECT_EQ(fast, ref);
+  EXPECT_EQ(fast.status(), ref.status());
+}
+
+TEST(ScatterAddSequences, HpDynRoutesThroughScatterIdentically) {
+  util::Xoshiro256ss rng(0xD1FF);
+  for (const HpConfig cfg : {HpConfig{6, 3}, HpConfig{17, 8}}) {
+    HpDyn fast(cfg);
+    HpDyn ref(cfg);
+    for (int i = 0; i < 5000; ++i) {
+      const double x = adversarial_double(rng, cfg);
+      fast += x;
+      ref.add_double_reference(x);
+    }
+    EXPECT_EQ(fast, ref);
+    EXPECT_EQ(fast.status(), ref.status());
+  }
+}
+
+// hp_scatter_add is the span-level entry HpDyn uses; pin it directly.
+TEST(ScatterAddSequences, SpanEntryMatchesKernel) {
+  const HpConfig cfg{4, 2};
+  std::vector<Limb> a(4, 0);
+  std::vector<Limb> b(4, 0);
+  const double x = 1.25e10;
+  const HpStatus sa =
+      hp_scatter_add(util::LimbSpan(a.data(), a.size()), cfg, x);
+  const HpStatus sb = detail::scatter_add_double(b.data(), 4, 2, x);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace hpsum

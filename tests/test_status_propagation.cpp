@@ -98,6 +98,41 @@ TEST(MpisimStatus, NonRootConversionFlagsReachRoot) {
   });
 }
 
+TEST(MpisimStatus, OpStatusScopedToSingleReduction) {
+  // An Op reused across reductions used to keep its sticky mask forever:
+  // an overflow seen in one reduction bled into observed_status() after
+  // every later, unrelated reduction. Comm::reduce now resets the mask on
+  // entry, scoping it to one operation.
+  const HpConfig cfg{2, 1};
+  constexpr double kBig = 4.611686018427387904e18;  // 2^62; range is ±2^63
+  hpsum::mpisim::run(4, [&](hpsum::mpisim::Comm& comm) {
+    const auto dt = hpsum::mpisim::hp_datatype(cfg);
+    const auto op = hpsum::mpisim::hp_sum_op(cfg);  // ONE op, reused
+    std::vector<std::byte> send(8 * static_cast<std::size_t>(cfg.n));
+    std::vector<std::byte> recv(send.size());
+
+    // Reduction 1: every rank contributes 2^62, so the linear fold on the
+    // root overflows and the op observes kAddOverflow.
+    HpDyn big(cfg, kBig);
+    ASSERT_EQ(big.status(), HpStatus::kOk);
+    big.to_bytes(send.data());
+    comm.reduce(send.data(), recv.data(), 1, dt, op, /*root=*/0,
+                hpsum::mpisim::ReduceAlgo::kLinear);
+    if (comm.rank() == 0) {
+      EXPECT_TRUE(has(static_cast<HpStatus>(op.observed_status()),
+                      HpStatus::kAddOverflow));
+    }
+
+    // Reduction 2 with the same op: clean summands must report a clean
+    // status — the overflow above belongs to the previous operation.
+    HpDyn small(cfg, 1.0);
+    small.to_bytes(send.data());
+    comm.reduce(send.data(), recv.data(), 1, dt, op, /*root=*/0,
+                hpsum::mpisim::ReduceAlgo::kLinear);
+    EXPECT_EQ(op.observed_status(), 0u);
+  });
+}
+
 TEST(MpisimStatus, CleanReductionStaysOk) {
   const HpConfig cfg{4, 2};
   hpsum::mpisim::run(3, [&](hpsum::mpisim::Comm& comm) {

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench smoke gate for the scatter-add fast path.
+
+Runs bench/ablate_convert at a small fixed size, writes a fresh
+BENCH_scatter.json, and compares it against the checked-in baseline
+(bench/BENCH_scatter.json by default):
+
+  * every stream's speedup (convert+add ns / scatter ns) must be within
+    --tolerance (default 25%) of the baseline speedup, and
+  * min_speedup must clear the --floor (default 2.0x, the acceptance bar
+    for HP(6,3)).
+
+Speedups, not absolute nanoseconds, are compared: CI machines differ in
+clock speed, but the fast path's advantage over the reference pair on the
+same host is stable. Exit status is 0 on pass, 1 on regression, 2 on
+usage/environment errors. Schema notes live in EXPERIMENTS.md.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("bench") != "ablate_convert_scatter" or "streams" not in doc:
+        raise ValueError(f"{path}: not a BENCH_scatter.json document")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir containing bench/ablate_convert")
+    ap.add_argument("--baseline", default="bench/BENCH_scatter.json",
+                    help="checked-in baseline to compare against")
+    ap.add_argument("--out", default="BENCH_scatter.json",
+                    help="where to write the fresh measurement")
+    ap.add_argument("--n", type=int, default=200_000,
+                    help="summands per stream (small fixed smoke size)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional speedup regression vs baseline")
+    ap.add_argument("--floor", type=float, default=2.0,
+                    help="hard minimum for min_speedup (0 disables)")
+    args = ap.parse_args()
+
+    bench = pathlib.Path(args.build_dir) / "bench" / "ablate_convert"
+    if not bench.exists():
+        print(f"bench_smoke: {bench} not built", file=sys.stderr)
+        return 2
+
+    cmd = [str(bench), f"--n={args.n}", f"--json={args.out}"]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"bench_smoke: {bench} exited {proc.returncode}",
+              file=sys.stderr)
+        return 2
+
+    fresh = load(args.out)
+    baseline = load(args.baseline)
+    base_by_stream = {s["stream"]: s for s in baseline["streams"]}
+
+    failures = []
+    for s in fresh["streams"]:
+        name = s["stream"]
+        base = base_by_stream.get(name)
+        if base is None:
+            failures.append(f"stream {name!r} missing from baseline")
+            continue
+        limit = base["speedup"] * (1.0 - args.tolerance)
+        verdict = "ok" if s["speedup"] >= limit else "REGRESSION"
+        print(f"  {name:14s} speedup {s['speedup']:6.3f}x  "
+              f"(baseline {base['speedup']:6.3f}x, limit {limit:6.3f}x)  "
+              f"{verdict}")
+        if s["speedup"] < limit:
+            failures.append(
+                f"{name}: speedup {s['speedup']:.3f}x fell more than "
+                f"{args.tolerance:.0%} below baseline {base['speedup']:.3f}x")
+
+    if args.floor > 0 and fresh["min_speedup"] < args.floor:
+        failures.append(
+            f"min_speedup {fresh['min_speedup']:.3f}x is below the "
+            f"{args.floor:.1f}x acceptance floor")
+
+    if failures:
+        print("bench_smoke: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"bench_smoke: PASS (min_speedup {fresh['min_speedup']:.3f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
