@@ -41,7 +41,7 @@ void row(util::TablePrinter& table, const std::vector<double>& xs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "seed", "csv"});
+  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag});
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
 
@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
       "\nreading: 'vs linear model' near 1.0 confirms eq. (3)'s per-block "
       "constant-cost assumption; deviations above 1 show where larger "
       "states stop fitting registers.\n");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -13,11 +13,32 @@
 #include <iostream>
 #include <string>
 
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace hpsum::bench {
+
+/// The --metrics flag every bench harness accepts (add kMetricsFlag to the
+/// harness's known-flags list). Bare `--metrics` dumps the telemetry
+/// snapshot as JSON to stdout after the run; `--metrics=FILE` writes it to
+/// FILE. No flag, no output — and in HPSUM_TRACE=OFF builds the export
+/// still works but every counter reads 0.
+inline constexpr const char* kMetricsFlag = "metrics";
+
+/// Emits the trace snapshot if --metrics was given. Call once, after the
+/// harness's last measured work.
+inline void emit_metrics(const util::Args& args) {
+  const std::string value = args.get_string(kMetricsFlag, "");
+  if (value.empty()) return;
+  // util::Args stores "true" for a bare flag; treat that as stdout.
+  const std::string path = value == "true" ? "" : value;
+  if (!trace::write_json(path)) {
+    std::fprintf(stderr, "warning: could not write --metrics file %s\n",
+                 path.c_str());
+  }
+}
 
 /// Problem-size selection: explicit flag > HPSUM_FULL > scaled default.
 inline std::int64_t pick(const util::Args& args, const std::string& flag,

@@ -20,7 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"trials", "seed", "csv"});
+  const util::Args args(argc, argv, {"trials", "seed", "csv", bench::kMetricsFlag});
   const auto trials = bench::pick(args, "trials", 2048, 16384);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20160523));
 
@@ -54,5 +54,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: stddev(double) grows ~linearly with n "
       "(paper: ~1.1e-17 at n=1024); stddev(HP) identically 0.\n");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -128,7 +128,7 @@ Point point_hallberg(const std::vector<double>& xs, int ranks,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "maxp", "seed", "algo", "csv"});
+  const util::Args args(argc, argv, {"n", "maxp", "seed", "algo", "csv", bench::kMetricsFlag});
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto maxp = static_cast<int>(args.get_int("maxp", 128));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
@@ -174,5 +174,6 @@ int main(int argc, char** argv) {
               h1.modeled / d1.modeled);
   std::printf("HP sum bit-identical across all rank counts: %s\n",
               hp_invariant ? "yes" : "NO");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -21,7 +21,7 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"n", "seed", "csv"});
+  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag});
   const auto n = bench::pick(args, "n", 2 * 1024 * 1024, 32 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
 
@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
       "transfer-dominated regime).\n");
   std::printf("HP sum bit-identical across all thread counts: %s\n",
               hp_invariant ? "yes" : "NO");
+  bench::emit_metrics(args);
   return 0;
 }

@@ -7,6 +7,10 @@
 //
 //   $ seq 1000000 | awk '{print 1/$1}' | ./build/examples/exact_sum_cli
 //
+// --metrics[=FILE] additionally dumps the runtime telemetry snapshot
+// (scatter fast-path deposits, carry chains, status raises; see
+// docs/OBSERVABILITY.md) as JSON to stdout or FILE.
+//
 // Exit status: 0 on success, 1 on parse failure or non-finite input.
 #include <cstdio>
 #include <iostream>
@@ -17,8 +21,10 @@
 #include "core/hp_dyn.hpp"
 #include "core/hp_plan.hpp"
 #include "core/reduce.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpsum;
   std::vector<double> xs;
   double v = 0;
@@ -27,12 +33,14 @@ int main() {
     std::fprintf(stderr, "exact_sum_cli: unparsable token on stdin\n");
     return 1;
   }
-  if (xs.empty()) {
-    std::printf("no input values; sum = 0\n");
-    return 0;
-  }
 
   try {
+    const util::Args args(argc, argv, {"metrics"});
+    if (xs.empty()) {
+      std::printf("no input values; sum = 0\n");
+      return 0;
+    }
+
     const SumPlan plan = plan_for_data(xs);
     const HpConfig cfg = suggest_config(plan);
     const HpDyn exact = reduce_hp(xs, cfg);
@@ -51,6 +59,19 @@ int main() {
     std::printf("order sensitivity: stddev %.3e, worst |err| %.3e over %zu "
                 "shuffles\n",
                 report.stddev, report.worst_abs_error, report.trials);
+    if (trace::enabled()) {
+      std::printf("audit telemetry  : %llu fast-path deposits, "
+                  "%llu status raises (inexact)\n",
+                  static_cast<unsigned long long>(report.trace_delta.value(
+                      trace::Counter::kScatterAddCalls)),
+                  static_cast<unsigned long long>(report.trace_delta.value(
+                      trace::Counter::kStatusInexact)));
+    }
+
+    const std::string metrics = args.get_string("metrics", "");
+    if (!metrics.empty()) {
+      trace::write_json(metrics == "true" ? "" : metrics);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "exact_sum_cli: %s\n", e.what());
     return 1;

@@ -15,6 +15,7 @@ SensitivityReport order_sensitivity(std::span<const double> xs,
                                     std::size_t trials, std::uint64_t seed) {
   SensitivityReport report;
   report.trials = trials;
+  const trace::Snapshot before = trace::snapshot();
   report.config = suggest_config(plan_for_data(xs));
 
   const HpDyn exact_hp = reduce_hp(xs, report.config);
@@ -32,6 +33,7 @@ SensitivityReport order_sensitivity(std::span<const double> xs,
   }
   report.mean = rs.mean();
   report.stddev = rs.stddev();
+  report.trace_delta = trace::snapshot().delta_since(before);
   return report;
 }
 

@@ -19,9 +19,24 @@
 
 #include <omp.h>
 
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace hpsum::backends {
+
+namespace detail {
+
+/// Folds a finished ScalingPoint's timings into the trace registry once,
+/// from the driver thread (never from inside the hot loops).
+inline void trace_point(double busy_total, double merge_time) noexcept {
+  trace::count(trace::Counter::kBackendReductions);
+  trace::count(trace::Counter::kBackendBusyNs,
+               static_cast<std::uint64_t>(busy_total * 1e9));
+  trace::count(trace::Counter::kBackendMergeNs,
+               static_cast<std::uint64_t>(merge_time * 1e9));
+}
+
+}  // namespace detail
 
 /// One strong-scaling data point.
 struct ScalingPoint {
@@ -87,6 +102,7 @@ template <class Acc>
     out.busy_total += b;  // hplint: allow(fp-accumulate) — wallclock stats, not summands
   }
   out.modeled_wall = out.busy_max + merge_time;
+  detail::trace_point(out.busy_total, merge_time);
   return out;
 }
 
@@ -127,6 +143,7 @@ template <class Acc>
     out.busy_total += b;  // hplint: allow(fp-accumulate) — wallclock stats, not summands
   }
   out.modeled_wall = out.busy_max + merge_time;
+  detail::trace_point(out.busy_total, merge_time);
   return out;
 }
 

@@ -44,6 +44,7 @@ void HpAdaptive::grow_int(int extra_limbs) {
                    fill);
   v_.cfg_.n += extra_limbs;
   ++growth_events_;
+  trace::count(trace::Counter::kAdaptiveGrowInt);
 }
 
 void HpAdaptive::grow_frac(int extra_limbs) {
@@ -52,6 +53,7 @@ void HpAdaptive::grow_frac(int extra_limbs) {
   v_.cfg_.n += extra_limbs;
   v_.cfg_.k += extra_limbs;
   ++growth_events_;
+  trace::count(trace::Counter::kAdaptiveGrowFrac);
 }
 
 void HpAdaptive::recover_add_overflow(bool positive) {
@@ -63,6 +65,7 @@ void HpAdaptive::recover_add_overflow(bool positive) {
   v_.limbs_.insert(v_.limbs_.begin(), positive ? util::Limb{0} : ~util::Limb{0});
   v_.cfg_.n += 1;
   ++growth_events_;
+  trace::count(trace::Counter::kAdaptiveRecoverOverflow);
 }
 
 void HpAdaptive::ensure_exponents(int e_hi, int e_lo) {
@@ -83,6 +86,11 @@ HpAdaptive& HpAdaptive::operator+=(double r) {
   }
   if (r == 0.0) return *this;
   ensure_exponents(msb_exponent(r), lsb_exponent(r));
+  // Consume ONLY kAddOverflow: the recovery below repairs the wrapped sum,
+  // so that flag is handled, but every flag the caller already accumulated
+  // (kInexact / kInvalidOp from div_small, ...) — and any non-overflow flag
+  // this add raises — must stay sticky like in every other accumulator.
+  const HpStatus prior = v_.status();
   v_.clear_status();
   v_ += r;
   if (has(v_.status(), HpStatus::kAddOverflow)) {
@@ -90,7 +98,9 @@ HpAdaptive& HpAdaptive::operator+=(double r) {
     // Overflow direction equals the summand's sign.
     recover_add_overflow(r > 0.0);
   }
+  const HpStatus raised = v_.status();
   v_.clear_status();
+  v_.status_ = prior | without(raised, HpStatus::kAddOverflow);
   return *this;
 }
 
@@ -110,12 +120,19 @@ HpAdaptive& HpAdaptive::operator+=(const HpAdaptive& other) {
   widen(rhs);
 
   const bool rhs_positive = !rhs.v_.is_negative();
+  // Same sticky-status contract as operator+=(double): consume only the
+  // kAddOverflow the recovery repairs; the caller's accumulated flags and
+  // the operand's flags stay sticky.
+  const HpStatus prior = v_.status() | rhs.v_.status();
   v_.clear_status();
+  rhs.v_.clear_status();  // already folded into `prior`; avoid double OR
   v_ += rhs.v_;
   if (has(v_.status(), HpStatus::kAddOverflow)) {
     recover_add_overflow(rhs_positive);
   }
+  const HpStatus raised = v_.status();
   v_.clear_status();
+  v_.status_ = prior | without(raised, HpStatus::kAddOverflow);
   return *this;
 }
 

@@ -49,6 +49,19 @@ class HpAdaptive {
     return v_.to_decimal_string(max_frac_digits);
   }
 
+  /// Divides by a small positive integer exactly at lsb resolution (see
+  /// HpDyn::div_small); returns the remainder in lsb units. Raises the same
+  /// sticky kInexact / kInvalidOp flags as the fixed-format accumulators.
+  std::uint64_t div_small(std::uint64_t d) noexcept { return v_.div_small(d); }
+
+  /// Sticky status accumulated since the last clear. Flags other than the
+  /// kAddOverflow consumed by the wrap-repair recovery (which is handled,
+  /// not dropped) stay sticky across adds, exactly as on HpFixed/HpDyn.
+  [[nodiscard]] HpStatus status() const noexcept { return v_.status(); }
+
+  /// Clears the sticky status.
+  void clear_status() noexcept { v_.clear_status(); }
+
   /// Current format (grows over time).
   [[nodiscard]] HpConfig config() const noexcept { return v_.config(); }
 

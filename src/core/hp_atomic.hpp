@@ -9,10 +9,11 @@
 //
 // Status flags stay sticky across threads: every add() ORs the operand's
 // flags (e.g. kInexact/kConvertOverflow picked up during double->HP
-// conversion) into a shared atomic mask, and load() folds that mask into
-// the returned value — so going through the concurrent accumulator never
-// silently drops a condition the sequential accumulator would have
-// reported.
+// conversion) into a shared atomic mask, raises kAddOverflow when the
+// top-limb update departs the representable range (the same sign rule the
+// sequential adder applies), and load() folds that mask into the returned
+// value — so going through the concurrent accumulator never silently drops
+// a condition the sequential accumulator would have reported.
 //
 // Two adder flavors are provided:
 //   add()            — CAS loop, the primitive the paper requires (CUDA has
@@ -24,6 +25,7 @@
 #include <cstdint>
 
 #include "core/hp_fixed.hpp"
+#include "trace/trace.hpp"
 #include "util/annotations.hpp"
 
 namespace hpsum {
@@ -48,6 +50,7 @@ class HpAtomic {
   HPSUM_ALLOW_UNSIGNED_WRAP
   void add(const Value& v) noexcept {
     or_shared_status(v.status());
+    trace::count(trace::Counter::kAtomicCasAdds);
     const auto& b = v.limbs();
     bool carry = false;
     for (int i = N - 1; i >= 0; --i) {
@@ -59,15 +62,18 @@ class HpAtomic {
         util::Limb desired = old + x;
         while (!limbs_[i].compare_exchange_weak(old, desired,
                                                 std::memory_order_relaxed)) {
+          trace::count(trace::Counter::kAtomicCasRetries);
           desired = old + x;
         }
         sumwrap = desired < old;  // unsigned wrap => carry into limb i-1
+        if (i == 0) note_top_limb_overflow(old, b[0], desired);
       }
       carry = xwrap || sumwrap;
     }
-    // A carry out of limb 0 means the running total wrapped the full 64N-bit
-    // ring; it is dropped exactly as in the sequential adder (and is
-    // detectable after the fact by the caller's range reasoning).
+    // A carry out of limb 0 wraps the full 64N-bit ring exactly as the
+    // sequential adder wraps; departures from the representable range are
+    // reported by note_top_limb_overflow's sign rule, so the concurrent and
+    // sequential paths raise the same sticky kAddOverflow.
   }
 
   /// Atomically adds a double (converts thread-locally, then add(); any
@@ -78,6 +84,7 @@ class HpAtomic {
   HPSUM_ALLOW_UNSIGNED_WRAP
   void add_fetch_add(const Value& v) noexcept {
     or_shared_status(v.status());
+    trace::count(trace::Counter::kAtomicFetchAddAdds);
     const auto& b = v.limbs();
     bool carry = false;
     for (int i = N - 1; i >= 0; --i) {
@@ -87,6 +94,7 @@ class HpAtomic {
       if (x != 0) {
         const util::Limb old = limbs_[i].fetch_add(x, std::memory_order_relaxed);
         sumwrap = static_cast<util::Limb>(old + x) < old;
+        if (i == 0) note_top_limb_overflow(old, b[0], old + x);
       }
       carry = xwrap || sumwrap;
     }
@@ -118,6 +126,27 @@ class HpAtomic {
   }
 
  private:
+  /// add_impl's sign rule (§III.A) applied to this adder's top-limb update:
+  /// a same-sign accumulator and operand whose sum has the opposite sign
+  /// means the running total left the representable range — raise the same
+  /// sticky kAddOverflow the sequential adder raises. `old`/`next` are the
+  /// observed top limb before/after the update; in uncontended (or joined)
+  /// runs they equal the sequential adder's operands, so both paths report
+  /// identically. Under contention the observation is of some valid
+  /// interleaving — best-effort, never UB, never a dropped sequentially-
+  /// detectable wrap.
+  HPSUM_ALLOW_UNSIGNED_WRAP
+  void note_top_limb_overflow(util::Limb old, util::Limb b0,
+                              util::Limb next) noexcept {
+    const bool sa = (old >> 63) != 0;
+    const bool sb = (b0 >> 63) != 0;
+    const bool sr = (next >> 63) != 0;
+    if (sa == sb && sr != sa) {
+      trace::count_status(HpStatus::kAddOverflow);
+      or_shared_status(HpStatus::kAddOverflow);
+    }
+  }
+
   void or_shared_status(HpStatus s) noexcept {
     if (s != HpStatus::kOk) {
       status_.fetch_or(static_cast<std::uint8_t>(s),

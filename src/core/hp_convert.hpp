@@ -22,6 +22,7 @@
 
 #include "core/hp_config.hpp"
 #include "core/hp_status.hpp"
+#include "trace/trace.hpp"
 #include "util/annotations.hpp"
 #include "util/limbs.hpp"
 
@@ -199,7 +200,10 @@ HPSUM_ALLOW_UNSIGNED_WRAP
     a[0] = a[0] + b[0] + static_cast<util::Limb>(co);
   }
   const bool sr = (a[0] >> 63) != 0;
-  return (sa == sb && sr != sa) ? HpStatus::kAddOverflow : HpStatus::kOk;
+  const HpStatus st =
+      (sa == sb && sr != sa) ? HpStatus::kAddOverflow : HpStatus::kOk;
+  trace::count_status(st);
+  return st;
 }
 
 /// Fused double -> HP convert + add: the scatter-add fast path for the hot
@@ -228,7 +232,11 @@ HPSUM_ALLOW_UNSIGNED_WRAP
 HPSUM_ALLOW_UNSIGNED_WRAP
 [[nodiscard]] constexpr HpStatus scatter_add_double(util::Limb* a, int n,
                                                     int k, double r) noexcept {
-  if (!f64_is_finite(r)) return HpStatus::kConvertOverflow;
+  trace::count(trace::Counter::kScatterAddCalls);
+  if (!f64_is_finite(r)) {
+    trace::count_status(HpStatus::kConvertOverflow);
+    return HpStatus::kConvertOverflow;
+  }
   if (r == 0.0) return HpStatus::kOk;  // covers -0.0: canonical zero addend
 
   const int be = f64_biased_exp(r);
@@ -241,14 +249,21 @@ HPSUM_ALLOW_UNSIGNED_WRAP
 
   if (p < 0) {
     // Low bits fall below 2^(-64k): truncate toward zero.
-    if (-p >= 53) return HpStatus::kInexact;  // entirely sub-lsb, a unchanged
+    if (-p >= 53) {
+      trace::count_status(HpStatus::kInexact);
+      return HpStatus::kInexact;  // entirely sub-lsb, a unchanged
+    }
     if ((m53 & ((std::uint64_t{1} << -p) - 1)) != 0) st |= HpStatus::kInexact;
     m53 >>= -p;
     p = 0;
-    if (m53 == 0) return st;
+    if (m53 == 0) {
+      trace::count_status(st);
+      return st;
+    }
   }
   const int msb = p + 63 - std::countl_zero(m53);
   if (msb >= 64 * n - 1) {
+    trace::count_status(HpStatus::kConvertOverflow);
     return HpStatus::kConvertOverflow;  // collides with or passes the sign bit
   }
 
@@ -261,23 +276,26 @@ HPSUM_ALLOW_UNSIGNED_WRAP
   // (msb < 64n-1 keeps the mantissa inside the top limb there).
   const util::Limb hi = off != 0 ? m53 >> (64 - off) : 0;
 
+  int chain = 0;  // limbs the carry/borrow propagated past the deposit pair
   if (!isneg) {
     bool carry = util::detail::addc(a[li], lo, false, &a[li]);
     if (li >= 1) {
       carry = util::detail::addc(a[li - 1], hi, carry, &a[li - 1]);
-      for (int i = li - 2; i >= 0 && carry; --i) carry = ++a[i] == 0;
+      for (int i = li - 2; i >= 0 && carry; --i, ++chain) carry = ++a[i] == 0;
     }
   } else {
     bool borrow = util::detail::subb(a[li], lo, false, &a[li]);
     if (li >= 1) {
       borrow = util::detail::subb(a[li - 1], hi, borrow, &a[li - 1]);
-      for (int i = li - 2; i >= 0 && borrow; --i) borrow = a[i]-- == 0;
+      for (int i = li - 2; i >= 0 && borrow; --i, ++chain) borrow = a[i]-- == 0;
     }
   }
+  trace::count_carry_chain(chain);
   // add_impl's sign rule: the (virtual) addend is nonzero here, so its sign
   // is just the input's sign; compare against the result's sign.
   const bool sr = (a[0] >> 63) != 0;
   if (sa == isneg && sr != sa) st |= HpStatus::kAddOverflow;
+  trace::count_status(st);
   return st;
 }
 
@@ -340,6 +358,7 @@ constexpr HpStatus to_double_impl(const util::Limb* a, int n, int k,
   }
   if (neg) dbits |= std::uint64_t{1} << 63;
   *out = std::bit_cast<double>(dbits);
+  trace::count_status(st);
   return st;
 }
 

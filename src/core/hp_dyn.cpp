@@ -45,9 +45,12 @@ HpDyn& HpDyn::operator+=(double r) noexcept {
 }
 
 HpDyn& HpDyn::add_double_reference(double r) noexcept {
+  trace::count(trace::Counter::kReferenceAddCalls);
   util::Limb tmp[kMaxLimbs];
   const auto span = util::LimbSpan(tmp, limbs_.size());
-  status_ |= hp_from_double(r, span, cfg_);
+  const HpStatus cst = hp_from_double(r, span, cfg_);
+  trace::count_status(cst);  // hp_add's add_impl counts its own raises
+  status_ |= cst;
   status_ |= hp_add(limbs(), span);
   return *this;
 }

@@ -71,14 +71,18 @@ class HpFixed {
   /// scatter fast path is differentially fuzzed against
   /// (tests/test_scatter_add.cpp) and ablated against (bench/ablate_convert).
   constexpr HpFixed& add_double_reference(double r) noexcept {
+    trace::count(trace::Counter::kReferenceAddCalls);
     util::Limb tmp[N];
     // Listing 1's float-scaling path needs its scale factors within double
     // exponent range; very wide formats use exact bit placement instead.
+    HpStatus cst = HpStatus::kOk;
     if constexpr (N <= 16) {
-      status_ |= detail::from_double_impl(r, tmp, N, K);
+      cst = detail::from_double_impl(r, tmp, N, K);
     } else {
-      status_ |= detail::from_double_exact(r, tmp, N, K);
+      cst = detail::from_double_exact(r, tmp, N, K);
     }
+    trace::count_status(cst);  // add_impl below counts its own raises
+    status_ |= cst;
     status_ |= detail::add_impl(limbs_.data(), tmp, N);
     return *this;
   }

@@ -58,8 +58,12 @@ HpConfig suggest_config(const SumPlan& plan) {
 
 bool satisfies(const HpConfig& cfg, const SumPlan& plan) noexcept {
   if (plan.max_abs == 0.0) return true;
+  // Reject exactly what check_plan rejects — in particular a NaN/Inf
+  // min_abs, which would otherwise flow into std::ilogb below and return a
+  // garbage verdict instead of "this plan is invalid".
   if (plan.max_abs < 0.0 || plan.min_abs < 0.0 || plan.summands < 1 ||
-      !std::isfinite(plan.max_abs)) {
+      !std::isfinite(plan.max_abs) || !std::isfinite(plan.min_abs) ||
+      plan.min_abs > plan.max_abs) {
     return false;
   }
   return max_exponent(cfg) > top_exponent(plan) &&

@@ -6,7 +6,21 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+/// Folds one launch's stats into the trace registry (host thread only).
+void trace_launch(const hpsum::cudasim::LaunchStats& stats) noexcept {
+  namespace trace = hpsum::trace;
+  trace::count(trace::Counter::kCudasimLaunches);
+  trace::count(trace::Counter::kCudasimCasRetries, stats.cas_retries);
+  trace::count(trace::Counter::kCudasimBusyNs,
+               static_cast<std::uint64_t>(stats.busy_total * 1e9));
+}
+
+}  // namespace
 
 namespace hpsum::cudasim {
 
@@ -37,11 +51,13 @@ void Device::dfree(void* ptr) {
 }
 
 void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
+  trace::count(trace::Counter::kCudasimBytesH2D, bytes);
   std::memcpy(dst, src, bytes);
   transfer_seconds_ += static_cast<double>(bytes) / props_.transfer_bandwidth;
 }
 
 void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
+  trace::count(trace::Counter::kCudasimBytesD2H, bytes);
   std::memcpy(dst, src, bytes);
   transfer_seconds_ += static_cast<double>(bytes) / props_.transfer_bandwidth;
 }
@@ -89,6 +105,7 @@ LaunchStats Device::launch(int grid_dim, int block_dim, const Kernel& kernel) {
   stats.modeled_kernel_time = stats.busy_total / static_cast<double>(effective);
   stats.cas_retries =
       cas_retries_.load(std::memory_order_relaxed) - retries_before;
+  trace_launch(stats);
   return stats;
 }
 
@@ -143,6 +160,7 @@ LaunchStats Device::launch_phased(int grid_dim, int block_dim, int phases,
   stats.modeled_kernel_time = stats.busy_total / static_cast<double>(effective);
   stats.cas_retries =
       cas_retries_.load(std::memory_order_relaxed) - retries_before;
+  trace_launch(stats);
   return stats;
 }
 

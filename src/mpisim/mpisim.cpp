@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace hpsum::mpisim {
 
 namespace {
@@ -101,6 +103,8 @@ class Runtime {
 int Comm::size() const noexcept { return rt_->size(); }
 
 void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
+  trace::count(trace::Counter::kMpisimMessages);
+  trace::count(trace::Counter::kMpisimBytesSent, bytes);
   Runtime::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -217,6 +221,7 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
   // own Op / mask): without the reset, a flag observed in one reduction
   // bleeds into the reported status of later, unrelated ones.
   op.reset_status();
+  trace::count(trace::Counter::kMpisimReductions);
   const int tag = kCollectiveTagBase + coll_seq_++;
   const std::size_t bytes = count * dt.size;
   const int p = size();
@@ -334,6 +339,7 @@ void Comm::Group::reduce(const void* send_buf, void* recv_buf,
                          std::size_t count, const Datatype& dt, const Op& op,
                          int group_root, ReduceAlgo algo) {
   op.reset_status();  // per-operation status scope, as in Comm::reduce
+  trace::count(trace::Counter::kMpisimReductions);
   const int tag = kCollectiveTagBase + parent_->coll_seq_++;
   const std::size_t bytes = count * dt.size;
   const int p = size();

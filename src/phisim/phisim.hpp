@@ -67,6 +67,8 @@ class OffloadDevice {
     out.merge_time = p.merge_time;
     out.modeled_wall = transfer + p.busy_max + p.merge_time;
     out.measured_wall = wall.seconds();
+    trace::count(trace::Counter::kPhisimBusyNs,
+                 static_cast<std::uint64_t>(p.busy_total * 1e9));
     return out;
   }
 

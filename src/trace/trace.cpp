@@ -1,0 +1,155 @@
+#include "trace/trace.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace hpsum::trace {
+
+namespace {
+
+/// Process-wide shard registry. Function-local static so it outlives the
+/// main thread's thread_local shard (TLS destructors run before statics').
+struct Registry {
+  std::mutex mu;
+  std::vector<detail::Shard*> live;
+  /// Totals folded in from threads that have exited.
+  std::array<std::uint64_t, kCounterCount> retired{};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_shard(Shard* s) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.live.push_back(s);
+}
+
+void retire_shard(Shard* s) noexcept {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    r.retired[i] += s->values[i].load(std::memory_order_relaxed);
+  }
+  std::erase(r.live, s);
+}
+
+}  // namespace detail
+
+std::string_view counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kScatterAddCalls: return "core.scatter_add.calls";
+    case Counter::kScatterCarryChain1: return "core.scatter_add.carry_chain_len1";
+    case Counter::kScatterCarryChain2: return "core.scatter_add.carry_chain_len2";
+    case Counter::kScatterCarryChain3: return "core.scatter_add.carry_chain_len3";
+    case Counter::kScatterCarryChain4Plus: return "core.scatter_add.carry_chain_len4plus";
+    case Counter::kReferenceAddCalls: return "core.reference_add.calls";
+    case Counter::kStatusConvertOverflow: return "core.status_raise.convert_overflow";
+    case Counter::kStatusAddOverflow: return "core.status_raise.add_overflow";
+    case Counter::kStatusToDoubleOverflow: return "core.status_raise.to_double_overflow";
+    case Counter::kStatusInexact: return "core.status_raise.inexact";
+    case Counter::kStatusToDoubleInexact: return "core.status_raise.to_double_inexact";
+    case Counter::kStatusInvalidOp: return "core.status_raise.invalid_op";
+    case Counter::kAtomicCasAdds: return "atomic.cas.adds";
+    case Counter::kAtomicCasRetries: return "atomic.cas.retries";
+    case Counter::kAtomicFetchAddAdds: return "atomic.fetch_add.adds";
+    case Counter::kAdaptiveGrowInt: return "adaptive.grow_int";
+    case Counter::kAdaptiveGrowFrac: return "adaptive.grow_frac";
+    case Counter::kAdaptiveRecoverOverflow: return "adaptive.recover_add_overflow";
+    case Counter::kBackendReductions: return "backends.reductions";
+    case Counter::kBackendBusyNs: return "backends.busy_ns";
+    case Counter::kBackendMergeNs: return "backends.merge_ns";
+    case Counter::kMpisimMessages: return "mpisim.messages";
+    case Counter::kMpisimBytesSent: return "mpisim.bytes_sent";
+    case Counter::kMpisimReductions: return "mpisim.reductions";
+    case Counter::kCudasimLaunches: return "cudasim.launches";
+    case Counter::kCudasimCasRetries: return "cudasim.cas_retries";
+    case Counter::kCudasimBytesH2D: return "cudasim.bytes_h2d";
+    case Counter::kCudasimBytesD2H: return "cudasim.bytes_d2h";
+    case Counter::kCudasimBusyNs: return "cudasim.busy_ns";
+    case Counter::kPhisimOffloads: return "phisim.offloads";
+    case Counter::kPhisimBytesUploaded: return "phisim.bytes_uploaded";
+    case Counter::kPhisimBusyNs: return "phisim.busy_ns";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+Snapshot snapshot() {
+  Snapshot out;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  out.values = r.retired;
+  for (const detail::Shard* s : r.live) {
+    for (std::size_t i = 0; i < kCounterCount; ++i) {
+      out.values[i] += s->values[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void reset() noexcept {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.retired.fill(0);
+  for (detail::Shard* s : r.live) {
+    for (auto& v : s->values) v.store(0, std::memory_order_relaxed);
+  }
+}
+
+Snapshot Snapshot::delta_since(const Snapshot& earlier) const noexcept {
+  Snapshot out;
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out.values[i] =
+        values[i] >= earlier.values[i] ? values[i] - earlier.values[i] : 0;
+  }
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"hpsum_trace\": 1,\n  \"enabled\": ";
+  out += enabled() ? "true" : "false";
+  out += ",\n  \"counters\": {\n";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out += "    \"";
+    out += counter_name(static_cast<Counter>(i));
+    out += "\": ";
+    out += std::to_string(values[i]);
+    out += i + 1 < kCounterCount ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "counter,value\n";
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    out += counter_name(static_cast<Counter>(i));
+    out += ',';
+    out += std::to_string(values[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_json(const std::string& path) {
+  const std::string json = snapshot().to_json();
+  if (path.empty() || path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hpsum::trace

@@ -1,0 +1,252 @@
+// hptrace — near-zero-overhead runtime telemetry for the HP contract.
+//
+// The library's behavioral contract (bit-exact, order-invariant sums with
+// sticky status) is invisible at runtime without counters: CAS retry
+// pressure in HpAtomic, carry-chain lengths in the scatter-add fast path,
+// HpAdaptive growth events, and per-backend bytes/busy time all decide
+// whether a deployment is healthy, yet none of them used to be observable
+// outside ad-hoc bench printouts. This layer is the one place such numbers
+// flow through (tools/hplint rule L5 flags raw printf/timer telemetry in
+// src/core for exactly that reason).
+//
+// Design:
+//   - A fixed catalog of named monotonic counters (enum Counter). Span
+//     timers are counters holding accumulated nanoseconds (ScopedTimer).
+//   - Writes go to a thread-local shard: a single-writer relaxed-atomic
+//     slot per counter, so the hot-path increment compiles to a plain
+//     load/add/store of the owning thread's cache line — no lock prefix,
+//     no contention, and tear-free for concurrent readers.
+//   - snapshot() aggregates live shards plus the retired totals of exited
+//     threads under a registry mutex; successive snapshots are monotone.
+//   - Compile-time kill switch: building with -DHPSUM_TRACE_ENABLED=0
+//     (CMake: -DHPSUM_TRACE=OFF) turns every probe into a no-op expression
+//     with zero code, while the snapshot/export API stays linkable.
+//   - Probes are callable from constexpr kernels: count() is constexpr and
+//     only touches the shard when not in constant evaluation, so the
+//     static_assert proofs in tests/test_constexpr_proofs.cpp still hold.
+//
+// docs/OBSERVABILITY.md has the counter catalog, export schema, and
+// measured overhead numbers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "core/hp_status.hpp"  // header-only; no link dependency
+
+#ifndef HPSUM_TRACE_ENABLED
+#define HPSUM_TRACE_ENABLED 1
+#endif
+
+namespace hpsum::trace {
+
+/// The counter catalog. Stable names (see counter_name) appear in JSON/CSV
+/// exports; docs/OBSERVABILITY.md documents each one.
+enum class Counter : std::uint16_t {
+  // core — scatter-add fast path vs reference path, carry-chain histogram.
+  kScatterAddCalls = 0,   ///< operator+=(double) deposits (fast path)
+  kScatterCarryChain1,    ///< carry/borrow propagated 1 limb past deposit
+  kScatterCarryChain2,    ///< ... 2 limbs
+  kScatterCarryChain3,    ///< ... 3 limbs
+  kScatterCarryChain4Plus,///< ... 4 or more limbs (len-0 = calls - sum)
+  kReferenceAddCalls,     ///< add_double_reference convert+add pairs
+  // core — sticky status raise counts, one counter per HpStatus bit.
+  kStatusConvertOverflow,
+  kStatusAddOverflow,
+  kStatusToDoubleOverflow,
+  kStatusInexact,
+  kStatusToDoubleInexact,
+  kStatusInvalidOp,
+  // HpAtomic — contention and adder-flavor traffic.
+  kAtomicCasAdds,         ///< add() calls (CAS-loop adder)
+  kAtomicCasRetries,      ///< failed compare_exchange attempts
+  kAtomicFetchAddAdds,    ///< add_fetch_add() calls (ablation adder)
+  // HpAdaptive — growth events.
+  kAdaptiveGrowInt,
+  kAdaptiveGrowFrac,
+  kAdaptiveRecoverOverflow,
+  // backends — span timers routed through the registry (nanoseconds).
+  kBackendReductions,     ///< run_threads/run_openmp invocations
+  kBackendBusyNs,         ///< summed per-PE busy time
+  kBackendMergeNs,        ///< master-thread partial combines
+  // mpisim — message traffic.
+  kMpisimMessages,
+  kMpisimBytesSent,
+  kMpisimReductions,
+  // cudasim — launches, contention, PCIe traffic.
+  kCudasimLaunches,
+  kCudasimCasRetries,
+  kCudasimBytesH2D,
+  kCudasimBytesD2H,
+  kCudasimBusyNs,
+  // phisim — offload traffic.
+  kPhisimOffloads,
+  kPhisimBytesUploaded,
+  kPhisimBusyNs,
+  kCount  ///< sentinel, keep last
+};
+
+inline constexpr std::size_t kCounterCount =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable dotted export name, e.g. "core.scatter_add.calls".
+[[nodiscard]] std::string_view counter_name(Counter c) noexcept;
+
+/// True when probes are compiled in (HPSUM_TRACE_ENABLED in this TU).
+[[nodiscard]] constexpr bool enabled() noexcept {
+  return HPSUM_TRACE_ENABLED != 0;
+}
+
+namespace detail {
+
+/// One thread's counter shard. Slots are written only by the owning thread
+/// (relaxed store of load+delta — a plain add on x86) and read by
+/// snapshot(); the atomic type makes cross-thread reads tear-free without
+/// ordering cost.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kCounterCount> values{};
+};
+
+/// Registers/retires a shard with the process-wide registry (trace.cpp).
+/// retire folds the shard's final values into the retired totals so exited
+/// threads keep counting toward snapshots.
+void register_shard(Shard* s);
+void retire_shard(Shard* s) noexcept;
+
+struct ShardOwner {
+  Shard shard;
+  ShardOwner() { register_shard(&shard); }
+  ~ShardOwner() { retire_shard(&shard); }
+  ShardOwner(const ShardOwner&) = delete;
+  ShardOwner& operator=(const ShardOwner&) = delete;
+};
+
+inline Shard& local_shard() {
+  thread_local ShardOwner owner;
+  return owner.shard;
+}
+
+}  // namespace detail
+
+/// Runtime increment. Prefer count() in code that may run at compile time.
+inline void bump(Counter c, std::uint64_t n = 1) {
+#if HPSUM_TRACE_ENABLED
+  auto& slot = detail::local_shard().values[static_cast<std::size_t>(c)];
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+#else
+  (void)c;
+  (void)n;
+#endif
+}
+
+/// Probe usable inside constexpr kernels: a no-op during constant
+/// evaluation, a shard increment at runtime, nothing at all when the layer
+/// is compiled out.
+constexpr void count(Counter c, std::uint64_t n = 1) noexcept {
+#if HPSUM_TRACE_ENABLED
+  if (!std::is_constant_evaluated()) bump(c, n);
+#else
+  (void)c;
+  (void)n;
+#endif
+}
+
+/// Bumps one status-raise counter per set HpStatus bit. Call with the mask
+/// a kernel is about to return; the common kOk case is a single branch.
+constexpr void count_status(HpStatus st) noexcept {
+#if HPSUM_TRACE_ENABLED
+  if (st == HpStatus::kOk || std::is_constant_evaluated()) return;
+  if (has(st, HpStatus::kConvertOverflow)) bump(Counter::kStatusConvertOverflow);
+  if (has(st, HpStatus::kAddOverflow)) bump(Counter::kStatusAddOverflow);
+  if (has(st, HpStatus::kToDoubleOverflow)) bump(Counter::kStatusToDoubleOverflow);
+  if (has(st, HpStatus::kInexact)) bump(Counter::kStatusInexact);
+  if (has(st, HpStatus::kToDoubleInexact)) bump(Counter::kStatusToDoubleInexact);
+  if (has(st, HpStatus::kInvalidOp)) bump(Counter::kStatusInvalidOp);
+#else
+  (void)st;
+#endif
+}
+
+/// Buckets a scatter-add carry/borrow chain length (limbs the chain
+/// propagated past the deposit limbs). Length 0 is implicit: it is
+/// kScatterAddCalls minus the four bucket counters.
+constexpr void count_carry_chain(int len) noexcept {
+#if HPSUM_TRACE_ENABLED
+  if (len <= 0 || std::is_constant_evaluated()) return;
+  switch (len) {
+    case 1: bump(Counter::kScatterCarryChain1); break;
+    case 2: bump(Counter::kScatterCarryChain2); break;
+    case 3: bump(Counter::kScatterCarryChain3); break;
+    default: bump(Counter::kScatterCarryChain4Plus); break;
+  }
+#else
+  (void)len;
+#endif
+}
+
+/// Span timer: accumulates elapsed nanoseconds into `c` on destruction.
+/// Compiles to nothing when the layer is off.
+class ScopedTimer {
+ public:
+#if HPSUM_TRACE_ENABLED
+  explicit ScopedTimer(Counter c) noexcept
+      : c_(c), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    bump(c_, static_cast<std::uint64_t>(ns < 0 ? 0 : ns));
+  }
+#else
+  explicit ScopedTimer(Counter) noexcept {}
+#endif
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+#if HPSUM_TRACE_ENABLED
+  Counter c_;
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/// A point-in-time aggregate of every counter across all threads (live
+/// shards + retired totals).
+struct Snapshot {
+  std::array<std::uint64_t, kCounterCount> values{};
+
+  [[nodiscard]] std::uint64_t value(Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  /// Per-counter difference `*this - earlier` (saturating at 0 so a
+  /// mid-flight reset cannot produce wrapped deltas).
+  [[nodiscard]] Snapshot delta_since(const Snapshot& earlier) const noexcept;
+  /// {"hpsum_trace": 1, "enabled": ..., "counters": {name: value, ...}}
+  [[nodiscard]] std::string to_json() const;
+  /// "counter,value\n" rows with a header line.
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Aggregates all shards. Safe to call concurrently with active probes;
+/// each counter independently reflects some point in its recent history,
+/// and successive snapshots are per-counter monotone.
+[[nodiscard]] Snapshot snapshot();
+
+/// Zeroes every live shard and the retired totals. For tests and bench
+/// warmup isolation only: racing probes keep their writes race-free but a
+/// concurrent increment may survive or vanish — quiesce first for exact
+/// numbers.
+void reset() noexcept;
+
+/// Writes snapshot().to_json() to `path` ("-" or "" = stdout). Returns
+/// false (and writes nothing) if the file cannot be opened.
+bool write_json(const std::string& path);
+
+}  // namespace hpsum::trace

@@ -149,5 +149,60 @@ TEST(HpAdaptive, SubnormalInputsHandled) {
   EXPECT_GE(acc.config().k, 17);  // needs 1074 fraction bits
 }
 
+// Regression: operator+= used to call v_.clear_status() on entry AND exit,
+// wiping every caller-visible sticky flag (a kInvalidOp or kInexact planted
+// by div_small vanished after the next add). Only kAddOverflow — the flag
+// the wrap-repair recovery actually handles — may be consumed; the rest
+// must stay sticky like on HpFixed/HpDyn.
+TEST(HpAdaptiveStatus, AddDoubleKeepsUnrelatedFlagsSticky) {
+  HpAdaptive acc;
+  acc += 1.0;
+  (void)acc.div_small(0);  // precondition violation -> sticky kInvalidOp
+  ASSERT_TRUE(has(acc.status(), HpStatus::kInvalidOp));
+  acc += 2.0;  // the add used to clear the whole mask
+  EXPECT_TRUE(has(acc.status(), HpStatus::kInvalidOp));
+  EXPECT_EQ(acc.to_double(), 3.0);
+}
+
+TEST(HpAdaptiveStatus, AddDoubleKeepsInexactFromDivSticky) {
+  HpAdaptive acc;
+  acc += 1.0;
+  (void)acc.div_small(3);  // 1/3 truncates at the lsb -> sticky kInexact
+  ASSERT_TRUE(has(acc.status(), HpStatus::kInexact));
+  acc += 1.0;
+  EXPECT_TRUE(has(acc.status(), HpStatus::kInexact));
+}
+
+TEST(HpAdaptiveStatus, AddAdaptiveMergesBothOperandsFlags) {
+  HpAdaptive a, b;
+  a += 1.0;
+  b += 2.0;
+  (void)a.div_small(0);  // kInvalidOp on the target
+  (void)b.div_small(3);  // kInexact on the operand
+  ASSERT_TRUE(has(a.status(), HpStatus::kInvalidOp));
+  ASSERT_TRUE(has(b.status(), HpStatus::kInexact));
+  a += b;
+  EXPECT_TRUE(has(a.status(), HpStatus::kInvalidOp));
+  EXPECT_TRUE(has(a.status(), HpStatus::kInexact));
+}
+
+TEST(HpAdaptiveStatus, HandledAddOverflowIsConsumedNotReported) {
+  HpAdaptive acc;  // starts (2,1): integer range ±2^63
+  const double big = std::ldexp(1.0, 62);
+  acc += big;
+  acc += big;  // running total 2^63 wraps; recovery widens and repairs
+  EXPECT_FALSE(has(acc.status(), HpStatus::kAddOverflow));
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+  EXPECT_EQ(acc.to_double(), std::ldexp(1.0, 63));
+}
+
+TEST(HpAdaptiveStatus, ClearStatusResetsTheStickyMask) {
+  HpAdaptive acc;
+  (void)acc.div_small(0);
+  ASSERT_NE(acc.status(), HpStatus::kOk);
+  acc.clear_status();
+  EXPECT_EQ(acc.status(), HpStatus::kOk);
+}
+
 }  // namespace
 }  // namespace hpsum

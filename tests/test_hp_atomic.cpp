@@ -131,5 +131,59 @@ TEST(HpAtomic, ManyPartialsLikeCudaKernel) {
   EXPECT_EQ(total, (reduce_hp<6, 3>(xs)));
 }
 
+// Regression: the adders silently dropped a carry out of limb 0, so a sum
+// that left the representable range reported kOk from the concurrent path
+// while the sequential path raised kAddOverflow. Both adder flavors now
+// apply add_impl's sign rule to the top-limb update.
+TEST(HpAtomic, TopLimbOverflowRaisesStickyFlagLikeSequential) {
+  const double big = std::ldexp(1.0, 62);  // (2,1) range is ±2^63
+  HpFixed<2, 1> seq;
+  seq += big;
+  seq += big;
+  ASSERT_TRUE(has(seq.status(), HpStatus::kAddOverflow));
+
+  HpAtomic<2, 1> cas_acc;
+  cas_acc.add(HpFixed<2, 1>(big));
+  cas_acc.add(HpFixed<2, 1>(big));
+  EXPECT_TRUE(has(cas_acc.status(), HpStatus::kAddOverflow));
+  EXPECT_EQ(cas_acc.load(), seq);  // wrapped limbs also match bit-exactly
+
+  HpAtomic<2, 1> fa_acc;
+  fa_acc.add_fetch_add(HpFixed<2, 1>(big));
+  fa_acc.add_fetch_add(HpFixed<2, 1>(big));
+  EXPECT_TRUE(has(fa_acc.status(), HpStatus::kAddOverflow));
+  EXPECT_EQ(fa_acc.load(), seq);
+}
+
+TEST(HpAtomic, NegativeTopLimbOverflowAlsoFlagged) {
+  const double big = -std::ldexp(1.0, 62);
+  HpFixed<2, 1> seq;
+  seq += big;
+  seq += big;  // -2^63: exactly representable, no flag yet
+  ASSERT_FALSE(has(seq.status(), HpStatus::kAddOverflow));
+  seq += big;  // -3*2^62 wraps positive
+  ASSERT_TRUE(has(seq.status(), HpStatus::kAddOverflow));
+
+  HpAtomic<2, 1> acc;
+  acc.add(HpFixed<2, 1>(big));
+  acc.add(HpFixed<2, 1>(big));
+  EXPECT_FALSE(has(acc.status(), HpStatus::kAddOverflow));
+  acc.add(HpFixed<2, 1>(big));
+  EXPECT_TRUE(has(acc.status(), HpStatus::kAddOverflow));
+  EXPECT_EQ(acc.load(), seq);
+}
+
+TEST(HpAtomic, BenignMixedSignWrapsDoNotFalseFlag) {
+  // Negative + positive (and negative + negative staying in range) wrap the
+  // unsigned top limb without leaving the representable range; the sign
+  // rule must stay quiet, exactly as the sequential adder does.
+  HpAtomic<2, 1> acc;
+  acc.add(HpFixed<2, 1>(-1.0));
+  acc.add(HpFixed<2, 1>(5.0));
+  acc.add(HpFixed<2, 1>(-4.0));
+  EXPECT_FALSE(has(acc.status(), HpStatus::kAddOverflow));
+  EXPECT_EQ(acc.load().to_double(), 0.0);
+}
+
 }  // namespace
 }  // namespace hpsum

@@ -110,5 +110,33 @@ TEST(HpPlan, UnsatisfiablePlanThrows) {
   EXPECT_THROW((void)suggest_config(plan), std::invalid_argument);
 }
 
+// Regression: satisfies() guarded !isfinite(max_abs) but not min_abs, so a
+// NaN/Inf min_abs flowed into std::ilogb and produced a garbage verdict
+// (typically "satisfied") for a plan suggest_config() would reject.
+TEST(HpPlanSatisfies, NonFiniteMinAbsIsNeverSatisfied) {
+  SumPlan plan;
+  plan.max_abs = 1.0;
+  plan.summands = 100;
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    plan.min_abs = bad;
+    EXPECT_THROW((void)suggest_config(plan), std::invalid_argument);
+    for (const HpConfig cfg : {HpConfig{2, 1}, HpConfig{6, 3},
+                               HpConfig{16, 8}}) {
+      EXPECT_FALSE(satisfies(cfg, plan))
+          << "min_abs=" << bad << " cfg={" << cfg.n << "," << cfg.k << "}";
+    }
+  }
+}
+
+TEST(HpPlanSatisfies, InconsistentMinAboveMaxIsNeverSatisfied) {
+  SumPlan plan;
+  plan.max_abs = 1.0;
+  plan.min_abs = 2.0;  // check_plan rejects min_abs > max_abs
+  plan.summands = 10;
+  EXPECT_THROW((void)suggest_config(plan), std::invalid_argument);
+  EXPECT_FALSE(satisfies(HpConfig{6, 3}, plan));
+}
+
 }  // namespace
 }  // namespace hpsum

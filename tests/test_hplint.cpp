@@ -1,4 +1,4 @@
-// Self-tests for hplint (tools/hplint): each rule L1–L4 must fire on known
+// Self-tests for hplint (tools/hplint): each rule L1–L5 must fire on known
 // violations, stay quiet on clean idioms, honor `hplint: allow(...)`
 // annotations, and survive comments/strings. Fixture files with deliberate
 // violations live in tools/hplint/fixtures (path baked in at build time).
@@ -33,10 +33,12 @@ TEST(HplintRuleIds, StableNamesAndIds) {
   EXPECT_EQ(lint::rule_id(lint::Rule::kSignedLimb), "L2");
   EXPECT_EQ(lint::rule_id(lint::Rule::kDiscardStatus), "L3");
   EXPECT_EQ(lint::rule_id(lint::Rule::kNondeterminism), "L4");
+  EXPECT_EQ(lint::rule_id(lint::Rule::kRawTelemetry), "L5");
   EXPECT_EQ(lint::rule_name(lint::Rule::kFpAccumulate), "fp-accumulate");
   EXPECT_EQ(lint::rule_name(lint::Rule::kSignedLimb), "signed-limb");
   EXPECT_EQ(lint::rule_name(lint::Rule::kDiscardStatus), "discard-status");
   EXPECT_EQ(lint::rule_name(lint::Rule::kNondeterminism), "nondeterminism");
+  EXPECT_EQ(lint::rule_name(lint::Rule::kRawTelemetry), "raw-telemetry");
 }
 
 TEST(HplintScope, ContractDirsGetAllRules) {
@@ -66,6 +68,16 @@ TEST(HplintScope, BenchOnlyGetsDiscardRule) {
   EXPECT_FALSE(s.l2);
   EXPECT_TRUE(s.l3);
   EXPECT_FALSE(s.l4);
+  EXPECT_FALSE(s.l5);  // benches print results by design
+}
+
+TEST(HplintScope, RawTelemetryCoversCoreOnly) {
+  EXPECT_TRUE(lint::scope_for_path("src/core/hp_convert.hpp").l5);
+  // src/trace IS the sanctioned sink; backends/sims report via counters but
+  // keep their honest measured-wall printing paths out of L5's reach.
+  EXPECT_FALSE(lint::scope_for_path("src/trace/trace.cpp").l5);
+  EXPECT_FALSE(lint::scope_for_path("src/backends/scaling.hpp").l5);
+  EXPECT_FALSE(lint::scope_for_path("examples/quickstart.cpp").l5);
 }
 
 // --- L1 -------------------------------------------------------------------
@@ -181,6 +193,41 @@ TEST(HplintL4, IncludesAndNonCallUsesAreFine) {
   EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
 }
 
+// --- L5 -------------------------------------------------------------------
+
+TEST(HplintL5, CatchesPrintfStreamsAndTimers) {
+  const auto vs = lint::lint_source(kCore,
+                                    "std::printf(\"x\");\n"
+                                    "std::cout << 1;\n"
+                                    "util::WallTimer t;\n"
+                                    "util::ThreadCpuTimer cpu;\n");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kRawTelemetry),
+            (std::set<int>{1, 2, 3, 4}));
+}
+
+TEST(HplintL5, PrintfMustBeACallAndSnprintfIsFine) {
+  // `snprintf` must not word-match `printf`; a declaration mentioning a
+  // printf-like function pointer without a call is fine too.
+  const auto vs = lint::lint_source(kCore,
+                                    "std::snprintf(buf, sizeof buf, fmt);\n"
+                                    "int printf_calls = 0;\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kRawTelemetry).empty())
+      << lint::to_text(vs);
+}
+
+TEST(HplintL5, OutOfScopePathIsQuiet) {
+  const auto vs = lint::lint_source(kBench, "std::printf(\"result\\n\");\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kRawTelemetry).empty());
+}
+
+TEST(HplintL5, AllowAnnotationSuppresses) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "// hplint: allow(raw-telemetry) — guarded debug aid\n"
+      "std::printf(\"dbg\");\n");
+  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
 // --- Annotations, comments, strings ---------------------------------------
 
 TEST(HplintAnnotations, SameLineAndLineAboveAndCommentBlock) {
@@ -286,6 +333,13 @@ TEST(HplintFixtures, NondeterminismFixture) {
   const auto vs = lint_fixture("src/core/bad_nondeterminism.cpp");
   EXPECT_EQ(lines_of(vs, lint::Rule::kNondeterminism),
             (std::set<int>{8, 12, 16}))
+      << lint::to_text(vs);
+}
+
+TEST(HplintFixtures, RawTelemetryFixture) {
+  const auto vs = lint_fixture("src/core/bad_raw_telemetry.cpp");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kRawTelemetry),
+            (std::set<int>{9, 13, 14, 18}))
       << lint::to_text(vs);
 }
 

@@ -1,0 +1,246 @@
+// hptrace tests: catalog stability, probe accounting, differential
+// agreement between the CAS and fetch_add adders, tear-free concurrent
+// snapshots (TraceConcurrency runs under TSan — see .github/workflows), and
+// the JSON/CSV export surface. Every assertion branches on
+// trace::enabled() so the same source compiles and passes in
+// HPSUM_TRACE=OFF builds, where all counters must read zero.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hp_atomic.hpp"
+#include "core/hp_fixed.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using hpsum::HpAtomic;
+using hpsum::HpFixed;
+using hpsum::HpStatus;
+namespace trace = hpsum::trace;
+
+trace::Snapshot delta_of(const trace::Snapshot& before) {
+  return trace::snapshot().delta_since(before);
+}
+
+// When the layer is compiled out every counter must be exactly zero; when
+// it is compiled in the expected count must match exactly (tests here are
+// single-threaded unless stated).
+void expect_count(const trace::Snapshot& delta, trace::Counter c,
+                  std::uint64_t expected) {
+  if constexpr (trace::enabled()) {
+    EXPECT_EQ(delta.value(c), expected) << trace::counter_name(c);
+  } else {
+    EXPECT_EQ(delta.value(c), 0u) << trace::counter_name(c);
+  }
+}
+
+TEST(TraceCatalog, NamesAreStableUniqueAndDotted) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
+    const auto c = static_cast<trace::Counter>(i);
+    const std::string name(trace::counter_name(c));
+    EXPECT_FALSE(name.empty()) << i;
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+  }
+  // Spot-check the names the metrics-smoke schema validation relies on.
+  EXPECT_EQ(trace::counter_name(trace::Counter::kScatterAddCalls),
+            "core.scatter_add.calls");
+  EXPECT_EQ(trace::counter_name(trace::Counter::kAtomicCasRetries),
+            "atomic.cas.retries");
+  EXPECT_EQ(trace::counter_name(trace::Counter::kStatusInexact),
+            "core.status_raise.inexact");
+}
+
+TEST(TraceProbes, BumpAndCountAreExactSingleThreaded) {
+  const trace::Snapshot before = trace::snapshot();
+  trace::bump(trace::Counter::kMpisimMessages);
+  trace::count(trace::Counter::kMpisimMessages, 4);
+  const trace::Snapshot d = delta_of(before);
+  expect_count(d, trace::Counter::kMpisimMessages, 5);
+  expect_count(d, trace::Counter::kMpisimBytesSent, 0);
+}
+
+TEST(TraceProbes, ScatterAddCountsDepositsAndStatusRaises) {
+  const trace::Snapshot before = trace::snapshot();
+  HpFixed<4, 2> acc;
+  for (int i = 0; i < 100; ++i) acc += 1.25;
+  acc += std::ldexp(1.0, -300);  // entirely sub-lsb: kInexact
+  const trace::Snapshot d = delta_of(before);
+  expect_count(d, trace::Counter::kScatterAddCalls, 101);
+  expect_count(d, trace::Counter::kStatusInexact, 1);
+  expect_count(d, trace::Counter::kReferenceAddCalls, 0);
+  EXPECT_TRUE(hpsum::has(acc.status(), HpStatus::kInexact));
+}
+
+TEST(TraceProbes, CarryChainHistogramBucketsExactLengths) {
+  // Hand-built accumulators whose low limbs are all-ones force the carry
+  // past the two deposit limbs by an exact, known distance.
+  {
+    HpFixed<4, 2> acc;           // limbs [0..1] integer, [2..3] fraction
+    acc.limbs()[2] = ~0ull;      // fraction part = 1 - 2^-128
+    acc.limbs()[3] = ~0ull;
+    const trace::Snapshot before = trace::snapshot();
+    acc += std::ldexp(1.0, -128);  // lsb deposit wraps both fraction limbs
+    const trace::Snapshot d = delta_of(before);
+    expect_count(d, trace::Counter::kScatterCarryChain1, 1);
+    expect_count(d, trace::Counter::kScatterCarryChain2, 0);
+    EXPECT_EQ(acc.to_double(), 1.0);
+  }
+  {
+    HpFixed<4, 2> acc;
+    acc.limbs()[1] = ~0ull;
+    acc.limbs()[2] = ~0ull;
+    acc.limbs()[3] = ~0ull;
+    const trace::Snapshot before = trace::snapshot();
+    acc += std::ldexp(1.0, -128);  // carry travels into the top limb
+    const trace::Snapshot d = delta_of(before);
+    expect_count(d, trace::Counter::kScatterCarryChain2, 1);
+    expect_count(d, trace::Counter::kScatterCarryChain1, 0);
+  }
+  {
+    HpFixed<4, 2> acc;  // an in-place deposit with no onward carry
+    const trace::Snapshot before = trace::snapshot();
+    acc += 1.0;
+    const trace::Snapshot d = delta_of(before);
+    expect_count(d, trace::Counter::kScatterAddCalls, 1);
+    expect_count(d, trace::Counter::kScatterCarryChain1, 0);
+    expect_count(d, trace::Counter::kScatterCarryChain2, 0);
+    expect_count(d, trace::Counter::kScatterCarryChain3, 0);
+    expect_count(d, trace::Counter::kScatterCarryChain4Plus, 0);
+  }
+}
+
+TEST(TraceDifferential, CasAndFetchAddAddersAgreeOnIdenticalData) {
+  // The two adder flavors must do the same accounting on the same data:
+  // one adder-traffic count per add, identical conversion-side counters,
+  // and identical status raises — and of course identical final values.
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back((i % 2 ? -1.0 : 1.0) * (i + 0.5));
+
+  HpAtomic<3, 1> cas_acc;
+  const trace::Snapshot before_cas = trace::snapshot();
+  for (const double x : xs) cas_acc.add(HpFixed<3, 1>(x));
+  const trace::Snapshot d_cas = delta_of(before_cas);
+
+  HpAtomic<3, 1> fa_acc;
+  const trace::Snapshot before_fa = trace::snapshot();
+  for (const double x : xs) fa_acc.add_fetch_add(HpFixed<3, 1>(x));
+  const trace::Snapshot d_fa = delta_of(before_fa);
+
+  expect_count(d_cas, trace::Counter::kAtomicCasAdds, xs.size());
+  expect_count(d_cas, trace::Counter::kAtomicFetchAddAdds, 0);
+  expect_count(d_fa, trace::Counter::kAtomicFetchAddAdds, xs.size());
+  expect_count(d_fa, trace::Counter::kAtomicCasAdds, 0);
+  // Uncontended CAS never retries.
+  expect_count(d_cas, trace::Counter::kAtomicCasRetries, 0);
+  // Conversion-side and status-raise counters agree run-to-run.
+  EXPECT_EQ(d_cas.value(trace::Counter::kScatterAddCalls),
+            d_fa.value(trace::Counter::kScatterAddCalls));
+  EXPECT_EQ(d_cas.value(trace::Counter::kStatusAddOverflow),
+            d_fa.value(trace::Counter::kStatusAddOverflow));
+  EXPECT_EQ(d_cas.value(trace::Counter::kStatusInexact),
+            d_fa.value(trace::Counter::kStatusInexact));
+  EXPECT_EQ(cas_acc.load(), fa_acc.load());
+  EXPECT_EQ(cas_acc.status(), fa_acc.status());
+}
+
+TEST(TraceConcurrency, RetiredThreadCountsSurviveInSnapshots) {
+  const trace::Snapshot before = trace::snapshot();
+  std::thread t([] {
+    for (int i = 0; i < 1000; ++i) {
+      trace::count(trace::Counter::kPhisimOffloads);
+    }
+  });
+  t.join();
+  expect_count(delta_of(before), trace::Counter::kPhisimOffloads, 1000);
+}
+
+TEST(TraceConcurrency, SnapshotUnderHammeringIsMonotoneAndComplete) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  const trace::Snapshot before = trace::snapshot();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      HpAtomic<2, 1> local;
+      for (int i = 0; i < kPerThread; ++i) {
+        trace::count(trace::Counter::kCudasimLaunches);
+        local.add(HpFixed<2, 1>(1.0));
+      }
+    });
+  }
+  // Hammer snapshots concurrently: every counter must be monotone
+  // non-decreasing across successive reads (tear-free shards).
+  trace::Snapshot prev = trace::snapshot();
+  for (int round = 0; round < 200; ++round) {
+    const trace::Snapshot cur = trace::snapshot();
+    for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
+      EXPECT_GE(cur.values[i], prev.values[i])
+          << trace::counter_name(static_cast<trace::Counter>(i));
+    }
+    prev = cur;
+  }
+  for (std::thread& w : workers) w.join();
+  const trace::Snapshot d = delta_of(before);
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  expect_count(d, trace::Counter::kCudasimLaunches, total);
+  expect_count(d, trace::Counter::kAtomicCasAdds, total);
+}
+
+TEST(TraceExport, JsonAndCsvCarryEveryCounter) {
+  const trace::Snapshot snap = trace::snapshot();
+  const std::string json = snap.to_json();
+  const std::string csv = snap.to_csv();
+  EXPECT_NE(json.find("\"hpsum_trace\": 1"), std::string::npos);
+  EXPECT_NE(json.find(trace::enabled() ? "\"enabled\": true"
+                                       : "\"enabled\": false"),
+            std::string::npos);
+  EXPECT_EQ(csv.compare(0, 14, "counter,value\n"), 0);
+  for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
+    const auto name =
+        std::string(trace::counter_name(static_cast<trace::Counter>(i)));
+    EXPECT_NE(json.find('"' + name + '"'), std::string::npos) << name;
+    EXPECT_NE(csv.find('\n' + name + ','), std::string::npos) << name;
+  }
+}
+
+TEST(TraceExport, WriteJsonToFileAndFailurePath) {
+  const std::string path = ::testing::TempDir() + "hpsum_trace_test.json";
+  ASSERT_TRUE(trace::write_json(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 14, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"hpsum_trace\": 1"), std::string::npos);
+  EXPECT_FALSE(trace::write_json("/nonexistent-dir/trace.json"));
+}
+
+TEST(TraceDeltas, DeltaSinceSaturatesInsteadOfWrapping) {
+  trace::Snapshot a, b;
+  a.values[0] = 10;
+  b.values[0] = 3;  // "earlier" is ahead (e.g. a reset happened in between)
+  EXPECT_EQ(b.delta_since(a).values[0], 0u);
+  EXPECT_EQ(a.delta_since(b).values[0], 7u);
+}
+
+TEST(TraceReset, ZeroesLiveAndRetiredTotals) {
+  trace::count(trace::Counter::kMpisimReductions, 3);
+  trace::reset();
+  const trace::Snapshot snap = trace::snapshot();
+  for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
+    EXPECT_EQ(snap.values[i], 0u)
+        << trace::counter_name(static_cast<trace::Counter>(i));
+  }
+}
+
+}  // namespace

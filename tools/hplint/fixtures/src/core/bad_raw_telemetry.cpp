@@ -1,0 +1,25 @@
+// hplint fixture: L5 (raw-telemetry) — printf/iostream output and ad-hoc
+// timers inside kernel code instead of hpsum::trace probes.
+#include <cstdio>
+#include <iostream>
+
+#include "util/timer.hpp"
+
+void bad_printf(int retries) {
+  std::printf("retries=%d\n", retries);  // line 9
+}
+
+void bad_stream(int retries) {
+  std::cout << "retries=" << retries << "\n";  // line 13
+  std::cerr << "warn\n";                       // line 14
+}
+
+double bad_timer() {
+  hpsum::util::WallTimer t;  // line 18
+  return t.seconds();
+}
+
+void ok_annotated(int retries) {
+  // hplint: allow(raw-telemetry) — debug aid behind a compile-time flag
+  std::fprintf(stderr, "retries=%d\n", retries);
+}

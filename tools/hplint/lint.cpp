@@ -438,6 +438,52 @@ void check_l4(std::string_view path, const std::vector<Line>& lines,
   }
 }
 
+// --- L5: raw telemetry in kernel code --------------------------------------
+
+void check_l5(std::string_view path, const std::vector<Line>& lines,
+              std::vector<Violation>& out) {
+  struct Bad {
+    std::string_view token;
+    bool must_be_call;  ///< printf-family must be `token(`; cout/timers not
+    std::string_view what;
+  };
+  static constexpr Bad kBad[] = {
+      {"printf", true, "printf() output"},
+      {"fprintf", true, "fprintf() output"},
+      {"puts", true, "puts() output"},
+      {"cout", false, "std::cout output"},
+      {"cerr", false, "std::cerr output"},
+      {"WallTimer", false, "ad-hoc WallTimer measurement"},
+      {"ThreadCpuTimer", false, "ad-hoc ThreadCpuTimer measurement"},
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    if (code.empty() || allowed(lines, i, rule_name(Rule::kRawTelemetry))) {
+      continue;
+    }
+    for (const Bad& b : kBad) {
+      const std::size_t p = find_word(code, b.token);
+      if (p == std::string_view::npos) continue;
+      if (b.must_be_call) {
+        std::size_t q = p + b.token.size();
+        while (q < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[q]))) {
+          ++q;
+        }
+        if (q >= code.size() || code[q] != '(') continue;
+      }
+      out.push_back({std::string(path), static_cast<int>(i + 1),
+                     Rule::kRawTelemetry,
+                     std::string(b.what) + " in kernel code",
+                     "route kernel observability through hpsum::trace "
+                     "counters (trace::count / trace::ScopedTimer) so it "
+                     "stays compile-out-able and machine-readable, or "
+                     "annotate `// hplint: allow(raw-telemetry)`"});
+      break;
+    }
+  }
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -468,6 +514,7 @@ std::string_view rule_id(Rule r) noexcept {
     case Rule::kSignedLimb: return "L2";
     case Rule::kDiscardStatus: return "L3";
     case Rule::kNondeterminism: return "L4";
+    case Rule::kRawTelemetry: return "L5";
   }
   return "L?";
 }
@@ -478,6 +525,7 @@ std::string_view rule_name(Rule r) noexcept {
     case Rule::kSignedLimb: return "signed-limb";
     case Rule::kDiscardStatus: return "discard-status";
     case Rule::kNondeterminism: return "nondeterminism";
+    case Rule::kRawTelemetry: return "raw-telemetry";
   }
   return "?";
 }
@@ -492,6 +540,8 @@ std::string_view rule_summary(Rule r) noexcept {
       return "no discarded HpStatus/carry returns from the kernels";
     case Rule::kNondeterminism:
       return "no rand()/random_device/unordered iteration in deterministic paths";
+    case Rule::kRawTelemetry:
+      return "no raw printf/iostream/timer telemetry in src/core (use hpsum::trace)";
   }
   return "?";
 }
@@ -507,6 +557,9 @@ RuleScope scope_for_path(std::string_view path) noexcept {
   s.l2 = contract || path_contains(path, "src/util");
   s.l3 = true;  // discarding a status mask is wrong everywhere we scan
   s.l4 = path_contains(path, "src/");
+  // L5 covers the kernel directory only: bench/examples print by design,
+  // and src/trace IS the sanctioned telemetry sink.
+  s.l5 = path_contains(path, "src/core");
   return s;
 }
 
@@ -520,6 +573,7 @@ std::vector<Violation> lint_source(std::string_view path,
   if (opts.l2 && scope.l2) check_l2(path, lines, out);
   if (opts.l3 && scope.l3) check_l3(path, lines, out);
   if (opts.l4 && scope.l4) check_l4(path, lines, out);
+  if (opts.l5 && scope.l5) check_l5(path, lines, out);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return a.line < b.line;
   });

@@ -24,6 +24,10 @@
 //   L4 nondeterminism  no rand()/srand()/std::random_device and no
 //                      unordered-container iteration feeding reduction
 //                      order in deterministic paths.
+//   L5 raw-telemetry   no raw printf/iostream output or ad-hoc WallTimer /
+//                      ThreadCpuTimer measurement inside src/core — kernel
+//                      observability flows through hpsum::trace counters so
+//                      probes stay compile-out-able and machine-readable.
 //
 // Escape hatch: a `// hplint: allow(<rule-name>)` comment on the same line
 // or on the line directly above suppresses that rule there — the point is
@@ -44,6 +48,7 @@ enum class Rule {
   kSignedLimb,     // L2
   kDiscardStatus,  // L3
   kNondeterminism, // L4
+  kRawTelemetry,   // L5
 };
 
 /// Short id, e.g. "L1".
@@ -69,6 +74,7 @@ struct RuleScope {
   bool l2 = false;  ///< HP limb arithmetic files
   bool l3 = false;  ///< everything scanned
   bool l4 = false;  ///< deterministic paths
+  bool l5 = false;  ///< kernel files (src/core) — telemetry via hpsum::trace
 };
 [[nodiscard]] RuleScope scope_for_path(std::string_view path) noexcept;
 
@@ -76,7 +82,7 @@ struct RuleScope {
 /// into the violations; `enabled` masks rules globally (all four by
 /// default).
 struct Options {
-  bool l1 = true, l2 = true, l3 = true, l4 = true;
+  bool l1 = true, l2 = true, l3 = true, l4 = true, l5 = true;
 };
 [[nodiscard]] std::vector<Violation> lint_source(std::string_view path,
                                                  std::string_view source,

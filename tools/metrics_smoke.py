@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Metrics smoke gate for the hpsum_trace telemetry layer.
+
+Runs bench/ablate_convert with --metrics=FILE at two sizes and validates
+the exported counter snapshot (schema in docs/OBSERVABILITY.md):
+
+  * the document carries ``"hpsum_trace": 1``, ``"enabled": true`` and a
+    ``"counters"`` object whose values are all non-negative integers,
+  * the required core counters are present (scatter/reference adder calls,
+    CAS retries, sticky-status raises),
+  * the fast path actually fired: ``core.scatter_add.calls`` is nonzero
+    (ablate_convert's scatter streams go through scatter_add_double), and
+  * counters are monotone in workload size: doubling --n must not shrink
+    the adder-call counts.
+
+Exit status is 0 on pass, 1 on a schema/monotonicity failure, 2 on
+usage/environment errors. Registered as the ``metrics_smoke`` ctest when
+the build has HPSUM_TRACE=ON.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+# Presence is required for these; ablate_convert must additionally report
+# nonzero values for the NONZERO subset.
+REQUIRED = [
+    "core.scatter_add.calls",
+    "core.reference_add.calls",
+    "core.status_raise.inexact",
+    "atomic.cas.adds",
+    "atomic.cas.retries",
+    "adaptive.grow_int",
+    "backends.reductions",
+]
+NONZERO = [
+    "core.scatter_add.calls",
+    "core.reference_add.calls",
+]
+
+
+def run_once(bench, n, out_path):
+    cmd = [str(bench), f"--n={n}", f"--metrics={out_path}"]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    if proc.returncode != 0:
+        raise RuntimeError(f"{bench} exited {proc.returncode}")
+    with open(out_path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate_schema(doc, failures):
+    if doc.get("hpsum_trace") != 1:
+        failures.append('missing/wrong "hpsum_trace": 1 version marker')
+        return {}
+    if doc.get("enabled") is not True:
+        failures.append('"enabled" is not true — was the bench built with '
+                        "HPSUM_TRACE=OFF?")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        failures.append('"counters" object missing or empty')
+        return {}
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            failures.append(f"counter {name!r} is not a non-negative integer: "
+                            f"{value!r}")
+    for name in REQUIRED:
+        if name not in counters:
+            failures.append(f"required counter {name!r} missing")
+    for name in NONZERO:
+        if counters.get(name, 0) == 0:
+            failures.append(f"counter {name!r} is zero — the fast path never "
+                            "fired")
+    return counters
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default=None,
+                    help="path to the ablate_convert binary")
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir (used when --bench is not given)")
+    ap.add_argument("--n", type=int, default=50_000,
+                    help="summands per stream for the small run")
+    args = ap.parse_args()
+
+    bench = pathlib.Path(args.bench) if args.bench else \
+        pathlib.Path(args.build_dir) / "bench" / "ablate_convert"
+    if not bench.exists():
+        print(f"metrics_smoke: {bench} not built", file=sys.stderr)
+        return 2
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="hpsum_metrics_") as tmp:
+        small = run_once(bench, args.n, pathlib.Path(tmp) / "small.json")
+        big = run_once(bench, 2 * args.n, pathlib.Path(tmp) / "big.json")
+
+    small_counters = validate_schema(small, failures)
+    big_counters = validate_schema(big, failures)
+
+    # Monotone in workload size: each run is a fresh process, so the
+    # counters are per-run totals — doubling --n must not shrink them.
+    for name in NONZERO:
+        lo = small_counters.get(name, 0)
+        hi = big_counters.get(name, 0)
+        print(f"  {name:28s} n={args.n}: {lo:>12}  n={2 * args.n}: {hi:>12}")
+        if hi < lo:
+            failures.append(f"{name} shrank when --n doubled ({lo} -> {hi})")
+
+    if failures:
+        print("metrics_smoke: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"metrics_smoke: PASS "
+          f"({len(small_counters)} counters, schema + monotonicity ok)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
