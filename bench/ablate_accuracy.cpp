@@ -22,7 +22,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"n", "trials", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "trials", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 1024 * 1024, 16 * 1024 * 1024);
   const auto trials = static_cast<int>(args.get_int("trials", 5));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12));
@@ -94,6 +95,5 @@ int main(int argc, char** argv) {
       "style binning, refs [6-8]) is reproducible at compensated-class "
       "cost but keeps only ~60 bits below its ceiling; Hallberg and HP "
       "are exact AND order-invariant at a larger constant factor.\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

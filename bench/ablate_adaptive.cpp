@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"n", "trials", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "trials", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 1024 * 1024, 16 * 1024 * 1024);
   const auto trials = static_cast<int>(args.get_int("trials", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 13));
@@ -71,6 +72,5 @@ int main(int argc, char** argv) {
       "Hallberg runtime-guard alternative pays a full limb scan per add "
       "plus periodic normalizations — the expense the paper cites for "
       "rejecting it.\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

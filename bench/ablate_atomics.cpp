@@ -72,7 +72,8 @@ double run(Strategy strategy, const std::vector<double>& xs, int threads,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 256 * 1024, 4 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 9));
 
@@ -100,6 +101,5 @@ int main(int argc, char** argv) {
       "\nreading: all three strategies are exact; CAS needs no platform "
       "64-bit fetch_add (CUDA-era constraint) and avoids the mutex's "
       "serialization of the whole %d-limb update.\n", 6);
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

@@ -75,7 +75,8 @@ struct ScatterRow {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "seed", "csv", "json", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "seed", "csv", "json", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 10));
 
@@ -178,6 +179,5 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

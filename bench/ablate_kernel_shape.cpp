@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 1024 * 1024, 16 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 17));
 
@@ -65,6 +66,5 @@ int main(int argc, char** argv) {
       "exact sum, so the choice is pure performance.\n",
       static_cast<long long>(static_cast<std::int64_t>(n) / (8192 / 256)));
   dev.dfree(data);
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

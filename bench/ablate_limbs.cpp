@@ -41,7 +41,8 @@ void row(util::TablePrinter& table, const std::vector<double>& xs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
 
@@ -64,6 +65,5 @@ int main(int argc, char** argv) {
       "\nreading: 'vs linear model' near 1.0 confirms eq. (3)'s per-block "
       "constant-cost assumption; deviations above 1 show where larger "
       "states stop fitting registers.\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

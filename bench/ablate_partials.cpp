@@ -83,7 +83,8 @@ Point run_hp(cudasim::Device& dev, const double* data, std::size_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "threads", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "threads", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 512 * 1024, 8 * 1024 * 1024);
   const auto threads = static_cast<int>(args.get_int("threads", 4096));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 14));
@@ -120,6 +121,5 @@ int main(int argc, char** argv) {
       "stay near zero at every partial count — what remains observable is "
       "that correctness never depends on the partial count.\n");
   dev.dfree(data);
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

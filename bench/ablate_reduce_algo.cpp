@@ -58,7 +58,8 @@ Point combine_phase(int ranks, const mpisim::Datatype& dt,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"maxp", "trials", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"maxp", "trials", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto maxp = static_cast<int>(args.get_int("maxp", 128));
   const auto trials = static_cast<int>(args.get_int("trials", 5));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 16));
@@ -124,6 +125,5 @@ int main(int argc, char** argv) {
       "\nreading: the tree's log2(p) critical path beats linear's p-1 chain "
       "at scale; the double results typically split between algorithms "
       "while HP is identical by construction.\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

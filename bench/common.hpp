@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -27,17 +28,63 @@ namespace hpsum::bench {
 /// still works but every counter reads 0.
 inline constexpr const char* kMetricsFlag = "metrics";
 
+/// The --flight flag every bench harness accepts (add kFlightFlag to the
+/// harness's known-flags list). Presence arms the hpsum_flight event
+/// recorder for the run (see arm_flight); after the run the recorded
+/// timeline is exported: bare `--flight` prints Chrome trace-event JSON to
+/// stdout, `--flight=FILE` writes it to FILE, and a FILE ending in ".bin"
+/// selects the compact binary dump (decode: tools/flight2chrome.py).
+inline constexpr const char* kFlightFlag = "flight";
+
+/// Arms the flight recorder when --flight was given. Call right after
+/// argument parsing, BEFORE the measured work, so worker threads spawned
+/// later get their track labels recorded (set_track is a no-op while
+/// disarmed). HPSUM_FLIGHT=1 in the environment arms it even earlier.
+inline void arm_flight(const util::Args& args) {
+  if (!args.get_string(kFlightFlag, "").empty()) trace::flight::arm();
+}
+
 /// Emits the trace snapshot if --metrics was given. Call once, after the
-/// harness's last measured work.
-inline void emit_metrics(const util::Args& args) {
+/// harness's last measured work. Returns false when a --metrics=FILE write
+/// failed (the harness must exit nonzero so CI cannot silently lose
+/// metrics; see finish()).
+[[nodiscard]] inline bool emit_metrics(const util::Args& args) {
   const std::string value = args.get_string(kMetricsFlag, "");
-  if (value.empty()) return;
+  if (value.empty()) return true;
   // util::Args stores "true" for a bare flag; treat that as stdout.
   const std::string path = value == "true" ? "" : value;
   if (!trace::write_json(path)) {
-    std::fprintf(stderr, "warning: could not write --metrics file %s\n",
+    std::fprintf(stderr, "error: could not write --metrics file %s\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Exports the flight recording if --flight was given. Returns false when
+/// a FILE export failed (propagated to the exit status by finish()).
+[[nodiscard]] inline bool emit_flight(const util::Args& args) {
+  const std::string value = args.get_string(kFlightFlag, "");
+  if (value.empty()) return true;
+  const std::string path = value == "true" ? "" : value;
+  const bool binary =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+  const bool ok = binary ? trace::flight::dump_binary(path)
+                         : trace::flight::dump_chrome_json(path);
+  if (!ok) {
+    std::fprintf(stderr, "error: could not write --flight file %s\n",
                  path.c_str());
   }
+  return ok;
+}
+
+/// Standard harness epilogue: exports --metrics and --flight and converts
+/// any export failure into a nonzero exit status. Every bench main() ends
+/// with `return bench::finish(args);`.
+[[nodiscard]] inline int finish(const util::Args& args) {
+  const bool metrics_ok = emit_metrics(args);
+  const bool flight_ok = emit_flight(args);
+  return metrics_ok && flight_ok ? 0 : 1;
 }
 
 /// Problem-size selection: explicit flag > HPSUM_FULL > scaled default.

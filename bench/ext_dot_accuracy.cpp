@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"pairs", "trials", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"pairs", "trials", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto pairs = bench::pick(args, "pairs", 100 * 1024, 1024 * 1024);
   const auto trials = static_cast<int>(args.get_int("trials", 3));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 15));
@@ -60,6 +61,5 @@ int main(int argc, char** argv) {
       "\nreading: naive loses everything once the spread passes ~2^53; "
       "Dot2 survives to ~2^106; the HP dot is exact (error 0) at every "
       "condition number its format covers — and order-invariant.\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

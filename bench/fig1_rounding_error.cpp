@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"trials", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"trials", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto trials = bench::pick(args, "trials", 2048, 16384);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20160523));
 
@@ -54,6 +55,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: stddev(double) grows ~linearly with n "
       "(paper: ~1.1e-17 at n=1024); stddev(HP) identically 0.\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

@@ -20,7 +20,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"trials", "n", "seed", "bins", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"trials", "n", "seed", "bins", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto trials = bench::pick(args, "trials", 4096, 16384);
   const auto n = static_cast<std::size_t>(args.get_int("n", 1024));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20160524));
@@ -63,6 +64,5 @@ int main(int argc, char** argv) {
       "\nexpected shape: symmetric bell centered on 0 — the hidden rounding "
       "error is an unbiased random walk.\nHP reference: every one of these "
       "trials sums to exactly 0 in HP(3,2) (see fig1 bench).\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

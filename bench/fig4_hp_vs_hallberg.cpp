@@ -45,7 +45,8 @@ double time_hallberg(const std::vector<double>& xs, int trials) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"nmax", "trials", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"nmax", "trials", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   // The crossover the paper reports sits past 1M summands, so even the
   // scaled default sweeps to the paper's full 16M.
   const auto nmax = bench::pick(args, "nmax", 16 * 1024 * 1024, 16 * 1024 * 1024);
@@ -105,6 +106,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nexpected shape: speedup < 1 for small n (Hallberg wins), crossing "
       "~1 near 1M and rising as M drops (eq. 6: S grows as M shrinks).\n");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

@@ -44,7 +44,8 @@ std::vector<backends::ScalingPoint> sweep(const std::vector<double>& xs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "trials", "seed", "maxp", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "trials", "seed", "maxp", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto trials = static_cast<int>(args.get_int("trials", 3));
   const auto maxp = static_cast<int>(args.get_int("maxp", 8));
@@ -89,6 +90,5 @@ int main(int argc, char** argv) {
         }
         return "yes";
       }());
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

@@ -44,6 +44,9 @@ template <class LocalFn, class FinishFn>
 Point run_point(const std::vector<double>& xs, int ranks,
                 const mpisim::Datatype& dt, const mpisim::Op& op,
                 mpisim::ReduceAlgo algo, LocalFn local, FinishFn finish) {
+  // One logical reduction: all ranks' flight events (local reduce, sends,
+  // recvs, Comm::reduce spans) carry this id as their correlation key.
+  const trace::flight::ReductionScope reduction(xs.size());
   Point out;
   std::vector<double> busy(static_cast<std::size_t>(ranks), 0.0);
   double root_combine = 0;
@@ -128,7 +131,8 @@ Point point_hallberg(const std::vector<double>& xs, int ranks,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "maxp", "seed", "algo", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "maxp", "seed", "algo", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto maxp = static_cast<int>(args.get_int("maxp", 128));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));
@@ -174,6 +178,5 @@ int main(int argc, char** argv) {
               h1.modeled / d1.modeled);
   std::printf("HP sum bit-identical across all rank counts: %s\n",
               hp_invariant ? "yes" : "NO");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

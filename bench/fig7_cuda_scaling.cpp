@@ -126,7 +126,8 @@ Point run_hallberg(cudasim::Device& dev, const double* data, std::size_t n,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"n", "seed", "maxthreads", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "seed", "maxthreads", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 1024 * 1024, 32 * 1024 * 1024);
   const auto maxthreads = static_cast<int>(args.get_int("maxthreads", 32768));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
@@ -170,6 +171,5 @@ int main(int argc, char** argv) {
   std::printf("device transfer (input upload, modeled): %.4f s\n",
               dev.transfer_seconds());
   dev.dfree(data);
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

@@ -21,7 +21,8 @@
 
 int main(int argc, char** argv) {
   using namespace hpsum;
-  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag});
+  const util::Args args(argc, argv, {"n", "seed", "csv", bench::kMetricsFlag, bench::kFlightFlag});
+  bench::arm_flight(args);
   const auto n = bench::pick(args, "n", 2 * 1024 * 1024, 32 * 1024 * 1024);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 8));
 
@@ -63,6 +64,5 @@ int main(int argc, char** argv) {
       "transfer-dominated regime).\n");
   std::printf("HP sum bit-identical across all thread counts: %s\n",
               hp_invariant ? "yes" : "NO");
-  bench::emit_metrics(args);
-  return 0;
+  return bench::finish(args);
 }

@@ -9,9 +9,12 @@
 //
 // --metrics[=FILE] additionally dumps the runtime telemetry snapshot
 // (scatter fast-path deposits, carry chains, status raises; see
-// docs/OBSERVABILITY.md) as JSON to stdout or FILE.
+// docs/OBSERVABILITY.md) as JSON to stdout or FILE. --flight[=FILE] arms
+// the hpsum_flight event recorder and exports the run's timeline as
+// Chrome trace-event JSON (or the binary dump for FILE ending ".bin").
 //
-// Exit status: 0 on success, 1 on parse failure or non-finite input.
+// Exit status: 0 on success, 1 on parse failure, non-finite input, or a
+// failed --metrics/--flight FILE write.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -21,6 +24,7 @@
 #include "core/hp_dyn.hpp"
 #include "core/hp_plan.hpp"
 #include "core/reduce.hpp"
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 
@@ -35,7 +39,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const util::Args args(argc, argv, {"metrics"});
+    const util::Args args(argc, argv, {"metrics", "flight"});
+    if (!args.get_string("flight", "").empty()) trace::flight::arm();
     if (xs.empty()) {
       std::printf("no input values; sum = 0\n");
       return 0;
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
 
     const SumPlan plan = plan_for_data(xs);
     const HpConfig cfg = suggest_config(plan);
+    const trace::flight::ReductionScope reduction(xs.size());
     const HpDyn exact = reduce_hp(xs, cfg);
 
     std::printf("values           : %zu\n", xs.size());
@@ -60,17 +66,42 @@ int main(int argc, char** argv) {
                 "shuffles\n",
                 report.stddev, report.worst_abs_error, report.trials);
     if (trace::enabled()) {
+      // Name-based lookup (counter_from_name under the hood): the CLI
+      // addresses counters by their stable exported names, like external
+      // consumers of the JSON schema do.
       std::printf("audit telemetry  : %llu fast-path deposits, "
                   "%llu status raises (inexact)\n",
-                  static_cast<unsigned long long>(report.trace_delta.value(
-                      trace::Counter::kScatterAddCalls)),
-                  static_cast<unsigned long long>(report.trace_delta.value(
-                      trace::Counter::kStatusInexact)));
+                  static_cast<unsigned long long>(
+                      report.trace_delta.value("core.scatter_add.calls")
+                          .value_or(0)),
+                  static_cast<unsigned long long>(
+                      report.trace_delta.value("core.status_raise.inexact")
+                          .value_or(0)));
     }
 
     const std::string metrics = args.get_string("metrics", "");
     if (!metrics.empty()) {
-      trace::write_json(metrics == "true" ? "" : metrics);
+      const std::string path = metrics == "true" ? "" : metrics;
+      if (!trace::write_json(path)) {
+        std::fprintf(stderr,
+                     "exact_sum_cli: could not write --metrics file %s\n",
+                     path.c_str());
+        return 1;
+      }
+    }
+    const std::string flight = args.get_string("flight", "");
+    if (!flight.empty()) {
+      const std::string path = flight == "true" ? "" : flight;
+      const bool binary = path.size() >= 4 &&
+                          path.compare(path.size() - 4, 4, ".bin") == 0;
+      const bool ok = binary ? trace::flight::dump_binary(path)
+                             : trace::flight::dump_chrome_json(path);
+      if (!ok) {
+        std::fprintf(stderr,
+                     "exact_sum_cli: could not write --flight file %s\n",
+                     path.c_str());
+        return 1;
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "exact_sum_cli: %s\n", e.what());

@@ -19,6 +19,7 @@
 
 #include <omp.h>
 
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 #include "util/timer.hpp"
 
@@ -27,13 +28,14 @@ namespace hpsum::backends {
 namespace detail {
 
 /// Folds a finished ScalingPoint's timings into the trace registry once,
-/// from the driver thread (never from inside the hot loops).
+/// from the driver thread (never from inside the hot loops). A clock that
+/// misbehaves (negative delta, NaN from a bad ratio) must not poison the
+/// monotone counters, so the seconds->ns edge saturates via
+/// trace::saturating_ns instead of casting raw.
 inline void trace_point(double busy_total, double merge_time) noexcept {
   trace::count(trace::Counter::kBackendReductions);
-  trace::count(trace::Counter::kBackendBusyNs,
-               static_cast<std::uint64_t>(busy_total * 1e9));
-  trace::count(trace::Counter::kBackendMergeNs,
-               static_cast<std::uint64_t>(merge_time * 1e9));
+  trace::count(trace::Counter::kBackendBusyNs, trace::saturating_ns(busy_total));
+  trace::count(trace::Counter::kBackendMergeNs, trace::saturating_ns(merge_time));
 }
 
 }  // namespace detail
@@ -66,6 +68,8 @@ struct ScalingPoint {
 /// This is the driver for the mpisim-style and generic figures.
 template <class Acc>
 [[nodiscard]] ScalingPoint run_threads(std::span<const double> xs, int pes) {
+  const trace::flight::ReductionScope reduction(xs.size());
+  const std::uint64_t rid = reduction.id();
   const auto slices = partition(xs, pes);
   std::vector<Acc> partials(static_cast<std::size_t>(pes));
   std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
@@ -76,6 +80,10 @@ template <class Acc>
     threads.reserve(static_cast<std::size_t>(pes));
     for (int t = 0; t < pes; ++t) {
       threads.emplace_back([&, t] {
+        trace::flight::set_track("backend", 0, t);
+        const trace::flight::Span busy_span(
+            trace::flight::EventId::kPeBusy, rid,
+            slices[static_cast<std::size_t>(t)].size());
         util::ThreadCpuTimer cpu;
         Acc acc;
         for (const double x : slices[static_cast<std::size_t>(t)]) {
@@ -89,7 +97,11 @@ template <class Acc>
 
   util::ThreadCpuTimer merge_cpu;
   Acc total;
-  for (const Acc& p : partials) total.merge(p);
+  {
+    const trace::flight::Span merge_span(trace::flight::EventId::kMerge, rid,
+                                  partials.size());
+    for (const Acc& p : partials) total.merge(p);
+  }
   const double merge_time = merge_cpu.seconds();
 
   ScalingPoint out;
@@ -111,6 +123,8 @@ template <class Acc>
 /// partials; the master reduces them.
 template <class Acc>
 [[nodiscard]] ScalingPoint run_openmp(std::span<const double> xs, int pes) {
+  const trace::flight::ReductionScope reduction(xs.size());
+  const std::uint64_t rid = reduction.id();
   const auto slices = partition(xs, pes);
   std::vector<Acc> partials(static_cast<std::size_t>(pes));
   std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
@@ -119,6 +133,9 @@ template <class Acc>
 #pragma omp parallel num_threads(pes)
   {
     const int t = omp_get_thread_num();
+    trace::flight::set_track("omp", 0, t);
+    const trace::flight::Span busy_span(trace::flight::EventId::kPeBusy, rid,
+                                 slices[static_cast<std::size_t>(t)].size());
     util::ThreadCpuTimer cpu;
     Acc acc;
     for (const double x : slices[static_cast<std::size_t>(t)]) {
@@ -130,7 +147,11 @@ template <class Acc>
 
   util::ThreadCpuTimer merge_cpu;
   Acc total;
-  for (const Acc& p : partials) total.merge(p);
+  {
+    const trace::flight::Span merge_span(trace::flight::EventId::kMerge, rid,
+                                  partials.size());
+    for (const Acc& p : partials) total.merge(p);
+  }
   const double merge_time = merge_cpu.seconds();
 
   ScalingPoint out;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/hp_convert.hpp"
+#include "trace/flight.hpp"
 
 namespace hpsum {
 
@@ -45,6 +46,8 @@ void HpAdaptive::grow_int(int extra_limbs) {
   v_.cfg_.n += extra_limbs;
   ++growth_events_;
   trace::count(trace::Counter::kAdaptiveGrowInt);
+  trace::flight::instant(trace::flight::EventId::kAdaptiveGrow, /*kind=*/0,
+                         static_cast<std::uint64_t>(v_.cfg_.n));
 }
 
 void HpAdaptive::grow_frac(int extra_limbs) {
@@ -54,6 +57,8 @@ void HpAdaptive::grow_frac(int extra_limbs) {
   v_.cfg_.k += extra_limbs;
   ++growth_events_;
   trace::count(trace::Counter::kAdaptiveGrowFrac);
+  trace::flight::instant(trace::flight::EventId::kAdaptiveGrow, /*kind=*/1,
+                         static_cast<std::uint64_t>(v_.cfg_.n));
 }
 
 void HpAdaptive::recover_add_overflow(bool positive) {
@@ -66,6 +71,8 @@ void HpAdaptive::recover_add_overflow(bool positive) {
   v_.cfg_.n += 1;
   ++growth_events_;
   trace::count(trace::Counter::kAdaptiveRecoverOverflow);
+  trace::flight::instant(trace::flight::EventId::kAdaptiveGrow, /*kind=*/2,
+                         static_cast<std::uint64_t>(v_.cfg_.n));
 }
 
 void HpAdaptive::ensure_exponents(int e_hi, int e_lo) {

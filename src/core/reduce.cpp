@@ -1,8 +1,13 @@
 #include "core/reduce.hpp"
 
+#include "trace/flight.hpp"
+
 namespace hpsum {
 
 HpDyn reduce_hp(std::span<const double> xs, HpConfig cfg) {
+  const trace::flight::Span local_span(trace::flight::EventId::kLocalReduce,
+                                       trace::flight::current_reduction_id(),
+                                       xs.size());
   HpDyn acc(cfg);
   for (const double x : xs) acc += x;
   return acc;

@@ -6,18 +6,23 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
+namespace flight = hpsum::trace::flight;
+
 /// Folds one launch's stats into the trace registry (host thread only).
+/// The seconds->ns edge saturates (negative/NaN -> 0) — a bad clock delta
+/// must never wrap a monotone counter.
 void trace_launch(const hpsum::cudasim::LaunchStats& stats) noexcept {
   namespace trace = hpsum::trace;
   trace::count(trace::Counter::kCudasimLaunches);
   trace::count(trace::Counter::kCudasimCasRetries, stats.cas_retries);
   trace::count(trace::Counter::kCudasimBusyNs,
-               static_cast<std::uint64_t>(stats.busy_total * 1e9));
+               trace::saturating_ns(stats.busy_total));
 }
 
 }  // namespace
@@ -52,12 +57,16 @@ void Device::dfree(void* ptr) {
 
 void Device::memcpy_h2d(void* dst, const void* src, std::size_t bytes) {
   trace::count(trace::Counter::kCudasimBytesH2D, bytes);
+  const flight::Span copy_span(flight::EventId::kCudaMemcpyH2D,
+                               flight::current_reduction_id(), bytes);
   std::memcpy(dst, src, bytes);
   transfer_seconds_ += static_cast<double>(bytes) / props_.transfer_bandwidth;
 }
 
 void Device::memcpy_d2h(void* dst, const void* src, std::size_t bytes) {
   trace::count(trace::Counter::kCudasimBytesD2H, bytes);
+  const flight::Span copy_span(flight::EventId::kCudaMemcpyD2H,
+                               flight::current_reduction_id(), bytes);
   std::memcpy(dst, src, bytes);
   transfer_seconds_ += static_cast<double>(bytes) / props_.transfer_bandwidth;
 }
@@ -71,6 +80,11 @@ LaunchStats Device::launch(int grid_dim, int block_dim, const Kernel& kernel) {
   const int workers = std::min(props_.sim_workers, grid_dim);
   std::atomic<int> next_block{0};
   std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+  const std::uint64_t rid = flight::current_reduction_id();
+  const flight::Span launch_span(
+      flight::EventId::kCudaLaunch, rid,
+      static_cast<std::uint64_t>(grid_dim) *
+          static_cast<std::uint64_t>(block_dim));
 
   util::WallTimer wall;
   {
@@ -78,6 +92,9 @@ LaunchStats Device::launch(int grid_dim, int block_dim, const Kernel& kernel) {
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
+        flight::set_track("cudasim", 0, w);
+        const flight::Span busy_span(flight::EventId::kPeBusy, rid,
+                                     static_cast<std::uint64_t>(block_dim));
         util::ThreadCpuTimer cpu;
         ThreadCtx ctx;
         ctx.block_dim = block_dim;
@@ -120,6 +137,11 @@ LaunchStats Device::launch_phased(int grid_dim, int block_dim, int phases,
   const int workers = std::min(props_.sim_workers, grid_dim);
   std::atomic<int> next_block{0};
   std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+  const std::uint64_t rid = flight::current_reduction_id();
+  const flight::Span launch_span(
+      flight::EventId::kCudaLaunch, rid,
+      static_cast<std::uint64_t>(grid_dim) *
+          static_cast<std::uint64_t>(block_dim));
 
   util::WallTimer wall;
   {
@@ -127,6 +149,9 @@ LaunchStats Device::launch_phased(int grid_dim, int block_dim, int phases,
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&, w] {
+        flight::set_track("cudasim", 0, w);
+        const flight::Span busy_span(flight::EventId::kPeBusy, rid,
+                                     static_cast<std::uint64_t>(block_dim));
         util::ThreadCpuTimer cpu;
         std::vector<std::byte> shared(shared_bytes);
         ThreadCtx ctx;

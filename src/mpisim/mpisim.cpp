@@ -7,9 +7,14 @@
 #include <stdexcept>
 #include <thread>
 
+#include "trace/flight.hpp"
 #include "trace/trace.hpp"
 
 namespace hpsum::mpisim {
+
+namespace {
+namespace flight = trace::flight;
+}  // namespace
 
 namespace {
 /// Collective operations stamp their messages with tags at or above this
@@ -105,6 +110,11 @@ int Comm::size() const noexcept { return rt_->size(); }
 void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
   trace::count(trace::Counter::kMpisimMessages);
   trace::count(trace::Counter::kMpisimBytesSent, bytes);
+  flight::instant(
+      flight::EventId::kMpiSend,
+      flight::pack_pair(static_cast<std::uint64_t>(rank_),
+                        static_cast<std::uint64_t>(dest)),
+      flight::pack_pair(flight::current_reduction_id(), bytes));
   Runtime::Message msg;
   msg.source = rank_;
   msg.tag = tag;
@@ -115,6 +125,11 @@ void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
 
 void Comm::recv(int source, int tag, void* buf, std::size_t bytes) {
   Runtime::Message msg = rt_->take(rank_, source, tag);
+  flight::instant(
+      flight::EventId::kMpiRecv,
+      flight::pack_pair(static_cast<std::uint64_t>(rank_),
+                        static_cast<std::uint64_t>(source)),
+      flight::pack_pair(flight::current_reduction_id(), bytes));
   if (msg.data.size() != bytes) {
     throw std::logic_error("mpisim: recv size mismatch (expected " +
                            std::to_string(bytes) + ", got " +
@@ -224,6 +239,8 @@ void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
   trace::count(trace::Counter::kMpisimReductions);
   const int tag = kCollectiveTagBase + coll_seq_++;
   const std::size_t bytes = count * dt.size;
+  const flight::Span reduce_span(flight::EventId::kMpiReduce,
+                                 flight::current_reduction_id(), bytes);
   const int p = size();
 
   const auto combine = [&](std::byte* inout, const std::byte* in) {
@@ -342,6 +359,8 @@ void Comm::Group::reduce(const void* send_buf, void* recv_buf,
   trace::count(trace::Counter::kMpisimReductions);
   const int tag = kCollectiveTagBase + parent_->coll_seq_++;
   const std::size_t bytes = count * dt.size;
+  const flight::Span reduce_span(flight::EventId::kMpiReduce,
+                                 flight::current_reduction_id(), bytes);
   const int p = size();
 
   const auto combine = [&](std::byte* inout, const std::byte* in) {
@@ -398,6 +417,7 @@ void run(int nranks, const std::function<void(Comm&)>& body) {
     threads.reserve(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) {
       threads.emplace_back([&rt, &body, &errors, r] {
+        flight::set_track("mpisim", r, 0);
         Comm comm(rt, r);
         try {
           body(comm);

@@ -53,6 +53,9 @@ class OffloadDevice {
   /// Throws std::invalid_argument if threads exceeds props().max_threads.
   template <class Acc>
   OffloadPoint offload_reduce(std::span<const double> xs, int threads) {
+    const trace::flight::Span offload_span(
+        trace::flight::EventId::kPhiOffload,
+        trace::flight::current_reduction_id(), xs.size_bytes());
     const double transfer = upload(xs);
     const std::span<const double> device_view(device_buf_.data(),
                                               device_buf_.size());
@@ -67,8 +70,10 @@ class OffloadDevice {
     out.merge_time = p.merge_time;
     out.modeled_wall = transfer + p.busy_max + p.merge_time;
     out.measured_wall = wall.seconds();
+    // Saturating ns conversion: a bad clock delta (negative/NaN) must not
+    // wrap the monotone counter.
     trace::count(trace::Counter::kPhisimBusyNs,
-                 static_cast<std::uint64_t>(p.busy_total * 1e9));
+                 trace::saturating_ns(p.busy_total));
     return out;
   }
 

@@ -77,9 +77,21 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kPhisimOffloads: return "phisim.offloads";
     case Counter::kPhisimBytesUploaded: return "phisim.bytes_uploaded";
     case Counter::kPhisimBusyNs: return "phisim.busy_ns";
+    case Counter::kFlightDropped: return "trace.flight.dropped";
     case Counter::kCount: break;
   }
   return "unknown";
+}
+
+std::optional<Counter> counter_from_name(std::string_view name) noexcept {
+  // Linear scan over the catalog: 33 string_view compares, called from
+  // tools/tests, never a hot path. Staying derived from counter_name keeps
+  // the two directions impossible to desynchronize.
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    if (counter_name(c) == name) return c;
+  }
+  return std::nullopt;
 }
 
 Snapshot snapshot() {

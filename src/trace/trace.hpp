@@ -34,6 +34,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -89,6 +90,8 @@ enum class Counter : std::uint16_t {
   kPhisimOffloads,
   kPhisimBytesUploaded,
   kPhisimBusyNs,
+  // trace — the telemetry layer watching itself.
+  kFlightDropped,         ///< flight-recorder records overwritten (ring wrap)
   kCount  ///< sentinel, keep last
 };
 
@@ -97,6 +100,25 @@ inline constexpr std::size_t kCounterCount =
 
 /// Stable dotted export name, e.g. "core.scatter_add.calls".
 [[nodiscard]] std::string_view counter_name(Counter c) noexcept;
+
+/// Inverse of counter_name: resolves a dotted export name back to its
+/// Counter, or nullopt for names outside the catalog. Lets tools and tests
+/// address counters by the stable exported string instead of hard-coding
+/// enum<->name pairs.
+[[nodiscard]] std::optional<Counter> counter_from_name(
+    std::string_view name) noexcept;
+
+/// Converts a duration in seconds to whole nanoseconds, clamping the
+/// garbage cases a monotonic counter must never see: negative and NaN map
+/// to 0, overflow saturates at uint64 max. This is the one sanctioned
+/// seconds->ns edge for counter bumps (backends::detail::trace_point,
+/// cudasim launch accounting, phisim offload spans).
+[[nodiscard]] constexpr std::uint64_t saturating_ns(double seconds) noexcept {
+  const double ns = seconds * 1e9;
+  if (!(ns > 0.0)) return 0;  // negative, zero, and NaN all land here
+  if (ns >= 18446744073709551616.0) return ~std::uint64_t{0};  // >= 2^64
+  return static_cast<std::uint64_t>(ns);
+}
 
 /// True when probes are compiled in (HPSUM_TRACE_ENABLED in this TU).
 [[nodiscard]] constexpr bool enabled() noexcept {
@@ -134,6 +156,15 @@ inline Shard& local_shard() {
 
 }  // namespace detail
 
+// Hook points for the flight recorder (src/trace/flight.hpp) so
+// count_status() can emit a kStatusRaise instant event without this header
+// depending on flight.hpp. Both symbols are defined in flight.cpp, which
+// lives in the same hpsum_trace library.
+namespace flight::detail {
+extern std::atomic<bool> g_armed;
+void record_status_raise(std::uint8_t mask) noexcept;
+}  // namespace flight::detail
+
 /// Runtime increment. Prefer count() in code that may run at compile time.
 inline void bump(Counter c, std::uint64_t n = 1) {
 #if HPSUM_TRACE_ENABLED
@@ -169,6 +200,9 @@ constexpr void count_status(HpStatus st) noexcept {
   if (has(st, HpStatus::kInexact)) bump(Counter::kStatusInexact);
   if (has(st, HpStatus::kToDoubleInexact)) bump(Counter::kStatusToDoubleInexact);
   if (has(st, HpStatus::kInvalidOp)) bump(Counter::kStatusInvalidOp);
+  if (flight::detail::g_armed.load(std::memory_order_relaxed)) {
+    flight::detail::record_status_raise(static_cast<std::uint8_t>(st));
+  }
 #else
   (void)st;
 #endif
@@ -224,6 +258,13 @@ struct Snapshot {
 
   [[nodiscard]] std::uint64_t value(Counter c) const noexcept {
     return values[static_cast<std::size_t>(c)];
+  }
+  /// Name-based lookup via counter_from_name; nullopt for unknown names.
+  [[nodiscard]] std::optional<std::uint64_t> value(
+      std::string_view name) const noexcept {
+    const std::optional<Counter> c = counter_from_name(name);
+    if (!c.has_value()) return std::nullopt;
+    return value(*c);
   }
   /// Per-counter difference `*this - earlier` (saturating at 0 so a
   /// mid-flight reset cannot produce wrapped deltas).

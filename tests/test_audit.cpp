@@ -1,11 +1,17 @@
-// Tests for the order-sensitivity audit.
+// Tests for the order-sensitivity audit and the first-divergence
+// forensics (compare_limbs / forensic bundles).
 #include "audit/audit.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "core/hp_dyn.hpp"
+#include "core/reduce.hpp"
+#include "trace/flight.hpp"
 #include "workload/workload.hpp"
 
 namespace hpsum::audit {
@@ -52,6 +58,124 @@ TEST(Audit, DeterministicInSeed) {
 TEST(Audit, RejectsNonFinite) {
   const std::vector<double> bad = {1.0, std::numeric_limits<double>::infinity()};
   EXPECT_THROW((void)order_sensitivity(bad, 8, 1), std::invalid_argument);
+}
+
+TEST(AuditForensics, IdenticalReductionsDoNotDiverge) {
+  const auto xs = workload::uniform_set(4096, 11);
+  const HpConfig cfg{6, 3};
+  const HpDyn a = reduce_hp(xs, cfg);
+  const HpDyn b = reduce_hp(xs, cfg);
+  const auto report = compare_limbs("run_a", a.limbs(), a.status(), "run_b",
+                                    b.limbs(), b.status());
+  EXPECT_FALSE(report.diverged);
+  EXPECT_EQ(report.limb_index, SIZE_MAX);
+  const std::string json = forensic_bundle_json(report);
+  EXPECT_NE(json.find("\"hpsum_forensic\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"diverged\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"first_divergent_limb\": null"), std::string::npos);
+}
+
+TEST(AuditForensics, InjectedCorruptionNamesTheDivergentLimb) {
+  // The acceptance scenario: two backends that must agree bit-for-bit,
+  // except one copy has a single flipped bit planted in a known limb. The
+  // report must point at exactly that limb.
+  const auto xs = workload::uniform_set(4096, 12);
+  const HpConfig cfg{6, 3};
+  const HpDyn good = reduce_hp(xs, cfg);
+  HpDyn corrupt = good;
+  constexpr std::size_t kVictim = 4;  // a fraction limb (big-endian index)
+  ASSERT_LT(kVictim, corrupt.limbs().size());
+  corrupt.limbs()[kVictim] ^= 1ull << 17;
+
+  const auto report =
+      compare_limbs("sequential", good.limbs(), good.status(),
+                    "mpisim/8ranks", corrupt.limbs(), corrupt.status());
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.limb_index, kVictim);
+  EXPECT_EQ(report.label_a, "sequential");
+  EXPECT_EQ(report.label_b, "mpisim/8ranks");
+  EXPECT_EQ(report.limbs_a.size(), good.limbs().size());
+  EXPECT_NE(report.limbs_a[kVictim], report.limbs_b[kVictim]);
+
+  const std::string json = forensic_bundle_json(report);
+  EXPECT_NE(json.find("\"hpsum_forensic\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"diverged\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"first_divergent_limb\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"limb_order\": \"most_significant_first\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"sequential\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"mpisim/8ranks\""), std::string::npos);
+  // Both limb vectors appear in hex, and they differ.
+  const std::size_t hex_a = json.find("\"limbs_hex\": \"0x");
+  ASSERT_NE(hex_a, std::string::npos);
+  const std::size_t hex_b = json.find("\"limbs_hex\": \"0x", hex_a + 1);
+  ASSERT_NE(hex_b, std::string::npos);
+  EXPECT_NE(json.find("\"environment\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight_events\""), std::string::npos);
+}
+
+TEST(AuditForensics, StatusOnlyDivergenceHasNullLimbIndex) {
+  const std::vector<util::Limb> limbs = {1, 2, 3};
+  const auto report = compare_limbs(
+      "a", {limbs.data(), limbs.size()}, HpStatus::kOk, "b",
+      {limbs.data(), limbs.size()}, HpStatus::kInexact);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.limb_index, SIZE_MAX);
+  const std::string json = forensic_bundle_json(report);
+  EXPECT_NE(json.find("\"diverged\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"first_divergent_limb\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"inexact\""), std::string::npos);
+}
+
+TEST(AuditForensics, LimbCountMismatchDiverges) {
+  const std::vector<util::Limb> a = {1, 2, 3};
+  const std::vector<util::Limb> b = {1, 2, 3, 4};
+  const auto report = compare_limbs("a", {a.data(), a.size()}, HpStatus::kOk,
+                                    "b", {b.data(), b.size()}, HpStatus::kOk);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.limb_index, SIZE_MAX);  // common prefix agrees
+}
+
+TEST(AuditForensics, BundleCapturesLastFlightEventsWhenArmed) {
+  // With the recorder armed, the bundle's flight_events section must carry
+  // the most recent per-thread events — the "what happened just before the
+  // divergence" forensic view.
+  trace::flight::reset();
+  trace::flight::arm();
+  trace::flight::set_track("audit-test", 0, 0);
+  {
+    const trace::flight::ReductionScope scope(64);
+    const auto xs = workload::uniform_set(64, 13);
+    (void)reduce_hp(xs, HpConfig{4, 2});
+  }
+  const auto report = compare_limbs("a", {}, HpStatus::kOk, "b", {},
+                                    HpStatus::kInexact);
+  const std::string json = forensic_bundle_json(report, /*last_k_events=*/8);
+  trace::flight::disarm();
+  trace::flight::reset();
+  if (trace::enabled()) {
+    EXPECT_NE(json.find("\"track\": \"audit-test\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"reduction\""), std::string::npos);
+    EXPECT_NE(json.find("\"flight_armed\": true"), std::string::npos);
+  } else {
+    EXPECT_NE(json.find("\"flight_events\": [\n\n  ]"), std::string::npos);
+  }
+}
+
+TEST(AuditForensics, WriteBundleToFileAndFailurePath) {
+  const auto report = compare_limbs("a", {}, HpStatus::kOk, "b", {},
+                                    HpStatus::kOk);
+  const std::string path = ::testing::TempDir() + "hpsum_forensic_test.json";
+  ASSERT_TRUE(write_forensic_bundle(path, report));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(1 << 16, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"hpsum_forensic\": 1"), std::string::npos);
+  EXPECT_FALSE(
+      write_forensic_bundle("/nonexistent-dir/bundle.json", report));
 }
 
 }  // namespace

@@ -8,11 +8,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "backends/scaling.hpp"
 #include "core/hp_atomic.hpp"
 #include "core/hp_fixed.hpp"
 #include "trace/trace.hpp"
@@ -56,6 +59,58 @@ TEST(TraceCatalog, NamesAreStableUniqueAndDotted) {
             "atomic.cas.retries");
   EXPECT_EQ(trace::counter_name(trace::Counter::kStatusInexact),
             "core.status_raise.inexact");
+}
+
+TEST(TraceCatalog, CounterFromNameRoundTripsEveryCounter) {
+  for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
+    const auto c = static_cast<trace::Counter>(i);
+    const auto found = trace::counter_from_name(trace::counter_name(c));
+    ASSERT_TRUE(found.has_value()) << trace::counter_name(c);
+    EXPECT_EQ(*found, c) << trace::counter_name(c);
+  }
+  EXPECT_FALSE(trace::counter_from_name("no.such.counter").has_value());
+  EXPECT_FALSE(trace::counter_from_name("").has_value());
+  // Prefixes of real names must not resolve.
+  EXPECT_FALSE(trace::counter_from_name("core.scatter_add").has_value());
+}
+
+TEST(TraceCatalog, SnapshotValueByNameMatchesValueByEnum) {
+  trace::count(trace::Counter::kMpisimMessages, 2);
+  const trace::Snapshot snap = trace::snapshot();
+  const auto by_name = snap.value("mpisim.messages");
+  ASSERT_TRUE(by_name.has_value());
+  EXPECT_EQ(*by_name, snap.value(trace::Counter::kMpisimMessages));
+  EXPECT_FALSE(snap.value("bogus.name").has_value());
+}
+
+TEST(TraceSaturation, SaturatingNsClampsNegativeNanAndHuge) {
+  EXPECT_EQ(trace::saturating_ns(0.0), 0u);
+  EXPECT_EQ(trace::saturating_ns(-1.0), 0u);
+  EXPECT_EQ(trace::saturating_ns(-1e-12), 0u);
+  EXPECT_EQ(trace::saturating_ns(std::numeric_limits<double>::quiet_NaN()),
+            0u);
+  EXPECT_EQ(trace::saturating_ns(-std::numeric_limits<double>::infinity()),
+            0u);
+  EXPECT_EQ(trace::saturating_ns(1.5), 1'500'000'000u);
+  // Anything at or beyond 2^64 ns saturates instead of wrapping (the
+  // undefined double->u64 cast the old trace_point performed).
+  EXPECT_EQ(trace::saturating_ns(1e30), ~std::uint64_t{0});
+  EXPECT_EQ(trace::saturating_ns(std::numeric_limits<double>::infinity()),
+            ~std::uint64_t{0});
+  static_assert(trace::saturating_ns(-5.0) == 0);
+  static_assert(trace::saturating_ns(2.0) == 2'000'000'000ull);
+}
+
+TEST(TraceSaturation, TracePointWithBadClockDeltasCountsZeroNs) {
+  // Regression: a negative or NaN busy total (misbehaving clock) must not
+  // wrap into a huge ns counter value — it clamps to zero.
+  const trace::Snapshot before = trace::snapshot();
+  hpsum::backends::detail::trace_point(
+      -1.0, std::numeric_limits<double>::quiet_NaN());
+  const trace::Snapshot d = delta_of(before);
+  expect_count(d, trace::Counter::kBackendReductions, 1);
+  expect_count(d, trace::Counter::kBackendBusyNs, 0);
+  expect_count(d, trace::Counter::kBackendMergeNs, 0);
 }
 
 TEST(TraceProbes, BumpAndCountAreExactSingleThreaded) {
@@ -223,6 +278,38 @@ TEST(TraceExport, WriteJsonToFileAndFailurePath) {
   std::remove(path.c_str());
   EXPECT_NE(content.find("\"hpsum_trace\": 1"), std::string::npos);
   EXPECT_FALSE(trace::write_json("/nonexistent-dir/trace.json"));
+  // The failed write must not leave a file behind.
+  EXPECT_EQ(std::fopen("/nonexistent-dir/trace.json", "rb"), nullptr);
+  // A directory path cannot be opened for writing either.
+  EXPECT_FALSE(trace::write_json(::testing::TempDir()));
+}
+
+TEST(TraceExport, CsvSchemaIsExactlyHeaderPlusOneRowPerCounter) {
+  const std::string csv = trace::snapshot().to_csv();
+  // Line 0 is the fixed header; lines 1..kCounterCount are "name,value" in
+  // catalog order; nothing follows the final newline.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    const std::size_t nl = csv.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "csv must end with a newline";
+    lines.push_back(csv.substr(start, nl - start));
+    start = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 1 + trace::kCounterCount);
+  EXPECT_EQ(lines[0], "counter,value");
+  for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
+    const std::string& row = lines[i + 1];
+    const auto c = static_cast<trace::Counter>(i);
+    const std::string name(trace::counter_name(c));
+    ASSERT_GT(row.size(), name.size() + 1) << row;
+    EXPECT_EQ(row.compare(0, name.size() + 1, name + ','), 0) << row;
+    const std::string value = row.substr(name.size() + 1);
+    EXPECT_FALSE(value.empty()) << row;
+    for (const char ch : value) {
+      EXPECT_TRUE(ch >= '0' && ch <= '9') << row;
+    }
+  }
 }
 
 TEST(TraceDeltas, DeltaSinceSaturatesInsteadOfWrapping) {

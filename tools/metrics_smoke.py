@@ -13,6 +13,11 @@ the exported counter snapshot (schema in docs/OBSERVABILITY.md):
   * counters are monotone in workload size: doubling --n must not shrink
     the adder-call counts.
 
+With ``--expect-disabled`` the gate flips for HPSUM_TRACE=OFF builds: one
+run must export ``"enabled": false`` with every counter exactly zero (the
+probes are compiled out, but the schema contract still holds). Registered
+as the ``metrics_smoke_disabled`` ctest in that configuration.
+
 Exit status is 0 on pass, 1 on a schema/monotonicity failure, 2 on
 usage/environment errors. Registered as the ``metrics_smoke`` ctest when
 the build has HPSUM_TRACE=ON.
@@ -52,13 +57,16 @@ def run_once(bench, n, out_path):
         return json.load(f)
 
 
-def validate_schema(doc, failures):
+def validate_schema(doc, failures, expect_enabled=True):
     if doc.get("hpsum_trace") != 1:
         failures.append('missing/wrong "hpsum_trace": 1 version marker')
         return {}
-    if doc.get("enabled") is not True:
+    if expect_enabled and doc.get("enabled") is not True:
         failures.append('"enabled" is not true — was the bench built with '
                         "HPSUM_TRACE=OFF?")
+    if not expect_enabled and doc.get("enabled") is not False:
+        failures.append('"enabled" is not false — expected an '
+                        "HPSUM_TRACE=OFF build")
     counters = doc.get("counters")
     if not isinstance(counters, dict) or not counters:
         failures.append('"counters" object missing or empty')
@@ -70,6 +78,12 @@ def validate_schema(doc, failures):
     for name in REQUIRED:
         if name not in counters:
             failures.append(f"required counter {name!r} missing")
+    if not expect_enabled:
+        for name, value in counters.items():
+            if value != 0:
+                failures.append(f"counter {name!r} is {value} in a disabled "
+                                "build — probes were not compiled out")
+        return counters
     for name in NONZERO:
         if counters.get(name, 0) == 0:
             failures.append(f"counter {name!r} is zero — the fast path never "
@@ -85,6 +99,10 @@ def main():
                     help="CMake build dir (used when --bench is not given)")
     ap.add_argument("--n", type=int, default=50_000,
                     help="summands per stream for the small run")
+    ap.add_argument("--expect-disabled", action="store_true",
+                    help="validate an HPSUM_TRACE=OFF build: enabled=false "
+                         "and all-zero counters (single run, no "
+                         "monotonicity check)")
     args = ap.parse_args()
 
     bench = pathlib.Path(args.bench) if args.bench else \
@@ -94,6 +112,19 @@ def main():
         return 2
 
     failures = []
+    if args.expect_disabled:
+        with tempfile.TemporaryDirectory(prefix="hpsum_metrics_") as tmp:
+            doc = run_once(bench, args.n, pathlib.Path(tmp) / "off.json")
+        counters = validate_schema(doc, failures, expect_enabled=False)
+        if failures:
+            print("metrics_smoke: FAIL", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"metrics_smoke: PASS ({len(counters)} counters, "
+              "disabled + all-zero as expected)")
+        return 0
+
     with tempfile.TemporaryDirectory(prefix="hpsum_metrics_") as tmp:
         small = run_once(bench, args.n, pathlib.Path(tmp) / "small.json")
         big = run_once(bench, 2 * args.n, pathlib.Path(tmp) / "big.json")
