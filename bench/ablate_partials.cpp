@@ -65,7 +65,8 @@ Point run_hp(cudasim::Device& dev, const double* data, std::size_t n,
         for (std::size_t i = static_cast<std::size_t>(tid); i < n;
              i += static_cast<std::size_t>(threads)) {
           const HpFixed<6, 3> v(data[i]);
-          cudasim::device_hp_atomic_add(dev, slot, v);
+          // Timing harness; the finite uniform workload cannot overflow.
+          (void)cudasim::device_hp_atomic_add(dev, slot, v);
         }
       });
   HpFixed<6, 3> total;

@@ -6,11 +6,18 @@
 //
 //   Acc a;                  // zero partial sum
 //   a.accumulate(x);        // add one double
+//   a.accumulate(span);     // add a block of doubles (same result, faster)
 //   a.merge(other);         // combine partial sums
 //   double r = a.result();  // final rounding to double
 //   Acc::name();            // display label
+//
+// The span overload is semantically the element-at-a-time loop (for HP it
+// is the bit-identical carry-deferred block fast path); the drivers hand
+// each PE's whole slice to it so every method accumulates through its best
+// available path.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "core/hp_fixed.hpp"
@@ -24,6 +31,10 @@ struct DoubleSum {
 
   // hplint: allow(fp-accumulate) — this IS the order-sensitive baseline
   void accumulate(double x) noexcept { v += x; }
+  void accumulate(std::span<const double> xs) noexcept {
+    // hplint: allow(fp-accumulate) — the order-sensitive baseline, blocked
+    for (const double x : xs) v += x;
+  }
   // hplint: allow(fp-accumulate) — baseline partial-sum merge
   void merge(const DoubleSum& o) noexcept { v += o.v; }
   [[nodiscard]] double result() const noexcept { return v; }
@@ -38,9 +49,11 @@ struct HpSum {
   // accumulation here.
   HpFixed<N, K> hp;
 
-  // operator+=(double) is the scatter-add fast path (hp_convert.hpp): the
+  // operator+=(double) is the scatter-add fast path (hp_kernel.hpp): the
   // mantissa lands directly in the affected limbs, no full-width temp.
   void accumulate(double x) noexcept { hp += x; }
+  // The block fast path; bit-identical to the scalar loop, limbs + status.
+  void accumulate(std::span<const double> xs) noexcept { hp.accumulate(xs); }
   void merge(const HpSum& o) noexcept { hp += o.hp; }
   [[nodiscard]] double result() const noexcept { return hp.to_double(); }
   [[nodiscard]] static std::string name() {
@@ -54,6 +67,9 @@ struct HallbergSum {
   HallbergFixed<N, M> hb;
 
   void accumulate(double x) noexcept { hb.add(x); }
+  void accumulate(std::span<const double> xs) noexcept {
+    for (const double x : xs) hb.add(x);
+  }
   void merge(const HallbergSum& o) noexcept { hb.add(o.hb); }
   [[nodiscard]] double result() const noexcept { return hb.to_double(); }
   [[nodiscard]] static std::string name() {

@@ -86,9 +86,7 @@ template <class Acc>
             slices[static_cast<std::size_t>(t)].size());
         util::ThreadCpuTimer cpu;
         Acc acc;
-        for (const double x : slices[static_cast<std::size_t>(t)]) {
-          acc.accumulate(x);
-        }
+        acc.accumulate(slices[static_cast<std::size_t>(t)]);
         partials[static_cast<std::size_t>(t)] = acc;
         busy[static_cast<std::size_t>(t)] = cpu.seconds();
       });
@@ -138,9 +136,7 @@ template <class Acc>
                                  slices[static_cast<std::size_t>(t)].size());
     util::ThreadCpuTimer cpu;
     Acc acc;
-    for (const double x : slices[static_cast<std::size_t>(t)]) {
-      acc.accumulate(x);
-    }
+    acc.accumulate(slices[static_cast<std::size_t>(t)]);
     partials[static_cast<std::size_t>(t)] = acc;
     busy[static_cast<std::size_t>(t)] = cpu.seconds();
   }

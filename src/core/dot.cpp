@@ -4,12 +4,22 @@ namespace hpsum {
 
 HpDyn dot_hp(std::span<const double> a, std::span<const double> b,
              HpConfig cfg) {
+  // Same chunked block-deposit staging as the template overload: products'
+  // (fl, err) halves enter the accumulator in the scalar loop's order, so
+  // the result is bit-identical to element-at-a-time adds.
   HpDyn acc(cfg);
+  double buf[2 * detail::kDotChunk];
+  std::size_t fill = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const auto p = two_product(a[i], b[i]);
-    acc += p.sum;
-    acc += p.err;
+    buf[fill++] = p.sum;
+    buf[fill++] = p.err;
+    if (fill == 2 * detail::kDotChunk) {
+      acc.accumulate(std::span<const double>(buf, fill));
+      fill = 0;
+    }
   }
+  if (fill != 0) acc.accumulate(std::span<const double>(buf, fill));
   return acc;
 }
 

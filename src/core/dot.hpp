@@ -22,17 +22,35 @@
 
 namespace hpsum {
 
-/// Exact dot product into a compile-time HP format.
+namespace detail {
+/// Products buffered per block deposit in dot_hp (sum,err pairs, so the
+/// double buffer is 2x this). Small enough to stay L1-resident, large
+/// enough to amortize the block flush. docs/KERNELS.md discusses tuning.
+inline constexpr std::size_t kDotChunk = 128;
+}  // namespace detail
+
+/// Exact dot product into a compile-time HP format. The (fl, err) halves of
+/// each product are staged into a small buffer and deposited through the
+/// carry-deferred block path in the same order the scalar loop would add
+/// them (sum, err, sum, err, ...), so the result is bit-identical to the
+/// element-at-a-time version — limbs and sticky status.
 template <int N, int K>
 [[nodiscard]] HpFixed<N, K> dot_hp(std::span<const double> a,
                                    std::span<const double> b) noexcept {
-  HpFixed<N, K> acc;
+  BlockAccumulator<N, K> blk;
+  double buf[2 * detail::kDotChunk];
+  std::size_t fill = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const auto p = two_product(a[i], b[i]);
-    acc += p.sum;
-    acc += p.err;
+    buf[fill++] = p.sum;
+    buf[fill++] = p.err;
+    if (fill == 2 * detail::kDotChunk) {
+      blk.accumulate(std::span<const double>(buf, fill));
+      fill = 0;
+    }
   }
-  return acc;
+  if (fill != 0) blk.accumulate(std::span<const double>(buf, fill));
+  return HpFixed<N, K>(blk);
 }
 
 /// Exact dot product into a runtime HP format.

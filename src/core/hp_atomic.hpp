@@ -46,33 +46,27 @@ class HpAtomic {
 
   /// Atomically adds an HP value using only compare-and-swap.
   /// Safe to call concurrently from any number of threads. The operand's
-  /// sticky flags join the accumulator's shared status.
-  HPSUM_ALLOW_UNSIGNED_WRAP
+  /// sticky flags join the accumulator's shared status. The carry loop and
+  /// the top-limb sign rule are kernel::atomic_add; only the CAS-loop
+  /// fetch-add primitive (and its retry accounting) lives here.
   void add(const Value& v) noexcept {
     or_shared_status(v.status());
     trace::count(trace::Counter::kAtomicCasAdds);
-    const auto& b = v.limbs();
-    bool carry = false;
-    for (int i = N - 1; i >= 0; --i) {
-      const util::Limb x = b[i] + static_cast<util::Limb>(carry);
-      const bool xwrap = carry && x == 0;  // b[i] was all-ones
-      bool sumwrap = false;
-      if (x != 0) {
-        util::Limb old = limbs_[i].load(std::memory_order_relaxed);
-        util::Limb desired = old + x;
-        while (!limbs_[i].compare_exchange_weak(old, desired,
-                                                std::memory_order_relaxed)) {
-          trace::count(trace::Counter::kAtomicCasRetries);
-          desired = old + x;
-        }
-        sumwrap = desired < old;  // unsigned wrap => carry into limb i-1
-        if (i == 0) note_top_limb_overflow(old, b[0], desired);
-      }
-      carry = xwrap || sumwrap;
-    }
+    or_shared_status(kernel::atomic_add(
+        [this](int i, util::Limb x) noexcept {
+          util::Limb old = limbs_[i].load(std::memory_order_relaxed);
+          util::Limb desired = detail::wrap_add(old, x);
+          while (!limbs_[i].compare_exchange_weak(old, desired,
+                                                  std::memory_order_relaxed)) {
+            trace::count(trace::Counter::kAtomicCasRetries);
+            desired = detail::wrap_add(old, x);
+          }
+          return old;
+        },
+        v.limbs().data(), N));
     // A carry out of limb 0 wraps the full 64N-bit ring exactly as the
     // sequential adder wraps; departures from the representable range are
-    // reported by note_top_limb_overflow's sign rule, so the concurrent and
+    // reported by kernel::atomic_add's sign rule, so the concurrent and
     // sequential paths raise the same sticky kAddOverflow.
   }
 
@@ -81,23 +75,14 @@ class HpAtomic {
   void add(double r) noexcept { add(Value(r)); }
 
   /// Ablation variant of add() using fetch_add instead of a CAS loop.
-  HPSUM_ALLOW_UNSIGNED_WRAP
   void add_fetch_add(const Value& v) noexcept {
     or_shared_status(v.status());
     trace::count(trace::Counter::kAtomicFetchAddAdds);
-    const auto& b = v.limbs();
-    bool carry = false;
-    for (int i = N - 1; i >= 0; --i) {
-      const util::Limb x = b[i] + static_cast<util::Limb>(carry);
-      const bool xwrap = carry && x == 0;
-      bool sumwrap = false;
-      if (x != 0) {
-        const util::Limb old = limbs_[i].fetch_add(x, std::memory_order_relaxed);
-        sumwrap = static_cast<util::Limb>(old + x) < old;
-        if (i == 0) note_top_limb_overflow(old, b[0], old + x);
-      }
-      carry = xwrap || sumwrap;
-    }
+    or_shared_status(kernel::atomic_add(
+        [this](int i, util::Limb x) noexcept {
+          return limbs_[i].fetch_add(x, std::memory_order_relaxed);
+        },
+        v.limbs().data(), N));
   }
 
   /// Snapshot of the current value, including the sticky status collected
@@ -126,27 +111,6 @@ class HpAtomic {
   }
 
  private:
-  /// add_impl's sign rule (§III.A) applied to this adder's top-limb update:
-  /// a same-sign accumulator and operand whose sum has the opposite sign
-  /// means the running total left the representable range — raise the same
-  /// sticky kAddOverflow the sequential adder raises. `old`/`next` are the
-  /// observed top limb before/after the update; in uncontended (or joined)
-  /// runs they equal the sequential adder's operands, so both paths report
-  /// identically. Under contention the observation is of some valid
-  /// interleaving — best-effort, never UB, never a dropped sequentially-
-  /// detectable wrap.
-  HPSUM_ALLOW_UNSIGNED_WRAP
-  void note_top_limb_overflow(util::Limb old, util::Limb b0,
-                              util::Limb next) noexcept {
-    const bool sa = (old >> 63) != 0;
-    const bool sb = (b0 >> 63) != 0;
-    const bool sr = (next >> 63) != 0;
-    if (sa == sb && sr != sa) {
-      trace::count_status(HpStatus::kAddOverflow);
-      or_shared_status(HpStatus::kAddOverflow);
-    }
-  }
-
   void or_shared_status(HpStatus s) noexcept {
     if (s != HpStatus::kOk) {
       status_.fetch_or(static_cast<std::uint8_t>(s),

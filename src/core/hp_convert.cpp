@@ -27,17 +27,6 @@ HpStatus hp_from_long_double(long double r, util::LimbSpan limbs,
   return detail::from_long_double_exact(r, limbs.data(), cfg.n, cfg.k);
 }
 
-HpStatus hp_add(util::LimbSpan a, util::ConstLimbSpan b) noexcept {
-  assert(a.size() == b.size());
-  return detail::add_impl(a.data(), b.data(), static_cast<int>(a.size()));
-}
-
-HpStatus hp_scatter_add(util::LimbSpan limbs, const HpConfig& cfg,
-                        double r) noexcept {
-  assert(limbs.size() == static_cast<std::size_t>(cfg.n));
-  return detail::scatter_add_double(limbs.data(), cfg.n, cfg.k, r);
-}
-
 HpStatus hp_to_double(util::ConstLimbSpan limbs, const HpConfig& cfg,
                       double* out) noexcept {
   assert(limbs.size() == static_cast<std::size_t>(cfg.n));

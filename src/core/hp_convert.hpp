@@ -1,7 +1,11 @@
-// Core HP kernels: double -> HP conversion (paper Listing 1, generalized to
-// any N,k and fixed for the inexact/underflow corner), HP + HP addition with
-// carry propagation (Listing 2), and HP -> double conversion with correct
-// round-to-nearest-even.
+// HP conversion kernels: double -> HP (paper Listing 1, generalized to any
+// N,k and fixed for the inexact/underflow corner), exact bit-placement
+// conversion, and HP -> double with correct round-to-nearest-even.
+//
+// The limb-arithmetic kernels (carry-propagating add, scatter-add deposit,
+// negate/sub/compare, the block fast path) live in core/hp_kernel.hpp — the
+// single-kernel home hplint rule L6 enforces. This header pulls it in, so
+// existing includes of hp_convert.hpp keep seeing the whole core surface.
 //
 // The `detail` functions are header-inline and take (limbs, n, k) so that
 // HpFixed<N,K> instantiates them with compile-time constants (the compiler
@@ -21,6 +25,7 @@
 #include <cstdint>
 
 #include "core/hp_config.hpp"
+#include "core/hp_kernel.hpp"
 #include "core/hp_status.hpp"
 #include "trace/trace.hpp"
 #include "util/annotations.hpp"
@@ -29,25 +34,6 @@
 namespace hpsum {
 
 namespace detail {
-
-/// 2^e as a double for -1022 <= e <= 1023, computable at compile time.
-constexpr double pow2(int e) noexcept {
-  return std::bit_cast<double>(static_cast<std::uint64_t>(1023 + e) << 52);
-}
-
-/// IEEE-754 binary64 field accessors (constexpr stand-ins for isfinite &c).
-constexpr std::uint64_t f64_bits(double r) noexcept {
-  return std::bit_cast<std::uint64_t>(r);
-}
-constexpr int f64_biased_exp(double r) noexcept {
-  return static_cast<int>((f64_bits(r) >> 52) & 0x7FF);
-}
-constexpr bool f64_is_finite(double r) noexcept {
-  return f64_biased_exp(r) != 0x7FF;
-}
-constexpr double f64_abs(double r) noexcept {
-  return std::bit_cast<double>(f64_bits(r) & ~(std::uint64_t{1} << 63));
-}
 
 /// Extracts the 64 bits [lowbit+63 .. lowbit] of a big-endian magnitude,
 /// zero-filling positions outside [0, 64n). Bit 0 is the lsb of limbs[n-1].
@@ -179,126 +165,6 @@ constexpr HpStatus from_double_exact(double r, util::Limb* a, int n,
   return st;
 }
 
-/// HP += HP (paper Listing 2): limb-wise addition from the least significant
-/// limb upward, with explicit carry propagation. Detects overflow by the
-/// sign rule the paper gives (§III.A): same-sign operands whose sum has the
-/// opposite sign. Unsigned wraparound is the mechanism, not an accident.
-HPSUM_ALLOW_UNSIGNED_WRAP
-[[nodiscard]] constexpr HpStatus add_impl(util::Limb* a, const util::Limb* b,
-                                          int n) noexcept {
-  const bool sa = (a[0] >> 63) != 0;
-  const bool sb = (b[0] >> 63) != 0;
-  if (n == 1) {
-    a[0] += b[0];
-  } else {
-    a[n - 1] = a[n - 1] + b[n - 1];
-    bool co = a[n - 1] < b[n - 1];
-    for (int i = n - 2; i >= 1; --i) {
-      a[i] = a[i] + b[i] + static_cast<util::Limb>(co);
-      co = (a[i] == b[i]) ? co : (a[i] < b[i]);
-    }
-    a[0] = a[0] + b[0] + static_cast<util::Limb>(co);
-  }
-  const bool sr = (a[0] >> 63) != 0;
-  const HpStatus st =
-      (sa == sb && sr != sa) ? HpStatus::kAddOverflow : HpStatus::kOk;
-  trace::count_status(st);
-  return st;
-}
-
-/// Fused double -> HP convert + add: the scatter-add fast path for the hot
-/// reduction loop (`acc += x`). A double's 53-bit mantissa lands in at most
-/// two adjacent limbs (plus a dying carry), so instead of materializing a
-/// full n-limb temporary (from_double_impl) and paying an O(n) carry add
-/// (add_impl), this places the mantissa directly into the affected limbs
-/// with the same bit-placement math as from_double_exact and propagates the
-/// carry upward only until it dies. Negative summands subtract the
-/// magnitude with borrow propagation — no full-width two's-complement
-/// temporary is ever built. (Neal's small-superaccumulator observation:
-/// touching only the affected words is the constant-factor win for exactly
-/// this representation; the paper's §III.A only requires the result be
-/// bit-identical, not that the temporary exist.)
-///
-/// Bit-exact contract (enforced by tests/test_scatter_add.cpp): for every
-/// finite/non-finite double and every accumulator state, the resulting
-/// limbs AND the returned status equal the reference two-step path
-/// `from_double_impl/_exact(r, tmp) ; add_impl(a, tmp)`:
-///   - kInexact     when bits below 2^(-64k) truncate toward zero,
-///   - kConvertOverflow for non-finite or out-of-range |r| (a unchanged),
-///   - kAddOverflow when the add leaves the range, by the same sign rule
-///     as add_impl (same-sign operands, opposite-sign result).
-/// Carry/borrow past the top limb wraps mod 2^(64n), exactly as add_impl
-/// wraps — the Z/2^(64n) group structure the overflow flag reports on.
-HPSUM_ALLOW_UNSIGNED_WRAP
-[[nodiscard]] constexpr HpStatus scatter_add_double(util::Limb* a, int n,
-                                                    int k, double r) noexcept {
-  trace::count(trace::Counter::kScatterAddCalls);
-  if (!f64_is_finite(r)) {
-    trace::count_status(HpStatus::kConvertOverflow);
-    return HpStatus::kConvertOverflow;
-  }
-  if (r == 0.0) return HpStatus::kOk;  // covers -0.0: canonical zero addend
-
-  const int be = f64_biased_exp(r);
-  std::uint64_t m53 = f64_bits(r) & ((std::uint64_t{1} << 52) - 1);
-  if (be != 0) m53 |= std::uint64_t{1} << 52;  // implicit leading bit
-  // Storage-bit position of the mantissa lsb (same math as
-  // from_double_exact; bit 0 is the lsb of a[n-1]).
-  int p = (be == 0 ? -1074 : be - 1075) + 64 * k;
-  HpStatus st = HpStatus::kOk;
-
-  if (p < 0) {
-    // Low bits fall below 2^(-64k): truncate toward zero.
-    if (-p >= 53) {
-      trace::count_status(HpStatus::kInexact);
-      return HpStatus::kInexact;  // entirely sub-lsb, a unchanged
-    }
-    if ((m53 & ((std::uint64_t{1} << -p) - 1)) != 0) st |= HpStatus::kInexact;
-    m53 >>= -p;
-    p = 0;
-    if (m53 == 0) {
-      trace::count_status(st);
-      return st;
-    }
-  }
-  const int msb = p + 63 - std::countl_zero(m53);
-  if (msb >= 64 * n - 1) {
-    trace::count_status(HpStatus::kConvertOverflow);
-    return HpStatus::kConvertOverflow;  // collides with or passes the sign bit
-  }
-
-  const bool isneg = (f64_bits(r) >> 63) != 0;
-  const bool sa = (a[0] >> 63) != 0;  // accumulator sign before the add
-  const int li = n - 1 - p / 64;
-  const int off = p % 64;
-  const util::Limb lo = m53 << off;
-  // The straddle limb; zero when off == 0, and provably zero when li == 0
-  // (msb < 64n-1 keeps the mantissa inside the top limb there).
-  const util::Limb hi = off != 0 ? m53 >> (64 - off) : 0;
-
-  int chain = 0;  // limbs the carry/borrow propagated past the deposit pair
-  if (!isneg) {
-    bool carry = util::detail::addc(a[li], lo, false, &a[li]);
-    if (li >= 1) {
-      carry = util::detail::addc(a[li - 1], hi, carry, &a[li - 1]);
-      for (int i = li - 2; i >= 0 && carry; --i, ++chain) carry = ++a[i] == 0;
-    }
-  } else {
-    bool borrow = util::detail::subb(a[li], lo, false, &a[li]);
-    if (li >= 1) {
-      borrow = util::detail::subb(a[li - 1], hi, borrow, &a[li - 1]);
-      for (int i = li - 2; i >= 0 && borrow; --i, ++chain) borrow = a[i]-- == 0;
-    }
-  }
-  trace::count_carry_chain(chain);
-  // add_impl's sign rule: the (virtual) addend is nonzero here, so its sign
-  // is just the input's sign; compare against the result's sign.
-  const bool sr = (a[0] >> 63) != 0;
-  if (sa == isneg && sr != sa) st |= HpStatus::kAddOverflow;
-  trace::count_status(st);
-  return st;
-}
-
 /// HP -> double with a single correct round-to-nearest-even at the end —
 /// the "round once, after the reduction" promise of high-precision
 /// intermediate sum methods. The result double is assembled field-by-field
@@ -406,15 +272,11 @@ inline HpStatus from_long_double_exact(long double r, util::Limb* a, int n,
 }  // namespace detail
 
 /// Runtime-config wrappers over the kernels above (implemented in
-/// hp_convert.cpp). `limbs` must have exactly cfg.n elements.
+/// hp_convert.cpp; the limb-arithmetic wrappers hp_add / hp_scatter_add
+/// live in hp_kernel.hpp/.cpp). `limbs` must have exactly cfg.n elements.
 HpStatus hp_from_double(double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
 HpStatus hp_from_double_exact(double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
 HpStatus hp_from_long_double(long double r, util::LimbSpan limbs, const HpConfig& cfg) noexcept;
-HpStatus hp_add(util::LimbSpan a, util::ConstLimbSpan b) noexcept;
-/// Fused `limbs += r` via detail::scatter_add_double — the hot-path
-/// equivalent of hp_from_double into a temporary followed by hp_add,
-/// bit-identical in limbs and status.
-HpStatus hp_scatter_add(util::LimbSpan limbs, const HpConfig& cfg, double r) noexcept;
 HpStatus hp_to_double(util::ConstLimbSpan limbs, const HpConfig& cfg, double* out) noexcept;
 
 }  // namespace hpsum

@@ -44,6 +44,21 @@ HpDyn& HpDyn::operator+=(double r) noexcept {
   return *this;
 }
 
+HpDyn& HpDyn::accumulate(std::span<const double> xs) noexcept {
+  trace::count(trace::Counter::kBlockAccumulates);
+  const int n = cfg_.n;
+  // n+1 plane slots (kernel::block_flush's layout: slot 0 is the pad);
+  // sized for the widest format.
+  kernel::U128 pos[kMaxLimbs + 1] = {};
+  kernel::U128 neg[kMaxLimbs + 1] = {};
+  int bound_exp = kernel::block_bound_exp(limbs_.data(), n);
+  int pending = 0;
+  status_ |= kernel::block_accumulate(limbs_.data(), pos, neg, n, cfg_.k,
+                                      bound_exp, pending, xs);
+  kernel::block_flush(limbs_.data(), pos, neg, n, bound_exp, pending);
+  return *this;
+}
+
 HpDyn& HpDyn::add_double_reference(double r) noexcept {
   trace::count(trace::Counter::kReferenceAddCalls);
   util::Limb tmp[kMaxLimbs];
@@ -65,17 +80,16 @@ HpDyn& HpDyn::operator+=(const HpDyn& other) {
 }
 
 HpDyn& HpDyn::operator-=(const HpDyn& other) {
-  HpDyn neg = other;
-  neg.negate();
-  return *this += neg;
+  if (other.cfg_ != cfg_) {
+    throw std::invalid_argument("HpDyn: mixed formats in -=");
+  }
+  status_ |= other.status_;
+  status_ |= kernel::sub(limbs_.data(), other.limbs_.data(), cfg_.n);
+  return *this;
 }
 
 void HpDyn::negate() noexcept {
-  const bool was_min = limbs_[0] == (util::Limb{1} << 63) &&
-                       util::is_zero(util::ConstLimbSpan(limbs_.data() + 1,
-                                                         limbs_.size() - 1));
-  util::negate_twos(limbs());
-  if (was_min) status_ |= HpStatus::kAddOverflow;
+  status_ |= kernel::negate(limbs_.data(), cfg_.n);
 }
 
 void HpDyn::scale_pow2(int e) noexcept {

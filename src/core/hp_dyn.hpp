@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,6 +46,11 @@ class HpDyn {
   /// in limbs and status; retained as the reference implementation for
   /// differential testing and the scatter ablation bench.
   HpDyn& add_double_reference(double r) noexcept;
+
+  /// Adds a block of doubles through the carry-deferred block fast path
+  /// (kernel::block_add/block_flush): bit-identical, limbs and sticky
+  /// status, to adding each element with operator+=(double) in order.
+  HpDyn& accumulate(std::span<const double> xs) noexcept;
 
   /// Subtracts a double.
   HpDyn& operator-=(double r) noexcept { return *this += -r; }

@@ -43,6 +43,16 @@ class HpFixed {
   /// Converts a double exactly (if in range; see status()).
   constexpr explicit HpFixed(double r) { *this += r; }
 
+  /// Drains a BlockAccumulator of the same format: flushes its deferred
+  /// carry-save planes and takes the normalized limbs + sticky status.
+  constexpr explicit HpFixed(BlockAccumulator<N, K>& blk) noexcept {
+    const util::ConstLimbSpan out = blk.limbs();  // flushes
+    for (std::size_t i = 0; i < static_cast<std::size_t>(N); ++i) {
+      limbs_[i] = out[i];
+    }
+    status_ = blk.status();
+  }
+
   /// The format as a runtime descriptor.
   static constexpr HpConfig config() noexcept { return HpConfig{N, K}; }
 
@@ -61,7 +71,23 @@ class HpFixed {
   /// the reference convert+add pair, kept below as add_double_reference()
   /// for differential testing.
   constexpr HpFixed& operator+=(double r) noexcept {
-    status_ |= detail::scatter_add_double(limbs_.data(), N, K, r);
+    status_ |= kernel::scatter_add(limbs_.data(), N, K, r);
+    return *this;
+  }
+
+  /// Adds a block of doubles through the carry-deferred block fast path
+  /// (BlockAccumulator): deposits land in per-limb carry-save planes and
+  /// carries normalize once per block instead of once per summand.
+  /// Bit-identical (limbs and sticky status) to `for (x : xs) *this += x;`
+  /// — the differential contract tests/test_block.cpp enforces.
+  constexpr HpFixed& accumulate(std::span<const double> xs) noexcept {
+    BlockAccumulator<N, K> blk(util::ConstLimbSpan(limbs_.data(), N), status_);
+    blk.accumulate(xs);
+    const util::ConstLimbSpan out = blk.limbs();  // flushes
+    for (std::size_t i = 0; i < static_cast<std::size_t>(N); ++i) {
+      limbs_[i] = out[i];
+    }
+    status_ = blk.status();
     return *this;
   }
 
@@ -81,9 +107,9 @@ class HpFixed {
     } else {
       cst = detail::from_double_exact(r, tmp, N, K);
     }
-    trace::count_status(cst);  // add_impl below counts its own raises
+    trace::count_status(cst);  // kernel::add below counts its own raises
     status_ |= cst;
-    status_ |= detail::add_impl(limbs_.data(), tmp, N);
+    status_ |= kernel::add(limbs_.data(), tmp, N);
     return *this;
   }
 
@@ -95,7 +121,7 @@ class HpFixed {
   HpFixed& operator+=(long double r) noexcept {
     util::Limb tmp[N];
     status_ |= detail::from_long_double_exact(r, tmp, N, K);
-    status_ |= detail::add_impl(limbs_.data(), tmp, N);
+    status_ |= kernel::add(limbs_.data(), tmp, N);
     return *this;
   }
 
@@ -105,15 +131,16 @@ class HpFixed {
   /// Adds another HP value of the same format.
   constexpr HpFixed& operator+=(const HpFixed& other) noexcept {
     status_ |= other.status_;
-    status_ |= detail::add_impl(limbs_.data(), other.limbs_.data(), N);
+    status_ |= kernel::add(limbs_.data(), other.limbs_.data(), N);
     return *this;
   }
 
-  /// Subtracts another HP value of the same format.
+  /// Subtracts another HP value of the same format (negate-then-add, so
+  /// subtracting the most negative value flags kAddOverflow).
   constexpr HpFixed& operator-=(const HpFixed& other) noexcept {
-    HpFixed neg = other;
-    neg.negate();
-    return *this += neg;
+    status_ |= other.status_;
+    status_ |= kernel::sub(limbs_.data(), other.limbs_.data(), N);
+    return *this;
   }
 
   friend constexpr HpFixed operator+(HpFixed a, const HpFixed& b) noexcept { return a += b; }
@@ -175,11 +202,7 @@ class HpFixed {
   /// Two's complement negation in place. Negating the most negative value
   /// (-2^(64N-1)) overflows and is flagged.
   constexpr void negate() noexcept {
-    const bool was_min =
-        limbs_[0] == (util::Limb{1} << 63) &&
-        util::is_zero(util::ConstLimbSpan(limbs_.data() + 1, N - 1));
-    util::negate_twos(util::LimbSpan(limbs_.data(), N));
-    if (was_min) status_ |= HpStatus::kAddOverflow;
+    status_ |= kernel::negate(limbs_.data(), N);
   }
 
   /// Rounds to the nearest double (ties to even). The single rounding of
@@ -260,9 +283,7 @@ class HpFixed {
 
   /// Numeric ordering.
   friend constexpr std::strong_ordering operator<=>(const HpFixed& a, const HpFixed& b) noexcept {
-    const int c = util::compare_twos(util::ConstLimbSpan(a.limbs_.data(), N),
-                                     util::ConstLimbSpan(b.limbs_.data(), N));
-    return c <=> 0;
+    return kernel::compare(a.limbs_.data(), b.limbs_.data(), N) <=> 0;
   }
 
   /// Raw limbs, big-endian (limbs()[0] most significant). Exposed for

@@ -9,7 +9,7 @@ HpDyn reduce_hp(std::span<const double> xs, HpConfig cfg) {
                                        trace::flight::current_reduction_id(),
                                        xs.size());
   HpDyn acc(cfg);
-  for (const double x : xs) acc += x;
+  acc.accumulate(xs);
   return acc;
 }
 

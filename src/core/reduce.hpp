@@ -1,12 +1,13 @@
 // Sequential reduction kernels over arrays of doubles.
 //
 // These are the inner loops every backend (OpenMP, mpisim, cudasim, phisim)
-// and every bench builds on: each double is deposited into the running
-// partial sum via operator+=(double), which since the scatter-add fast path
-// (detail::scatter_add_double) places the mantissa directly into the 2-3
-// affected limbs instead of materializing a full-width converted temporary.
-// bench/ablate_convert.cpp --json quantifies the difference; HpFixed's
-// add_double_reference keeps the old convert+add pair callable.
+// and every bench builds on. Both reduce_hp overloads route through the
+// carry-deferred block fast path (core/hp_kernel.hpp BlockAccumulator):
+// deposits land in per-limb carry-save planes and carries normalize once
+// per block instead of once per summand — bit-identical, limbs and sticky
+// status, to the element-at-a-time operator+=(double) loop.
+// bench/ablate_block.cpp --json quantifies the speedup; HpFixed's
+// add_double_reference keeps the original convert+add pair callable.
 #pragma once
 
 #include <span>
@@ -17,11 +18,13 @@
 namespace hpsum {
 
 /// HP sum of a slice with a compile-time format. Exact and order-invariant.
+/// Routed through the carry-deferred block fast path (BlockAccumulator):
+/// bit-identical to the element-at-a-time scalar loop, limbs and status.
 template <int N, int K>
 [[nodiscard]] HpFixed<N, K> reduce_hp(std::span<const double> xs) noexcept {
-  HpFixed<N, K> acc;
-  for (const double x : xs) acc += x;
-  return acc;
+  BlockAccumulator<N, K> blk;
+  blk.accumulate(xs);
+  return HpFixed<N, K>(blk);
 }
 
 /// HP sum of a slice with a runtime format.

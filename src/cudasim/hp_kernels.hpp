@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/hp_fixed.hpp"
+#include "core/hp_kernel.hpp"
 #include "cudasim/cudasim.hpp"
 #include "hallberg/hallberg.hpp"
 
@@ -18,23 +19,18 @@ namespace hpsum::cudasim {
 
 /// Atomically adds a thread-local HP value into a device-memory partial sum
 /// of N big-endian limbs. Only the N limb RMWs touch shared state; the
-/// carry chain lives in the calling thread.
+/// carry chain lives in the calling thread (kernel::atomic_add, the same
+/// single-sourced CAS construction HpAtomic uses). Returns the add's
+/// status so a true top-limb overflow is not silently dropped.
 template <int N, int K>
-void device_hp_atomic_add(Device& dev, std::uint64_t* partial,
-                          const HpFixed<N, K>& v) noexcept {
-  const auto& b = v.limbs();
-  bool carry = false;
-  for (int i = N - 1; i >= 0; --i) {
-    const std::uint64_t x =
-        b[static_cast<std::size_t>(i)] + static_cast<std::uint64_t>(carry);
-    const bool xwrap = carry && x == 0;
-    bool sumwrap = false;
-    if (x != 0) {
-      const std::uint64_t old = dev.atomic_add_u64_cas(&partial[i], x);
-      sumwrap = static_cast<std::uint64_t>(old + x) < old;
-    }
-    carry = xwrap || sumwrap;
-  }
+[[nodiscard]] HpStatus device_hp_atomic_add(Device& dev,
+                                            std::uint64_t* partial,
+                                            const HpFixed<N, K>& v) noexcept {
+  return kernel::atomic_add(
+      [&dev, partial](int i, std::uint64_t x) noexcept {
+        return dev.atomic_add_u64_cas(&partial[i], x);
+      },
+      v.limbs().data(), N);
 }
 
 /// Atomically adds a thread-local Hallberg value into a device-memory

@@ -44,7 +44,7 @@ template <int N, int K>
              i += static_cast<std::size_t>(total_threads)) {
           const HpFixed<N, K> v(data[i]);
           local_status |= v.status();
-          device_hp_atomic_add(dev, slot, v);
+          local_status |= device_hp_atomic_add(dev, slot, v);
         }
         if (local_status != HpStatus::kOk) {
           launch_status.fetch_or(static_cast<std::uint8_t>(local_status),
@@ -122,14 +122,13 @@ template <int N, int K>
         } else if (phase <= log2_block) {
           const int stride = block >> phase;
           if (t < stride) {
-            raise(detail::add_impl(&slots[t * N], &slots[(t + stride) * N],
-                                   N));
+            raise(kernel::add(&slots[t * N], &slots[(t + stride) * N], N));
           }
         } else if (t == 0) {
           HpFixed<N, K> block_total;
           std::memcpy(block_total.limbs().data(), &slots[0],
                       N * sizeof(std::uint64_t));
-          device_hp_atomic_add(dev, global, block_total);
+          raise(device_hp_atomic_add(dev, global, block_total));
         }
       });
   if (stats != nullptr) *stats = ls;

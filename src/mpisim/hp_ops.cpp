@@ -5,7 +5,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/hp_convert.hpp"
+#include "core/hp_kernel.hpp"
 
 namespace hpsum::mpisim {
 
@@ -30,7 +30,7 @@ Op hp_sum_op(HpConfig cfg) {
     std::memcpy(a, inout, bytes);
     std::memcpy(b, in, bytes);
     // The combine can overflow like any HP add; keep the flag, don't drop it.
-    const HpStatus st = detail::add_impl(a, b, n);
+    const HpStatus st = kernel::add(a, b, n);
     if (st != HpStatus::kOk) {
       sticky->fetch_or(static_cast<std::uint8_t>(st),
                        std::memory_order_relaxed);

@@ -11,8 +11,19 @@ double sum(std::span<const double> x, HpConfig cfg) {
 }
 
 double asum(std::span<const double> x, HpConfig cfg) {
+  // Stage |x| values into a small buffer so deposits flow through the
+  // block fast path; bit-identical to the acc += fabs(v) loop.
   HpDyn acc(cfg);
-  for (const double v : x) acc += std::fabs(v);
+  double buf[2 * detail::kDotChunk];
+  std::size_t fill = 0;
+  for (const double v : x) {
+    buf[fill++] = std::fabs(v);
+    if (fill == 2 * detail::kDotChunk) {
+      acc.accumulate(std::span<const double>(buf, fill));
+      fill = 0;
+    }
+  }
+  if (fill != 0) acc.accumulate(std::span<const double>(buf, fill));
   return acc.to_double();
 }
 

@@ -37,9 +37,11 @@ template <int N = 8, int K = 4>
 /// sign manipulation only, so this is exact whenever sum() is.
 template <int N = 8, int K = 4>
 [[nodiscard]] double asum(std::span<const double> x) noexcept {
-  HpFixed<N, K> acc;
-  for (const double v : x) acc += std::fabs(v);
-  return acc.to_double();
+  // |x| deposits go through the carry-deferred block path one at a time;
+  // bit-identical to the acc += fabs(v) loop (see core/hp_kernel.hpp).
+  BlockAccumulator<N, K> blk;
+  for (const double v : x) blk.add(std::fabs(v));
+  return HpFixed<N, K>(blk).to_double();
 }
 
 /// Exact dot product rounded once (reproducible "dot"); see core/dot.hpp.
@@ -105,7 +107,7 @@ double sum_parallel(std::span<const double> x, int threads) {
     const std::size_t extra = x.size() % p;
     const std::size_t begin = t * base + std::min(t, extra);
     const std::size_t len = base + (t < extra ? 1 : 0);
-    for (const double v : x.subspan(begin, len)) local += v;
+    local.accumulate(x.subspan(begin, len));
     partials[t] = local;
   }
   HpFixed<N, K> total;

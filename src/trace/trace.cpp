@@ -51,6 +51,11 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kScatterCarryChain3: return "core.scatter_add.carry_chain_len3";
     case Counter::kScatterCarryChain4Plus: return "core.scatter_add.carry_chain_len4plus";
     case Counter::kReferenceAddCalls: return "core.reference_add.calls";
+    case Counter::kBlockAccumulates: return "core.block.accumulates";
+    case Counter::kBlockDeposits: return "core.block.deposits";
+    case Counter::kBlockNormalizes: return "core.block.normalizes";
+    case Counter::kBlockFlushedDeposits: return "core.block.flushed_deposits";
+    case Counter::kBlockScalarFallbacks: return "core.block.scalar_fallbacks";
     case Counter::kStatusConvertOverflow: return "core.status_raise.convert_overflow";
     case Counter::kStatusAddOverflow: return "core.status_raise.add_overflow";
     case Counter::kStatusToDoubleOverflow: return "core.status_raise.to_double_overflow";
@@ -84,7 +89,7 @@ std::string_view counter_name(Counter c) noexcept {
 }
 
 std::optional<Counter> counter_from_name(std::string_view name) noexcept {
-  // Linear scan over the catalog: 33 string_view compares, called from
+  // Linear scan over the catalog: 38 string_view compares, called from
   // tools/tests, never a hot path. Staying derived from counter_name keeps
   // the two directions impossible to desynchronize.
   for (std::size_t i = 0; i < kCounterCount; ++i) {

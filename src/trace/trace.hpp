@@ -57,6 +57,12 @@ enum class Counter : std::uint16_t {
   kScatterCarryChain3,    ///< ... 3 limbs
   kScatterCarryChain4Plus,///< ... 4 or more limbs (len-0 = calls - sum)
   kReferenceAddCalls,     ///< add_double_reference convert+add pairs
+  // core — the carry-deferred block fast path (kernel::block_add/flush).
+  kBlockAccumulates,      ///< accumulate(span) block-API entries
+  kBlockDeposits,         ///< doubles offered to the block path
+  kBlockNormalizes,       ///< carry-save plane flushes (block_flush)
+  kBlockFlushedDeposits,  ///< deferred deposits folded per flush (depth sum)
+  kBlockScalarFallbacks,  ///< bound-violation deposits sent down the scalar path
   // core — sticky status raise counts, one counter per HpStatus bit.
   kStatusConvertOverflow,
   kStatusAddOverflow,

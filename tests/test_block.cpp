@@ -1,0 +1,359 @@
+// Differential fuzz of the carry-deferred block path (BlockAccumulator /
+// kernel::block_add/block_flush) against the scalar scatter-add loop.
+//
+// The contract under test: for every (n, k) format, every starting
+// accumulator state, and every finite/non-finite double stream, depositing
+// the stream through the block path leaves the limbs bit-identical to the
+// element-at-a-time scalar path AND accumulates exactly the same sticky
+// status. The corpus deliberately includes mid-block kAddOverflow (streams
+// that leave the representable range part-way through a block), NaN/Inf,
+// signed zeros, sub-lsb truncation, and accumulator states that force the
+// block path's scalar fallback on every deposit (most-negative value).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/hp_config.hpp"
+#include "core/hp_dyn.hpp"
+#include "core/hp_fixed.hpp"
+#include "core/hp_kernel.hpp"
+#include "core/reduce.hpp"
+#include "util/prng.hpp"
+
+namespace hpsum {
+namespace {
+
+using util::Limb;
+
+/// One draw from the adversarial summand corpus (mirrors
+/// test_scatter_add.cpp, plus non-finite values: the block path must keep
+/// the accumulator untouched and the status sticky for those too).
+double adversarial_double(util::Xoshiro256ss& rng, const HpConfig& cfg) {
+  const bool neg = (rng.next() & 1) != 0;
+  switch (rng.bounded(9)) {
+    case 0:  // subnormal
+      return std::bit_cast<double>((static_cast<std::uint64_t>(neg) << 63) |
+                                   (rng.next() >> 12));
+    case 1:  // signed zero
+      return neg ? -0.0 : 0.0;
+    case 2: {  // straddling the 2^-64k lsb
+      const int e =
+          min_exponent(cfg) - 60 + static_cast<int>(rng.bounded(120));
+      const double v = std::ldexp(1.0 + rng.uniform01(), e);
+      return neg ? -v : v;
+    }
+    case 3: {  // at / just past max_range — mid-block overflow fuel
+      const int e = max_exponent(cfg) - 2 + static_cast<int>(rng.bounded(4));
+      const double v = std::ldexp(1.0 + rng.uniform01(), e);
+      return neg ? -v : v;
+    }
+    case 4: {  // power of two at a limb seam
+      const int limb =
+          static_cast<int>(rng.bounded(static_cast<std::uint64_t>(cfg.n)));
+      const int e =
+          min_exponent(cfg) + 64 * limb - 1 + static_cast<int>(rng.bounded(3));
+      const double v = std::ldexp(1.0, e);
+      return neg ? -v : v;
+    }
+    case 5:  // non-finite
+      switch (rng.bounded(3)) {
+        case 0:
+          return std::numeric_limits<double>::infinity();
+        case 1:
+          return -std::numeric_limits<double>::infinity();
+        default:
+          return std::numeric_limits<double>::quiet_NaN();
+      }
+    case 6: {  // fully random finite bit pattern
+      const std::uint64_t be = rng.bounded(2047);
+      return std::bit_cast<double>((static_cast<std::uint64_t>(neg) << 63) |
+                                   (be << 52) | (rng.next() >> 12));
+    }
+    default: {  // representable mid-range value
+      const int lo = min_exponent(cfg) + 53;
+      const int hi = max_exponent(cfg) - 2;
+      const int e = hi <= lo ? lo
+                             : lo + static_cast<int>(rng.bounded(
+                                        static_cast<std::uint64_t>(hi - lo)));
+      const double v = std::ldexp(1.0 + rng.uniform01(), e);
+      return neg ? -v : v;
+    }
+  }
+}
+
+/// One draw from the adversarial starting-state corpus.
+std::vector<Limb> adversarial_acc(util::Xoshiro256ss& rng,
+                                  const HpConfig& cfg) {
+  std::vector<Limb> a(static_cast<std::size_t>(cfg.n), 0);
+  switch (rng.bounded(6)) {
+    case 0:  // zero
+      break;
+    case 1:  // fully random
+      for (auto& l : a) l = rng.next();
+      break;
+    case 2:  // -lsb
+      for (auto& l : a) l = ~Limb{0};
+      break;
+    case 3:  // largest positive: bound starts at 64n-1, instant fallback
+      a[0] = ~Limb{0} >> 1;
+      for (std::size_t i = 1; i < a.size(); ++i) a[i] = ~Limb{0};
+      break;
+    case 4:  // most negative: block_bound_exp = 64n, permanent fallback
+      a[0] = Limb{1} << 63;
+      break;
+    default:  // low limbs saturated
+      for (std::size_t i = 1; i < a.size(); ++i) a[i] = ~Limb{0};
+      break;
+  }
+  return a;
+}
+
+/// The differential check at kernel level: block path vs scalar loop from
+/// the same starting limbs, limbs AND status must both match.
+void expect_block_matches(const HpConfig& cfg, const std::vector<Limb>& start,
+                          const std::vector<double>& xs) {
+  // Scalar reference: one scatter deposit per element, statuses ORed.
+  std::vector<Limb> scalar = start;
+  HpStatus scalar_st = HpStatus::kOk;
+  for (const double x : xs) {
+    scalar_st |= detail::scatter_add_double(scalar.data(), cfg.n, cfg.k, x);
+  }
+  // Block path: seed bound from the start value, accumulate, flush.
+  std::vector<Limb> block = start;
+  std::vector<kernel::U128> pos(static_cast<std::size_t>(cfg.n) + 1, 0);
+  std::vector<kernel::U128> neg(static_cast<std::size_t>(cfg.n) + 1, 0);
+  int bound = kernel::block_bound_exp(block.data(), cfg.n);
+  int pending = 0;
+  const HpStatus block_st =
+      kernel::block_accumulate(block.data(), pos.data(), neg.data(), cfg.n,
+                               cfg.k, bound, pending,
+                               std::span<const double>(xs.data(), xs.size()));
+  kernel::block_flush(block.data(), pos.data(), neg.data(), cfg.n, bound,
+                      pending);
+  ASSERT_EQ(scalar, block) << "limb mismatch: n=" << cfg.n << " k=" << cfg.k
+                           << " stream length " << xs.size();
+  ASSERT_EQ(scalar_st, block_st)
+      << "status mismatch: n=" << cfg.n << " k=" << cfg.k << " scalar="
+      << to_string(scalar_st) << " block=" << to_string(block_st);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive format sweep: every (n, k) with n <= 16, 0 <= k <= n.
+// ---------------------------------------------------------------------------
+
+TEST(BlockFuzz, AllSmallFormatsBitIdenticalToScalar) {
+  util::Xoshiro256ss rng(0xB10C4ADDull);
+  for (int n = 1; n <= 16; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      const HpConfig cfg{n, k};
+      for (int trial = 0; trial < 24; ++trial) {
+        const auto start = adversarial_acc(rng, cfg);
+        std::vector<double> xs(rng.bounded(40));
+        for (auto& x : xs) x = adversarial_double(rng, cfg);
+        expect_block_matches(cfg, start, xs);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+// Long streams on the paper's formats: enough deposits that the block path
+// flushes many times mid-stream (the bound invariant forces a flush at
+// least every 64n-1 deferred deposits).
+TEST(BlockFuzz, LongStreamsCrossManyFlushes) {
+  util::Xoshiro256ss rng(0xF1005ull);
+  for (const HpConfig cfg : {HpConfig{2, 1}, HpConfig{6, 3}, HpConfig{8, 4}}) {
+    const auto start = std::vector<Limb>(static_cast<std::size_t>(cfg.n), 0);
+    std::vector<double> xs(5000);
+    for (auto& x : xs) x = adversarial_double(rng, cfg);
+    expect_block_matches(cfg, start, xs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(BlockEdge, MidBlockAddOverflowMatchesScalar) {
+  // Walk the accumulator to the top of the range in the middle of one
+  // block: the scalar path raises kAddOverflow on the deposit that crosses;
+  // the block path must flush, take the scalar fallback, and raise the
+  // identical flag at the identical stream position's final state.
+  const HpConfig cfg{2, 0};
+  const double big = std::ldexp(1.0, max_exponent(cfg) - 1);  // 2^126
+  expect_block_matches(cfg, {0, 0}, {big, big, big, 1.0, -big, big});
+  // Negative direction.
+  expect_block_matches(cfg, {0, 0}, {-big, -big, -big, -1.0, big, -big});
+}
+
+TEST(BlockEdge, NonFiniteAndZeroStreams) {
+  const HpConfig cfg{6, 3};
+  const std::vector<Limb> start(6, 0);
+  expect_block_matches(cfg, start,
+                       {1.5, std::numeric_limits<double>::infinity(), 2.5});
+  expect_block_matches(cfg, start,
+                       {std::numeric_limits<double>::quiet_NaN(), -0.0, 0.0});
+  expect_block_matches(
+      cfg, start,
+      {-std::numeric_limits<double>::infinity(), -1.0, 4096.0});
+}
+
+TEST(BlockEdge, MostNegativeStartForcesPermanentFallback) {
+  // block_bound_exp reports 64n for the most-negative value (its magnitude
+  // is not representable), so every deposit must take the scalar fallback —
+  // and still match the scalar path exactly.
+  const HpConfig cfg{3, 1};
+  std::vector<Limb> start(3, 0);
+  start[0] = Limb{1} << 63;
+  expect_block_matches(cfg, start, {1.0, -2.0, 3.5, -0.125, 1e10});
+}
+
+TEST(BlockEdge, StickyStatusSurvivesFlushBoundaries) {
+  // A kInexact raised early in a block must still be reported after later
+  // flushes; seed a sub-lsb value first, then force flushes with bulk.
+  const HpConfig cfg{2, 1};
+  std::vector<double> xs{std::ldexp(1.0, -200)};  // kInexact, no bits land
+  util::Xoshiro256ss rng(0x57A7);
+  for (int i = 0; i < 400; ++i) {
+    xs.push_back(std::ldexp(1.0 + rng.uniform01(), -20));
+  }
+  expect_block_matches(cfg, {0, 0}, xs);
+}
+
+// ---------------------------------------------------------------------------
+// The value-type APIs built on the kernel.
+// ---------------------------------------------------------------------------
+
+TEST(BlockApi, HpFixedAccumulateMatchesScalarLoop) {
+  util::Xoshiro256ss rng(0xACC);
+  const HpConfig cfg{6, 3};
+  std::vector<double> xs(3000);
+  for (auto& x : xs) x = adversarial_double(rng, cfg);
+
+  HpFixed<6, 3> scalar;
+  for (const double x : xs) scalar += x;
+  HpFixed<6, 3> blocked;
+  blocked.accumulate(std::span<const double>(xs.data(), xs.size()));
+  EXPECT_EQ(scalar, blocked);
+  EXPECT_EQ(scalar.status(), blocked.status());
+}
+
+TEST(BlockApi, HpFixedAccumulateIntoNonZeroValue) {
+  // accumulate() must seed the block path from the existing value and
+  // status, not restart from zero.
+  std::vector<double> xs{1.5, -2.25, 1e6, -0.5};
+  HpFixed<4, 2> scalar(123.75);
+  scalar.or_status(HpStatus::kInexact);
+  HpFixed<4, 2> blocked = scalar;
+  for (const double x : xs) scalar += x;
+  blocked.accumulate(std::span<const double>(xs.data(), xs.size()));
+  EXPECT_EQ(scalar, blocked);
+  EXPECT_EQ(scalar.status(), blocked.status());
+}
+
+TEST(BlockApi, HpDynAccumulateMatchesScalarLoop) {
+  util::Xoshiro256ss rng(0xD3);
+  for (const HpConfig cfg : {HpConfig{2, 1}, HpConfig{6, 3}, HpConfig{17, 8}}) {
+    std::vector<double> xs(2000);
+    for (auto& x : xs) x = adversarial_double(rng, cfg);
+    HpDyn scalar(cfg);
+    for (const double x : xs) scalar += x;
+    HpDyn blocked(cfg);
+    blocked.accumulate(std::span<const double>(xs.data(), xs.size()));
+    EXPECT_EQ(scalar, blocked);
+    EXPECT_EQ(scalar.status(), blocked.status());
+  }
+}
+
+TEST(BlockApi, BlockAccumulatorDrainAndReuse) {
+  // limbs() flushes and is idempotent; further adds after a drain continue
+  // the same value.
+  BlockAccumulator<4, 2> blk;
+  blk.add(1.5);
+  blk.add(-0.25);
+  const HpFixed<4, 2> after_two(blk);
+  blk.add(10.0);
+  HpFixed<4, 2> ref(1.5);
+  ref += -0.25;
+  EXPECT_EQ(after_two, ref);
+  ref += 10.0;
+  const HpFixed<4, 2> drained(blk);
+  EXPECT_EQ(drained, ref);
+  const HpFixed<4, 2> drained_again(blk);  // draining twice: same value
+  EXPECT_EQ(drained_again, ref);
+}
+
+TEST(BlockApi, ReduceHpRoutesThroughBlockPath) {
+  // reduce_hp is the block path's main consumer; its result must equal the
+  // scalar loop exactly (this also pins the template overload).
+  util::Xoshiro256ss rng(0x5EED);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) {
+    x = std::ldexp(rng.uniform01() - 0.5, static_cast<int>(rng.bounded(40)));
+  }
+  HpFixed<6, 3> scalar;
+  for (const double x : xs) scalar += x;
+  const auto reduced = reduce_hp<6, 3>(xs);
+  EXPECT_EQ(scalar, reduced);
+  EXPECT_EQ(scalar.status(), reduced.status());
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time proofs: the block path is constexpr end to end, and its
+// bit-identity to the scalar kernel holds inside a constant expression —
+// the strongest "no UB, no library call, same bits" statement the type
+// system can make.
+// ---------------------------------------------------------------------------
+
+constexpr bool block_matches_scalar_at_compile_time() {
+  constexpr double xs[] = {1.5, -0.25, 1024.0, -3.75, 0.0, 1e-3};
+  BlockAccumulator<4, 2> blk;
+  blk.accumulate(std::span<const double>(xs, 6));
+  Limb scalar[4] = {};
+  HpStatus st = HpStatus::kOk;
+  for (const double x : xs) {
+    st |= detail::scatter_add_double(scalar, 4, 2, x);
+  }
+  const auto limbs = blk.limbs();
+  for (int i = 0; i < 4; ++i) {
+    if (limbs[static_cast<std::size_t>(i)] != scalar[i]) return false;
+  }
+  return blk.status() == st;
+}
+static_assert(block_matches_scalar_at_compile_time(),
+              "block path must be bit-identical to the scalar loop");
+
+constexpr bool block_fallback_matches_scalar_at_compile_time() {
+  // 2^62 deposits into (2,0) walk to the top of the range: the block path
+  // crosses its bound mid-stream and must fall back with identical flags.
+  constexpr double big = 0x1p62;
+  constexpr double xs[] = {big, big, big, 1.0};
+  BlockAccumulator<2, 0> blk;
+  blk.accumulate(std::span<const double>(xs, 4));
+  Limb scalar[2] = {};
+  HpStatus st = HpStatus::kOk;
+  for (const double x : xs) {
+    st |= detail::scatter_add_double(scalar, 2, 0, x);
+  }
+  const auto limbs = blk.limbs();
+  return limbs[0] == scalar[0] && limbs[1] == scalar[1] &&
+         blk.status() == st;
+}
+static_assert(block_fallback_matches_scalar_at_compile_time(),
+              "mid-block overflow must take the scalar fallback bit-exactly");
+
+constexpr bool block_sticky_inexact_at_compile_time() {
+  constexpr double xs[] = {0x1p-200, 1.0};  // sub-lsb for (2,1): kInexact
+  BlockAccumulator<2, 1> blk;
+  blk.accumulate(std::span<const double>(xs, 2));
+  return has(blk.status(), HpStatus::kInexact);
+}
+static_assert(block_sticky_inexact_at_compile_time(),
+              "conversion flags must stay sticky across block deposits");
+
+}  // namespace
+}  // namespace hpsum

@@ -100,7 +100,9 @@ HpFixed<kN, kK> via_cudasim(const std::vector<double>& xs) {
     for (std::size_t i = static_cast<std::size_t>(tid); i < xs.size();
          i += static_cast<std::size_t>(total_threads)) {
       const HpFixed<kN, kK> v(data[i]);
-      cudasim::device_hp_atomic_add(dev, &partials[(tid % kPartials) * kN], v);
+      // Status is tested elsewhere; this harness compares limbs only.
+      (void)cudasim::device_hp_atomic_add(
+          dev, &partials[(tid % kPartials) * kN], v);
     }
   });
   HpFixed<kN, kK> total;

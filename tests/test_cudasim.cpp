@@ -134,6 +134,7 @@ TEST(Cudasim, HpAtomicKernelMatchesSequentialBitExact) {
   dev.memcpy_h2d(data, xs.data(), xs.size() * sizeof(double));
 
   const int total_threads = 16 * 32;
+  std::atomic<std::uint8_t> launch_status{0};
   dev.launch(16, 32, [&](const ThreadCtx& ctx) {
     const int tid = ctx.global_id();
     HpFixed<6, 3> local;
@@ -141,9 +142,17 @@ TEST(Cudasim, HpAtomicKernelMatchesSequentialBitExact) {
          i += static_cast<std::size_t>(total_threads)) {
       local.clear();
       local += data[i];
-      device_hp_atomic_add(dev, &partials[(tid % kPartials) * kLimbs], local);
+      const HpStatus st = device_hp_atomic_add(
+          dev, &partials[(tid % kPartials) * kLimbs], local);
+      if (st != HpStatus::kOk) {
+        launch_status.fetch_or(static_cast<std::uint8_t>(st),
+                               std::memory_order_relaxed);
+      }
     }
   });
+  EXPECT_EQ(static_cast<HpStatus>(
+                launch_status.load(std::memory_order_relaxed)),
+            HpStatus::kOk);
 
   HpFixed<6, 3> total;
   for (int p = 0; p < kPartials; ++p) {

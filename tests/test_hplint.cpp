@@ -1,4 +1,4 @@
-// Self-tests for hplint (tools/hplint): each rule L1–L5 must fire on known
+// Self-tests for hplint (tools/hplint): each rule L1–L6 must fire on known
 // violations, stay quiet on clean idioms, honor `hplint: allow(...)`
 // annotations, and survive comments/strings. Fixture files with deliberate
 // violations live in tools/hplint/fixtures (path baked in at build time).
@@ -34,11 +34,13 @@ TEST(HplintRuleIds, StableNamesAndIds) {
   EXPECT_EQ(lint::rule_id(lint::Rule::kDiscardStatus), "L3");
   EXPECT_EQ(lint::rule_id(lint::Rule::kNondeterminism), "L4");
   EXPECT_EQ(lint::rule_id(lint::Rule::kRawTelemetry), "L5");
+  EXPECT_EQ(lint::rule_id(lint::Rule::kDuplicateKernel), "L6");
   EXPECT_EQ(lint::rule_name(lint::Rule::kFpAccumulate), "fp-accumulate");
   EXPECT_EQ(lint::rule_name(lint::Rule::kSignedLimb), "signed-limb");
   EXPECT_EQ(lint::rule_name(lint::Rule::kDiscardStatus), "discard-status");
   EXPECT_EQ(lint::rule_name(lint::Rule::kNondeterminism), "nondeterminism");
   EXPECT_EQ(lint::rule_name(lint::Rule::kRawTelemetry), "raw-telemetry");
+  EXPECT_EQ(lint::rule_name(lint::Rule::kDuplicateKernel), "duplicate-kernel");
 }
 
 TEST(HplintScope, ContractDirsGetAllRules) {
@@ -51,7 +53,22 @@ TEST(HplintScope, ContractDirsGetAllRules) {
     EXPECT_TRUE(s.l2) << p;
     EXPECT_TRUE(s.l3) << p;
     EXPECT_TRUE(s.l4) << p;
+    EXPECT_TRUE(s.l6) << p;
   }
+}
+
+TEST(HplintScope, DuplicateKernelExemptsTheKernelHome) {
+  // The one sanctioned home of the limb kernels, and the limb primitives
+  // they are built from, may call the bodies freely.
+  EXPECT_FALSE(lint::scope_for_path("src/core/hp_kernel.hpp").l6);
+  EXPECT_FALSE(lint::scope_for_path("src/core/hp_kernel.cpp").l6);
+  EXPECT_FALSE(lint::scope_for_path("src/util/limbs.hpp").l6);
+  // Everything else under src/ is in scope; bench/tests are not (they
+  // differentially test the bodies on purpose).
+  EXPECT_TRUE(lint::scope_for_path("src/core/hp_convert.hpp").l6);
+  EXPECT_TRUE(lint::scope_for_path("src/backends/accumulators.hpp").l6);
+  EXPECT_FALSE(lint::scope_for_path("bench/ablate_block.cpp").l6);
+  EXPECT_FALSE(lint::scope_for_path("tests/test_block.cpp").l6);
 }
 
 TEST(HplintScope, UtilGetsLimbRuleButNotFpRule) {
@@ -156,7 +173,8 @@ TEST(HplintL3, CapturedTestedReturnedAreFine) {
       "  if (from_double_impl(a, n, k, r) != HpStatus::kOk) return st;\n"
       "  return add_impl(a, b, n);\n"
       "}\n");
-  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDiscardStatus).empty())
+      << lint::to_text(vs);
 }
 
 TEST(HplintL3, MultiLineArgumentPositionIsNotADiscard) {
@@ -166,7 +184,8 @@ TEST(HplintL3, MultiLineArgumentPositionIsNotADiscard) {
                                     "st = combine(\n"
                                     "    add_impl(a, b, n),\n"
                                     "    x);\n");
-  EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDiscardStatus).empty())
+      << lint::to_text(vs);
 }
 
 TEST(HplintL3, DeclarationIsNotACall) {
@@ -226,6 +245,60 @@ TEST(HplintL5, AllowAnnotationSuppresses) {
       "// hplint: allow(raw-telemetry) — guarded debug aid\n"
       "std::printf(\"dbg\");\n");
   EXPECT_TRUE(vs.empty()) << lint::to_text(vs);
+}
+
+// --- L6 -------------------------------------------------------------------
+
+TEST(HplintL6, CatchesKernelBodyCallsOutsideTheHome) {
+  const auto vs = lint::lint_source(kCore,
+                                    "void f() {\n"
+                                    "  st |= detail::add_impl(a, b, n);\n"
+                                    "  st |= detail::scatter_add_double(a, n, k, r);\n"
+                                    "  a[0] = addc(a[0], b[0], c);\n"
+                                    "}\n");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kDuplicateKernel),
+            (std::set<int>{2, 3, 4}))
+      << lint::to_text(vs);
+}
+
+TEST(HplintL6, FacadeCallsAndDeclarationsAreFine) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "HpStatus add_impl(util::Limb* a, const util::Limb* b, int n);\n"
+      "st |= kernel::add(a, b, n);\n"
+      "st |= kernel::scatter_add(a, n, k, r);\n"
+      "blk.accumulate(xs);\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDuplicateKernel).empty())
+      << lint::to_text(vs);
+}
+
+TEST(HplintL6, ReturnedBodyCallStillFires) {
+  // `return add_impl(...)` forwards the status (no L3 finding) but is still
+  // a body call outside the kernel home — L6 must fire.
+  const auto vs = lint::lint_source(kCore,
+                                    "HpStatus g() {\n"
+                                    "  return detail::add_impl(a, b, n);\n"
+                                    "}\n");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kDuplicateKernel), (std::set<int>{2}))
+      << lint::to_text(vs);
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDiscardStatus).empty())
+      << lint::to_text(vs);
+}
+
+TEST(HplintL6, KernelHomePathIsQuiet) {
+  const auto vs = lint::lint_source("src/core/hp_kernel.hpp",
+                                    "st |= detail::add_impl(a, b, n);\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDuplicateKernel).empty())
+      << lint::to_text(vs);
+}
+
+TEST(HplintL6, AllowAnnotationSuppresses) {
+  const auto vs = lint::lint_source(
+      kCore,
+      "// hplint: allow(duplicate-kernel) — differential reference path\n"
+      "st |= detail::add_impl(a, b, n);\n");
+  EXPECT_TRUE(lines_of(vs, lint::Rule::kDuplicateKernel).empty())
+      << lint::to_text(vs);
 }
 
 // --- Annotations, comments, strings ---------------------------------------
@@ -340,6 +413,13 @@ TEST(HplintFixtures, RawTelemetryFixture) {
   const auto vs = lint_fixture("src/core/bad_raw_telemetry.cpp");
   EXPECT_EQ(lines_of(vs, lint::Rule::kRawTelemetry),
             (std::set<int>{9, 13, 14, 18}))
+      << lint::to_text(vs);
+}
+
+TEST(HplintFixtures, DuplicateKernelFixture) {
+  const auto vs = lint_fixture("src/core/bad_duplicate_kernel.cpp");
+  EXPECT_EQ(lines_of(vs, lint::Rule::kDuplicateKernel),
+            (std::set<int>{17, 18, 19, 20, 22}))
       << lint::to_text(vs);
 }
 

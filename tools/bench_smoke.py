@@ -1,19 +1,31 @@
 #!/usr/bin/env python3
-"""Bench smoke gate for the scatter-add fast path.
+"""Bench smoke gates for the kernel fast paths.
 
-Runs bench/ablate_convert at a small fixed size, writes a fresh
-BENCH_scatter.json, and compares it against the checked-in baseline
-(bench/BENCH_scatter.json by default):
+Two gates, both comparing speedups (never absolute nanoseconds — CI
+machines differ in clock speed, but a fast path's advantage over the
+reference path on the same host is stable):
+
+scatter gate — runs bench/ablate_convert at a small fixed size, writes a
+fresh BENCH_scatter.json and compares it against the checked-in baseline
+(bench/BENCH_scatter.json):
 
   * every stream's speedup (convert+add ns / scatter ns) must be within
     --tolerance (default 25%) of the baseline speedup, and
-  * min_speedup must clear the --floor (default 2.0x, the acceptance bar
-    for HP(6,3)).
+  * min_speedup must clear --floor (default 2.0x, the acceptance bar for
+    HP(6,3)).
 
-Speedups, not absolute nanoseconds, are compared: CI machines differ in
-clock speed, but the fast path's advantage over the reference pair on the
-same host is stable. Exit status is 0 on pass, 1 on regression, 2 on
-usage/environment errors. Schema notes live in EXPERIMENTS.md.
+block gate — runs bench/ablate_block and compares against
+bench/BENCH_block.json:
+
+  * the gate stream's speedup (mixed-sign: the paper's workload, where the
+    scalar path's sign-dependent carry/borrow branch mispredicts) must be
+    within --tolerance of the baseline and clear --block-floor (default
+    1.5x). Same-sign streams are the scalar path's branch-predictor best
+    case and are expected to land near parity, so they are reported but
+    not gated.
+
+Exit status is 0 on pass, 1 on regression, 2 on usage/environment errors.
+Schema notes live in EXPERIMENTS.md.
 """
 
 import argparse
@@ -23,55 +35,41 @@ import subprocess
 import sys
 
 
-def load(path):
+def load(path, bench_name):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    if doc.get("bench") != "ablate_convert_scatter" or "streams" not in doc:
-        raise ValueError(f"{path}: not a BENCH_scatter.json document")
+    if doc.get("bench") != bench_name or "streams" not in doc:
+        raise ValueError(f"{path}: not a {bench_name} document")
     return doc
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--build-dir", default="build",
-                    help="CMake build dir containing bench/ablate_convert")
-    ap.add_argument("--baseline", default="bench/BENCH_scatter.json",
-                    help="checked-in baseline to compare against")
-    ap.add_argument("--out", default="BENCH_scatter.json",
-                    help="where to write the fresh measurement")
-    ap.add_argument("--n", type=int, default=200_000,
-                    help="summands per stream (small fixed smoke size)")
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional speedup regression vs baseline")
-    ap.add_argument("--floor", type=float, default=2.0,
-                    help="hard minimum for min_speedup (0 disables)")
-    args = ap.parse_args()
-
-    bench = pathlib.Path(args.build_dir) / "bench" / "ablate_convert"
+def run_bench(build_dir, name, n, out):
+    """Runs a bench binary with --json, returns 2-style error or None."""
+    bench = pathlib.Path(build_dir) / "bench" / name
     if not bench.exists():
         print(f"bench_smoke: {bench} not built", file=sys.stderr)
-        return 2
-
-    cmd = [str(bench), f"--n={args.n}", f"--json={args.out}"]
+        return None
+    cmd = [str(bench), f"--n={n}", f"--json={out}"]
     print("+", " ".join(cmd))
     proc = subprocess.run(cmd)
     if proc.returncode != 0:
         print(f"bench_smoke: {bench} exited {proc.returncode}",
               file=sys.stderr)
-        return 2
+        return None
+    return bench
 
-    fresh = load(args.out)
-    baseline = load(args.baseline)
-    base_by_stream = {s["stream"]: s for s in baseline["streams"]}
 
+def gate_scatter(fresh, baseline, tolerance, floor):
+    """Every stream within tolerance of baseline; min_speedup over floor."""
     failures = []
+    base_by_stream = {s["stream"]: s for s in baseline["streams"]}
     for s in fresh["streams"]:
         name = s["stream"]
         base = base_by_stream.get(name)
         if base is None:
             failures.append(f"stream {name!r} missing from baseline")
             continue
-        limit = base["speedup"] * (1.0 - args.tolerance)
+        limit = base["speedup"] * (1.0 - tolerance)
         verdict = "ok" if s["speedup"] >= limit else "REGRESSION"
         print(f"  {name:14s} speedup {s['speedup']:6.3f}x  "
               f"(baseline {base['speedup']:6.3f}x, limit {limit:6.3f}x)  "
@@ -79,19 +77,90 @@ def main():
         if s["speedup"] < limit:
             failures.append(
                 f"{name}: speedup {s['speedup']:.3f}x fell more than "
-                f"{args.tolerance:.0%} below baseline {base['speedup']:.3f}x")
-
-    if args.floor > 0 and fresh["min_speedup"] < args.floor:
+                f"{tolerance:.0%} below baseline {base['speedup']:.3f}x")
+    if floor > 0 and fresh["min_speedup"] < floor:
         failures.append(
             f"min_speedup {fresh['min_speedup']:.3f}x is below the "
-            f"{args.floor:.1f}x acceptance floor")
+            f"{floor:.1f}x acceptance floor")
+    return failures
+
+
+def gate_block(fresh, baseline, tolerance, floor):
+    """Only the gate stream (mixed) is gated; the rest is informational."""
+    failures = []
+    gate = fresh.get("gate_stream", "mixed")
+    base_by_stream = {s["stream"]: s for s in baseline["streams"]}
+    for s in fresh["streams"]:
+        name = s["stream"]
+        gated = name == gate
+        base = base_by_stream.get(name)
+        if base is None:
+            if gated:
+                failures.append(f"gate stream {name!r} missing from baseline")
+            continue
+        limit = base["speedup"] * (1.0 - tolerance) if gated else 0.0
+        verdict = ("ok" if s["speedup"] >= limit else
+                   "REGRESSION") if gated else "info"
+        print(f"  {name:14s} speedup {s['speedup']:6.3f}x  "
+              f"(baseline {base['speedup']:6.3f}x)  {verdict}")
+        if gated and s["speedup"] < limit:
+            failures.append(
+                f"{name}: speedup {s['speedup']:.3f}x fell more than "
+                f"{tolerance:.0%} below baseline {base['speedup']:.3f}x")
+    if floor > 0 and fresh["gate_speedup"] < floor:
+        failures.append(
+            f"gate_speedup {fresh['gate_speedup']:.3f}x ({gate} stream) is "
+            f"below the {floor:.1f}x acceptance floor")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir with bench/ablate_convert and "
+                         "bench/ablate_block")
+    ap.add_argument("--baseline", default="bench/BENCH_scatter.json",
+                    help="checked-in scatter baseline to compare against")
+    ap.add_argument("--out", default="BENCH_scatter.json",
+                    help="where to write the fresh scatter measurement")
+    ap.add_argument("--block-baseline", default="bench/BENCH_block.json",
+                    help="checked-in block baseline to compare against")
+    ap.add_argument("--block-out", default="BENCH_block.json",
+                    help="where to write the fresh block measurement")
+    ap.add_argument("--n", type=int, default=200_000,
+                    help="summands per stream (small fixed smoke size)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional speedup regression vs baseline")
+    ap.add_argument("--floor", type=float, default=2.0,
+                    help="hard minimum for scatter min_speedup (0 disables)")
+    ap.add_argument("--block-floor", type=float, default=1.5,
+                    help="hard minimum for the block gate stream's speedup "
+                         "(0 disables)")
+    args = ap.parse_args()
+
+    failures = []
+
+    print("scatter gate (ablate_convert):")
+    if run_bench(args.build_dir, "ablate_convert", args.n, args.out) is None:
+        return 2
+    failures += gate_scatter(load(args.out, "ablate_convert_scatter"),
+                             load(args.baseline, "ablate_convert_scatter"),
+                             args.tolerance, args.floor)
+
+    print("block gate (ablate_block):")
+    if run_bench(args.build_dir, "ablate_block", args.n,
+                 args.block_out) is None:
+        return 2
+    failures += gate_block(load(args.block_out, "ablate_block"),
+                           load(args.block_baseline, "ablate_block"),
+                           args.tolerance, args.block_floor)
 
     if failures:
         print("bench_smoke: FAIL", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"bench_smoke: PASS (min_speedup {fresh['min_speedup']:.3f}x)")
+    print("bench_smoke: PASS")
     return 0
 
 

@@ -1,0 +1,28 @@
+// hplint fixture: L6 (duplicate-kernel) — limb-kernel bodies called (or
+// re-rolled) outside their one home, src/core/hp_kernel.*.
+namespace hpsum {
+enum class HpStatus : unsigned char { kOk = 0 };
+namespace detail {
+HpStatus add_impl(unsigned long long* a, const unsigned long long* b, int n);
+HpStatus sub_impl(unsigned long long* a, const unsigned long long* b, int n);
+HpStatus negate_impl(unsigned long long* a, int n);
+HpStatus scatter_add_double(unsigned long long* a, int n, int k, double r);
+}  // namespace detail
+
+unsigned long long addc(unsigned long long a, unsigned long long b,
+                        unsigned long long& carry);
+
+HpStatus bad_duplicates(unsigned long long* a, const unsigned long long* b,
+                        int n) {
+  HpStatus st = detail::add_impl(a, b, n);        // line 17: body call
+  st = detail::sub_impl(a, b, n);                 // line 18: body call
+  st = detail::negate_impl(a, n);                 // line 19: body call
+  st = detail::scatter_add_double(a, n, 2, 1.5);  // line 20: body call
+  unsigned long long c = 0;
+  a[0] = addc(a[0], b[0], c);                     // line 22: re-rolled carry
+  return st;
+}
+
+// Declarations above must NOT fire; neither must this comment's mention of
+// add_impl(...) or the string below.
+const char* kDoc = "add_impl(a, b, n) is documented here only";

@@ -314,7 +314,11 @@ constexpr std::string_view kStatusFns[] = {
     "hp_add",          "hp_from_double",   "hp_from_double_exact",
     "hp_from_long_double", "hp_to_double",
     "add_into",        "sub_into",         "increment",
-    "mul_small"};
+    "mul_small",
+    // hpsum::kernel facade + bodies: all return sticky status masks too.
+    "sub_impl",        "negate_impl",      "scatter_add_double",
+    "hp_scatter_add",  "block_add",        "block_accumulate",
+    "atomic_add"};
 
 /// Strips trailing namespace qualifiers ("detail::", "util::", ...) and
 /// whitespace from a statement prefix.
@@ -484,6 +488,56 @@ void check_l5(std::string_view path, const std::vector<Line>& lines,
   }
 }
 
+// --- L6: duplicated limb kernels outside src/core/hp_kernel ----------------
+
+void check_l6(std::string_view path, const std::vector<Line>& lines,
+              std::vector<Violation>& out) {
+  // Calls to the kernel *bodies* (the hpsum::kernel facade wrappers are the
+  // sanctioned entry points), plus the classic hand-rolled carry/borrow
+  // helper names a re-implementation would introduce.
+  static constexpr std::string_view kKernelBodies[] = {
+      "add_impl", "sub_impl", "negate_impl", "scatter_add_double",
+      "addc",     "subb"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string_view code = lines[i].code;
+    if (code.empty() || allowed(lines, i, rule_name(Rule::kDuplicateKernel))) {
+      continue;
+    }
+    for (std::string_view fn : kKernelBodies) {
+      const std::size_t p = find_word(code, fn);
+      if (p == std::string_view::npos) continue;
+      // Must be a call: next non-space char is '('.
+      std::size_t q = p + fn.size();
+      while (q < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[q]))) {
+        ++q;
+      }
+      if (q >= code.size() || code[q] != '(') continue;
+      // A declaration (`HpStatus add_impl(...)`) has a type/identifier word
+      // immediately before the name; a call has an operator, '(' or nothing.
+      std::size_t r = p;
+      while (r > 0 && std::isspace(static_cast<unsigned char>(code[r - 1]))) {
+        --r;
+      }
+      if (r > 0 && ident_char(code[r - 1])) {
+        std::size_t s = r;
+        while (s > 0 && ident_char(code[s - 1])) --s;
+        if (code.substr(s, r - s) != "return") continue;  // declaration
+      }
+      out.push_back({std::string(path), static_cast<int>(i + 1),
+                     Rule::kDuplicateKernel,
+                     "direct call to limb-kernel body `" + std::string(fn) +
+                         "` outside src/core/hp_kernel",
+                     "route through the hpsum::kernel facade (kernel::add / "
+                     "kernel::sub / kernel::negate / kernel::scatter_add / "
+                     "BlockAccumulator) so the carry chain has one proven "
+                     "home, or annotate "
+                     "`// hplint: allow(duplicate-kernel)` with the reason"});
+      break;
+    }
+  }
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -515,6 +569,7 @@ std::string_view rule_id(Rule r) noexcept {
     case Rule::kDiscardStatus: return "L3";
     case Rule::kNondeterminism: return "L4";
     case Rule::kRawTelemetry: return "L5";
+    case Rule::kDuplicateKernel: return "L6";
   }
   return "L?";
 }
@@ -526,6 +581,7 @@ std::string_view rule_name(Rule r) noexcept {
     case Rule::kDiscardStatus: return "discard-status";
     case Rule::kNondeterminism: return "nondeterminism";
     case Rule::kRawTelemetry: return "raw-telemetry";
+    case Rule::kDuplicateKernel: return "duplicate-kernel";
   }
   return "?";
 }
@@ -542,6 +598,8 @@ std::string_view rule_summary(Rule r) noexcept {
       return "no rand()/random_device/unordered iteration in deterministic paths";
     case Rule::kRawTelemetry:
       return "no raw printf/iostream/timer telemetry in src/core (use hpsum::trace)";
+    case Rule::kDuplicateKernel:
+      return "no duplicated limb kernels: call hpsum::kernel, not the bodies";
   }
   return "?";
 }
@@ -560,6 +618,11 @@ RuleScope scope_for_path(std::string_view path) noexcept {
   // L5 covers the kernel directory only: bench/examples print by design,
   // and src/trace IS the sanctioned telemetry sink.
   s.l5 = path_contains(path, "src/core");
+  // L6 bans calling the kernel bodies anywhere in src/ EXCEPT their one
+  // home (src/core/hp_kernel.*) and the limb primitives they sit on.
+  s.l6 = path_contains(path, "src/") &&
+         !path_contains(path, "src/core/hp_kernel") &&
+         !path_contains(path, "src/util/limbs");
   return s;
 }
 
@@ -574,6 +637,7 @@ std::vector<Violation> lint_source(std::string_view path,
   if (opts.l3 && scope.l3) check_l3(path, lines, out);
   if (opts.l4 && scope.l4) check_l4(path, lines, out);
   if (opts.l5 && scope.l5) check_l5(path, lines, out);
+  if (opts.l6 && scope.l6) check_l6(path, lines, out);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     return a.line < b.line;
   });

@@ -28,6 +28,14 @@
 //                      ThreadCpuTimer measurement inside src/core — kernel
 //                      observability flows through hpsum::trace counters so
 //                      probes stay compile-out-able and machine-readable.
+//   L6 duplicate-kernel no direct calls to the limb-kernel bodies
+//                      (detail::add_impl, sub_impl, negate_impl,
+//                      scatter_add_double) and no hand-rolled limb
+//                      carry-propagation loops (addc/subb) outside
+//                      src/core/hp_kernel.* — every accumulation site must
+//                      route through the hpsum::kernel facade so there is
+//                      exactly ONE implementation of the carry chain to
+//                      prove, fuzz, and optimize.
 //
 // Escape hatch: a `// hplint: allow(<rule-name>)` comment on the same line
 // or on the line directly above suppresses that rule there — the point is
@@ -49,6 +57,7 @@ enum class Rule {
   kDiscardStatus,  // L3
   kNondeterminism, // L4
   kRawTelemetry,   // L5
+  kDuplicateKernel, // L6
 };
 
 /// Short id, e.g. "L1".
@@ -75,6 +84,7 @@ struct RuleScope {
   bool l3 = false;  ///< everything scanned
   bool l4 = false;  ///< deterministic paths
   bool l5 = false;  ///< kernel files (src/core) — telemetry via hpsum::trace
+  bool l6 = false;  ///< src/ minus the kernel home (hp_kernel.*, util/limbs)
 };
 [[nodiscard]] RuleScope scope_for_path(std::string_view path) noexcept;
 
@@ -82,7 +92,7 @@ struct RuleScope {
 /// into the violations; `enabled` masks rules globally (all four by
 /// default).
 struct Options {
-  bool l1 = true, l2 = true, l3 = true, l4 = true, l5 = true;
+  bool l1 = true, l2 = true, l3 = true, l4 = true, l5 = true, l6 = true;
 };
 [[nodiscard]] std::vector<Violation> lint_source(std::string_view path,
                                                  std::string_view source,

@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         return usage(std::cerr, 2);
       }
     } else if (arg.rfind("--rules=", 0) == 0) {
-      opts = Options{false, false, false, false, false};
+      opts = Options{false, false, false, false, false, false};
       std::string list = arg.substr(8);
       for (std::size_t pos = 0; pos < list.size();) {
         std::size_t comma = list.find(',', pos);
@@ -89,6 +89,7 @@ int main(int argc, char** argv) {
         else if (r == "L3") opts.l3 = true;
         else if (r == "L4") opts.l4 = true;
         else if (r == "L5") opts.l5 = true;
+        else if (r == "L6") opts.l6 = true;
         else {
           std::cerr << "hplint: unknown rule '" << r << "'\n";
           return 2;
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--list-rules") {
       for (Rule r : {Rule::kFpAccumulate, Rule::kSignedLimb,
                      Rule::kDiscardStatus, Rule::kNondeterminism,
-                     Rule::kRawTelemetry}) {
+                     Rule::kRawTelemetry, Rule::kDuplicateKernel}) {
         std::cout << rule_id(r) << "  " << rule_name(r) << "  —  "
                   << rule_summary(r) << "\n";
       }
