@@ -56,8 +56,9 @@ class HpAtomic {
         [this](int i, util::Limb x) noexcept {
           util::Limb old = limbs_[i].load(std::memory_order_relaxed);
           util::Limb desired = detail::wrap_add(old, x);
-          while (!limbs_[i].compare_exchange_weak(old, desired,
-                                                  std::memory_order_relaxed)) {
+          while (!limbs_[i].compare_exchange_weak(
+              old, desired, std::memory_order_relaxed,
+              std::memory_order_relaxed)) {
             trace::count(trace::Counter::kAtomicCasRetries);
             desired = detail::wrap_add(old, x);
           }

@@ -194,7 +194,8 @@ std::uint64_t Device::atomic_cas_u64(std::uint64_t* addr,
                                      std::uint64_t desired) noexcept {
   std::atomic_ref<std::uint64_t> ref(*addr);
   std::uint64_t old = expected;
-  ref.compare_exchange_strong(old, desired, std::memory_order_relaxed);
+  ref.compare_exchange_strong(old, desired, std::memory_order_relaxed,
+                              std::memory_order_relaxed);
   return old;  // CUDA atomicCAS semantics: always returns the old value
 }
 
@@ -204,6 +205,7 @@ std::uint64_t Device::atomic_add_u64_cas(std::uint64_t* addr,
   std::uint64_t old = ref.load(std::memory_order_relaxed);
   for (;;) {
     if (ref.compare_exchange_weak(old, old + value,
+                                  std::memory_order_relaxed,
                                   std::memory_order_relaxed)) {
       return old;
     }
@@ -224,6 +226,7 @@ double Device::atomic_add_f64(double* addr, double value) noexcept {
   for (;;) {
     const double updated = std::bit_cast<double>(old) + value;
     if (ref.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(updated),
+                                  std::memory_order_relaxed,
                                   std::memory_order_relaxed)) {
       return std::bit_cast<double>(old);
     }

@@ -1,0 +1,13 @@
+// hplint fixture: the *declaring* half of the L7 (status-escape) pair.
+// These HpStatus-returning functions are discarded in
+// ../rblas/bad_status_escape.cpp — a different translation unit. The
+// self-tests index both files into one SymbolIndex, then lint the caller;
+// neither file alone contains enough information to fire the rule.
+namespace hpsum::backends {
+
+enum class HpStatus : unsigned char { kOk = 0, kAddOverflow = 1 };
+
+HpStatus provide_status(double* acc, int n);
+HpStatus scale_block(double* acc, int n, int k);
+
+}  // namespace hpsum::backends

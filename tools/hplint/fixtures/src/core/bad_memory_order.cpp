@@ -1,0 +1,35 @@
+// hplint fixture: every shape L8 (memory-order) must catch. The atomics
+// are declared in this same file — L8's name lookup is file-local by
+// design (see index.hpp) — and the self-tests assert on exact lines.
+#include <atomic>
+
+namespace hpsum {
+
+std::atomic<unsigned long long> counter{0};
+std::atomic<int> flags[4];
+
+void bad_orders(unsigned long long v) {
+  counter.store(v);        // line 12: defaulted seq_cst
+  (void)counter.load();    // line 13: defaulted seq_cst
+  counter.fetch_add(v);    // line 14: defaulted seq_cst
+  flags[0].store(1);       // line 15: subscripted receiver, still caught
+  counter += v;            // line 16: operator-form RMW
+  ++counter;               // line 17: operator-form RMW
+  unsigned long long old = counter.load(std::memory_order_relaxed);
+  counter.compare_exchange_weak(old, v,
+                                std::memory_order_relaxed);  // line 19:
+  // success order only — the implicit failure order is the finding.
+}
+
+void good_orders(unsigned long long v) {
+  counter.store(v, std::memory_order_release);
+  (void)counter.load(std::memory_order_acquire);
+  counter.fetch_add(v, std::memory_order_relaxed);
+  flags[0].store(1, std::memory_order_relaxed);
+  unsigned long long old = counter.load(std::memory_order_relaxed);
+  counter.compare_exchange_weak(old, v, std::memory_order_relaxed,
+                                std::memory_order_relaxed);
+  counter.fetch_add(v, std::memory_order::relaxed);  // scoped spelling: fine
+}
+
+}  // namespace hpsum

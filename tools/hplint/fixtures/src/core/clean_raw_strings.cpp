@@ -1,0 +1,35 @@
+// hplint fixture: lexical false-positive regression. Every line below that
+// *looks* like a violation lives inside a raw string, an ordinary string,
+// or a multiline comment — v1 scanned those as code and fired L1/L4 here;
+// the token-aware scanner must report nothing (and must not harvest the
+// allow() annotation quoted inside the raw string as a real allow site).
+namespace hpsum {
+
+const char* kHelp = R"(usage: hpsum [options]
+  sum += x;                                  // L1-shaped, but only help text
+  std::accumulate(xs.begin(), xs.end(), 0.0)
+  #pragma omp parallel for reduction(+ : total)
+  srand(42); rand();                         // L4-shaped
+  // hplint: allow(fp-accumulate) — quoted, not a real suppression
+)";
+
+const char* kDelimited = R"ex(
+  double acc = 0.0;
+  for (double v : xs) acc += v;
+)ex";
+
+/* Multiline comment quoting the whole bad pattern:
+     total += xs[i];
+     std::accumulate(xs.begin(), xs.end(), 0.0);
+     std::reduce(std::execution::par, xs.begin(), xs.end());
+*/
+
+const char* kMessage = "sum += x; then std::accumulate, then rand()";
+
+// A string that merely *contains* a quote escape must not swallow the rest
+// of the file: code after it is still scanned (the return below is real).
+const char* kEscaped = "she said \"sum += x\" and meant it";
+
+int real_code_after_literals() { return 42; }
+
+}  // namespace hpsum

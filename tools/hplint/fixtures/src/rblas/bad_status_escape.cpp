@@ -1,0 +1,24 @@
+// hplint fixture: the *discarding* half of the L7 (status-escape) pair.
+// provide_status / scale_block are declared HpStatus in
+// ../backends/status_provider.hpp; every bare call below drops that status
+// on the floor. L3 cannot see this (the names are not in its curated
+// list) — only the cross-file symbol index makes the rule fire.
+#include "../backends/status_provider.hpp"
+
+namespace hpsum::rblas {
+
+void bad_escapes(double* acc, int n) {
+  backends::provide_status(acc, n);   // line 11: discarded
+  backends::scale_block(acc, n, 2);   // line 12: discarded
+  (void)backends::provide_status(acc, n);  // line 13: cast away, still lost
+}
+
+backends::HpStatus good_uses(double* acc, int n) {
+  auto st = backends::provide_status(acc, n);    // captured: fine
+  if (backends::scale_block(acc, n, 2) != backends::HpStatus::kOk) {
+    return st;                                   // tested: fine
+  }
+  return backends::provide_status(acc, n);       // returned: fine
+}
+
+}  // namespace hpsum::rblas

@@ -1,0 +1,25 @@
+// hplint fixture: the L8 publish-path rule. Readers of the flight ring
+// acquire on the write index; a relaxed store to it "publishes" a payload
+// slot that the reader is then allowed to see torn. The store itself names
+// an order, so only the publish-specific check fires.
+#include <atomic>
+#include <cstdint>
+
+namespace hpsum::trace {
+
+std::atomic<std::uint32_t> w{0};
+std::uint64_t words[64];
+
+void push_bad(std::uint64_t payload) {
+  const std::uint32_t wi = w.load(std::memory_order_relaxed);
+  words[wi % 64] = payload;
+  w.store(wi + 1, std::memory_order_relaxed);  // line 16: must be release
+}
+
+void push_good(std::uint64_t payload) {
+  const std::uint32_t wi = w.load(std::memory_order_relaxed);
+  words[wi % 64] = payload;
+  w.store(wi + 1, std::memory_order_release);  // paired with acquire loads
+}
+
+}  // namespace hpsum::trace

@@ -1,0 +1,278 @@
+#include "index.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "token.hpp"
+
+namespace hpsum::lint {
+
+namespace {
+
+/// Significant tokens only: comments dropped, views into the same buffer.
+std::vector<Token> code_tokens(const std::vector<Token>& toks) {
+  std::vector<Token> out;
+  out.reserve(toks.size());
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) out.push_back(t);
+  }
+  return out;
+}
+
+/// Given toks[i] == "<", returns the index one past the balanced closing
+/// angle bracket, treating ">>" as two closes. Returns toks.size() if the
+/// list never balances (macro soup) — callers then skip the candidate.
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<" || t.text == "<<") {
+      depth += static_cast<int>(t.text.size());
+    } else if (t.text == ">" || t.text == ">>") {
+      depth -= static_cast<int>(t.text.size());
+      if (depth <= 0) return i + 1;
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      return toks.size();  // ran off the declaration: not a template list
+    }
+  }
+  return toks.size();
+}
+
+/// Statement bounds around toks[i]: [begin, end) delimited by ; { }.
+std::pair<std::size_t, std::size_t> statement_around(
+    const std::vector<Token>& toks, std::size_t i) {
+  std::size_t b = i;
+  while (b > 0) {
+    const Token& t = toks[b - 1];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      break;
+    }
+    --b;
+  }
+  std::size_t e = i;
+  while (e < toks.size()) {
+    const Token& t = toks[e];
+    if (t.kind == TokKind::kPunct &&
+        (t.text == ";" || t.text == "{" || t.text == "}")) {
+      break;
+    }
+    ++e;
+  }
+  return {b, e};
+}
+
+/// `HpStatus f(` / `HpStatus Klass::f(` / `[[nodiscard]] inline HpStatus
+/// ns::f(` — harvest `f`. Triggered at each `HpStatus` identifier; the
+/// following `ident (:: ident)* (` shape distinguishes a function
+/// declaration/definition from a variable, parameter, or template argument.
+void harvest_status_fns(const std::vector<Token>& toks, SymbolIndex& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "HpStatus") || toks[i].pp) continue;
+    std::size_t j = i + 1;
+    // Tolerate cv/ref noise between return type and name.
+    while (j < toks.size() &&
+           (is_ident(toks[j], "const") || is_punct(toks[j], "&") ||
+            is_punct(toks[j], "*"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    std::size_t name = j;
+    while (j + 2 < toks.size() && is_punct(toks[j + 1], "::") &&
+           toks[j + 2].kind == TokKind::kIdent) {
+      j += 2;
+      name = j;
+    }
+    if (j + 1 < toks.size() && is_punct(toks[j + 1], "(")) {
+      // `operator` never reaches here: `HpStatus operator|(` has punct
+      // after the ident chain's first link, so the chain stops at
+      // `operator` and the next token is the operator symbol, not `(`.
+      out.status_fns.insert(std::string(toks[name].text));
+    }
+  }
+}
+
+/// Keywords that can directly precede a call like `kw f(...)` without `f`
+/// being a declaration — `return f(x);`, `throw f(x);`, `else f(x);`.
+/// Everything else in the `ident name (` shape is a declaration whose
+/// return type is `ident`.
+bool precedes_call(std::string_view kw) {
+  return kw == "return" || kw == "co_return" || kw == "co_await" ||
+         kw == "co_yield" || kw == "throw" || kw == "new" || kw == "else" ||
+         kw == "do" || kw == "case" || kw == "goto" || kw == "operator" ||
+         kw == "not" || kw == "and" || kw == "or";
+}
+
+/// `T f(` / `T Klass::f(` where T is any identifier other than HpStatus —
+/// harvest `f` into nonstatus_fns. The L7 checker treats a name present in
+/// both sets as an ambiguous overload set and stays silent on it.
+void harvest_nonstatus_fns(const std::vector<Token>& toks, SymbolIndex& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].pp) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    // Walk back over the qualifier chain to its head, then over cv/ref
+    // noise, to the candidate return-type token.
+    std::size_t s = i;
+    while (s >= 2 && is_punct(toks[s - 1], "::") &&
+           toks[s - 2].kind == TokKind::kIdent) {
+      s -= 2;
+    }
+    if (s == 0) continue;
+    std::size_t p = s - 1;
+    while (p > 0 && (is_punct(toks[p], "&") || is_punct(toks[p], "*") ||
+                     is_ident(toks[p], "const"))) {
+      --p;
+    }
+    const Token& rt = toks[p];
+    if (rt.kind != TokKind::kIdent) continue;
+    if (rt.text == "HpStatus" || precedes_call(rt.text)) continue;
+    out.nonstatus_fns.insert(std::string(toks[i].text));
+  }
+}
+
+/// Declared atomics: at each `atomic` / `atomic_ref` identifier followed by
+/// `<`, try the direct shape first — `std::atomic<T> name` (skipping
+/// cv/ref/pointer noise after the closing `>`); when the atomic is nested
+/// deeper (std::array<std::atomic<T>, N> words, auto x =
+/// std::make_shared<std::atomic<T>>(...)) fall back to the enclosing
+/// statement's declared name: the last angle-depth-0 identifier before the
+/// first top-level `=` / `(` / end of statement.
+void harvest_atomics(const std::vector<Token>& toks, SymbolIndex& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].pp) continue;
+    if (toks[i].text != "atomic" && toks[i].text != "atomic_ref") continue;
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "<")) continue;
+
+    std::size_t after = skip_angles(toks, i + 1);
+    if (after < toks.size()) {
+      std::size_t j = after;
+      while (j < toks.size() &&
+             (is_ident(toks[j], "const") || is_punct(toks[j], "&") ||
+              is_punct(toks[j], "*"))) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
+          toks[j].text != "is_always_lock_free") {
+        out.atomic_names.insert(std::string(toks[j].text));
+        continue;
+      }
+    }
+
+    const auto [b, e] = statement_around(toks, i);
+    int depth = 0;
+    std::size_t last_ident = toks.size();
+    for (std::size_t j = b; j < e; ++j) {
+      const Token& t = toks[j];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "<" || t.text == "<<") {
+          depth += static_cast<int>(t.text.size());
+        } else if (t.text == ">" || t.text == ">>") {
+          depth -= static_cast<int>(t.text.size());
+          if (depth < 0) depth = 0;
+        } else if (depth == 0 && (t.text == "=" || t.text == "(")) {
+          break;
+        }
+      } else if (t.kind == TokKind::kIdent && depth == 0) {
+        last_ident = j;
+      }
+    }
+    if (last_ident < toks.size() && !is_ident(toks[last_ident], "auto") &&
+        !is_ident(toks[last_ident], "const")) {
+      out.atomic_names.insert(std::string(toks[last_ident].text));
+    }
+  }
+}
+
+/// Alias candidates: `auto& name = init;` and `for (auto& name : range)`.
+/// The initializer/range identifiers are recorded; resolve() promotes the
+/// alias once one of them is known to be an atomic.
+void harvest_aliases(const std::vector<Token>& toks, SymbolIndex& out) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "auto") || toks[i].pp) continue;
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    const std::size_t name = j;
+    ++j;
+    if (j >= toks.size() ||
+        !(is_punct(toks[j], "=") || is_punct(toks[j], ":"))) {
+      continue;
+    }
+    // Initializer identifiers, up to the end of the declarator: `;`/`{`,
+    // or the `)` closing a range-for head (nested call parens are skipped
+    // so `local_shard().values[i]` still yields `values`).
+    std::set<std::string> mentions;
+    int pdepth = 0;
+    for (std::size_t k = j + 1; k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == ";" || t.text == "{") break;
+        if (t.text == "(") ++pdepth;
+        if (t.text == ")") {
+          if (pdepth == 0) break;
+          --pdepth;
+        }
+      }
+      if (t.kind == TokKind::kIdent) mentions.insert(std::string(t.text));
+    }
+    if (!mentions.empty()) {
+      out.pending_aliases.emplace_back(std::string(toks[name].text),
+                                       std::move(mentions));
+    }
+  }
+}
+
+}  // namespace
+
+void SymbolIndex::resolve() {
+  // One promotion can enable another (alias of an alias); iterate to a
+  // fixpoint — the candidate list is tiny, so quadratic is fine.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, mentions] : pending_aliases) {
+      if (alias_names.count(name) != 0) continue;
+      for (const std::string& m : mentions) {
+        if (atomic_names.count(m) != 0 || alias_names.count(m) != 0) {
+          alias_names.insert(name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void SymbolIndex::merge(const SymbolIndex& other) {
+  status_fns.insert(other.status_fns.begin(), other.status_fns.end());
+  nonstatus_fns.insert(other.nonstatus_fns.begin(),
+                       other.nonstatus_fns.end());
+  atomic_names.insert(other.atomic_names.begin(), other.atomic_names.end());
+  alias_names.insert(other.alias_names.begin(), other.alias_names.end());
+  pending_aliases.insert(pending_aliases.end(), other.pending_aliases.begin(),
+                         other.pending_aliases.end());
+}
+
+void index_source(std::string_view source, SymbolIndex& out) {
+  const std::vector<Token> all = tokenize(source);
+  const std::vector<Token> toks = code_tokens(all);
+  harvest_status_fns(toks, out);
+  harvest_nonstatus_fns(toks, out);
+  harvest_atomics(toks, out);
+  harvest_aliases(toks, out);
+}
+
+void index_file(const std::string& path, SymbolIndex& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+  index_source(src, out);
+}
+
+}  // namespace hpsum::lint

@@ -1,0 +1,82 @@
+// hplint symbol index — the cross-file first pass.
+//
+// Rules L7 (status-escape) and L8 (memory-order) are interprocedural: a
+// status-returning function may be *defined* in src/backends and *misused*
+// in src/rblas, and an atomic member declared in a header is operated on in
+// several translation units. The linter therefore runs in two passes:
+//
+//   pass 1  walk every source file once, tokenize it, and record
+//             - each function whose declared return type is HpStatus,
+//             - each variable/member declared std::atomic<...> or
+//               std::atomic_ref<...>,
+//             - each `auto& x = ...` / `for (auto& x : ...)` alias whose
+//               initializer mentions a known atomic (resolved at the end);
+//   pass 2  lint each file with the index in hand.
+//
+// The index is name-based, not type-checked: `status_fns` holds bare
+// function names, `atomic_names` holds bare declared names. This matches
+// hplint's design point (millisecond lexical analysis, no compiler); the
+// error profile is governed by call-shape heuristics at the use site — see
+// check_l7 / check_l8 in lint.cpp.
+//
+// Scoping: status functions are tree-global (that is the whole point of
+// L7 — the declaration and the discarding call sit in different TUs), but
+// atomic names are consulted *file-locally* by L8. A member named `status_`
+// is atomic in HpAtomic and a plain HpStatus in HpFixed; a global name set
+// cannot tell them apart, and in this tree every atomic is operated on in
+// its declaring file, so the local harvest loses nothing and removes the
+// dominant false-positive class.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpsum::lint {
+
+struct SymbolIndex {
+  /// Functions whose declared return type is HpStatus. Bare names
+  /// (namespace qualifiers are stripped at the use site before lookup).
+  std::set<std::string, std::less<>> status_fns;
+
+  /// Functions declared anywhere in the tree with a return type that is NOT
+  /// HpStatus. L7 only fires on names that appear in status_fns and never
+  /// here: an overload set like `HpStatus add(Value)` / `void add(double)`
+  /// is ambiguous under name-based matching, and a missed finding is
+  /// cheaper than a false one (HpAtomic::add was the motivating case).
+  std::set<std::string, std::less<>> nonstatus_fns;
+
+  /// Variables / data members declared std::atomic<...> or
+  /// std::atomic_ref<...>. HpAtomic values are deliberately excluded: its
+  /// API takes no memory_order argument by design.
+  std::set<std::string, std::less<>> atomic_names;
+
+  /// References bound to atomics (`auto& slot = shard.values[i];`,
+  /// `for (auto& limb : limbs_)`). Tracked separately from atomic_names:
+  /// short alias names like `v` are common enough that only member-function
+  /// atomic ops (x.store(...)) consult them, never the operator-form checks.
+  std::set<std::string, std::less<>> alias_names;
+
+  /// Unresolved alias candidates: (alias name, identifiers its initializer
+  /// mentions). resolve() promotes them once all files are harvested.
+  std::vector<std::pair<std::string, std::set<std::string>>> pending_aliases;
+
+  /// Promotes pending aliases whose initializer names a known atomic (or an
+  /// already-resolved alias) into alias_names. Call once after the last
+  /// index_source/index_file and before linting.
+  void resolve();
+
+  /// Merges another file's harvest into this index (pre-resolve).
+  void merge(const SymbolIndex& other);
+};
+
+/// Harvests declarations from one file's contents into `out`.
+void index_source(std::string_view source, SymbolIndex& out);
+
+/// Convenience: reads `path` and calls index_source. Unreadable files are
+/// silently skipped (pass 2 reports I/O errors; pass 1 stays best-effort).
+void index_file(const std::string& path, SymbolIndex& out);
+
+}  // namespace hpsum::lint

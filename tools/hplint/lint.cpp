@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
-#include <set>
 #include <sstream>
+
+#include "token.hpp"
 
 namespace hpsum::lint {
 
@@ -55,85 +57,91 @@ struct Line {
   std::set<std::string> allows;  ///< rule names allowed on this line
 };
 
-/// Strips //, /*...*/ comments and string/char literals, keeping line
-/// structure, and collects `hplint: allow(name,...)` annotations (which
-/// live inside the comments being stripped).
-std::vector<Line> preprocess(std::string_view src) {
-  std::vector<Line> lines(1);
-  bool in_block_comment = false;
-  std::size_t i = 0;
-  const auto n = src.size();
-  std::string comment_text;  // accumulated comment on the current line
-
-  auto harvest_allows = [](std::string_view comment, std::set<std::string>& out) {
-    static constexpr std::string_view kTag = "hplint: allow(";
-    for (std::size_t p = comment.find(kTag); p != std::string_view::npos;
-         p = comment.find(kTag, p + 1)) {
-      const std::size_t open = p + kTag.size();
-      const std::size_t close = comment.find(')', open);
-      if (close == std::string_view::npos) continue;
-      std::string_view list = comment.substr(open, close - open);
-      while (!list.empty()) {
-        const std::size_t comma = list.find(',');
-        out.insert(std::string(trim(list.substr(0, comma))));
-        if (comma == std::string_view::npos) break;
-        list.remove_prefix(comma + 1);
+/// Extracts `hplint: allow(a, b)` rule names from one comment line into
+/// `out`; when `sites` is non-null, also records one AllowSite per rule
+/// with its justification status (any word after the closing paren).
+void harvest_allows(std::string_view comment, int line,
+                    std::set<std::string>& out,
+                    std::vector<AllowSite>* sites) {
+  static constexpr std::string_view kTag = "hplint: allow(";
+  for (std::size_t p = comment.find(kTag); p != std::string_view::npos;
+       p = comment.find(kTag, p + 1)) {
+    const std::size_t open = p + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) continue;
+    const std::string_view after = comment.substr(close + 1);
+    const bool justified =
+        std::any_of(after.begin(), after.end(), [](char c) {
+          return std::isalnum(static_cast<unsigned char>(c)) != 0;
+        });
+    std::string_view list = comment.substr(open, close - open);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      std::string name(trim(list.substr(0, comma)));
+      if (!name.empty()) {
+        out.insert(name);
+        if (sites != nullptr) {
+          sites->push_back({"", line, std::move(name), justified});
+        }
       }
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
     }
-  };
-
-  auto end_line = [&] {
-    harvest_allows(comment_text, lines.back().allows);
-    comment_text.clear();
-    lines.emplace_back();
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      end_line();
-      ++i;
-      continue;
-    }
-    if (in_block_comment) {
-      if (c == '*' && i + 1 < n && src[i + 1] == '/') {
-        in_block_comment = false;
-        i += 2;
-      } else {
-        comment_text.push_back(c);
-        ++i;
-      }
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      // Line comment: consume to end of line (newline handled above).
-      const std::size_t eol = src.find('\n', i);
-      const std::size_t stop = eol == std::string_view::npos ? n : eol;
-      comment_text.append(src.substr(i, stop - i));
-      i = stop;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      in_block_comment = true;
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        ++i;
-      }
-      if (i < n && src[i] == quote) ++i;
-      lines.back().code.push_back(quote);  // keep a token so "x" != empty
-      lines.back().code.push_back(quote);
-      continue;
-    }
-    lines.back().code.push_back(c);
-    ++i;
   }
-  end_line();  // flush trailing line's annotations
+}
+
+/// Rebuilds per-line code from the token stream, each token placed at its
+/// original column so adjacency-sensitive patterns (`+=`, `reduction(`,
+/// `std::accumulate`) survive intact. String/char/raw-string literals
+/// collapse to empty `""`/`''` placeholders, comments vanish entirely (the
+/// token layer is what fixes L1–L6 firing inside raw strings and multiline
+/// block comments), and allow-annotations are harvested from the dropped
+/// comment text.
+std::vector<Line> build_lines(std::string_view src,
+                              const std::vector<Token>& toks,
+                              std::vector<AllowSite>* sites) {
+  const std::size_t nlines =
+      1 + static_cast<std::size_t>(std::count(src.begin(), src.end(), '\n'));
+  std::vector<Line> lines(nlines);
+
+  auto place = [&lines](int line, int col, std::string_view text) {
+    std::string& code = lines[static_cast<std::size_t>(line - 1)].code;
+    if (code.size() < static_cast<std::size_t>(col)) {
+      code.append(static_cast<std::size_t>(col) - code.size(), ' ');
+    }
+    code.append(text);
+  };
+
+  for (const Token& t : toks) {
+    switch (t.kind) {
+      case TokKind::kComment: {
+        std::string_view rest = t.text;
+        int line = t.line;
+        while (!rest.empty()) {
+          const std::size_t nl = rest.find('\n');
+          const std::string_view piece = rest.substr(0, nl);
+          harvest_allows(piece, line,
+                         lines[static_cast<std::size_t>(line - 1)].allows,
+                         sites);
+          if (nl == std::string_view::npos) break;
+          rest.remove_prefix(nl + 1);
+          ++line;
+        }
+        break;
+      }
+      case TokKind::kString:
+      case TokKind::kRawString:
+        place(t.line, t.col, "\"\"");
+        break;
+      case TokKind::kChar:
+        place(t.line, t.col, "''");
+        break;
+      default:
+        place(t.line, t.col, t.text);
+        break;
+    }
+  }
+
   // An annotation on a comment-only line applies to the next code line, so
   // multi-line justification comments work: cascade allows downward through
   // blank/comment-only lines.
@@ -307,7 +315,9 @@ void check_l2(std::string_view path, const std::vector<Line>& lines,
 // --- L3: discarded status/carry returns -----------------------------------
 
 /// Functions whose return value is a status mask or carry that must not be
-/// silently dropped.
+/// silently dropped. L3's curated list predates the symbol index; L7
+/// covers every other HpStatus-returning function the index discovers and
+/// leaves these names to L3 so each discard is reported exactly once.
 constexpr std::string_view kStatusFns[] = {
     "add_impl",        "from_double_impl", "from_double_exact",
     "from_long_double_exact", "to_double_impl",
@@ -319,6 +329,13 @@ constexpr std::string_view kStatusFns[] = {
     "sub_impl",        "negate_impl",      "scatter_add_double",
     "hp_scatter_add",  "block_add",        "block_accumulate",
     "atomic_add"};
+
+bool in_l3_list(std::string_view name) {
+  for (std::string_view fn : kStatusFns) {
+    if (fn == name) return true;
+  }
+  return false;
+}
 
 /// Strips trailing namespace qualifiers ("detail::", "util::", ...) and
 /// whitespace from a statement prefix.
@@ -538,6 +555,229 @@ void check_l6(std::string_view path, const std::vector<Line>& lines,
   }
 }
 
+// --- L7: interprocedural status escape (token-based) -----------------------
+
+/// Index of the token before `i` in `toks` (no comments in `toks`), or
+/// npos-like toks.size() when none.
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Walks from the `(` at toks[open] to its matching `)`. Returns the index
+/// of the close, or toks.size() if unbalanced.
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+void check_l7(std::string_view path, const std::vector<Line>& lines,
+              const std::vector<Token>& toks, const SymbolIndex& index,
+              std::vector<Violation>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.pp) continue;
+    if (index.status_fns.count(t.text) == 0) continue;
+    // Ambiguous overload set (`HpStatus add(Value)` vs `void add(double)`
+    // somewhere else): name matching cannot tell which one this call hits,
+    // so stay silent rather than guess.
+    if (index.nonstatus_fns.count(t.text) != 0) continue;
+    if (in_l3_list(t.text)) continue;  // L3's curated territory
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+
+    // Walk back over the qualifier chain (`hpsum::kernel::add` → decide on
+    // what precedes `hpsum`).
+    std::size_t s = i;
+    while (s >= 2 && is_punct(toks[s - 1], "::") &&
+           toks[s - 2].kind == TokKind::kIdent) {
+      s -= 2;
+    }
+    if (s >= 1 && is_punct(toks[s - 1], "::")) --s;  // global-ns `::f(...)`
+    const std::size_t p = (s == 0) ? kNone : s - 1;
+
+    if (p != kNone) {
+      const Token& prev = toks[p];
+      // Member access is someone else's API; an identifier before the name
+      // is a declaration/definition return type (`HpStatus f(...)`).
+      if (prev.kind == TokKind::kIdent) continue;
+      if (prev.kind != TokKind::kPunct) continue;
+      if (prev.text != ";" && prev.text != "{" && prev.text != "}" &&
+          prev.text != ")") {
+        continue;  // `=`, `|=`, `(`, `,`, `return` path, operators: consumed
+      }
+    }
+
+    // The call's value is discarded only if the statement ends right after
+    // the argument list — `f(x) | g()` or `f(x).ok()` consume it.
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close < toks.size() && close + 1 < toks.size() &&
+        !is_punct(toks[close + 1], ";")) {
+      continue;
+    }
+
+    const std::size_t line_idx = static_cast<std::size_t>(t.line - 1);
+    if (allowed(lines, line_idx, rule_name(Rule::kStatusEscape))) continue;
+    out.push_back({std::string(path), t.line, Rule::kStatusEscape,
+                   "HpStatus returned by `" + std::string(t.text) +
+                       "` (declared elsewhere in the tree) is discarded",
+                   "OR it into a sticky HpStatus (st |= ...) or annotate "
+                   "`// hplint: allow(status-escape)` with a proof it "
+                   "cannot fire"});
+  }
+}
+
+// --- L8: explicit memory orders on the concurrent surface ------------------
+
+constexpr std::string_view kOrderedOps[] = {
+    "load",      "store",     "exchange",
+    "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or",  "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong"};
+
+/// Atomic names that publish the flight-recorder write index: readers
+/// acquire on them, so the paired store must be release (flight.cpp push()).
+bool is_publish_index(std::string_view name) {
+  return name == "w" || name == "w_" || name == "write_idx" ||
+         name == "write_index";
+}
+
+bool is_ordered_op(std::string_view name) {
+  for (std::string_view op : kOrderedOps) {
+    if (op == name) return true;
+  }
+  return false;
+}
+
+void check_l8(std::string_view path, const std::vector<Line>& lines,
+              const std::vector<Token>& toks, const SymbolIndex& index,
+              std::vector<Violation>& out) {
+  const bool trace_scope = path_contains(path, "trace");
+  const std::string_view rname = rule_name(Rule::kMemoryOrder);
+
+  auto is_atomic_name = [&index](std::string_view name) {
+    return index.atomic_names.count(name) != 0 ||
+           index.alias_names.count(name) != 0;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent || t.pp) continue;
+
+    // Operator-form RMW on a declared atomic (`w += 1`, `++next_block`):
+    // implicit seq_cst. Only bare declared names — aliases like `v` are too
+    // collision-prone for this shape.
+    if (index.atomic_names.count(t.text) != 0) {
+      const bool post =
+          i + 1 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+          (toks[i + 1].text == "++" || toks[i + 1].text == "--" ||
+           toks[i + 1].text == "+=" || toks[i + 1].text == "-=" ||
+           toks[i + 1].text == "|=" || toks[i + 1].text == "&=" ||
+           toks[i + 1].text == "^=");
+      const bool pre = i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+                       (toks[i - 1].text == "++" || toks[i - 1].text == "--");
+      if ((post || pre) &&
+          !allowed(lines, static_cast<std::size_t>(t.line - 1), rname)) {
+        out.push_back({std::string(path), t.line, Rule::kMemoryOrder,
+                       "operator-form RMW on atomic `" + std::string(t.text) +
+                           "` is an implicit seq_cst operation",
+                       "spell it as fetch_add/fetch_or/... with an explicit "
+                       "std::memory_order, or annotate "
+                       "`// hplint: allow(memory-order)`"});
+        continue;
+      }
+    }
+
+    if (!is_ordered_op(t.text)) continue;
+    if (i < 2 || i + 1 >= toks.size()) continue;
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+
+    // Resolve the receiver: `limbs_[i].store` walks back over the balanced
+    // subscript to `limbs_`; `detail::g_armed.store` lands on `g_armed`.
+    std::size_t r = i - 2;
+    if (is_punct(toks[r], "]")) {
+      int depth = 0;
+      std::size_t j = r;
+      for (;; --j) {
+        if (is_punct(toks[j], "]")) ++depth;
+        if (is_punct(toks[j], "[")) {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (j == 0) break;
+      }
+      if (j == 0 || depth != 0) continue;
+      r = j - 1;
+    }
+    if (toks[r].kind != TokKind::kIdent || !is_atomic_name(toks[r].text)) {
+      continue;
+    }
+    const std::string_view base = toks[r].text;
+
+    const std::size_t close = match_paren(toks, i + 1);
+    if (close >= toks.size()) continue;
+    int orders = 0;
+    bool relaxed = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind == TokKind::kIdent &&
+          toks[j].text.rfind("memory_order", 0) == 0) {
+        ++orders;
+        if (toks[j].text == "memory_order_relaxed") relaxed = true;
+        // `memory_order::relaxed` spells the enumerator separately.
+        if (toks[j].text == "memory_order" && j + 2 < close &&
+            is_punct(toks[j + 1], "::") &&
+            is_ident(toks[j + 2], "relaxed")) {
+          relaxed = true;
+        }
+      }
+    }
+
+    const std::size_t line_idx = static_cast<std::size_t>(t.line - 1);
+    const bool cmpxchg = t.text.rfind("compare_exchange", 0) == 0;
+    const int required = cmpxchg ? 2 : 1;
+    if (orders < required && !allowed(lines, line_idx, rname)) {
+      if (cmpxchg && orders == 1) {
+        out.push_back({std::string(path), t.line, Rule::kMemoryOrder,
+                       "`" + std::string(t.text) + "` on atomic `" +
+                           std::string(base) +
+                           "` names only the success order — the failure "
+                           "order is implicitly derived",
+                       "pass both orders explicitly "
+                       "(e.g. `, std::memory_order_relaxed, "
+                       "std::memory_order_relaxed`) so the contract is "
+                       "visible at the call site"});
+      } else {
+        out.push_back({std::string(path), t.line, Rule::kMemoryOrder,
+                       "atomic op `" + std::string(t.text) + "` on `" +
+                           std::string(base) +
+                           "` has no explicit std::memory_order (defaults "
+                           "to seq_cst)",
+                       "name the order the algorithm needs (relaxed for "
+                       "counter shards, release/acquire for publication) "
+                       "or annotate `// hplint: allow(memory-order)`"});
+      }
+      continue;
+    }
+
+    // The flight-recorder publish store: readers acquire on the write
+    // index, so a relaxed store here silently un-publishes the payload.
+    if (trace_scope && t.text == "store" && is_publish_index(base) &&
+        relaxed && !allowed(lines, line_idx, rname)) {
+      out.push_back({std::string(path), t.line, Rule::kMemoryOrder,
+                     "relaxed store to ring write index `" +
+                         std::string(base) +
+                         "` — the publish path requires release",
+                     "readers pair an acquire load with this store; use "
+                     "std::memory_order_release (see flight.cpp push())"});
+    }
+  }
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -570,6 +810,9 @@ std::string_view rule_id(Rule r) noexcept {
     case Rule::kNondeterminism: return "L4";
     case Rule::kRawTelemetry: return "L5";
     case Rule::kDuplicateKernel: return "L6";
+    case Rule::kStatusEscape: return "L7";
+    case Rule::kMemoryOrder: return "L8";
+    case Rule::kAllowLedger: return "L9";
   }
   return "L?";
 }
@@ -582,6 +825,9 @@ std::string_view rule_name(Rule r) noexcept {
     case Rule::kNondeterminism: return "nondeterminism";
     case Rule::kRawTelemetry: return "raw-telemetry";
     case Rule::kDuplicateKernel: return "duplicate-kernel";
+    case Rule::kStatusEscape: return "status-escape";
+    case Rule::kMemoryOrder: return "memory-order";
+    case Rule::kAllowLedger: return "allow-ledger";
   }
   return "?";
 }
@@ -600,8 +846,36 @@ std::string_view rule_summary(Rule r) noexcept {
       return "no raw printf/iostream/timer telemetry in src/core (use hpsum::trace)";
     case Rule::kDuplicateKernel:
       return "no duplicated limb kernels: call hpsum::kernel, not the bodies";
+    case Rule::kStatusEscape:
+      return "no discarded HpStatus from any function the symbol index knows";
+    case Rule::kMemoryOrder:
+      return "every atomic op on the concurrent surface names its memory_order";
+    case Rule::kAllowLedger:
+      return "every allow(...) is justified and accounted for in BASELINE.txt";
   }
   return "?";
+}
+
+bool rule_from_id(std::string_view id, Rule* out) noexcept {
+  for (int i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    if (rule_id(r) == id) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool rule_from_name(std::string_view name, Rule* out) noexcept {
+  for (int i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    if (rule_name(r) == name) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
 }
 
 RuleScope scope_for_path(std::string_view path) noexcept {
@@ -623,13 +897,59 @@ RuleScope scope_for_path(std::string_view path) noexcept {
   s.l6 = path_contains(path, "src/") &&
          !path_contains(path, "src/core/hp_kernel") &&
          !path_contains(path, "src/util/limbs");
+  // L7: a dropped status is wrong at any call site in the library proper;
+  // bench/tests deliberately poke the raw kernels.
+  s.l7 = path_contains(path, "src/");
+  // L8: the concurrent surface — where a defaulted order is a silent
+  // seq_cst (perf) or a wrong relaxed (correctness) nobody reviews.
+  s.l8 = path_contains(path, "src/core") || path_contains(path, "src/trace") ||
+         path_contains(path, "src/cudasim");
+  s.l9 = true;  // annotations are policed wherever they appear
   return s;
+}
+
+Ledger parse_baseline(std::string_view text) {
+  Ledger out;
+  int lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    ++lineno;
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::istringstream ss{std::string(line)};
+    Ledger::Entry e;
+    e.line = lineno;
+    if (!(ss >> e.file >> e.rule >> e.count) || e.count < 0) continue;
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+bool load_baseline(const std::string& path, Ledger* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = parse_baseline(buf.str());
+  return true;
 }
 
 std::vector<Violation> lint_source(std::string_view path,
                                    std::string_view source,
-                                   const Options& opts) {
-  const std::vector<Line> lines = preprocess(source);
+                                   const Options& opts,
+                                   std::vector<AllowSite>* allow_sites) {
+  const std::vector<Token> toks = tokenize(source);
+
+  std::vector<AllowSite> sites;
+  const std::vector<Line> lines =
+      build_lines(source, toks, allow_sites != nullptr ? &sites : nullptr);
+
   const RuleScope scope = scope_for_path(path);
   std::vector<Violation> out;
   if (opts.l1 && scope.l1) check_l1(path, lines, out);
@@ -638,14 +958,47 @@ std::vector<Violation> lint_source(std::string_view path,
   if (opts.l4 && scope.l4) check_l4(path, lines, out);
   if (opts.l5 && scope.l5) check_l5(path, lines, out);
   if (opts.l6 && scope.l6) check_l6(path, lines, out);
-  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    return a.line < b.line;
-  });
+
+  if (opts.index != nullptr && ((opts.l7 && scope.l7) || (opts.l8 && scope.l8))) {
+    std::vector<Token> code;
+    code.reserve(toks.size());
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kComment) code.push_back(t);
+    }
+    if (opts.l7 && scope.l7) check_l7(path, lines, code, *opts.index, out);
+    if (opts.l8 && scope.l8) {
+      // L8 consults a file-local harvest, not the merged tree index: atomic
+      // names collide across classes (`status_` is atomic in HpAtomic,
+      // plain in HpFixed) and every atomic in this tree is operated on in
+      // its declaring file. See index.hpp for the scoping rationale.
+      SymbolIndex local;
+      index_source(source, local);
+      local.resolve();
+      check_l8(path, lines, code, local, out);
+    }
+  }
+
+  for (Violation& v : out) {
+    const auto it = opts.severity.find(v.rule);
+    v.severity = it != opts.severity.end() ? it->second : Severity::kError;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Violation& a, const Violation& b) {
+                     return a.line < b.line;
+                   });
+
+  if (allow_sites != nullptr) {
+    for (AllowSite& s : sites) {
+      s.file = std::string(path);
+      allow_sites->push_back(std::move(s));
+    }
+  }
   return out;
 }
 
 std::vector<Violation> lint_file(const std::string& path, const Options& opts,
-                                 bool* io_error) {
+                                 bool* io_error,
+                                 std::vector<AllowSite>* allow_sites) {
   if (io_error != nullptr) *io_error = false;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -654,7 +1007,131 @@ std::vector<Violation> lint_file(const std::string& path, const Options& opts,
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return lint_source(path, buf.str(), opts);
+  return lint_source(path, buf.str(), opts, allow_sites);
+}
+
+std::vector<Violation> check_ledger(const std::vector<AllowSite>& sites,
+                                    const Ledger& ledger,
+                                    std::string_view baseline_path,
+                                    Severity severity) {
+  std::vector<Violation> out;
+
+  // Per-site checks: the rule must exist and the annotation must say why.
+  std::map<std::pair<std::string, std::string>, int> actual;
+  std::map<std::pair<std::string, std::string>, int> first_line;
+  for (const AllowSite& s : sites) {
+    Rule r;
+    if (!rule_from_name(s.rule, &r)) {
+      out.push_back({s.file, s.line, Rule::kAllowLedger,
+                     "allow(" + s.rule + ") names an unknown rule",
+                     "valid names: fp-accumulate, signed-limb, "
+                     "discard-status, nondeterminism, raw-telemetry, "
+                     "duplicate-kernel, status-escape, memory-order, "
+                     "allow-ledger"});
+      continue;
+    }
+    if (!s.justified) {
+      out.push_back({s.file, s.line, Rule::kAllowLedger,
+                     "allow(" + s.rule + ") carries no justification",
+                     "append the reason after the closing paren: "
+                     "`// hplint: allow(" + s.rule + ") — why it is safe`"});
+    }
+    const auto key = std::make_pair(s.file, s.rule);
+    if (actual.find(key) == actual.end()) first_line[key] = s.line;
+    ++actual[key];
+  }
+
+  // Baseline comparison: more sites than ledgered fails at the file; fewer
+  // means the ledger entry is stale and fails at the baseline.
+  std::map<std::pair<std::string, std::string>, const Ledger::Entry*> base;
+  for (const Ledger::Entry& e : ledger.entries) {
+    Rule r;
+    if (!rule_from_name(e.rule, &r)) {
+      out.push_back({std::string(baseline_path), e.line, Rule::kAllowLedger,
+                     "baseline entry names unknown rule `" + e.rule + "`",
+                     "fix or remove the entry"});
+      continue;
+    }
+    base[std::make_pair(e.file, e.rule)] = &e;
+  }
+  for (const auto& [key, n] : actual) {
+    const auto it = base.find(key);
+    const int ledgered = it != base.end() ? it->second->count : 0;
+    if (n > ledgered) {
+      out.push_back({key.first, first_line[key], Rule::kAllowLedger,
+                     "file has " + std::to_string(n) + " allow(" + key.second +
+                         ") suppression(s) but the baseline records " +
+                         std::to_string(ledgered),
+                     "a new suppression needs review: add/raise the entry in " +
+                         std::string(baseline_path) +
+                         " (`" + key.first + " " + key.second + " " +
+                         std::to_string(n) + "`) in the same commit"});
+    }
+  }
+  for (const auto& [key, e] : base) {
+    const auto it = actual.find(key);
+    const int n = it != actual.end() ? it->second : 0;
+    if (n < e->count) {
+      out.push_back({std::string(baseline_path), e->line, Rule::kAllowLedger,
+                     "stale baseline entry: `" + e->file + " " + e->rule +
+                         " " + std::to_string(e->count) + "` but the tree has " +
+                         std::to_string(n),
+                     "the suppression was removed — update or delete the "
+                     "entry so the ledger stays exact"});
+    }
+  }
+
+  for (Violation& v : out) v.severity = severity;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Violation& a, const Violation& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::map<std::string, std::set<int>> parse_unified_diff(
+    std::string_view diff) {
+  std::map<std::string, std::set<int>> out;
+  std::string cur;
+  std::size_t pos = 0;
+  while (pos < diff.size()) {
+    const std::size_t nl = diff.find('\n', pos);
+    const std::string_view line =
+        diff.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = (nl == std::string_view::npos) ? diff.size() : nl + 1;
+
+    if (line.rfind("+++ ", 0) == 0) {
+      std::string_view p = trim(line.substr(4));
+      // Strip the `b/` prefix git uses; `/dev/null` marks a deletion.
+      if (p.rfind("b/", 0) == 0) p.remove_prefix(2);
+      cur = (p == "/dev/null") ? std::string() : std::string(p);
+      continue;
+    }
+    if (line.rfind("@@", 0) != 0 || cur.empty()) continue;
+    // `@@ -a,b +c,d @@` — the new-side start and length.
+    const std::size_t plus = line.find('+');
+    if (plus == std::string_view::npos) continue;
+    int start = 0;
+    std::size_t q = plus + 1;
+    while (q < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[q]))) {
+      start = start * 10 + (line[q] - '0');
+      ++q;
+    }
+    int len = 1;
+    if (q < line.size() && line[q] == ',') {
+      len = 0;
+      ++q;
+      while (q < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[q]))) {
+        len = len * 10 + (line[q] - '0');
+        ++q;
+      }
+    }
+    for (int k = 0; k < len; ++k) out[cur].insert(start + k);
+  }
+  return out;
 }
 
 std::string to_text(const std::vector<Violation>& vs) {
@@ -667,7 +1144,7 @@ std::string to_text(const std::vector<Violation>& vs) {
     out += rule_id(v.rule);
     out += ':';
     out += rule_name(v.rule);
-    out += "] ";
+    out += v.severity == Severity::kWarn ? "] warning: " : "] ";
     out += v.message;
     out += "\n    hint: ";
     out += v.hint;
@@ -685,10 +1162,67 @@ std::string to_json(const std::vector<Violation>& vs) {
     out += ", \"line\": " + std::to_string(v.line);
     out += ", \"rule\": \"" + std::string(rule_id(v.rule)) + "\"";
     out += ", \"name\": \"" + std::string(rule_name(v.rule)) + "\"";
+    out += ", \"severity\": \"";
+    out += (v.severity == Severity::kWarn ? "warn" : "error");
+    out += "\"";
     out += ", \"message\": \"" + json_escape(v.message) + "\"";
     out += ", \"hint\": \"" + json_escape(v.hint) + "\"}";
   }
   out += vs.empty() ? "]" : "\n]";
+  return out;
+}
+
+std::string to_sarif(const std::vector<Violation>& vs) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"hplint\",\n"
+      "          \"version\": \"2.0.0\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/hpsum/docs/ANALYSIS.md\",\n"
+      "          \"rules\": [\n";
+  for (int i = 0; i < kRuleCount; ++i) {
+    const Rule r = static_cast<Rule>(i);
+    out += "            {\"id\": \"" + std::string(rule_id(r)) +
+           "\", \"name\": \"" + std::string(rule_name(r)) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(rule_summary(r)) +
+           "\"}, \"defaultConfiguration\": {\"level\": \"error\"}}";
+    out += (i + 1 < kRuleCount) ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    const Violation& v = vs[i];
+    out += "        {\"ruleId\": \"" + std::string(rule_id(v.rule)) +
+           "\", \"ruleIndex\": " + std::to_string(static_cast<int>(v.rule)) +
+           ", \"level\": \"";
+    out += (v.severity == Severity::kWarn ? "warning" : "error");
+    out += "\", \"message\": {\"text\": \"" +
+           json_escape(v.message + " (" + v.hint + ")") +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(v.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(v.line) +
+           "}}}]}";
+    out += (i + 1 < vs.size()) ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
   return out;
 }
 

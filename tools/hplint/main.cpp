@@ -1,19 +1,30 @@
 // hplint CLI — scans C++ sources for order-invariance contract violations.
 //
 // Usage:
-//   hplint [--root=DIR] [--format=text|json] [--rules=L1,L3] [paths...]
+//   hplint [--root=DIR] [--format=text|json|sarif] [--rules=L1,L8]
+//          [--warn=L4,..] [--baseline=FILE | --no-baseline] [--diff=REF]
+//          [--list-rules] [paths...]
 //
 // Paths are files or directories (recursed; *.hpp *.h *.cpp *.cc *.cxx),
 // relative to --root (default: current directory). With no paths, scans
-// src, examples and bench. Exit code: 0 clean, 1 violations found, 2 usage
-// or I/O error.
+// src, examples and bench. Two passes: the first indexes every HpStatus-
+// returning function and std::atomic declaration under <root>/src plus the
+// scanned set (rules L7/L8 are interprocedural); the second lints.
+// `--diff=REF` lints only lines added/changed since REF (git diff) for
+// fast pre-commit feedback; ledger checks are skipped in diff mode since
+// the scan set is partial. Exit code: 0 clean, 1 error-severity findings,
+// 2 usage or I/O error.
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
@@ -51,12 +62,68 @@ void collect(const fs::path& p, std::vector<fs::path>& out) {
 }
 
 int usage(std::ostream& os, int code) {
-  os << "usage: hplint [--root=DIR] [--format=text|json] [--rules=L1,..]\n"
-        "              [--list-rules] [paths...]\n"
+  os << "usage: hplint [--root=DIR] [--format=text|json|sarif] [--sarif]\n"
+        "              [--rules=L1,..] [--warn=L4,..] [--baseline=FILE]\n"
+        "              [--no-baseline] [--diff=REF] [--list-rules] "
+        "[paths...]\n"
         "Scans C++ sources for hpsum order-invariance contract violations.\n"
         "Default paths (relative to --root): src examples bench\n"
-        "Exit: 0 clean, 1 violations, 2 error.\n";
+        "Default baseline (full default scan only): "
+        "tools/hplint/BASELINE.txt\n"
+        "Exit: 0 clean, 1 error-severity violations, 2 error.\n";
   return code;
+}
+
+/// Parses a comma-separated rule-id list ("L1,L8") into rules.
+bool parse_rule_list(const std::string& list, std::vector<Rule>& out) {
+  for (std::size_t pos = 0; pos < list.size();) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string id = list.substr(pos, comma - pos);
+    Rule r;
+    if (!rule_from_id(id, &r)) {
+      std::cerr << "hplint: unknown rule '" << id << "'\n";
+      return false;
+    }
+    out.push_back(r);
+    pos = comma + 1;
+  }
+  return true;
+}
+
+void enable_rule(Options& o, Rule r, bool on) {
+  switch (r) {
+    case Rule::kFpAccumulate: o.l1 = on; break;
+    case Rule::kSignedLimb: o.l2 = on; break;
+    case Rule::kDiscardStatus: o.l3 = on; break;
+    case Rule::kNondeterminism: o.l4 = on; break;
+    case Rule::kRawTelemetry: o.l5 = on; break;
+    case Rule::kDuplicateKernel: o.l6 = on; break;
+    case Rule::kStatusEscape: o.l7 = on; break;
+    case Rule::kMemoryOrder: o.l8 = on; break;
+    case Rule::kAllowLedger: o.l9 = on; break;
+  }
+}
+
+/// Runs `git -C <root> diff --unified=0 <ref>` and returns its stdout.
+/// Arguments are shell-quoted; a ref containing a quote is rejected.
+bool git_diff(const std::string& root, const std::string& ref,
+              std::string& out) {
+  if (ref.find('\'') != std::string::npos ||
+      root.find('\'') != std::string::npos) {
+    std::cerr << "hplint: refusing ref/root containing a quote\n";
+    return false;
+  }
+  const std::string cmd = "git -C '" + root + "' diff --unified=0 '" + ref +
+                          "' 2>/dev/null";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    out.append(buf, n);
+  }
+  return pclose(pipe) == 0;
 }
 
 }  // namespace
@@ -64,6 +131,9 @@ int usage(std::ostream& os, int code) {
 int main(int argc, char** argv) {
   std::string root = ".";
   std::string format = "text";
+  std::string baseline_arg;
+  std::string diff_ref;
+  bool no_baseline = false;
   Options opts;
   std::vector<std::string> paths;
 
@@ -73,35 +143,38 @@ int main(int argc, char** argv) {
       root = arg.substr(7);
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "text" && format != "json") {
+      if (format != "text" && format != "json" && format != "sarif") {
         std::cerr << "hplint: unknown format '" << format << "'\n";
         return usage(std::cerr, 2);
       }
+    } else if (arg == "--sarif") {
+      format = "sarif";
     } else if (arg.rfind("--rules=", 0) == 0) {
-      opts = Options{false, false, false, false, false, false};
-      std::string list = arg.substr(8);
-      for (std::size_t pos = 0; pos < list.size();) {
-        std::size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        const std::string r = list.substr(pos, comma - pos);
-        if (r == "L1") opts.l1 = true;
-        else if (r == "L2") opts.l2 = true;
-        else if (r == "L3") opts.l3 = true;
-        else if (r == "L4") opts.l4 = true;
-        else if (r == "L5") opts.l5 = true;
-        else if (r == "L6") opts.l6 = true;
-        else {
-          std::cerr << "hplint: unknown rule '" << r << "'\n";
-          return 2;
-        }
-        pos = comma + 1;
+      std::vector<Rule> rules;
+      if (!parse_rule_list(arg.substr(8), rules)) return 2;
+      for (int r = 0; r < kRuleCount; ++r) {
+        enable_rule(opts, static_cast<Rule>(r), false);
+      }
+      for (Rule r : rules) enable_rule(opts, r, true);
+    } else if (arg.rfind("--warn=", 0) == 0) {
+      std::vector<Rule> rules;
+      if (!parse_rule_list(arg.substr(7), rules)) return 2;
+      for (Rule r : rules) opts.severity[r] = Severity::kWarn;
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_arg = arg.substr(11);
+    } else if (arg == "--no-baseline") {
+      no_baseline = true;
+    } else if (arg.rfind("--diff=", 0) == 0) {
+      diff_ref = arg.substr(7);
+      if (diff_ref.empty()) {
+        std::cerr << "hplint: --diff needs a git ref\n";
+        return 2;
       }
     } else if (arg == "--list-rules") {
-      for (Rule r : {Rule::kFpAccumulate, Rule::kSignedLimb,
-                     Rule::kDiscardStatus, Rule::kNondeterminism,
-                     Rule::kRawTelemetry, Rule::kDuplicateKernel}) {
-        std::cout << rule_id(r) << "  " << rule_name(r) << "  —  "
-                  << rule_summary(r) << "\n";
+      for (int r = 0; r < kRuleCount; ++r) {
+        const Rule rule = static_cast<Rule>(r);
+        std::cout << rule_id(rule) << "  " << rule_name(rule) << "  —  "
+                  << rule_summary(rule) << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
@@ -113,7 +186,8 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "examples", "bench"};
+  const bool default_scan = paths.empty();
+  if (default_scan) paths = {"src", "examples", "bench"};
 
   std::error_code ec;
   const fs::path root_path = fs::canonical(root, ec);
@@ -123,20 +197,80 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<fs::path> files;
-  for (const std::string& p : paths) {
-    const fs::path full = fs::path(p).is_absolute() ? fs::path(p)
-                                                    : root_path / p;
-    if (!fs::exists(full)) {
-      std::cerr << "hplint: no such path: " << full.string() << "\n";
+  // Incremental mode: the change set replaces the path arguments.
+  std::map<std::string, std::set<int>> changed;
+  if (!diff_ref.empty()) {
+    std::string diff;
+    if (!git_diff(root_path.string(), diff_ref, diff)) {
+      std::cerr << "hplint: git diff against '" << diff_ref << "' failed\n";
       return 2;
     }
-    collect(full, files);
+    changed = parse_unified_diff(diff);
+  }
+
+  std::vector<fs::path> files;
+  if (!diff_ref.empty()) {
+    for (const auto& [rel, lines] : changed) {
+      const fs::path full = root_path / rel;
+      if (has_source_ext(full) && fs::exists(full) &&
+          full.string().find("/fixtures/") == std::string::npos) {
+        files.push_back(full);
+      }
+    }
+  } else {
+    for (const std::string& p : paths) {
+      const fs::path full = fs::path(p).is_absolute() ? fs::path(p)
+                                                      : root_path / p;
+      if (!fs::exists(full)) {
+        std::cerr << "hplint: no such path: " << full.string() << "\n";
+        return 2;
+      }
+      collect(full, files);
+    }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // Pass 1: index the scanned set plus everything under <root>/src, so a
+  // status-returning function declared in a header we are not linting today
+  // still protects its call sites (L7), and atomics declared in src/core
+  // are known when linting src/trace (L8).
+  SymbolIndex index;
+  {
+    std::vector<fs::path> to_index = files;
+    const fs::path src_dir = root_path / "src";
+    if (fs::exists(src_dir)) collect(src_dir, to_index);
+    std::sort(to_index.begin(), to_index.end());
+    to_index.erase(std::unique(to_index.begin(), to_index.end()),
+                   to_index.end());
+    for (const fs::path& f : to_index) index_file(f.string(), index);
+    index.resolve();
+  }
+  opts.index = &index;
+
+  // The suppression ledger: explicit --baseline always wins; the checked-in
+  // default applies only to the full default scan (a partial scan would
+  // misreport entries for unscanned files as stale).
+  Ledger ledger;
+  bool have_ledger = false;
+  std::string baseline_path = baseline_arg;
+  if (!no_baseline && diff_ref.empty() && opts.l9) {
+    if (baseline_path.empty() && default_scan) {
+      const fs::path def = root_path / "tools" / "hplint" / "BASELINE.txt";
+      if (fs::exists(def)) baseline_path = def.string();
+    }
+    if (!baseline_path.empty()) {
+      if (!load_baseline(baseline_path, &ledger)) {
+        std::cerr << "hplint: cannot read baseline " << baseline_path << "\n";
+        return 2;
+      }
+      have_ledger = true;
+    }
+  }
+
+  // Pass 2: lint.
   std::vector<Violation> all;
+  std::vector<AllowSite> allow_sites;
   int io_errors = 0;
   for (const fs::path& f : files) {
     // Scope rules by the repo-relative path so absolute build paths and
@@ -146,7 +280,9 @@ int main(int argc, char** argv) {
         rel.empty() || rel.native()[0] == '.' ? f.string()
                                               : rel.generic_string();
     bool io_error = false;
-    std::vector<Violation> vs = lint_file(f.string(), opts, &io_error);
+    std::vector<AllowSite> file_sites;
+    std::vector<Violation> vs = lint_file(f.string(), opts, &io_error,
+                                          have_ledger ? &file_sites : nullptr);
     if (io_error) {
       std::cerr << "hplint: cannot read " << f.string() << "\n";
       ++io_errors;
@@ -154,12 +290,32 @@ int main(int argc, char** argv) {
     }
     for (Violation& v : vs) {
       v.file = rel_str;
+      if (!diff_ref.empty()) {
+        const auto it = changed.find(rel_str);
+        if (it == changed.end() || it->second.count(v.line) == 0) continue;
+      }
       all.push_back(std::move(v));
     }
+    for (AllowSite& s : file_sites) {
+      s.file = rel_str;
+      allow_sites.push_back(std::move(s));
+    }
+  }
+
+  if (have_ledger) {
+    const fs::path rel = fs::path(baseline_path).lexically_relative(root_path);
+    const std::string base_rel =
+        rel.empty() || rel.native()[0] == '.' ? baseline_path
+                                              : rel.generic_string();
+    std::vector<Violation> lv = check_ledger(allow_sites, ledger, base_rel);
+    all.insert(all.end(), std::make_move_iterator(lv.begin()),
+               std::make_move_iterator(lv.end()));
   }
 
   if (format == "json") {
     std::cout << to_json(all) << "\n";
+  } else if (format == "sarif") {
+    std::cout << to_sarif(all);
   } else {
     std::cout << to_text(all);
     std::cout << "hplint: scanned " << files.size() << " files, "
@@ -167,5 +323,8 @@ int main(int argc, char** argv) {
               << "\n";
   }
   if (io_errors != 0) return 2;
-  return all.empty() ? 0 : 1;
+  const bool gating = std::any_of(all.begin(), all.end(), [](const auto& v) {
+    return v.severity == Severity::kError;
+  });
+  return gating ? 1 : 0;
 }

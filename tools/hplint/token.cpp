@@ -1,0 +1,200 @@
+#include "token.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace hpsum::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuation, longest first so maximal munch works by ordered
+// prefix test. Single chars fall through to the one-byte default.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*", "##",
+};
+
+/// True if the string literal starting at src[i] (at its opening `"` or at
+/// an encoding prefix) is a raw string: optional u8/u/U/L prefix then R".
+bool at_raw_string(std::string_view src, std::size_t i) {
+  if (src[i] == 'u' && i + 1 < src.size() && src[i + 1] == '8') i += 2;
+  else if (src[i] == 'u' || src[i] == 'U' || src[i] == 'L') i += 1;
+  return i + 1 < src.size() && src[i] == 'R' && src[i + 1] == '"';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  int col = 0;
+  bool in_pp = false;         // inside a preprocessor directive
+  bool line_has_code = false; // true once a non-ws token appears on the line
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 0;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  auto push = [&](TokKind kind, std::size_t begin, std::size_t len,
+                  int tline, int tcol) {
+    out.push_back({kind, src.substr(begin, len), tline, tcol, in_pp});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      in_pp = false;
+      line_has_code = false;
+      advance(1);
+      continue;
+    }
+    if (c == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+      // Line continuation: the directive (if any) spans onto the next line.
+      advance(2);
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      advance(1);
+      continue;
+    }
+
+    const int tline = line;
+    const int tcol = col;
+
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = src.size();
+      push(TokKind::kComment, i, end - i, tline, tcol);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      end = (end == std::string_view::npos) ? src.size() : end + 2;
+      push(TokKind::kComment, i, end - i, tline, tcol);
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor directive start: `#` as first code token on the line.
+    if (c == '#' && !line_has_code) {
+      in_pp = true;
+      // fall through to punct handling below for the '#' itself
+    }
+    line_has_code = true;
+
+    // Raw string literals: (u8|u|U|L)? R"delim( ... )delim"
+    if ((c == 'R' || c == 'u' || c == 'U' || c == 'L') &&
+        at_raw_string(src, i)) {
+      std::size_t j = i;
+      while (src[j] != '"') ++j;  // skip prefix + R
+      ++j;                        // past opening quote
+      std::size_t dbeg = j;
+      while (j < src.size() && src[j] != '(') ++j;
+      const std::string_view delim = src.substr(dbeg, j - dbeg);
+      // Closing sequence is `)delim"`.
+      std::string closer(")");
+      closer.append(delim);
+      closer.push_back('"');
+      std::size_t end = src.find(closer, j);
+      end = (end == std::string_view::npos) ? src.size()
+                                            : end + closer.size();
+      push(TokKind::kRawString, i, end - i, tline, tcol);
+      advance(end - i);
+      continue;
+    }
+
+    // Ordinary string / char literals, with an optional u8/u/U/L encoding
+    // prefix (only when the quote immediately follows the prefix — `use`
+    // stays an identifier).
+    {
+      std::size_t qpos = i;
+      if (c == 'u' && i + 1 < src.size() && src[i + 1] == '8') qpos = i + 2;
+      else if (c == 'u' || c == 'U' || c == 'L') qpos = i + 1;
+      if (qpos < src.size() && (src[qpos] == '"' || src[qpos] == '\'')) {
+        const char quote = src[qpos];
+        std::size_t k = qpos + 1;
+        while (k < src.size() && src[k] != quote && src[k] != '\n') {
+          if (src[k] == '\\' && k + 1 < src.size()) ++k;
+          ++k;
+        }
+        if (k < src.size() && src[k] == quote) ++k;
+        push(quote == '"' ? TokKind::kString : TokKind::kChar, i, k - i,
+             tline, tcol);
+        advance(k - i);
+        continue;
+      }
+    }
+
+    // Identifiers / keywords.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && ident_cont(src[j])) ++j;
+      push(TokKind::kIdent, i, j - i, tline, tcol);
+      advance(j - i);
+      continue;
+    }
+
+    // Numbers: digits, digit separators, hex/bin prefixes, exponents with
+    // signs, and a leading `.5` form. pp-number-ish, good enough for lint.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i + 1;
+      while (j < src.size()) {
+        const char d = src[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, i, j - i, tline, tcol);
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: maximal munch over the multi-char table.
+    {
+      std::size_t len = 1;
+      const std::string_view rest = src.substr(i);
+      for (std::string_view p : kPuncts) {
+        if (rest.size() >= p.size() && rest.substr(0, p.size()) == p) {
+          len = p.size();
+          break;
+        }
+      }
+      push(TokKind::kPunct, i, len, tline, tcol);
+      advance(len);
+      continue;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace hpsum::lint

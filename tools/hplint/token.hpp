@@ -1,0 +1,67 @@
+// hplint tokenizer — structural lexing of C++ source.
+//
+// hplint v1 stripped comments and string literals with a hand-rolled
+// character scanner; it mishandled raw string literals (R"(...)" content
+// leaked into the "code" channel, so rules fired on documentation text) and
+// could not support rules that need to see across line breaks (a
+// `fetch_add(` whose `std::memory_order_relaxed` argument sits on the next
+// line). This layer replaces the scanner with a real single-pass tokenizer:
+//
+//   - comments (// and /*...*/, multiline) become kComment tokens whose
+//     text is retained so `hplint: allow(...)` annotations can be harvested
+//     from them;
+//   - string literals (including encoding prefixes and raw strings with
+//     arbitrary delimiters), char literals, and digit separators
+//     (1'000'000) are lexed per the grammar, so literal content can never
+//     masquerade as code;
+//   - preprocessor directives are recognized structurally (leading `#`,
+//     backslash continuations) and their tokens carry a `pp` flag;
+//   - every token records its 1-based start line and 0-based start column,
+//     which lets the line-based rules L1-L6 operate on a faithful
+//     literal-free reconstruction of each source line, and lets the token
+//     rules (L7 status-escape, L8 memory-order) match call shapes that
+//     span lines.
+//
+// The tokenizer is deliberately not a preprocessor: macros are not
+// expanded and headers are not included. hplint lints what the diff shows.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace hpsum::lint {
+
+enum class TokKind {
+  kIdent,      ///< identifiers and keywords
+  kNumber,     ///< integer/float literals, digit separators included
+  kPunct,      ///< operators and punctuation (maximal munch)
+  kString,     ///< "..." with escapes, any encoding prefix
+  kRawString,  ///< R"delim(...)delim", any encoding prefix; may span lines
+  kChar,       ///< '...' with escapes
+  kComment,    ///< // to EOL or /*...*/ (text retained, markers included)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  ///< spelling in the source buffer
+  int line = 0;           ///< 1-based start line
+  int col = 0;            ///< 0-based start column on that line
+  bool pp = false;        ///< inside a preprocessor directive
+};
+
+/// Lexes `src` into tokens. Never fails: unterminated literals/comments are
+/// closed at end of input, unknown bytes become single-char kPunct tokens.
+/// Token text views into `src`, which must outlive the result.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view src);
+
+/// True iff the token is an identifier with exactly this spelling.
+[[nodiscard]] inline bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+
+/// True iff the token is punctuation with exactly this spelling.
+[[nodiscard]] inline bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+}  // namespace hpsum::lint

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""End-to-end test of hplint --diff incremental mode.
+
+Builds a throwaway two-commit git repo:
+
+  commit 1   src/core/sum.cpp with a pre-existing violation (line A)
+  commit 2   appends a second violating function (line B)
+
+`--diff HEAD~1` must report ONLY line B — the pre-existing finding on an
+untouched line stays silent, which is what makes the mode usable as a PR
+gate on a tree with history. `--diff HEAD` (no changes) must report
+nothing and exit 0. Standard library only.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+BASE = """\
+// Synthetic history for the hplint --diff test.
+namespace hpsum {
+
+double preexisting(const double* xs, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += xs[i];  // line 6: old violation
+  return sum;
+}
+
+}  // namespace hpsum
+"""
+
+ADDED = """\
+
+namespace hpsum {
+
+double fresh(const double* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += xs[i];  // the new violation
+  return acc;
+}
+
+}  // namespace hpsum
+"""
+
+
+def fail(msg):
+    print(f"hplint_diff_test: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--hplint", required=True)
+    ap.add_argument("--git", required=True)
+    args = ap.parse_args()
+
+    # hplint shells out to bare `git`; make sure the one we were handed is
+    # the one it finds.
+    env = dict(os.environ)
+    env["PATH"] = os.path.dirname(os.path.abspath(args.git)) + os.pathsep + \
+        env.get("PATH", "")
+    env["GIT_CONFIG_NOSYSTEM"] = "1"
+    env["HOME"] = env.get("HOME", "/tmp")
+
+    def git(repo, *argv):
+        cmd = [args.git, "-C", repo, "-c", "user.name=hplint-test",
+               "-c", "user.email=hplint@test.invalid"] + list(argv)
+        proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+        if proc.returncode != 0:
+            fail(f"{' '.join(cmd)} failed: {proc.stderr.strip()}")
+        return proc.stdout
+
+    def lint(repo, ref):
+        cmd = [args.hplint, f"--root={repo}", f"--diff={ref}",
+               "--format=json"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+        try:
+            return proc.returncode, json.loads(proc.stdout)
+        except json.JSONDecodeError as e:
+            fail(f"{' '.join(cmd)} produced invalid JSON: {e}; "
+                 f"stderr: {proc.stderr.strip()}")
+
+    tmp = tempfile.mkdtemp(prefix="hplint_diff_")
+    try:
+        src = os.path.join(tmp, "src", "core")
+        os.makedirs(src)
+        target = os.path.join(src, "sum.cpp")
+
+        git(tmp, "init", "-q")
+        with open(target, "w") as f:
+            f.write(BASE)
+        git(tmp, "add", "-A")
+        git(tmp, "commit", "-q", "-m", "seed: pre-existing violation")
+
+        with open(target, "a") as f:
+            f.write(ADDED)
+        git(tmp, "add", "-A")
+        git(tmp, "commit", "-q", "-m", "add fresh violation")
+
+        base_lines = BASE.count("\n")
+        new_line = base_lines + ADDED.splitlines().index(
+            "  for (int i = 0; i < n; ++i) acc += xs[i];"
+            "  // the new violation") + 1
+
+        code, vs = lint(tmp, "HEAD~1")
+        if code != 1:
+            fail(f"--diff HEAD~1 exited {code}, expected 1")
+        got = {(v["file"], v["line"]) for v in vs}
+        if got != {("src/core/sum.cpp", new_line)}:
+            fail(f"--diff HEAD~1 reported {sorted(got)}, expected only "
+                 f"('src/core/sum.cpp', {new_line}) — the pre-existing "
+                 f"line-6 finding must stay silent")
+
+        code, vs = lint(tmp, "HEAD")
+        if code != 0 or vs:
+            fail(f"--diff HEAD should be clean, exited {code} with "
+                 f"{len(vs)} findings")
+
+        print("hplint_diff_test: OK (only changed lines reported)")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Structural SARIF 2.1.0 validation for hplint --format=sarif.
+
+Runs the linter twice — once on a fixture that is known to violate
+(results must be populated and well-formed) and once on the shipped tree
+(results must be empty) — and checks every field GitHub code scanning
+actually consumes: schema/version, tool.driver rules, ruleId/ruleIndex
+cross-references, levels, messages, and physical locations. Uses only the
+standard library; exits non-zero with a readable reason on the first
+mismatch.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+EXPECTED_RULE_IDS = ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"]
+FIXTURE = "tools/hplint/fixtures/src/core/bad_fp_accumulate.cpp"
+
+
+def fail(msg):
+    print(f"sarif_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_sarif(hplint, root, paths, expect_exit):
+    cmd = [hplint, f"--root={root}", "--format=sarif", "--no-baseline"] + paths
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != expect_exit:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}, expected "
+             f"{expect_exit}; stderr: {proc.stderr.strip()}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"output of {' '.join(cmd)} is not valid JSON: {e}")
+
+
+def check_log(doc, want_results):
+    if "sarif-schema-2.1.0" not in doc.get("$schema", ""):
+        fail(f"$schema does not name SARIF 2.1.0: {doc.get('$schema')!r}")
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, expected '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail("runs must be a single-element array")
+    run = runs[0]
+
+    driver = run.get("tool", {}).get("driver", {})
+    if driver.get("name") != "hplint":
+        fail(f"tool.driver.name is {driver.get('name')!r}")
+    if not driver.get("version"):
+        fail("tool.driver.version missing")
+    rules = driver.get("rules")
+    if not isinstance(rules, list):
+        fail("tool.driver.rules missing")
+    ids = [r.get("id") for r in rules]
+    if ids != EXPECTED_RULE_IDS:
+        fail(f"rule ids {ids} != {EXPECTED_RULE_IDS}")
+    for r in rules:
+        if not r.get("name"):
+            fail(f"rule {r.get('id')} has no name")
+        if not r.get("shortDescription", {}).get("text"):
+            fail(f"rule {r.get('id')} has no shortDescription.text")
+        level = r.get("defaultConfiguration", {}).get("level")
+        if level not in ("error", "warning", "note"):
+            fail(f"rule {r.get('id')} has bad default level {level!r}")
+
+    results = run.get("results")
+    if not isinstance(results, list):
+        fail("runs[0].results missing (must be [] even when clean)")
+    if want_results and not results:
+        fail("expected populated results on the violating fixture")
+    if not want_results and results:
+        fail(f"expected empty results on the clean tree, got {len(results)}")
+
+    for res in results:
+        rid = res.get("ruleId")
+        if rid not in EXPECTED_RULE_IDS:
+            fail(f"result has unknown ruleId {rid!r}")
+        idx = res.get("ruleIndex")
+        if not isinstance(idx, int) or ids[idx] != rid:
+            fail(f"ruleIndex {idx!r} does not point at ruleId {rid}")
+        if res.get("level") not in ("error", "warning", "note"):
+            fail(f"result has bad level {res.get('level')!r}")
+        if not res.get("message", {}).get("text"):
+            fail("result has empty message.text")
+        locs = res.get("locations")
+        if not isinstance(locs, list) or not locs:
+            fail("result has no locations")
+        phys = locs[0].get("physicalLocation", {})
+        uri = phys.get("artifactLocation", {}).get("uri", "")
+        if not uri or uri.startswith("/") or "\\" in uri:
+            fail(f"artifactLocation.uri must be a relative forward-slash "
+                 f"path, got {uri!r}")
+        start = phys.get("region", {}).get("startLine")
+        if not isinstance(start, int) or start < 1:
+            fail(f"region.startLine must be a positive int, got {start!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--hplint", required=True)
+    ap.add_argument("--root", required=True)
+    args = ap.parse_args()
+
+    dirty = run_sarif(args.hplint, args.root, [FIXTURE], expect_exit=1)
+    check_log(dirty, want_results=True)
+
+    clean = run_sarif(args.hplint, args.root, ["src", "examples", "bench"],
+                      expect_exit=0)
+    check_log(clean, want_results=False)
+
+    print("sarif_check: OK (fixture results well-formed, tree clean)")
+
+
+if __name__ == "__main__":
+    main()
