@@ -20,6 +20,7 @@
 #include "common.hpp"
 #include "core/hp_fixed.hpp"
 #include "core/hp_kernel.hpp"
+#include "core/hp_kernel_simd.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
@@ -115,13 +116,17 @@ int main(int argc, char** argv) {
   if (!all_identical) return 1;
   bench::emit_table(table, args);
   std::printf(
-      "\nreading: the block path's win is removing the sign-dependent "
-      "carry/borrow branch from the per-summand loop, so it shows on the "
-      "mixed-sign stream (the paper's workload), where the scalar path's "
-      "sign branch mispredicts; same-sign streams are the scalar path's "
-      "branch-predictor best case and land near parity. The mixed stream "
-      "is the gated metric. Identity of limbs and status is checked above "
-      "before timing.\n");
+      "\nreading: the block path wins twice over the scalar loop. It "
+      "removes the sign-dependent carry/borrow branch per summand, which "
+      "shows most on the mixed-sign stream (the paper's workload), where "
+      "the scalar path's sign branch mispredicts; and when the SIMD "
+      "deposit path is active (simd level \"%s\" here), it decomposes "
+      "kWidth summands per batch in vector lanes, which lifts the "
+      "same-sign streams — the scalar path's branch-predictor best case — "
+      "well past parity too. The mixed stream carries the primary gate; "
+      "the same-sign floor applies only to SIMD builds. Identity of limbs "
+      "and status is checked above before timing.\n",
+      kernel::simd::level_name(kernel::simd::active_level()));
 
   // --json=PATH: the BENCH_block.json schema (EXPERIMENTS.md) consumed by
   // tools/bench_smoke.py and the bench-smoke CI job.
@@ -136,8 +141,10 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"ablate_block\",\n"
                  "  \"format\": {\"n\": 6, \"k\": 3},\n"
+                 "  \"simd\": \"%s\",\n"
                  "  \"stream_size\": %lld,\n"
                  "  \"streams\": [\n",
+                 kernel::simd::level_name(kernel::simd::active_level()),
                  static_cast<long long>(n));
     for (std::size_t i = 0; i < rows.size(); ++i) {
       std::fprintf(f,
@@ -149,21 +156,28 @@ int main(int argc, char** argv) {
     }
     double min_speedup = 1e300;
     double gate_speedup = 0.0;
+    double samesign_min = 1e300;
     for (const auto& r : rows) {
       const double s = r.scalar_ns / r.block_ns;
       min_speedup = std::min(min_speedup, s);
-      if (std::string(r.stream) == "mixed") gate_speedup = s;
+      if (std::string(r.stream) == "mixed") {
+        gate_speedup = s;
+      } else {
+        samesign_min = std::min(samesign_min, s);
+      }
     }
-    // gate_speedup (the mixed stream) carries the >= 1.5x acceptance floor
-    // in tools/bench_smoke.py; min_speedup over all streams is recorded
-    // for context (same-sign streams are expected parity cases).
+    // gate_speedup (the mixed stream) carries the primary acceptance floor
+    // in tools/bench_smoke.py (2.5x on SIMD builds, 1.5x scalar-only);
+    // samesign_min_speedup is the worse of the all-positive/all-negative
+    // streams and carries the SIMD builds' 1.3x same-sign floor.
     std::fprintf(f,
                  "  ],\n"
                  "  \"gate_stream\": \"mixed\",\n"
                  "  \"gate_speedup\": %.4f,\n"
+                 "  \"samesign_min_speedup\": %.4f,\n"
                  "  \"min_speedup\": %.4f\n"
                  "}\n",
-                 gate_speedup, min_speedup);
+                 gate_speedup, samesign_min, min_speedup);
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

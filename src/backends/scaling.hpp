@@ -21,6 +21,7 @@
 
 #include "trace/flight.hpp"
 #include "trace/trace.hpp"
+#include "util/omp_fence.hpp"
 #include "util/timer.hpp"
 
 namespace hpsum::backends {
@@ -128,18 +129,28 @@ template <class Acc>
   std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
 
   util::WallTimer wall;
+  util::OmpRegionFence fence;
+  int team = pes;  // written only by the master (thread 0 of the team)
 #pragma omp parallel num_threads(pes)
   {
     const int t = omp_get_thread_num();
-    trace::flight::set_track("omp", 0, t);
-    const trace::flight::Span busy_span(trace::flight::EventId::kPeBusy, rid,
-                                 slices[static_cast<std::size_t>(t)].size());
-    util::ThreadCpuTimer cpu;
-    Acc acc;
-    acc.accumulate(slices[static_cast<std::size_t>(t)]);
-    partials[static_cast<std::size_t>(t)] = acc;
-    busy[static_cast<std::size_t>(t)] = cpu.seconds();
+    if (t == 0) team = omp_get_num_threads();
+    {
+      trace::flight::set_track("omp", 0, t);
+      const trace::flight::Span busy_span(trace::flight::EventId::kPeBusy, rid,
+                                   slices[static_cast<std::size_t>(t)].size());
+      util::ThreadCpuTimer cpu;
+      Acc acc;
+      acc.accumulate(slices[static_cast<std::size_t>(t)]);
+      partials[static_cast<std::size_t>(t)] = acc;
+      busy[static_cast<std::size_t>(t)] = cpu.seconds();
+    }
+    // Last statement of the region: publish this thread's slice reads and
+    // partial/busy writes to the master's post-region merge (libgomp's own
+    // end-of-region barrier is not TSan-instrumented; see omp_fence.hpp).
+    fence.arrive();
   }
+  fence.wait(team);
 
   util::ThreadCpuTimer merge_cpu;
   Acc total;

@@ -35,8 +35,10 @@
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
 #include "core/hp_config.hpp"
+#include "core/hp_kernel_simd.hpp"
 #include "core/hp_status.hpp"
 #include "trace/trace.hpp"
 #include "util/annotations.hpp"
@@ -446,9 +448,21 @@ constexpr void block_flush(util::Limb* a, U128* pos, U128* neg, int n,
 /// instead of bouncing through the accumulator object. Semantically (and
 /// bit-for-bit, limbs and status) identical to calling block_add per
 /// element.
+///
+/// When the build enables it (HPSUM_SIMD != OFF), runtime calls dispatch to
+/// the vectorized batch deposit (core/hp_kernel_simd.hpp), which is fuzzed
+/// bit-identical — limbs and sticky status — to the scalar loop below.
+/// Constant evaluation always takes the scalar loop: the SIMD path is not
+/// constexpr, and the is_constant_evaluated() guard keeps this facade
+/// usable in both worlds.
 [[nodiscard]] constexpr HpStatus block_accumulate(
     util::Limb* a, U128* pos, U128* neg, int n, int k, int& bound_exp,
     int& pending, std::span<const double> xs) noexcept {
+#if HPSUM_SIMD_DISPATCH
+  if (!std::is_constant_evaluated()) {
+    return simd::accumulate(a, pos, neg, n, k, bound_exp, pending, xs);
+  }
+#endif
   HpStatus st = HpStatus::kOk;
   int bound = bound_exp;
   int pend = pending;

@@ -24,6 +24,7 @@
 #include "core/dot.hpp"
 #include "core/hp_fixed.hpp"
 #include "core/reduce.hpp"
+#include "util/omp_fence.hpp"
 
 namespace hpsum::rblas {
 
@@ -88,18 +89,32 @@ namespace hpsum::rblas {
 template <int N, int K>
 void gemv(std::size_t m, std::size_t n, std::span<const double> a,
           std::span<const double> x, std::span<double> y) {
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    y[i] = dot_hp<N, K>(a.subspan(i * n, n), x.first(n)).to_double();
+  // Split `parallel for` so the region body can end with fence.arrive():
+  // libgomp's end-of-region barrier orders the workers' y[i] writes before
+  // the caller's reads, but is invisible to TSan (see util/omp_fence.hpp).
+  util::OmpRegionFence fence;
+  int team = 1;
+#pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0) team = omp_get_num_threads();
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < m; ++i) {
+      y[i] = dot_hp<N, K>(a.subspan(i * n, n), x.first(n)).to_double();
+    }
+    fence.arrive();
   }
+  fence.wait(team);
 }
 
 template <int N, int K>
 double sum_parallel(std::span<const double> x, int threads) {
   std::vector<HpFixed<N, K>> partials(static_cast<std::size_t>(threads));
+  util::OmpRegionFence fence;
+  int team = threads;
 #pragma omp parallel num_threads(threads)
   {
     const auto t = static_cast<std::size_t>(omp_get_thread_num());
+    if (t == 0) team = omp_get_num_threads();
     const auto p = static_cast<std::size_t>(threads);
     HpFixed<N, K> local;
     // Contiguous slices, like backends::partition.
@@ -109,7 +124,10 @@ double sum_parallel(std::span<const double> x, int threads) {
     const std::size_t len = base + (t < extra ? 1 : 0);
     local.accumulate(x.subspan(begin, len));
     partials[t] = local;
+    // TSan-visible edge from the partials[t] write to the merge below.
+    fence.arrive();
   }
+  fence.wait(team);
   HpFixed<N, K> total;
   for (const auto& p : partials) total += p;
   return total.to_double();

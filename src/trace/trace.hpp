@@ -63,6 +63,10 @@ enum class Counter : std::uint16_t {
   kBlockNormalizes,       ///< carry-save plane flushes (block_flush)
   kBlockFlushedDeposits,  ///< deferred deposits folded per flush (depth sum)
   kBlockScalarFallbacks,  ///< bound-violation deposits sent down the scalar path
+  // core — the vectorized (SIMD) batch-deposit path over the block planes.
+  kBlockSimdBatches,      ///< full-width batches deposited in vector lanes
+  kBlockSimdDeposits,     ///< doubles deposited by the vector path
+  kBlockSimdPunts,        ///< full-width batches punted to the scalar deposit
   // core — sticky status raise counts, one counter per HpStatus bit.
   kStatusConvertOverflow,
   kStatusAddOverflow,

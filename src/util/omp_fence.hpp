@@ -1,0 +1,71 @@
+// OmpRegionFence — an instrumented end-of-region barrier for OpenMP teams.
+//
+// libgomp ships without ThreadSanitizer instrumentation, so the implicit
+// barrier that ends a `#pragma omp parallel` region is invisible to TSan:
+// it orders the workers' last reads before the master's return, but TSan
+// never sees the synchronization edge. When the master then reuses or frees
+// region-shared memory (stack vectors of slices/partials, a reduction
+// temporary freed by a destructor), TSan reports the workers' in-region
+// reads as racing the master's post-region writes. The worker side of those
+// reports frequently shows "[failed to restore the stack]", so a
+// `race:gomp_*` suppression cannot match them — the reports must be
+// prevented, not suppressed.
+//
+// The fence rebuilds the ordering edge out of instrumented atomics:
+//
+//   OmpRegionFence fence;
+//   #pragma omp parallel
+//   {
+//     ... region body (or: #pragma omp for [reduction] ... ) ...
+//     fence.arrive();          // LAST statement of the region body
+//   }
+//   fence.wait(team_size);     // first statement after the region
+//
+// Each worker's release increment happens after everything it did in the
+// region; the master's acquire spin observes all of them before any
+// post-region reuse, so TSan sees a happens-before path from every
+// in-region access to the master's continuation. Under combined
+// `parallel for reduction` pragmas, split the construct (`parallel` +
+// `for reduction`) so arrive() has somewhere to live after the loop's
+// implicit barrier.
+//
+// Cost: one relaxed-backoff spin per region (regions here are
+// benchmark-scale, microseconds to milliseconds), zero per-element work.
+// This is a correctness-of-observability device, not a synchronization
+// primitive the algorithm needs — the algorithm's ordering still comes
+// from OpenMP's own barrier.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace hpsum::util {
+
+class OmpRegionFence {
+ public:
+  OmpRegionFence() noexcept = default;
+  OmpRegionFence(const OmpRegionFence&) = delete;
+  OmpRegionFence& operator=(const OmpRegionFence&) = delete;
+
+  /// Worker side: call as the LAST statement inside the parallel region.
+  /// The release pairs with wait()'s acquire, publishing every prior
+  /// in-region access to the thread that continues after the region.
+  void arrive() noexcept { done_.fetch_add(1, std::memory_order_release); }
+
+  /// Master side: call immediately after the region, with the number of
+  /// threads that executed it. Spins (the workers are already at or past
+  /// the region's own barrier, so the wait is bounded by instrumentation
+  /// skew, not by the region's work) and resets for reuse.
+  void wait(int team_size) noexcept {
+    const auto expected = static_cast<unsigned>(team_size);
+    while (done_.load(std::memory_order_acquire) < expected) {
+      std::this_thread::yield();
+    }
+    done_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<unsigned> done_{0};
+};
+
+}  // namespace hpsum::util

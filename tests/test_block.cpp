@@ -21,6 +21,7 @@
 #include "core/hp_dyn.hpp"
 #include "core/hp_fixed.hpp"
 #include "core/hp_kernel.hpp"
+#include "core/hp_kernel_simd.hpp"
 #include "core/reduce.hpp"
 #include "util/prng.hpp"
 
@@ -303,10 +304,175 @@ TEST(BlockApi, ReduceHpRoutesThroughBlockPath) {
 }
 
 // ---------------------------------------------------------------------------
+// The SIMD deposit path, tested at kernel level: kernel::simd::accumulate
+// (whatever level the build dispatches — avx2, generic, or the off-level
+// scalar loop) against the per-element kernel::block_add reference, from
+// the same starting limbs, sharing bound/pending/planes across arbitrary
+// span splits. Limbs and sticky status must match bit for bit; the interior
+// bound_exp may differ (the batched bound is deliberately conservative),
+// so it is not asserted.
+// ---------------------------------------------------------------------------
+
+/// Differential: simd::accumulate over `xs` — split into subspans at
+/// `splits` (sizes deliberately not multiples of the batch width, modelling
+/// the dot/asum chunk staging's partial final chunk) — vs the scalar
+/// block_add loop. One flush at the end of each side.
+void expect_simd_matches_block_add(const HpConfig& cfg,
+                                   const std::vector<Limb>& start,
+                                   const std::vector<double>& xs,
+                                   const std::vector<std::size_t>& splits) {
+  const auto np = static_cast<std::size_t>(cfg.n) + 1;
+  // Scalar reference: per-element block_add, flush once.
+  std::vector<Limb> scalar = start;
+  std::vector<kernel::U128> spos(np, 0);
+  std::vector<kernel::U128> sneg(np, 0);
+  int sbound = kernel::block_bound_exp(scalar.data(), cfg.n);
+  int spend = 0;
+  HpStatus sst = HpStatus::kOk;
+  for (const double x : xs) {
+    sst |= kernel::block_add(scalar.data(), spos.data(), sneg.data(), cfg.n,
+                             cfg.k, sbound, spend, x);
+  }
+  kernel::block_flush(scalar.data(), spos.data(), sneg.data(), cfg.n, sbound,
+                      spend);
+  // SIMD path: subspans share accumulator state, flush once at the end.
+  std::vector<Limb> simd = start;
+  std::vector<kernel::U128> vpos(np, 0);
+  std::vector<kernel::U128> vneg(np, 0);
+  int vbound = kernel::block_bound_exp(simd.data(), cfg.n);
+  int vpend = 0;
+  HpStatus vst = HpStatus::kOk;
+  const std::span<const double> all(xs.data(), xs.size());
+  std::size_t at = 0;
+  for (const std::size_t len : splits) {
+    vst |= kernel::simd::accumulate(simd.data(), vpos.data(), vneg.data(),
+                                    cfg.n, cfg.k, vbound, vpend,
+                                    all.subspan(at, len));
+    at += len;
+  }
+  vst |= kernel::simd::accumulate(simd.data(), vpos.data(), vneg.data(),
+                                  cfg.n, cfg.k, vbound, vpend,
+                                  all.subspan(at));
+  kernel::block_flush(simd.data(), vpos.data(), vneg.data(), cfg.n, vbound,
+                      vpend);
+  ASSERT_EQ(scalar, simd) << "simd limb mismatch: n=" << cfg.n
+                          << " k=" << cfg.k << " len=" << xs.size()
+                          << " level="
+                          << kernel::simd::level_name(
+                                 kernel::simd::active_level());
+  ASSERT_EQ(sst, vst) << "simd status mismatch: n=" << cfg.n << " k=" << cfg.k
+                      << " scalar=" << to_string(sst)
+                      << " simd=" << to_string(vst);
+}
+
+TEST(BlockSimd, DifferentialFuzzAllSmallFormats) {
+  util::Xoshiro256ss rng(0x51D0F422ull);
+  for (int n = 1; n <= 16; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      const HpConfig cfg{n, k};
+      for (int trial = 0; trial < 12; ++trial) {
+        const auto start = adversarial_acc(rng, cfg);
+        // Lengths that cover empty, sub-batch, and multi-batch spans.
+        std::vector<double> xs(rng.bounded(50));
+        for (auto& x : xs) x = adversarial_double(rng, cfg);
+        expect_simd_matches_block_add(cfg, start, xs, {});
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(BlockSimd, DenormalAndSignedZeroRuns) {
+  // Whole batches of slow lanes: denormals (be = 0, outside the fast
+  // window) and +-0.0 runs must punt every batch to the scalar kernel and
+  // still match it exactly — including the kInexact from sub-lsb denormals.
+  const HpConfig cfg{6, 3};
+  const std::vector<Limb> start(6, 0);
+  std::vector<double> xs;
+  util::Xoshiro256ss rng(0xDE404);
+  for (int i = 0; i < 64; ++i) {
+    xs.push_back(std::bit_cast<double>(
+        (static_cast<std::uint64_t>(i & 1) << 63) | (rng.next() >> 12)));
+  }
+  for (int i = 0; i < 32; ++i) xs.push_back((i & 1) != 0 ? -0.0 : 0.0);
+  // A mixed tail: fast lanes interleaved with slow ones inside one batch.
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back((i % 3 == 0) ? 0.0 : std::ldexp(1.0 + rng.uniform01(), -8));
+  }
+  expect_simd_matches_block_add(cfg, start, xs, {});
+}
+
+TEST(BlockSimd, PartialFinalChunksAcrossCalls) {
+  // The chunk-staging regression (dot_hp / rblas::asum stage 256-element
+  // chunks and flush a partial final chunk): splitting one stream into
+  // subspans whose sizes are NOT multiples of the batch width — including
+  // size-1 and size-17 fragments — must leave limbs and status identical
+  // to the unsplit scalar loop, because bound/pending persist across calls
+  // and the tail elements go through the scalar kernel.
+  util::Xoshiro256ss rng(0xC4A1B5ull);
+  const HpConfig cfg{6, 3};
+  const std::vector<Limb> start(6, 0);
+  std::vector<double> xs(256 + 103);  // one full staging chunk + a partial
+  for (auto& x : xs) x = adversarial_double(rng, cfg);
+  expect_simd_matches_block_add(cfg, start, xs, {256});        // staged split
+  expect_simd_matches_block_add(cfg, start, xs, {1, 17, 3});   // ragged splits
+  expect_simd_matches_block_add(cfg, start, xs, {7, 9, 11, 13, 2});
+  for (std::size_t len = 0; len <= 17; ++len) {  // every sub-batch tail size
+    expect_simd_matches_block_add(
+        cfg, start, std::vector<double>(xs.begin(), xs.begin() + len), {});
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(BlockSimd, UniformAndStraddlingBatches) {
+  const HpConfig cfg{6, 3};
+  const std::vector<Limb> start(6, 0);
+  // Uniform batch: all eight lanes land in the same limb pair.
+  std::vector<double> uniform(16, 1.5);
+  for (std::size_t i = 0; i < uniform.size(); ++i) {
+    uniform[i] = ((i & 1) != 0 ? -1.0 : 1.0) * (1.0 + 0.125 * double(i));
+  }
+  expect_simd_matches_block_add(cfg, start, uniform, {});
+  // Straddling batch: lanes alternate across limb seams (exponents 64 apart)
+  // so the per-lane deposit path runs.
+  std::vector<double> straddle;
+  for (int i = 0; i < 24; ++i) {
+    straddle.push_back(std::ldexp((i % 2 != 0) ? -1.0 : 1.0, (i % 3) * 64));
+  }
+  expect_simd_matches_block_add(cfg, start, straddle, {});
+  // Bound-pressure batch: a nearly-full accumulator forces the batch gate's
+  // nb <= 64n-1 check to fail and the whole batch to punt.
+  std::vector<Limb> nearly_full(6, 0);
+  nearly_full[0] = ~Limb{0} >> 1;
+  for (std::size_t i = 1; i < nearly_full.size(); ++i) {
+    nearly_full[i] = ~Limb{0};
+  }
+  expect_simd_matches_block_add(cfg, nearly_full,
+                                std::vector<double>(16, 1.0), {});
+}
+
+TEST(BlockSimd, DispatchLevelIsCoherent) {
+  const auto level = kernel::simd::active_level();
+#if HPSUM_SIMD_DISPATCH
+  // A dispatching build must have resolved to a real lane implementation.
+  EXPECT_NE(level, kernel::simd::Level::kOff);
+#else
+  // HPSUM_SIMD=OFF pins the off level: block_accumulate never leaves the
+  // scalar loop, and direct simd::accumulate calls take the scalar branch.
+  EXPECT_EQ(level, kernel::simd::Level::kOff);
+#endif
+  EXPECT_STRNE(kernel::simd::level_name(level), "unknown");
+}
+
+// ---------------------------------------------------------------------------
 // Compile-time proofs: the block path is constexpr end to end, and its
 // bit-identity to the scalar kernel holds inside a constant expression —
 // the strongest "no UB, no library call, same bits" statement the type
-// system can make.
+// system can make. With HPSUM_SIMD_DISPATCH on, these same proofs also pin
+// the dispatch guard: block_accumulate consults std::is_constant_evaluated
+// before calling the (non-constexpr) SIMD entry point, so a constant
+// expression takes the scalar loop — if the guard ever broke, every
+// static_assert below would fail to compile.
 // ---------------------------------------------------------------------------
 
 constexpr bool block_matches_scalar_at_compile_time() {
@@ -354,6 +520,32 @@ constexpr bool block_sticky_inexact_at_compile_time() {
 }
 static_assert(block_sticky_inexact_at_compile_time(),
               "conversion flags must stay sticky across block deposits");
+
+constexpr bool block_multibatch_constexpr_dispatch() {
+  // 20 elements: at runtime this span would cover two full SIMD batches
+  // plus a tail, so this proof specifically pins the is_constant_evaluated
+  // guard in block_accumulate — in a constant expression the whole span
+  // must flow through the scalar loop and still match it.
+  double xs[20] = {};
+  for (int i = 0; i < 20; ++i) {
+    xs[i] = (i % 2 != 0 ? -1.0 : 1.0) * (1.0 + 0.25 * i);
+  }
+  BlockAccumulator<6, 3> blk;
+  blk.accumulate(std::span<const double>(xs, 20));
+  Limb scalar[6] = {};
+  HpStatus st = HpStatus::kOk;
+  for (const double x : xs) {
+    st |= detail::scatter_add_double(scalar, 6, 3, x);
+  }
+  const auto limbs = blk.limbs();
+  for (int i = 0; i < 6; ++i) {
+    if (limbs[static_cast<std::size_t>(i)] != scalar[i]) return false;
+  }
+  return blk.status() == st;
+}
+static_assert(block_multibatch_constexpr_dispatch(),
+              "block_accumulate must stay constexpr-evaluable (and scalar-"
+              "identical) for batch-sized spans under SIMD dispatch");
 
 }  // namespace
 }  // namespace hpsum

@@ -18,6 +18,7 @@
 #include "mpisim/hp_ops.hpp"
 #include "mpisim/mpisim.hpp"
 #include "phisim/phisim.hpp"
+#include "util/omp_fence.hpp"
 #include "workload/workload.hpp"
 
 namespace hpsum {
@@ -55,13 +56,20 @@ HpFixed<kN, kK> via_openmp(const std::vector<double>& xs, int pes) {
   // the full HP value for bit comparison.
   const auto slices = backends::partition(xs, pes);
   std::vector<backends::HpSum<kN, kK>> partials(static_cast<std::size_t>(pes));
+  util::OmpRegionFence fence;
+  int team = pes;
 #pragma omp parallel num_threads(pes)
   {
     const int t = omp_get_thread_num();
+    if (t == 0) team = omp_get_num_threads();
     for (const double x : slices[static_cast<std::size_t>(t)]) {
       partials[static_cast<std::size_t>(t)].accumulate(x);
     }
+    // libgomp's end-of-region barrier is not TSan-instrumented; publish the
+    // partials writes to the merge below (see util/omp_fence.hpp).
+    fence.arrive();
   }
+  fence.wait(team);
   (void)point;
   HpFixed<kN, kK> out;
   for (const auto& p : partials) out += p.hp;

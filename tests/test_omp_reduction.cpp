@@ -1,12 +1,22 @@
 // Tests for the OpenMP declare-reduction integration.
+//
+// Each reduction runs as a SPLIT construct — `parallel` wrapping a `for
+// reduction` — rather than the combined `parallel for reduction`, so the
+// region body can end with an OmpRegionFence arrive(): libgomp's implicit
+// end-of-region barrier orders the workers' reduction-combine writes before
+// the master's EXPECT reads, but is invisible to ThreadSanitizer (see
+// util/omp_fence.hpp and docs/ANALYSIS.md). The split form is semantically
+// identical to the combined pragma.
 #include "backends/omp_reduction.hpp"
 
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <cstdint>
 #include <vector>
 
 #include "core/reduce.hpp"
+#include "util/omp_fence.hpp"
 #include "workload/workload.hpp"
 
 HPSUM_DECLARE_OMP_REDUCTION(HpSum63, hpsum::HpFixed<6, 3>)
@@ -21,10 +31,18 @@ TEST(OmpReduction, MatchesSequentialBitExact) {
   for (const int threads : {1, 2, 4, 8}) {
     HpFixed<6, 3> acc;
     const auto n = static_cast<std::int64_t>(xs.size());
-#pragma omp parallel for reduction(HpSum63 : acc) num_threads(threads)
-    for (std::int64_t i = 0; i < n; ++i) {
-      acc += xs[static_cast<std::size_t>(i)];
+    util::OmpRegionFence fence;
+    int team = threads;
+#pragma omp parallel num_threads(threads)
+    {
+      if (omp_get_thread_num() == 0) team = omp_get_num_threads();
+#pragma omp for reduction(HpSum63 : acc)
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc += xs[static_cast<std::size_t>(i)];
+      }
+      fence.arrive();
     }
+    fence.wait(team);
     EXPECT_EQ(acc, ref) << "threads=" << threads;
   }
 }
@@ -33,19 +51,33 @@ TEST(OmpReduction, SchedulesDoNotChangeTheResult) {
   const auto xs = workload::cancellation_set(32768, 22);
   const auto n = static_cast<std::int64_t>(xs.size());
 
+  util::OmpRegionFence fence;
+
   HpFixed<3, 2> dynamic_sched;
-#pragma omp parallel for reduction(HpSum32 : dynamic_sched) \
-    schedule(dynamic, 64) num_threads(4)
-  for (std::int64_t i = 0; i < n; ++i) {
-    dynamic_sched += xs[static_cast<std::size_t>(i)];
+  int team = 4;
+#pragma omp parallel num_threads(4)
+  {
+    if (omp_get_thread_num() == 0) team = omp_get_num_threads();
+#pragma omp for reduction(HpSum32 : dynamic_sched) schedule(dynamic, 64)
+    for (std::int64_t i = 0; i < n; ++i) {
+      dynamic_sched += xs[static_cast<std::size_t>(i)];
+    }
+    fence.arrive();
   }
+  fence.wait(team);
 
   HpFixed<3, 2> static_sched;
-#pragma omp parallel for reduction(HpSum32 : static_sched) \
-    schedule(static, 1) num_threads(3)
-  for (std::int64_t i = 0; i < n; ++i) {
-    static_sched += xs[static_cast<std::size_t>(i)];
+  team = 3;
+#pragma omp parallel num_threads(3)
+  {
+    if (omp_get_thread_num() == 0) team = omp_get_num_threads();
+#pragma omp for reduction(HpSum32 : static_sched) schedule(static, 1)
+    for (std::int64_t i = 0; i < n; ++i) {
+      static_sched += xs[static_cast<std::size_t>(i)];
+    }
+    fence.arrive();
   }
+  fence.wait(team);
 
   EXPECT_EQ(dynamic_sched, static_sched);
   EXPECT_TRUE(dynamic_sched.is_zero());  // the cancellation oracle
@@ -58,10 +90,18 @@ TEST(OmpReduction, NonzeroInitialValueEntersOnce) {
   for (const int threads : {1, 3, 8}) {
     HpFixed<6, 3> acc(100.0);
     const auto n = static_cast<std::int64_t>(xs.size());
-#pragma omp parallel for reduction(HpSum63 : acc) num_threads(threads)
-    for (std::int64_t i = 0; i < n; ++i) {
-      acc += xs[static_cast<std::size_t>(i)];
+    util::OmpRegionFence fence;
+    int team = threads;
+#pragma omp parallel num_threads(threads)
+    {
+      if (omp_get_thread_num() == 0) team = omp_get_num_threads();
+#pragma omp for reduction(HpSum63 : acc)
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc += xs[static_cast<std::size_t>(i)];
+      }
+      fence.arrive();
     }
+    fence.wait(team);
     EXPECT_EQ(acc.to_double(), 600.0) << "threads=" << threads;
   }
 }

@@ -15,6 +15,7 @@
 #include "core/hp_atomic.hpp"
 #include "core/hp_fixed.hpp"
 #include "hallberg/hallberg_atomic.hpp"
+#include "util/omp_fence.hpp"
 #include "util/prng.hpp"
 
 namespace {
@@ -122,10 +123,20 @@ TEST(SanitizerConcurrency, OmpDeclaredReductionBitExact) {
 
   HpFixed<kN, kK> acc;
   const int n = static_cast<int>(xs.size());
-#pragma omp parallel for reduction(StressHpSum : acc) num_threads(kThreads)
-  for (int i = 0; i < n; ++i) {
-    acc += xs[static_cast<std::size_t>(i)];
+  // Split construct so the region ends with a TSan-visible fence; libgomp's
+  // own end-of-region barrier is uninstrumented (see util/omp_fence.hpp).
+  hpsum::util::OmpRegionFence fence;
+  int team = kThreads;
+#pragma omp parallel num_threads(kThreads)
+  {
+    if (omp_get_thread_num() == 0) team = omp_get_num_threads();
+#pragma omp for reduction(StressHpSum : acc)
+    for (int i = 0; i < n; ++i) {
+      acc += xs[static_cast<std::size_t>(i)];
+    }
+    fence.arrive();
   }
+  fence.wait(team);
   EXPECT_EQ(acc, serial);
 }
 

@@ -10,7 +10,7 @@ fresh BENCH_scatter.json and compares it against the checked-in baseline
 (bench/BENCH_scatter.json):
 
   * every stream's speedup (convert+add ns / scatter ns) must be within
-    --tolerance (default 25%) of the baseline speedup, and
+    --tolerance of the baseline speedup, and
   * min_speedup must clear --floor (default 2.0x, the acceptance bar for
     HP(6,3)).
 
@@ -20,15 +20,48 @@ bench/BENCH_block.json:
   * the gate stream's speedup (mixed-sign: the paper's workload, where the
     scalar path's sign-dependent carry/borrow branch mispredicts) must be
     within --tolerance of the baseline and clear --block-floor (default
-    1.5x). Same-sign streams are the scalar path's branch-predictor best
-    case and are expected to land near parity, so they are reported but
-    not gated.
+    2.5x, the SIMD deposit path's acceptance bar; scalar-only builds gate
+    at the pre-SIMD 1.5x via the flag), and
+  * samesign_min_speedup (the worse of the all-positive / all-negative
+    streams) must clear --block-samesign-floor (default 1.3x — the SIMD
+    path's bar on the scalar kernel's branch-predictor best case; pass 0
+    on scalar-only builds, where same-sign parity is expected).
+
+Noise control: each bench binary is run --runs times (default 3) and each
+stream's MEDIAN speedup is gated — a single descheduled run or turbo
+transition cannot fail the gate or inflate a new baseline. The medianized
+document (per stream: the run with the median speedup; aggregates
+recomputed) is what gets written to --out / --block-out.
+
+Tolerance: --tolerance (default 0.25) is the allowed fractional drop of a
+stream's speedup below its checked-in baseline. 25% is deliberately loose:
+the compared quantity is already a same-host ratio, so the residual noise
+is microarchitectural (frequency scaling, cache/TLB state, co-tenancy on
+shared CI runners), which empirically stays within ~10-15% for these
+kernels at the smoke size; 25% keeps false-fail risk negligible while
+still catching any real regression of the "accidentally disabled the fast
+path" magnitude (2x+). The hard floors, not the tolerance, are the
+acceptance bars.
+
+Baselines record which SIMD level produced them (the "simd" field of the
+block document). When the fresh measurement's level differs from the
+baseline's — e.g. a HPSUM_SIMD=OFF build gated against the default SIMD
+baseline — the baseline comparison is skipped for the block gate (the
+ratio shift is the configuration, not a regression) and only the floors
+apply.
+
+--selftest runs an offline failure-injection check: synthetic baseline and
+regressed documents are pushed through the same gate functions, asserting
+that an injected slowdown FAILS the gate and that the failure message
+names the regressed stream. Run it in CI before the real gates so a bug
+that silently turns the gate into a no-op cannot land.
 
 Exit status is 0 on pass, 1 on regression, 2 on usage/environment errors.
 Schema notes live in EXPERIMENTS.md.
 """
 
 import argparse
+import copy
 import json
 import pathlib
 import subprocess
@@ -43,20 +76,58 @@ def load(path, bench_name):
     return doc
 
 
-def run_bench(build_dir, name, n, out):
-    """Runs a bench binary with --json, returns 2-style error or None."""
+def medianize(docs):
+    """Collapses per-run documents into one: for each stream, keep the run
+    whose speedup is the median (so ns fields stay mutually consistent),
+    then recompute the aggregate fields from the surviving streams."""
+    out = copy.deepcopy(docs[0])
+    by_name = {}
+    for doc in docs:
+        for s in doc["streams"]:
+            by_name.setdefault(s["stream"], []).append(s)
+    streams = []
+    for s in out["streams"]:
+        runs = sorted(by_name[s["stream"]], key=lambda r: r["speedup"])
+        streams.append(runs[len(runs) // 2])  # median by speedup
+    out["streams"] = streams
+    if "min_speedup" in out:
+        out["min_speedup"] = min(s["speedup"] for s in streams)
+    gate = out.get("gate_stream")
+    if gate is not None:
+        for s in streams:
+            if s["stream"] == gate:
+                out["gate_speedup"] = s["speedup"]
+        others = [s["speedup"] for s in streams if s["stream"] != gate]
+        if "samesign_min_speedup" in out and others:
+            out["samesign_min_speedup"] = min(others)
+    return out
+
+
+def run_bench(build_dir, name, bench_name, n, out, runs):
+    """Runs a bench binary `runs` times, writes the medianized document to
+    `out`, and returns it (None on environment errors)."""
     bench = pathlib.Path(build_dir) / "bench" / name
     if not bench.exists():
         print(f"bench_smoke: {bench} not built", file=sys.stderr)
         return None
-    cmd = [str(bench), f"--n={n}", f"--json={out}"]
-    print("+", " ".join(cmd))
-    proc = subprocess.run(cmd)
-    if proc.returncode != 0:
-        print(f"bench_smoke: {bench} exited {proc.returncode}",
-              file=sys.stderr)
-        return None
-    return bench
+    docs = []
+    for r in range(runs):
+        run_out = f"{out}.run{r}" if runs > 1 else out
+        cmd = [str(bench), f"--n={n}", f"--json={run_out}"]
+        print("+", " ".join(cmd))
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"bench_smoke: {bench} exited {proc.returncode}",
+                  file=sys.stderr)
+            return None
+        docs.append(load(run_out, bench_name))
+    doc = medianize(docs)
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    if runs > 1:
+        print(f"  median of {runs} runs -> {out}")
+    return doc
 
 
 def gate_scatter(fresh, baseline, tolerance, floor):
@@ -76,23 +147,31 @@ def gate_scatter(fresh, baseline, tolerance, floor):
               f"{verdict}")
         if s["speedup"] < limit:
             failures.append(
-                f"{name}: speedup {s['speedup']:.3f}x fell more than "
-                f"{tolerance:.0%} below baseline {base['speedup']:.3f}x")
+                f"stream '{name}': speedup {s['speedup']:.3f}x fell more "
+                f"than {tolerance:.0%} below baseline {base['speedup']:.3f}x")
     if floor > 0 and fresh["min_speedup"] < floor:
+        slowest = min(fresh["streams"], key=lambda s: s["speedup"])
         failures.append(
-            f"min_speedup {fresh['min_speedup']:.3f}x is below the "
-            f"{floor:.1f}x acceptance floor")
+            f"stream '{slowest['stream']}': min_speedup "
+            f"{fresh['min_speedup']:.3f}x is below the {floor:.1f}x "
+            f"acceptance floor")
     return failures
 
 
-def gate_block(fresh, baseline, tolerance, floor):
-    """Only the gate stream (mixed) is gated; the rest is informational."""
+def gate_block(fresh, baseline, tolerance, floor, samesign_floor):
+    """Mixed stream against baseline + floor; same-sign streams against
+    their own floor (SIMD builds). Baseline ratios are skipped when the
+    two documents were measured at different SIMD levels."""
     failures = []
     gate = fresh.get("gate_stream", "mixed")
+    comparable = fresh.get("simd") == baseline.get("simd")
+    if not comparable:
+        print(f"  note: fresh simd level {fresh.get('simd')!r} != baseline "
+              f"{baseline.get('simd')!r}; gating floors only")
     base_by_stream = {s["stream"]: s for s in baseline["streams"]}
     for s in fresh["streams"]:
         name = s["stream"]
-        gated = name == gate
+        gated = name == gate and comparable
         base = base_by_stream.get(name)
         if base is None:
             if gated:
@@ -105,13 +184,120 @@ def gate_block(fresh, baseline, tolerance, floor):
               f"(baseline {base['speedup']:6.3f}x)  {verdict}")
         if gated and s["speedup"] < limit:
             failures.append(
-                f"{name}: speedup {s['speedup']:.3f}x fell more than "
-                f"{tolerance:.0%} below baseline {base['speedup']:.3f}x")
+                f"stream '{name}': speedup {s['speedup']:.3f}x fell more "
+                f"than {tolerance:.0%} below baseline {base['speedup']:.3f}x")
     if floor > 0 and fresh["gate_speedup"] < floor:
         failures.append(
-            f"gate_speedup {fresh['gate_speedup']:.3f}x ({gate} stream) is "
+            f"stream '{gate}': gate_speedup {fresh['gate_speedup']:.3f}x is "
             f"below the {floor:.1f}x acceptance floor")
+    samesign = fresh.get("samesign_min_speedup")
+    if samesign_floor > 0 and samesign is not None and samesign < samesign_floor:
+        slowest = min((s for s in fresh["streams"] if s["stream"] != gate),
+                      key=lambda s: s["speedup"])
+        failures.append(
+            f"stream '{slowest['stream']}': samesign_min_speedup "
+            f"{samesign:.3f}x is below the {samesign_floor:.1f}x same-sign "
+            f"floor")
     return failures
+
+
+def _fake_block_doc(speedups, simd="avx2"):
+    """A synthetic ablate_block document with the given stream speedups."""
+    streams = [{"stream": name, "block_ns_per_add": 10.0 / s,
+                "scalar_ns_per_add": 10.0, "speedup": s}
+               for name, s in speedups.items()]
+    return {
+        "bench": "ablate_block",
+        "format": {"n": 6, "k": 3},
+        "simd": simd,
+        "stream_size": 1000,
+        "streams": streams,
+        "gate_stream": "mixed",
+        "gate_speedup": speedups["mixed"],
+        "samesign_min_speedup": min(s for n, s in speedups.items()
+                                    if n != "mixed"),
+        "min_speedup": min(speedups.values()),
+    }
+
+
+def selftest(tolerance):
+    """Failure injection: a synthetic slowdown must FAIL the gates, and the
+    failure message must name the regressed stream. Catches gate-logic bugs
+    (inverted comparison, stream filter that skips everything) that would
+    otherwise turn the smoke job into a silent no-op."""
+    base = _fake_block_doc({"all-positive": 2.0, "all-negative": 2.0,
+                            "mixed": 3.0})
+    ok = 0
+
+    def check(label, failures, must_name):
+        nonlocal ok
+        hit = any(must_name in f for f in failures)
+        print(f"  selftest [{label}]: "
+              f"{'PASS' if failures and hit else 'FAIL'}"
+              f" ({len(failures)} failure(s))")
+        for f in failures:
+            print(f"    - {f}")
+        ok += 1 if failures and hit else 0
+
+    # 1. Gate-stream slowdown beyond tolerance must fail and name "mixed".
+    slow = _fake_block_doc({"all-positive": 2.0, "all-negative": 2.0,
+                            "mixed": 3.0 * (1.0 - tolerance) * 0.9})
+    check("gate-stream slowdown",
+          gate_block(slow, base, tolerance, 0.0, 0.0), "'mixed'")
+
+    # 2. Floor violation must fail and name the gate stream.
+    low = _fake_block_doc({"all-positive": 2.0, "all-negative": 2.0,
+                           "mixed": 2.0})
+    check("gate floor", gate_block(low, base, tolerance, 2.5, 0.0), "'mixed'")
+
+    # 3. Same-sign floor violation must fail and name the slow stream.
+    lop = _fake_block_doc({"all-positive": 1.1, "all-negative": 2.0,
+                           "mixed": 3.0})
+    check("same-sign floor",
+          gate_block(lop, base, tolerance, 0.0, 1.3), "'all-positive'")
+
+    # 4. Mismatched SIMD levels must skip the ratio but keep the floors.
+    off = _fake_block_doc({"all-positive": 1.0, "all-negative": 1.0,
+                           "mixed": 1.2}, simd="off")
+    check("simd-off floors-only",
+          gate_block(off, base, tolerance, 1.5, 0.0), "'mixed'")
+    if gate_block(off, base, tolerance, 1.0, 0.0):
+        print("  selftest [simd-off ratio skipped]: FAIL "
+              "(ratio fired across simd levels)")
+    else:
+        print("  selftest [simd-off ratio skipped]: PASS")
+        ok += 1
+
+    # 5. An identical measurement must pass every gate.
+    clean = gate_block(copy.deepcopy(base), base, tolerance, 2.5, 1.3)
+    print(f"  selftest [clean pass]: {'FAIL' if clean else 'PASS'}")
+    ok += 0 if clean else 1
+
+    # 6. The scatter gate fails on slowdown too, naming the stream.
+    sbase = {"bench": "ablate_convert_scatter", "min_speedup": 3.0,
+             "streams": [{"stream": "uniform", "speedup": 3.0}]}
+    sslow = {"bench": "ablate_convert_scatter",
+             "min_speedup": 3.0 * (1.0 - tolerance) * 0.9,
+             "streams": [{"stream": "uniform",
+                          "speedup": 3.0 * (1.0 - tolerance) * 0.9}]}
+    check("scatter slowdown",
+          gate_scatter(sslow, sbase, tolerance, 0.0), "'uniform'")
+
+    # 7. Medianizing picks the middle run, not an outlier.
+    runs = [_fake_block_doc({"all-positive": s, "all-negative": 2.0,
+                             "mixed": 3.0}) for s in (0.5, 2.0, 9.9)]
+    med = medianize(runs)
+    med_ok = (med["samesign_min_speedup"] == 2.0 and
+              med["gate_speedup"] == 3.0)
+    print(f"  selftest [median-of-3]: {'PASS' if med_ok else 'FAIL'}")
+    ok += 1 if med_ok else 0
+
+    total = 8
+    if ok != total:
+        print(f"bench_smoke --selftest: FAIL ({ok}/{total})", file=sys.stderr)
+        return 1
+    print(f"bench_smoke --selftest: PASS ({ok}/{total})")
+    return 0
 
 
 def main():
@@ -129,31 +315,57 @@ def main():
                     help="where to write the fresh block measurement")
     ap.add_argument("--n", type=int, default=200_000,
                     help="summands per stream (small fixed smoke size)")
+    ap.add_argument("--runs", type=int, default=3,
+                    help="repetitions per bench; medians are gated")
     ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional speedup regression vs baseline")
+                    help="allowed fractional speedup regression vs baseline "
+                         "(see the module docstring for why 25%%)")
     ap.add_argument("--floor", type=float, default=2.0,
                     help="hard minimum for scatter min_speedup (0 disables)")
-    ap.add_argument("--block-floor", type=float, default=1.5,
+    ap.add_argument("--block-floor", type=float, default=2.5,
                     help="hard minimum for the block gate stream's speedup "
-                         "(0 disables)")
+                         "(0 disables; use 1.5 on HPSUM_SIMD=OFF builds)")
+    ap.add_argument("--block-samesign-floor", type=float, default=1.3,
+                    help="hard minimum for the worse same-sign block stream "
+                         "(0 disables; use 0 on HPSUM_SIMD=OFF builds)")
+    ap.add_argument("--skip-scatter", action="store_true",
+                    help="gate only the block ablation (used by the "
+                         "HPSUM_SIMD=OFF CI pass, which only rebuilds "
+                         "ablate_block)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the offline failure-injection selftest and exit")
     args = ap.parse_args()
+
+    if args.selftest:
+        return selftest(args.tolerance)
+    if args.runs < 1 or args.runs % 2 == 0:
+        print("bench_smoke: --runs must be a positive odd number",
+              file=sys.stderr)
+        return 2
 
     failures = []
 
-    print("scatter gate (ablate_convert):")
-    if run_bench(args.build_dir, "ablate_convert", args.n, args.out) is None:
-        return 2
-    failures += gate_scatter(load(args.out, "ablate_convert_scatter"),
-                             load(args.baseline, "ablate_convert_scatter"),
-                             args.tolerance, args.floor)
+    if args.skip_scatter:
+        print("scatter gate: skipped (--skip-scatter)")
+    else:
+        print("scatter gate (ablate_convert):")
+        fresh = run_bench(args.build_dir, "ablate_convert",
+                          "ablate_convert_scatter", args.n, args.out,
+                          args.runs)
+        if fresh is None:
+            return 2
+        failures += gate_scatter(fresh, load(args.baseline,
+                                             "ablate_convert_scatter"),
+                                 args.tolerance, args.floor)
 
     print("block gate (ablate_block):")
-    if run_bench(args.build_dir, "ablate_block", args.n,
-                 args.block_out) is None:
+    fresh = run_bench(args.build_dir, "ablate_block", "ablate_block",
+                      args.n, args.block_out, args.runs)
+    if fresh is None:
         return 2
-    failures += gate_block(load(args.block_out, "ablate_block"),
-                           load(args.block_baseline, "ablate_block"),
-                           args.tolerance, args.block_floor)
+    failures += gate_block(fresh, load(args.block_baseline, "ablate_block"),
+                           args.tolerance, args.block_floor,
+                           args.block_samesign_floor)
 
     if failures:
         print("bench_smoke: FAIL", file=sys.stderr)
