@@ -1,0 +1,75 @@
+// Cooperative stackful fibers for the multiplexed mpisim engine
+// (docs/MPISIM.md §"Multiplexed execution"). One fiber per simulated rank,
+// many fibers per worker thread: a rank body that blocks in recv/barrier
+// yields its worker instead of parking an OS thread, which is what lets
+// mpisim::run scale to thousands of ranks on a handful of threads.
+//
+// Implementation: POSIX ucontext (makecontext/swapcontext) with the
+// sanitizer fiber-switching annotations — TSan's __tsan_switch_to_fiber
+// and ASan's __sanitizer_start/finish_switch_fiber — so the full test
+// suite keeps running under the ASan/UBSan and TSan CI jobs. A fiber is
+// resumed only from its owning worker thread; switching is invisible to
+// the code running inside (thread_locals resolve to the worker).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#if defined(__linux__) && __has_include(<ucontext.h>)
+#define HPSUM_MPISIM_HAS_FIBERS 1
+#include <ucontext.h>
+#else
+#define HPSUM_MPISIM_HAS_FIBERS 0
+#endif
+
+#if HPSUM_MPISIM_HAS_FIBERS
+
+namespace hpsum::mpisim::detail {
+
+/// A suspendable execution context with its own stack. Not thread-safe:
+/// resume() must always be called from the same (worker) thread, and
+/// yield() only from inside the running fiber.
+class Fiber {
+ public:
+  /// Creates a suspended fiber; `fn` starts on the first resume(). `fn`
+  /// must not let exceptions escape (they cannot cross a context switch).
+  Fiber(std::size_t stack_bytes, std::function<void()> fn);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs the fiber until it yields or finishes. Must not be called on a
+  /// finished fiber.
+  void resume();
+
+  /// Suspends the running fiber, returning control to its resume() caller.
+  static void yield();
+
+  /// The fiber currently running on this thread, or null.
+  [[nodiscard]] static Fiber* current() noexcept;
+
+  /// True once `fn` has returned; the fiber may not be resumed again.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  static void trampoline();
+
+  ucontext_t ctx_{};
+  ucontext_t sched_{};
+  std::unique_ptr<std::byte[]> stack_;
+  std::size_t stack_bytes_;
+  std::function<void()> fn_;
+  bool started_ = false;
+  bool finished_ = false;
+  void* tsan_fiber_ = nullptr;   ///< TSan fiber handle (null when not built)
+  void* tsan_sched_ = nullptr;   ///< TSan handle of the resuming thread
+  void* asan_sched_fake_ = nullptr;  ///< ASan fake-stack save, scheduler side
+  void* asan_fiber_fake_ = nullptr;  ///< ASan fake-stack save, fiber side
+  const void* asan_sched_bottom_ = nullptr;
+  std::size_t asan_sched_size_ = 0;
+};
+
+}  // namespace hpsum::mpisim::detail
+
+#endif  // HPSUM_MPISIM_HAS_FIBERS

@@ -6,8 +6,25 @@
 #include <vector>
 
 #include "core/hp_kernel.hpp"
+#include "mpisim/wire.hpp"
 
 namespace hpsum::mpisim {
+
+std::shared_ptr<const WireCodec> hp_sparse_codec(HpConfig cfg) {
+  validate(cfg);
+  const int n = cfg.n;
+  auto codec = std::make_shared<WireCodec>();
+  codec->name = "hp-sparse{" + std::to_string(n) + "}";
+  codec->encode = [n](const std::byte* raw, std::size_t count,
+                      std::uint8_t status) {
+    return wire::encode(raw, count, n, status);
+  };
+  codec->decode = [n](const std::byte* msg, std::size_t msg_bytes,
+                      std::byte* raw, std::size_t count) {
+    return wire::decode(msg, msg_bytes, raw, count, n);
+  };
+  return codec;
+}
 
 Datatype hp_datatype(HpConfig cfg) {
   validate(cfg);
@@ -16,7 +33,7 @@ Datatype hp_datatype(HpConfig cfg) {
       "hp{" + std::to_string(cfg.n) + "," + std::to_string(cfg.k) + "}");
 }
 
-Op hp_sum_op(HpConfig cfg) {
+Op hp_sum_op(HpConfig cfg, Wire wire) {
   validate(cfg);
   const int n = cfg.n;
   auto sticky = std::make_shared<std::atomic<std::uint8_t>>(0);
@@ -39,6 +56,7 @@ Op hp_sum_op(HpConfig cfg) {
   };
   op.name = "hp-sum";
   op.sticky_status = std::move(sticky);
+  if (wire == Wire::kSparse) op.codec = hp_sparse_codec(cfg);
   return op;
 }
 
@@ -47,11 +65,10 @@ Datatype hp_status_datatype() {
 }
 
 Op hp_status_or_op() {
-  return Op{[](std::byte* inout, const std::byte* in) {
-              *inout |= *in;
-            },
-            "hp-status-or",
-            nullptr};
+  Op op;
+  op.fn = [](std::byte* inout, const std::byte* in) { *inout |= *in; };
+  op.name = "hp-status-or";
+  return op;
 }
 
 Datatype hallberg_datatype(HallbergParams p) {
@@ -62,49 +79,67 @@ Datatype hallberg_datatype(HallbergParams p) {
 
 Op hallberg_sum_op(HallbergParams p) {
   const int n = p.n;
-  return Op{
-      [n](std::byte* inout, const std::byte* in) {
-        std::int64_t a[kMaxLimbs];
-        std::int64_t b[kMaxLimbs];
-        const std::size_t bytes =
-            static_cast<std::size_t>(n) * sizeof(std::int64_t);
-        std::memcpy(a, inout, bytes);
-        std::memcpy(b, in, bytes);
-        for (int i = 0; i < n; ++i) a[i] = detail::wrap_add_i64(a[i], b[i]);
-        std::memcpy(inout, a, bytes);
-      },
-      "hallberg-sum",
-      nullptr};
+  Op op;
+  op.fn = [n](std::byte* inout, const std::byte* in) {
+    std::int64_t a[kMaxLimbs];
+    std::int64_t b[kMaxLimbs];
+    const std::size_t bytes = static_cast<std::size_t>(n) * sizeof(std::int64_t);
+    std::memcpy(a, inout, bytes);
+    std::memcpy(b, in, bytes);
+    for (int i = 0; i < n; ++i) {
+      a[i] = hpsum::detail::wrap_add_i64(a[i], b[i]);
+    }
+    std::memcpy(inout, a, bytes);
+  };
+  op.name = "hallberg-sum";
+  return op;
 }
 
 Op f64_sum_op() {
-  return Op{
-      [](std::byte* inout, const std::byte* in) {
-        double a = 0;
-        double b = 0;
-        std::memcpy(&a, inout, sizeof a);
-        std::memcpy(&b, in, sizeof b);
-        a += b;  // hplint: allow(fp-accumulate) — the order-sensitive double baseline op
-        std::memcpy(inout, &a, sizeof a);
-      },
-      "f64-sum",
-      nullptr};
+  Op op;
+  op.fn = [](std::byte* inout, const std::byte* in) {
+    double a = 0;
+    double b = 0;
+    std::memcpy(&a, inout, sizeof a);
+    std::memcpy(&b, in, sizeof b);
+    a += b;  // hplint: allow(fp-accumulate) — the order-sensitive double baseline op
+    std::memcpy(inout, &a, sizeof a);
+  };
+  op.name = "f64-sum";
+  return op;
 }
 
 HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
-                      ReduceAlgo algo) {
+                      ReduceAlgo algo, Wire wire) {
   const HpConfig cfg = local.config();
   std::vector<std::byte> send(local.byte_size());
   local.to_bytes(send.data());
   std::vector<std::byte> recv(local.byte_size());
-  const Op op = hp_sum_op(cfg);
+  Op op = hp_sum_op(cfg, wire);
+
+  if (wire == Wire::kSparse) {
+    // The codec folds the status mask into every value message, so the
+    // deposit-phase flags ride along (seed_status) and one reduction moves
+    // both limbs and status; the root's Op mask ends up as the global OR.
+    op.seed_status = static_cast<std::uint8_t>(local.status());
+    comm.reduce(send.data(), recv.data(), 1, hp_datatype(cfg), op, root, algo);
+    HpDyn out(cfg);
+    if (comm.rank() == root) {
+      out.from_bytes(recv.data());
+      out.or_status(static_cast<HpStatus>(op.observed_status()));
+    } else {
+      out = local;
+    }
+    return out;
+  }
+
   comm.reduce(send.data(), recv.data(), 1, hp_datatype(cfg), op, root, algo);
 
-  // The wire format carries limbs only, and combine steps run on whichever
-  // rank the algorithm places them on — so the status masks have to be
-  // reduced too (a 1-byte sticky OR) or a kAddOverflow seen by an interior
-  // tree rank would vanish. This is the order-invariance contract's "no
-  // silently dropped flag" rule applied to the network.
+  // The raw wire format carries limbs only, and combine steps run on
+  // whichever rank the algorithm places them on — so the status masks have
+  // to be reduced too (a 1-byte sticky OR) or a kAddOverflow seen by an
+  // interior tree rank would vanish. This is the order-invariance
+  // contract's "no silently dropped flag" rule applied to the network.
   std::byte st_send{static_cast<std::uint8_t>(
       static_cast<std::uint8_t>(local.status()) | op.observed_status())};
   std::byte st_recv{0};
@@ -118,6 +153,34 @@ HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
   } else {
     out = local;
   }
+  return out;
+}
+
+HpDyn allreduce_hp_value(Comm& comm, const HpDyn& local, ReduceAlgo algo,
+                         Wire wire) {
+  const HpConfig cfg = local.config();
+  std::vector<std::byte> send(local.byte_size());
+  local.to_bytes(send.data());
+  std::vector<std::byte> recv(local.byte_size());
+  Op op = hp_sum_op(cfg, wire);
+
+  HpDyn out(cfg);
+  if (wire == Wire::kSparse) {
+    op.seed_status = static_cast<std::uint8_t>(local.status());
+    comm.allreduce(send.data(), recv.data(), 1, hp_datatype(cfg), op, algo);
+    out.from_bytes(recv.data());
+    out.or_status(static_cast<HpStatus>(op.observed_status()));
+    return out;
+  }
+
+  comm.allreduce(send.data(), recv.data(), 1, hp_datatype(cfg), op, algo);
+  std::byte st_send{static_cast<std::uint8_t>(
+      static_cast<std::uint8_t>(local.status()) | op.observed_status())};
+  std::byte st_recv{0};
+  comm.allreduce(&st_send, &st_recv, 1, hp_status_datatype(),
+                 hp_status_or_op(), algo);
+  out.from_bytes(recv.data());
+  out.or_status(static_cast<HpStatus>(st_recv));
   return out;
 }
 

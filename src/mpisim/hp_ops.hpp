@@ -13,13 +13,31 @@ namespace hpsum::mpisim {
 /// Datatype describing one HP value of format `cfg` (n contiguous limbs).
 [[nodiscard]] Datatype hp_datatype(HpConfig cfg);
 
+/// What an HP reduction puts on the wire.
+enum class Wire {
+  /// The raw limb image (8n bytes per element); status needs a second,
+  /// status-only reduction (see reduce_hp_value).
+  kRaw,
+  /// The sparse limb codec (docs/FORMAT.md §"Sparse limb wire codec"):
+  /// implicit all-zero/all-ones limbs plus trimmed explicit spans, with the
+  /// status mask folded into the same message — typically a 3x+ wire cut
+  /// and no second reduction.
+  kSparse
+};
+
+/// The sparse limb WireCodec for HP format `cfg`, for attaching to custom
+/// Ops (hp_sum_op(cfg, Wire::kSparse) does it for you).
+[[nodiscard]] std::shared_ptr<const WireCodec> hp_sparse_codec(HpConfig cfg);
+
 /// Element-wise HP addition op (exact, order-invariant). The returned Op
 /// tracks combine-step overflow in Op::sticky_status instead of dropping
 /// it; reduce_hp_value shows how to gather those flags across ranks. The
 /// mask is scoped to one reduction (Comm::reduce resets it on entry), so an
 /// Op reused across reductions reports each reduction's conditions
-/// independently.
-[[nodiscard]] Op hp_sum_op(HpConfig cfg);
+/// independently. With Wire::kSparse the op additionally carries the
+/// sparse codec, so collectives ship encoded payloads and gossip the
+/// status mask in-band.
+[[nodiscard]] Op hp_sum_op(HpConfig cfg, Wire wire = Wire::kRaw);
 
 /// Datatype for one HpStatus mask (1 byte) and its sticky-OR combine op —
 /// reduce these alongside the values so every rank's conversion/overflow
@@ -37,8 +55,18 @@ namespace hpsum::mpisim {
 [[nodiscard]] Op f64_sum_op();
 
 /// Convenience wrapper: reduce one HP value to `root` (returns the combined
-/// value on root, the local value elsewhere).
+/// value on root, the local value elsewhere). The root's result carries the
+/// OR of every rank's status mask. Wire::kRaw issues a second status-only
+/// reduction; Wire::kSparse folds the mask into the value messages and
+/// reduces exactly once.
 [[nodiscard]] HpDyn reduce_hp_value(Comm& comm, const HpDyn& local, int root,
-                                    ReduceAlgo algo = ReduceAlgo::kBinomialTree);
+                                    ReduceAlgo algo = ReduceAlgo::kBinomialTree,
+                                    Wire wire = Wire::kRaw);
+
+/// Allreduce counterpart: every rank gets the combined value with the
+/// global status mask.
+[[nodiscard]] HpDyn allreduce_hp_value(
+    Comm& comm, const HpDyn& local,
+    ReduceAlgo algo = ReduceAlgo::kBinomialTree, Wire wire = Wire::kSparse);
 
 }  // namespace hpsum::mpisim

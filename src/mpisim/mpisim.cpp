@@ -1,12 +1,15 @@
 #include "mpisim/mpisim.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <exception>
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "mpisim/fiber.hpp"
 #include "trace/flight.hpp"
 #include "trace/trace.hpp"
 
@@ -14,16 +17,61 @@ namespace hpsum::mpisim {
 
 namespace {
 namespace flight = trace::flight;
+
+/// kAuto runs one jthread per rank up to here, fibers above (docs/MPISIM.md).
+constexpr int kAutoThreadLimit = 128;
+
+/// memcpy with the zero-length case allowed: empty messages and
+/// zero-count collectives hand us null/empty vector data(), which the
+/// raw memcpy contract (nonnull attributes) forbids even for n == 0.
+void copy_bytes(void* dst, const void* src, std::size_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
+
+void check_user_tag(int tag) {
+  if (tag < 0 || tag >= kUserTagLimit) {
+    throw std::invalid_argument(
+        "mpisim: user tag " + std::to_string(tag) + " outside [0, " +
+        std::to_string(kUserTagLimit) +
+        ") — tags at and above the limit are reserved for collectives");
+  }
+}
+
+/// Per-rank execution context for the multiplexed engine: which fiber runs
+/// the rank and why it is blocked. Written only by the rank's own worker
+/// thread (the fiber runs on it), so the block fields need no locking; the
+/// readiness predicates re-derive state from the runtime's locked
+/// structures.
+struct RankCtx {
+  enum class Block { kNone, kRecv, kBarrier };
+  int rank = -1;
+  Block block = Block::kNone;
+  int src = -1;
+  int tag = -1;
+  std::uint64_t barrier_gen = 0;
+#if HPSUM_MPISIM_HAS_FIBERS
+  std::unique_ptr<detail::Fiber> fiber;
+#endif
+  bool done = false;
+};
+
+/// Set by the worker scheduler around each fiber resume; null on plain
+/// rank threads — how the blocking primitives know whether to park the OS
+/// thread or yield the fiber.
+thread_local RankCtx* tl_ctx = nullptr;
+
+void fiber_yield() {
+#if HPSUM_MPISIM_HAS_FIBERS
+  detail::Fiber::yield();
+#else
+  assert(false && "fiber_yield without fiber support");
+#endif
+}
+
 }  // namespace
 
-namespace {
-/// Collective operations stamp their messages with tags at or above this
-/// base (a per-rank sequence number keeps successive collectives apart).
-/// User point-to-point tags must stay below it.
-constexpr int kCollectiveTagBase = 1 << 20;
-}  // namespace
-
-/// Shared state for one run(): mailboxes (the "network") and the barrier.
+/// Shared state for one run(): mailboxes (the "network"), the barrier, the
+/// poison latch, and run statistics.
 class Runtime {
  public:
   struct Message {
@@ -32,10 +80,61 @@ class Runtime {
     std::vector<std::byte> data;
   };
 
+  /// Worker-pool wake channel for the multiplexed engine: a worker sleeps
+  /// until its epoch moves (message for one of its ranks, barrier release,
+  /// or poison).
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;
+  };
+
   explicit Runtime(int nranks)
-      : nranks_(nranks), barrier_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {}
+      : nranks_(nranks), mailboxes_(static_cast<std::size_t>(nranks)) {}
 
   [[nodiscard]] int size() const noexcept { return nranks_; }
+
+  void init_workers(int count) {
+    workers_ = std::vector<Worker>(static_cast<std::size_t>(count));
+  }
+  [[nodiscard]] Worker& worker(int w) {
+    return workers_[static_cast<std::size_t>(w)];
+  }
+
+  [[nodiscard]] bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+
+  /// Throws RankAborted if a peer rank has failed — called on entry to
+  /// every blocking primitive so no rank can hang on a dead peer.
+  void abort_check() const {
+    if (poisoned()) throw RankAborted();
+  }
+
+  /// Records the first failure and wakes every blocked rank: mailbox CVs,
+  /// the barrier CV, and all multiplexed workers. Blocked recv/barrier
+  /// calls observe the flag and throw RankAborted.
+  void poison(std::exception_ptr err) {
+    {
+      const std::lock_guard<std::mutex> lock(err_mu_);
+      if (!first_error_) first_error_ = std::move(err);
+    }
+    poisoned_.store(true, std::memory_order_release);
+    // Lock-then-notify: taking each mutex guarantees any rank that checked
+    // the flag before we set it has already entered its wait.
+    for (Mailbox& box : mailboxes_) {
+      { const std::lock_guard<std::mutex> lock(box.mu); }
+      box.cv.notify_all();
+    }
+    { const std::lock_guard<std::mutex> lock(bar_mu_); }
+    bar_cv_.notify_all();
+    wake_all_workers();
+  }
+
+  [[nodiscard]] std::exception_ptr first_error() {
+    const std::lock_guard<std::mutex> lock(err_mu_);
+    return first_error_;
+  }
 
   /// Delivers a deep-copied message into `dest`'s mailbox.
   void post(int dest, Message msg) {
@@ -45,36 +144,143 @@ class Runtime {
       const std::lock_guard<std::mutex> lock(box.mu);
       box.queue.push_back(std::move(msg));
     }
-    box.cv.notify_all();
+    if (workers_.empty()) {
+      box.cv.notify_all();
+    } else {
+      wake_worker(dest % static_cast<int>(workers_.size()));
+    }
   }
 
   /// Blocks until a message from (source, tag) is available for `dest`,
-  /// removes and returns it.
+  /// removes and returns it. Throws RankAborted once the runtime is
+  /// poisoned (instead of waiting for a message that will never come).
   Message take(int dest, int source, int tag) {
     check_rank(dest);
     check_rank(source);
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
-    std::unique_lock<std::mutex> lock(box.mu);
-    for (;;) {
-      const auto it = std::find_if(
-          box.queue.begin(), box.queue.end(), [&](const Message& m) {
-            return m.source == source && m.tag == tag;
-          });
-      if (it != box.queue.end()) {
-        Message msg = std::move(*it);
-        box.queue.erase(it);
-        return msg;
+    RankCtx* ctx = tl_ctx;
+    if (ctx == nullptr) {
+      std::unique_lock<std::mutex> lock(box.mu);
+      for (;;) {
+        if (poisoned()) throw RankAborted();
+        if (auto msg = match(box, source, tag)) return std::move(*msg);
+        box.cv.wait(lock);
       }
-      box.cv.wait(lock);
+    }
+    for (;;) {
+      {
+        const std::lock_guard<std::mutex> lock(box.mu);
+        if (poisoned()) throw RankAborted();
+        if (auto msg = match(box, source, tag)) {
+          ctx->block = RankCtx::Block::kNone;
+          return std::move(*msg);
+        }
+        // Register the wait reason while holding the mailbox lock: a post
+        // landing after this scan bumps our worker's epoch, so the yield
+        // below cannot miss it.
+        ctx->block = RankCtx::Block::kRecv;
+        ctx->src = source;
+        ctx->tag = tag;
+      }
+      fiber_yield();
     }
   }
 
   /// Non-blocking take: returns the matching message if one is queued.
+  /// Deliberately not poison-checked (it cannot deadlock); callers that
+  /// poll in a loop must abort_check() themselves (Request::test does).
   std::optional<Message> try_take(int dest, int source, int tag) {
     check_rank(dest);
     check_rank(source);
     Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
     const std::lock_guard<std::mutex> lock(box.mu);
+    return match(box, source, tag);
+  }
+
+  /// Generation-counter barrier (std::barrier cannot be interrupted, and
+  /// the abort protocol needs to wake waiters on poison).
+  void barrier_wait() {
+    RankCtx* ctx = tl_ctx;
+    std::unique_lock<std::mutex> lock(bar_mu_);
+    if (poisoned()) throw RankAborted();
+    const std::uint64_t my_gen = bar_gen_.load(std::memory_order_relaxed);
+    if (++bar_arrived_ == nranks_) {
+      bar_arrived_ = 0;
+      bar_gen_.store(my_gen + 1, std::memory_order_release);
+      lock.unlock();
+      bar_cv_.notify_all();
+      wake_all_workers();
+      return;
+    }
+    if (ctx == nullptr) {
+      bar_cv_.wait(lock, [&] {
+        return poisoned() ||
+               bar_gen_.load(std::memory_order_relaxed) != my_gen;
+      });
+      if (bar_gen_.load(std::memory_order_relaxed) == my_gen) {
+        throw RankAborted();  // woken by poison, not release
+      }
+      return;
+    }
+    ctx->block = RankCtx::Block::kBarrier;
+    ctx->barrier_gen = my_gen;
+    lock.unlock();
+    while (bar_gen_.load(std::memory_order_acquire) == my_gen) {
+      if (poisoned()) {
+        ctx->block = RankCtx::Block::kNone;
+        throw RankAborted();
+      }
+      fiber_yield();
+    }
+    ctx->block = RankCtx::Block::kNone;
+  }
+
+  /// Multiplexed-engine readiness: may this rank's fiber make progress?
+  [[nodiscard]] bool ready(const RankCtx& c) {
+    if (poisoned()) return true;
+    switch (c.block) {
+      case RankCtx::Block::kNone:
+        return true;
+      case RankCtx::Block::kBarrier:
+        return bar_gen_.load(std::memory_order_acquire) != c.barrier_gen;
+      case RankCtx::Block::kRecv: {
+        Mailbox& box = mailboxes_[static_cast<std::size_t>(c.rank)];
+        const std::lock_guard<std::mutex> lock(box.mu);
+        return std::any_of(box.queue.begin(), box.queue.end(),
+                           [&](const Message& m) {
+                             return m.source == c.src && m.tag == c.tag;
+                           });
+      }
+    }
+    return true;
+  }
+
+  void note_message(std::size_t bytes) {
+    stat_messages_.fetch_add(1, std::memory_order_relaxed);
+    stat_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void note_wire(std::size_t raw_bytes, std::size_t encoded_bytes) {
+    stat_wire_raw_.fetch_add(raw_bytes, std::memory_order_relaxed);
+    stat_wire_encoded_.fetch_add(encoded_bytes, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] RunStats stats_snapshot() const {
+    RunStats s;
+    s.messages = stat_messages_.load(std::memory_order_relaxed);
+    s.bytes_sent = stat_bytes_.load(std::memory_order_relaxed);
+    s.wire_raw_bytes = stat_wire_raw_.load(std::memory_order_relaxed);
+    s.wire_encoded_bytes = stat_wire_encoded_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  static std::optional<Message> match(Mailbox& box, int source, int tag) {
     const auto it = std::find_if(
         box.queue.begin(), box.queue.end(), [&](const Message& m) {
           return m.source == source && m.tag == tag;
@@ -85,14 +291,20 @@ class Runtime {
     return msg;
   }
 
-  void barrier_wait() { barrier_.arrive_and_wait(); }
+  void wake_worker(int w) {
+    Worker& wk = workers_[static_cast<std::size_t>(w)];
+    {
+      const std::lock_guard<std::mutex> lock(wk.mu);
+      ++wk.epoch;
+    }
+    wk.cv.notify_all();
+  }
 
- private:
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-  };
+  void wake_all_workers() {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      wake_worker(static_cast<int>(w));
+    }
+  }
 
   void check_rank(int r) const {
     if (r < 0 || r >= nranks_) {
@@ -101,15 +313,31 @@ class Runtime {
   }
 
   int nranks_;
-  std::barrier<> barrier_;
   std::vector<Mailbox> mailboxes_;
+  std::vector<Worker> workers_;  ///< empty in threaded mode
+
+  std::mutex bar_mu_;
+  std::condition_variable bar_cv_;
+  int bar_arrived_ = 0;
+  std::atomic<std::uint64_t> bar_gen_{0};
+
+  std::atomic<bool> poisoned_{false};
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+
+  std::atomic<std::uint64_t> stat_messages_{0};
+  std::atomic<std::uint64_t> stat_bytes_{0};
+  std::atomic<std::uint64_t> stat_wire_raw_{0};
+  std::atomic<std::uint64_t> stat_wire_encoded_{0};
 };
 
 int Comm::size() const noexcept { return rt_->size(); }
 
-void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
+void Comm::send_raw(int dest, int tag, const void* buf, std::size_t bytes) {
+  rt_->abort_check();
   trace::count(trace::Counter::kMpisimMessages);
   trace::count(trace::Counter::kMpisimBytesSent, bytes);
+  rt_->note_message(bytes);
   flight::instant(
       flight::EventId::kMpiSend,
       flight::pack_pair(static_cast<std::uint64_t>(rank_),
@@ -123,7 +351,7 @@ void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
   rt_->post(dest, std::move(msg));
 }
 
-void Comm::recv(int source, int tag, void* buf, std::size_t bytes) {
+void Comm::recv_raw(int source, int tag, void* buf, std::size_t bytes) {
   Runtime::Message msg = rt_->take(rank_, source, tag);
   flight::instant(
       flight::EventId::kMpiRecv,
@@ -135,12 +363,33 @@ void Comm::recv(int source, int tag, void* buf, std::size_t bytes) {
                            std::to_string(bytes) + ", got " +
                            std::to_string(msg.data.size()) + ")");
   }
-  std::memcpy(buf, msg.data.data(), bytes);
+  copy_bytes(buf, msg.data.data(), bytes);
+}
+
+std::vector<std::byte> Comm::recv_any(int source, int tag) {
+  Runtime::Message msg = rt_->take(rank_, source, tag);
+  flight::instant(
+      flight::EventId::kMpiRecv,
+      flight::pack_pair(static_cast<std::uint64_t>(rank_),
+                        static_cast<std::uint64_t>(source)),
+      flight::pack_pair(flight::current_reduction_id(), msg.data.size()));
+  return std::move(msg.data);
+}
+
+void Comm::send(int dest, int tag, const void* buf, std::size_t bytes) {
+  check_user_tag(tag);
+  send_raw(dest, tag, buf, bytes);
+}
+
+void Comm::recv(int source, int tag, void* buf, std::size_t bytes) {
+  check_user_tag(tag);
+  recv_raw(source, tag, buf, bytes);
 }
 
 void Comm::barrier() { rt_->barrier_wait(); }
 
 Request Comm::irecv(int source, int tag, void* buf, std::size_t bytes) {
+  check_user_tag(tag);
   Request req;
   req.comm_ = this;
   req.source_ = source;
@@ -151,68 +400,109 @@ Request Comm::irecv(int source, int tag, void* buf, std::size_t bytes) {
   return req;
 }
 
+Request::~Request() {
+  assert(done_ &&
+         "destroying an incomplete mpisim::Request (wait(), test() or "
+         "cancel() it first)");
+}
+
+Request::Request(Request&& other) noexcept
+    : comm_(other.comm_),
+      source_(other.source_),
+      tag_(other.tag_),
+      buf_(other.buf_),
+      bytes_(other.bytes_),
+      done_(other.done_) {
+  other.comm_ = nullptr;
+  other.done_ = true;
+}
+
+Request& Request::operator=(Request&& other) noexcept {
+  if (this != &other) {
+    assert(done_ && "overwriting an incomplete mpisim::Request");
+    comm_ = other.comm_;
+    source_ = other.source_;
+    tag_ = other.tag_;
+    buf_ = other.buf_;
+    bytes_ = other.bytes_;
+    done_ = other.done_;
+    other.comm_ = nullptr;
+    other.done_ = true;
+  }
+  return *this;
+}
+
 void Request::wait() {
   if (done_) return;
-  comm_->recv(source_, tag_, buf_, bytes_);
+  comm_->recv_raw(source_, tag_, buf_, bytes_);
   done_ = true;
 }
 
 bool Request::test() {
   if (done_) return true;
+  comm_->rt_->abort_check();  // a poll loop must not spin on a dead peer
   auto msg = comm_->rt_->try_take(comm_->rank_, source_, tag_);
   if (!msg) return false;
   if (msg->data.size() != bytes_) {
     throw std::logic_error("mpisim: irecv size mismatch");
   }
-  std::memcpy(buf_, msg->data.data(), bytes_);
+  copy_bytes(buf_, msg->data.data(), bytes_);
   done_ = true;
   return true;
 }
 
+void Request::cancel() {
+  if (done_) return;
+  // Discard the message if it already arrived so it cannot cross-match a
+  // later receive; a message sent after this point stays in the mailbox.
+  (void)comm_->rt_->try_take(comm_->rank_, source_, tag_);
+  done_ = true;
+}
+
 void Comm::bcast(void* buf, std::size_t bytes, int root) {
-  const int tag = kCollectiveTagBase + coll_seq_++;
+  const int tag = next_collective_tag();
   if (rank_ == root) {
     for (int r = 0; r < size(); ++r) {
-      if (r != root) send(r, tag, buf, bytes);
+      if (r != root) send_raw(r, tag, buf, bytes);
     }
   } else {
-    recv(root, tag, buf, bytes);
+    recv_raw(root, tag, buf, bytes);
   }
 }
 
 void Comm::gather(const void* send_buf, std::size_t bytes_each, void* recv_buf,
                   int root) {
-  const int tag = kCollectiveTagBase + coll_seq_++;
+  const int tag = next_collective_tag();
   if (rank_ == root) {
     auto* out = static_cast<std::byte*>(recv_buf);
     for (int r = 0; r < size(); ++r) {
       std::byte* slot = out + static_cast<std::size_t>(r) * bytes_each;
       if (r == root) {
-        std::memcpy(slot, send_buf, bytes_each);
+        copy_bytes(slot, send_buf, bytes_each);
       } else {
-        recv(r, tag, slot, bytes_each);
+        recv_raw(r, tag, slot, bytes_each);
       }
     }
   } else {
-    send(root, tag, send_buf, bytes_each);
+    send_raw(root, tag, send_buf, bytes_each);
   }
 }
 
 void Comm::scatter(const void* send_buf, std::size_t bytes_each,
                    void* recv_buf, int root) {
-  const int tag = kCollectiveTagBase + coll_seq_++;
+  const int tag = next_collective_tag();
   if (rank_ == root) {
     const auto* in = static_cast<const std::byte*>(send_buf);
     for (int r = 0; r < size(); ++r) {
       const std::byte* slot = in + static_cast<std::size_t>(r) * bytes_each;
       if (r == root) {
-        std::memcpy(recv_buf, slot, bytes_each);
+        copy_bytes(recv_buf, slot, bytes_each);
       } else {
-        send(r, tag, slot, bytes_each);
+        send_raw(r, tag, slot, bytes_each);
       }
     }
   } else {
-    recv(root, tag, recv_buf, bytes_each);
+    recv_raw(root, tag, recv_buf, bytes_each);
   }
 }
 
@@ -229,72 +519,402 @@ void Comm::sendrecv(int dest, const void* send_buf, std::size_t send_bytes,
   recv(source, tag, recv_buf, recv_bytes);
 }
 
+// ---------------------------------------------------------------------------
+// Collectives: one implementation shared by Comm (identity rank map) and
+// Comm::Group (member map). Four topologies over the same codec-aware
+// transport; docs/MPISIM.md derives the schedules and the FIFO-tag
+// argument that lets a whole collective reuse a single tag.
+
+struct detail::Coll {
+  /// Largest power of two q = 2^m that fits in p, and the r = p - q excess
+  /// ranks that fold pairwise before/after the power-of-two phases.
+  struct Pow2 {
+    int q = 1;
+    int m = 0;
+    int r = 0;
+  };
+
+  static Pow2 pow2_split(int p) {
+    Pow2 s;
+    while (s.q * 2 <= p) {
+      s.q *= 2;
+      ++s.m;
+    }
+    s.r = p - s.q;
+    return s;
+  }
+
+  struct Ctx {
+    Comm& c;
+    const std::vector<int>* map;  ///< group members, or null for identity
+    int me;                       ///< my index in the collective
+    int p;                        ///< collective size
+    int tag;
+    const Datatype& dt;
+    const Op& op;
+    std::size_t count;
+    bool sparse;
+    std::vector<std::byte> scratch;  ///< recv_combine staging, lazily sized
+  };
+
+  static int real_rank(const Ctx& x, int idx) {
+    return x.map ? (*x.map)[static_cast<std::size_t>(idx)] : idx;
+  }
+
+  /// Collective index of virtual rank v in the power-of-two phase.
+  static int vreal(const Pow2& s, int v) { return v < s.r ? 2 * v : v + s.r; }
+
+  static void note_wire(Ctx& x, std::size_t raw_bytes,
+                        std::size_t encoded_bytes) {
+    trace::count(trace::Counter::kMpisimWireRawBytes, raw_bytes);
+    trace::count(trace::Counter::kMpisimWireEncodedBytes, encoded_bytes);
+    x.c.rt_->note_wire(raw_bytes, encoded_bytes);
+  }
+
+  /// Ships elements [lo, hi) of `base`. Sparse mode encodes them together
+  /// with the sender's current status mask — in-band status gossip.
+  static void send_range(Ctx& x, int to, const std::byte* base,
+                         std::size_t lo, std::size_t hi) {
+    const std::size_t raw_bytes = (hi - lo) * x.dt.size;
+    const std::byte* p = base + lo * x.dt.size;
+    if (!x.sparse) {
+      note_wire(x, raw_bytes, raw_bytes);
+      x.c.send_raw(real_rank(x, to), x.tag, p, raw_bytes);
+      return;
+    }
+    const std::vector<std::byte> msg =
+        x.op.codec->encode(p, hi - lo, x.op.observed_status());
+    note_wire(x, raw_bytes, msg.size());
+    x.c.send_raw(real_rank(x, to), x.tag, msg.data(), msg.size());
+  }
+
+  /// Receives elements [lo, hi) into `base` (no combine). Sparse mode ORs
+  /// the message's status mask into this rank's Op mask.
+  static void recv_range(Ctx& x, int from, std::byte* base, std::size_t lo,
+                         std::size_t hi) {
+    if (!x.sparse) {
+      x.c.recv_raw(real_rank(x, from), x.tag, base + lo * x.dt.size,
+                   (hi - lo) * x.dt.size);
+      return;
+    }
+    const std::vector<std::byte> msg = x.c.recv_any(real_rank(x, from), x.tag);
+    const std::uint8_t st = x.op.codec->decode(
+        msg.data(), msg.size(), base + lo * x.dt.size, hi - lo);
+    if (st != 0) {
+      x.op.sticky_status->fetch_or(st, std::memory_order_relaxed);
+    }
+  }
+
+  /// Receives elements [lo, hi) and combines them into `acc` in ascending
+  /// element order (the deterministic per-rank op order).
+  static void recv_combine(Ctx& x, int from, std::byte* acc, std::size_t lo,
+                           std::size_t hi) {
+    if (x.scratch.size() < x.count * x.dt.size) {
+      x.scratch.resize(x.count * x.dt.size);
+    }
+    recv_range(x, from, x.scratch.data(), lo, hi);
+    for (std::size_t e = lo; e < hi; ++e) {
+      x.op.fn(acc + e * x.dt.size, x.scratch.data() + e * x.dt.size);
+    }
+  }
+
+  /// Start-of-collective bookkeeping shared by reduce and allreduce.
+  static void begin(const Op& op, ReduceAlgo algo) {
+    if (op.codec && !op.sticky_status) {
+      throw std::invalid_argument(
+          "mpisim: an Op with a wire codec requires sticky_status (the "
+          "codec carries the status mask in-band)");
+    }
+    op.reset_status();
+    if (op.sticky_status && op.seed_status != 0) {
+      op.sticky_status->fetch_or(op.seed_status, std::memory_order_relaxed);
+    }
+    trace::count(trace::Counter::kMpisimReductions);
+    switch (algo) {
+      case ReduceAlgo::kLinear:
+        trace::count(trace::Counter::kMpisimAlgoLinear);
+        break;
+      case ReduceAlgo::kBinomialTree:
+        trace::count(trace::Counter::kMpisimAlgoBinomialTree);
+        break;
+      case ReduceAlgo::kRecursiveDoubling:
+        trace::count(trace::Counter::kMpisimAlgoRecDoubling);
+        break;
+      case ReduceAlgo::kRecursiveHalving:
+        trace::count(trace::Counter::kMpisimAlgoRecHalving);
+        break;
+    }
+  }
+
+  /// Pairwise pre-fold for non-power-of-two collectives: the first 2r
+  /// ranks fold odd into even, leaving q = 2^m virtual participants.
+  /// Returns this rank's virtual rank, or -1 for folded-out (odd) ranks.
+  static int fold_in(Ctx& x, std::byte* acc, const Pow2& s) {
+    if (x.me >= 2 * s.r) return x.me - s.r;
+    if (x.me % 2 == 0) {
+      recv_combine(x, x.me + 1, acc, 0, x.count);
+      return x.me / 2;
+    }
+    send_range(x, x.me - 1, acc, 0, x.count);
+    return -1;
+  }
+
+  /// Post-distribute the full result back to folded-out ranks.
+  static void fold_out(Ctx& x, std::byte* acc, const Pow2& s) {
+    if (x.me >= 2 * s.r) return;
+    if (x.me % 2 == 0) {
+      send_range(x, x.me + 1, acc, 0, x.count);
+    } else {
+      recv_range(x, x.me - 1, acc, 0, x.count);
+    }
+  }
+
+  /// Recursive-doubling butterfly: log2(q) pairwise full-buffer exchanges;
+  /// every participant ends with the complete reduction (and, in sparse
+  /// mode, the OR of every participant's status mask — hypercube gossip).
+  static void butterfly(Ctx& x, std::byte* acc) {
+    const Pow2 s = pow2_split(x.p);
+    const int vr = fold_in(x, acc, s);
+    if (vr >= 0) {
+      for (int mask = 1; mask < s.q; mask <<= 1) {
+        const int partner = vreal(s, vr ^ mask);
+        send_range(x, partner, acc, 0, x.count);
+        recv_combine(x, partner, acc, 0, x.count);
+      }
+    }
+    fold_out(x, acc, s);
+  }
+
+  /// Element range owned by virtual rank v after `level` halvings: each
+  /// round splits [lo, hi) at lo + ceil(len/2), low half to the 0-bit
+  /// side. Ranges may be empty when count < q — the (status-carrying)
+  /// empty messages still flow, keeping the schedule and gossip uniform.
+  static std::pair<std::size_t, std::size_t> vrange(std::size_t count, int m,
+                                                    int v, int level) {
+    std::size_t lo = 0;
+    std::size_t hi = count;
+    for (int i = 0; i < level; ++i) {
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      if (((v >> (m - 1 - i)) & 1) != 0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return {lo, hi};
+  }
+
+  /// Recursive-halving reduce-scatter: after round i, each virtual rank
+  /// holds the combined elements of vrange(vr, i+1). Partner order is
+  /// top bit first (q/2, q/4, ..., 1).
+  static void reduce_scatter(Ctx& x, std::byte* acc, const Pow2& s, int vr) {
+    for (int i = 0; i < s.m; ++i) {
+      const int pvr = vr ^ (s.q >> (i + 1));
+      const int partner = vreal(s, pvr);
+      const auto [plo, phi] = vrange(x.count, s.m, pvr, i + 1);
+      const auto [mlo, mhi] = vrange(x.count, s.m, vr, i + 1);
+      send_range(x, partner, acc, plo, phi);
+      recv_combine(x, partner, acc, mlo, mhi);
+    }
+  }
+
+  /// Allgather by recursive doubling of the owned range (the reverse
+  /// partner order of reduce_scatter; FIFO per (source, tag) keeps the
+  /// back-to-back same-partner messages correctly paired).
+  static void allgather_ranges(Ctx& x, std::byte* acc, const Pow2& s,
+                               int vr) {
+    for (int i = s.m - 1; i >= 0; --i) {
+      const int pvr = vr ^ (s.q >> (i + 1));
+      const int partner = vreal(s, pvr);
+      const auto [mlo, mhi] = vrange(x.count, s.m, vr, i + 1);
+      const auto [plo, phi] = vrange(x.count, s.m, pvr, i + 1);
+      send_range(x, partner, acc, mlo, mhi);
+      recv_range(x, partner, acc, plo, phi);
+    }
+  }
+
+  /// Codec-aware broadcast of a finished result (used by the reduce+bcast
+  /// allreduce shapes): in sparse mode the root's message also carries its
+  /// final — global — status mask, so every rank ends with full status.
+  static void bcast_result(Ctx& x, std::byte* buf, int root) {
+    x.tag = x.c.next_collective_tag();
+    const std::size_t raw_bytes = x.count * x.dt.size;
+    if (x.me != root) {
+      recv_range(x, root, buf, 0, x.count);
+      return;
+    }
+    if (!x.sparse) {
+      for (int g = 0; g < x.p; ++g) {
+        if (g == root) continue;
+        note_wire(x, raw_bytes, raw_bytes);
+        x.c.send_raw(real_rank(x, g), x.tag, buf, raw_bytes);
+      }
+      return;
+    }
+    const std::vector<std::byte> msg =
+        x.op.codec->encode(buf, x.count, x.op.observed_status());
+    for (int g = 0; g < x.p; ++g) {
+      if (g == root) continue;
+      note_wire(x, raw_bytes, msg.size());
+      x.c.send_raw(real_rank(x, g), x.tag, msg.data(), msg.size());
+    }
+  }
+
+  static void reduce_core(Ctx& x, const std::byte* send_buf,
+                          std::byte* recv_buf, int root, ReduceAlgo algo) {
+    const std::size_t bytes = x.count * x.dt.size;
+    switch (algo) {
+      case ReduceAlgo::kLinear: {
+        if (x.me == root) {
+          copy_bytes(recv_buf, send_buf, bytes);
+          // Deterministic order: ascending rank, regardless of arrival.
+          for (int g = 0; g < x.p; ++g) {
+            if (g == root) continue;
+            recv_combine(x, g, recv_buf, 0, x.count);
+          }
+        } else {
+          send_range(x, root, send_buf, 0, x.count);
+        }
+        return;
+      }
+      case ReduceAlgo::kBinomialTree: {
+        // log2(p) rounds of pairwise combines on root-relative ranks, the
+        // higher partner folding into the lower — a different deterministic
+        // op order than kLinear (bit-identical for HP, different rounding
+        // for doubles).
+        const int vr = (x.me - root + x.p) % x.p;
+        std::vector<std::byte> acc(bytes);
+        copy_bytes(acc.data(), send_buf, bytes);
+        for (int step = 1; step < x.p; step <<= 1) {
+          if ((vr & step) != 0) {
+            send_range(x, (vr - step + root) % x.p, acc.data(), 0, x.count);
+            break;
+          }
+          if (vr + step < x.p) {
+            recv_combine(x, (vr + step + root) % x.p, acc.data(), 0, x.count);
+          }
+        }
+        if (x.me == root) copy_bytes(recv_buf, acc.data(), bytes);
+        return;
+      }
+      case ReduceAlgo::kRecursiveDoubling: {
+        // The butterfly is inherently an allreduce; as a rooted reduce,
+        // off-root ranks simply discard their copy (topology testbed, not
+        // a message-optimal rooted reduce — see ReduceAlgo docs).
+        std::vector<std::byte> acc(bytes);
+        copy_bytes(acc.data(), send_buf, bytes);
+        butterfly(x, acc.data());
+        if (x.me == root) copy_bytes(recv_buf, acc.data(), bytes);
+        return;
+      }
+      case ReduceAlgo::kRecursiveHalving: {
+        std::vector<std::byte> acc(bytes);
+        copy_bytes(acc.data(), send_buf, bytes);
+        const Pow2 s = pow2_split(x.p);
+        const int vr = fold_in(x, acc.data(), s);
+        if (vr >= 0) reduce_scatter(x, acc.data(), s, vr);
+        // Gather the owned (fully reduced) ranges to the root. Empty
+        // ranges are skipped on both sides; the root still receives every
+        // participant's status because reduce-scatter gossip left every
+        // owner holding the global mask.
+        for (int v = 0; v < s.q; ++v) {
+          const auto [lo, hi] = vrange(x.count, s.m, v, s.m);
+          if (lo == hi) continue;
+          const int owner = vreal(s, v);
+          if (x.me == root && owner == root) {
+            copy_bytes(recv_buf + lo * x.dt.size, acc.data() + lo * x.dt.size,
+                        (hi - lo) * x.dt.size);
+          } else if (x.me == root) {
+            recv_range(x, owner, recv_buf, lo, hi);
+          } else if (x.me == owner) {
+            send_range(x, root, acc.data(), lo, hi);
+          }
+        }
+        return;
+      }
+    }
+  }
+
+  static void reduce(Comm& c, const std::vector<int>* map, int me, int p,
+                     const void* send_buf, void* recv_buf, std::size_t count,
+                     const Datatype& dt, const Op& op, int root,
+                     ReduceAlgo algo) {
+    begin(op, algo);
+    ReduceAlgo effective = algo;
+    if (count == 0 && (algo == ReduceAlgo::kRecursiveDoubling ||
+                       algo == ReduceAlgo::kRecursiveHalving)) {
+      // The element-range recursion has nothing to split; linear still
+      // moves every rank's (status-carrying) empty message to the root.
+      effective = ReduceAlgo::kLinear;
+    }
+    Ctx x{c,  map, me, p, c.next_collective_tag(), dt, op, count,
+          op.codec != nullptr, {}};
+    const flight::Span reduce_span(flight::EventId::kMpiReduce,
+                                   flight::current_reduction_id(),
+                                   count * dt.size);
+    reduce_core(x, static_cast<const std::byte*>(send_buf),
+                static_cast<std::byte*>(recv_buf), root, effective);
+  }
+
+  static void allreduce(Comm& c, const std::vector<int>* map, int me, int p,
+                        const void* send_buf, void* recv_buf,
+                        std::size_t count, const Datatype& dt, const Op& op,
+                        ReduceAlgo algo) {
+    begin(op, algo);
+    ReduceAlgo effective = algo;
+    if (count == 0 && (algo == ReduceAlgo::kRecursiveDoubling ||
+                       algo == ReduceAlgo::kRecursiveHalving)) {
+      effective = ReduceAlgo::kBinomialTree;
+    }
+    Ctx x{c,  map, me, p, c.next_collective_tag(), dt, op, count,
+          op.codec != nullptr, {}};
+    const flight::Span reduce_span(flight::EventId::kMpiReduce,
+                                   flight::current_reduction_id(),
+                                   count * dt.size);
+    const std::size_t bytes = count * dt.size;
+    auto* recv = static_cast<std::byte*>(recv_buf);
+    switch (effective) {
+      case ReduceAlgo::kLinear:
+      case ReduceAlgo::kBinomialTree:
+        reduce_core(x, static_cast<const std::byte*>(send_buf), recv,
+                    /*root=*/0, effective);
+        bcast_result(x, recv, /*root=*/0);
+        return;
+      case ReduceAlgo::kRecursiveDoubling: {
+        std::vector<std::byte> acc(bytes);
+        copy_bytes(acc.data(), send_buf, bytes);
+        butterfly(x, acc.data());
+        copy_bytes(recv, acc.data(), bytes);
+        return;
+      }
+      case ReduceAlgo::kRecursiveHalving: {
+        std::vector<std::byte> acc(bytes);
+        copy_bytes(acc.data(), send_buf, bytes);
+        const Pow2 s = pow2_split(x.p);
+        const int vr = fold_in(x, acc.data(), s);
+        if (vr >= 0) {
+          reduce_scatter(x, acc.data(), s, vr);
+          allgather_ranges(x, acc.data(), s, vr);
+        }
+        fold_out(x, acc.data(), s);
+        copy_bytes(recv, acc.data(), bytes);
+        return;
+      }
+    }
+  }
+};
+
 void Comm::reduce(const void* send_buf, void* recv_buf, std::size_t count,
                   const Datatype& dt, const Op& op, int root,
                   ReduceAlgo algo) {
-  // Scope the op's condition mask to this reduction (each rank holds its
-  // own Op / mask): without the reset, a flag observed in one reduction
-  // bleeds into the reported status of later, unrelated ones.
-  op.reset_status();
-  trace::count(trace::Counter::kMpisimReductions);
-  const int tag = kCollectiveTagBase + coll_seq_++;
-  const std::size_t bytes = count * dt.size;
-  const flight::Span reduce_span(flight::EventId::kMpiReduce,
-                                 flight::current_reduction_id(), bytes);
-  const int p = size();
-
-  const auto combine = [&](std::byte* inout, const std::byte* in) {
-    for (std::size_t e = 0; e < count; ++e) {
-      op.fn(inout + e * dt.size, in + e * dt.size);
-    }
-  };
-
-  if (algo == ReduceAlgo::kLinear) {
-    if (rank_ == root) {
-      auto* out = static_cast<std::byte*>(recv_buf);
-      std::memcpy(out, send_buf, bytes);
-      std::vector<std::byte> incoming(bytes);
-      // Deterministic order: ascending rank, regardless of arrival order.
-      for (int r = 0; r < p; ++r) {
-        if (r == root) continue;
-        recv(r, tag, incoming.data(), bytes);
-        combine(out, incoming.data());
-      }
-    } else {
-      send(root, tag, send_buf, bytes);
-    }
-    return;
-  }
-
-  // Binomial tree on root-relative ranks: log2(p) rounds, each combining
-  // the higher partner into the lower (a different deterministic op order
-  // than kLinear — bit-identical for HP, different rounding for doubles).
-  const int vr = (rank_ - root + p) % p;
-  std::vector<std::byte> acc(bytes);
-  std::memcpy(acc.data(), send_buf, bytes);
-  std::vector<std::byte> incoming(bytes);
-  for (int step = 1; step < p; step <<= 1) {
-    if ((vr & step) != 0) {
-      const int dest = (vr - step + root) % p;
-      send(dest, tag, acc.data(), bytes);
-      break;
-    }
-    if (vr + step < p) {
-      const int src = (vr + step + root) % p;
-      recv(src, tag, incoming.data(), bytes);
-      combine(acc.data(), incoming.data());
-    }
-  }
-  if (rank_ == root) {
-    std::memcpy(recv_buf, acc.data(), bytes);
-  }
+  detail::Coll::reduce(*this, nullptr, rank_, size(), send_buf, recv_buf,
+                       count, dt, op, root, algo);
 }
 
 void Comm::allreduce(const void* send_buf, void* recv_buf, std::size_t count,
                      const Datatype& dt, const Op& op, ReduceAlgo algo) {
-  const std::size_t bytes = count * dt.size;
-  reduce(send_buf, recv_buf, count, dt, op, /*root=*/0, algo);
-  bcast(recv_buf, bytes, /*root=*/0);
+  detail::Coll::allreduce(*this, nullptr, rank_, size(), send_buf, recv_buf,
+                          count, dt, op, algo);
 }
 
 Comm::Group Comm::split(int color, int key) {
@@ -324,112 +944,167 @@ Comm::Group Comm::split(int color, int key) {
 }
 
 void Comm::Group::barrier() {
-  const int tag = kCollectiveTagBase + parent_->coll_seq_++;
+  const int tag = parent_->next_collective_tag();
   const char token = 0;
   if (my_index_ == 0) {
     char sink = 0;
     for (int g = 1; g < size(); ++g) {
-      parent_->recv(parent_rank(g), tag, &sink, sizeof sink);
+      parent_->recv_raw(parent_rank(g), tag, &sink, sizeof sink);
     }
     for (int g = 1; g < size(); ++g) {
-      parent_->send(parent_rank(g), tag, &token, sizeof token);
+      parent_->send_raw(parent_rank(g), tag, &token, sizeof token);
     }
   } else {
-    parent_->send(parent_rank(0), tag, &token, sizeof token);
+    parent_->send_raw(parent_rank(0), tag, &token, sizeof token);
     char sink = 0;
-    parent_->recv(parent_rank(0), tag, &sink, sizeof sink);
+    parent_->recv_raw(parent_rank(0), tag, &sink, sizeof sink);
   }
 }
 
 void Comm::Group::bcast(void* buf, std::size_t bytes, int group_root) {
-  const int tag = kCollectiveTagBase + parent_->coll_seq_++;
+  const int tag = parent_->next_collective_tag();
   if (my_index_ == group_root) {
     for (int g = 0; g < size(); ++g) {
-      if (g != group_root) parent_->send(parent_rank(g), tag, buf, bytes);
+      if (g != group_root) parent_->send_raw(parent_rank(g), tag, buf, bytes);
     }
   } else {
-    parent_->recv(parent_rank(group_root), tag, buf, bytes);
+    parent_->recv_raw(parent_rank(group_root), tag, buf, bytes);
   }
 }
 
 void Comm::Group::reduce(const void* send_buf, void* recv_buf,
                          std::size_t count, const Datatype& dt, const Op& op,
                          int group_root, ReduceAlgo algo) {
-  op.reset_status();  // per-operation status scope, as in Comm::reduce
-  trace::count(trace::Counter::kMpisimReductions);
-  const int tag = kCollectiveTagBase + parent_->coll_seq_++;
-  const std::size_t bytes = count * dt.size;
-  const flight::Span reduce_span(flight::EventId::kMpiReduce,
-                                 flight::current_reduction_id(), bytes);
-  const int p = size();
+  detail::Coll::reduce(*parent_, &members_, my_index_, size(), send_buf,
+                       recv_buf, count, dt, op, group_root, algo);
+}
 
-  const auto combine = [&](std::byte* inout, const std::byte* in) {
-    for (std::size_t e = 0; e < count; ++e) {
-      op.fn(inout + e * dt.size, in + e * dt.size);
+// ---------------------------------------------------------------------------
+// Engines.
+
+namespace {
+
+/// Rank bodies run under this wrapper in both engines: the first real
+/// failure poisons the runtime (waking every blocked peer); the resulting
+/// RankAborted cascade on other ranks is expected and not re-recorded.
+void guarded_body(Runtime& rt, const std::function<void(Comm&)>& body,
+                  Comm& comm) {
+  try {
+    body(comm);
+  } catch (const RankAborted&) {
+    // A peer failed first; the root cause is already recorded.
+  } catch (...) {
+    rt.poison(std::current_exception());
+  }
+}
+
+#if HPSUM_MPISIM_HAS_FIBERS
+void worker_loop(Runtime& rt, std::vector<RankCtx>& ctxs, int nranks, int w,
+                 int workers) {
+  std::vector<RankCtx*> mine;
+  for (int r = w; r < nranks; r += workers) {
+    mine.push_back(&ctxs[static_cast<std::size_t>(r)]);
+  }
+  std::size_t live = mine.size();
+  Runtime::Worker& me = rt.worker(w);
+  while (live > 0) {
+    std::uint64_t seen = 0;
+    {
+      const std::lock_guard<std::mutex> lock(me.mu);
+      seen = me.epoch;
     }
-  };
-
-  if (algo == ReduceAlgo::kLinear) {
-    if (my_index_ == group_root) {
-      auto* out = static_cast<std::byte*>(recv_buf);
-      std::memcpy(out, send_buf, bytes);
-      std::vector<std::byte> incoming(bytes);
-      for (int g = 0; g < p; ++g) {
-        if (g == group_root) continue;
-        parent_->recv(parent_rank(g), tag, incoming.data(), bytes);
-        combine(out, incoming.data());
+    bool progressed = false;
+    for (RankCtx* c : mine) {
+      if (c->done || !rt.ready(*c)) continue;
+      tl_ctx = c;
+      c->fiber->resume();
+      tl_ctx = nullptr;
+      progressed = true;
+      if (c->fiber->finished()) {
+        c->done = true;
+        --live;
       }
-    } else {
-      parent_->send(parent_rank(group_root), tag, send_buf, bytes);
     }
-    return;
+    if (live > 0 && !progressed) {
+      // Sleep until the epoch moves past the pre-scan snapshot: any wake
+      // that raced the scan is caught by the predicate, not lost.
+      std::unique_lock<std::mutex> lock(me.mu);
+      me.cv.wait(lock, [&] { return me.epoch != seen; });
+    }
   }
+}
+#endif  // HPSUM_MPISIM_HAS_FIBERS
 
-  const int vr = (my_index_ - group_root + p) % p;
-  std::vector<std::byte> acc(bytes);
-  std::memcpy(acc.data(), send_buf, bytes);
-  std::vector<std::byte> incoming(bytes);
-  for (int step = 1; step < p; step <<= 1) {
-    if ((vr & step) != 0) {
-      const int dest = (vr - step + group_root) % p;
-      parent_->send(parent_rank(dest), tag, acc.data(), bytes);
-      break;
-    }
-    if (vr + step < p) {
-      const int src = (vr + step + group_root) % p;
-      parent_->recv(parent_rank(src), tag, incoming.data(), bytes);
-      combine(acc.data(), incoming.data());
-    }
+}  // namespace
+
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const RunOptions& opts) {
+  if (nranks < 1) {
+    throw std::invalid_argument("mpisim::run: nranks must be >= 1");
   }
-  if (my_index_ == group_root) {
-    std::memcpy(recv_buf, acc.data(), bytes);
+  RunMode mode = opts.mode;
+  if (mode == RunMode::kAuto) {
+    mode = nranks <= kAutoThreadLimit ? RunMode::kThreads
+                                      : RunMode::kMultiplexed;
+  }
+#if !HPSUM_MPISIM_HAS_FIBERS
+  mode = RunMode::kThreads;
+#endif
+  Runtime rt(nranks);
+  int workers_used = 0;
+  if (mode == RunMode::kThreads) {
+    workers_used = nranks;
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&rt, &body, r] {
+        flight::set_track("mpisim", r, 0);
+        Comm comm(rt, r);
+        guarded_body(rt, body, comm);
+      });
+    }
+    threads.clear();  // join: every rank either finished or aborted
+  } else {
+#if HPSUM_MPISIM_HAS_FIBERS
+    const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+    int workers = opts.workers > 0 ? opts.workers : (hw > 0 ? hw : 1);
+    workers = std::min(workers, nranks);
+    workers_used = workers;
+    rt.init_workers(workers);
+    std::vector<RankCtx> ctxs(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      RankCtx& c = ctxs[static_cast<std::size_t>(r)];
+      c.rank = r;
+      c.fiber = std::make_unique<detail::Fiber>(
+          opts.stack_bytes, [&rt, &body, r] {
+            Comm comm(rt, r);
+            guarded_body(rt, body, comm);
+          });
+    }
+    {
+      std::vector<std::jthread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&rt, &ctxs, nranks, w, workers] {
+          flight::set_track("mpisim.mux", w, 0);
+          worker_loop(rt, ctxs, nranks, w, workers);
+        });
+      }
+    }
+#endif  // HPSUM_MPISIM_HAS_FIBERS
+  }
+  if (opts.stats != nullptr) {
+    *opts.stats = rt.stats_snapshot();
+    opts.stats->workers = workers_used;
+    opts.stats->mode = mode;
+  }
+  if (std::exception_ptr err = rt.first_error()) {
+    std::rethrow_exception(err);
   }
 }
 
 void run(int nranks, const std::function<void(Comm&)>& body) {
-  if (nranks < 1) {
-    throw std::invalid_argument("mpisim::run: nranks must be >= 1");
-  }
-  Runtime rt(nranks);
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(nranks));
-    for (int r = 0; r < nranks; ++r) {
-      threads.emplace_back([&rt, &body, &errors, r] {
-        flight::set_track("mpisim", r, 0);
-        Comm comm(rt, r);
-        try {
-          body(comm);
-        } catch (...) {
-          errors[static_cast<std::size_t>(r)] = std::current_exception();
-        }
-      });
-    }
-  }
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
-  }
+  run(nranks, body, RunOptions{});
 }
 
 }  // namespace hpsum::mpisim

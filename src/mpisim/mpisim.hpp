@@ -2,23 +2,25 @@
 //
 // No MPI implementation is installed on this host, so the paper's MPI
 // experiment (Fig 6: MPI_Reduce over a custom HP datatype with a custom
-// MPI_Op) runs on this runtime instead (DESIGN.md §2). It preserves the
-// properties the experiment exercises:
+// MPI_Op) runs on this runtime instead (DESIGN.md §2, docs/MPISIM.md). It
+// preserves the properties the experiment exercises:
 //   - ranks have separate address spaces for message data: every send deep-
 //     copies into the receiver's mailbox, so HP values really are
 //     serialized, moved, and deserialized;
 //   - reductions take a user-registered Datatype + Op, exactly the
 //     MPI_Type_contiguous / MPI_Op_create shape the paper describes;
-//   - two reduction algorithms (linear and binomial tree) apply the op in
-//     different deterministic orders, which is precisely what makes double
-//     sums irreproducible and HP sums bit-identical across topologies.
+//   - four reduction algorithms (linear, binomial tree, recursive
+//     doubling, recursive halving) apply the op in different deterministic
+//     orders, which is precisely what makes double sums irreproducible and
+//     HP sums bit-identical across topologies.
 //
-// The API mirrors the MPI subset the paper uses; rank bodies run on
-// std::jthreads.
+// Rank bodies run either on std::jthreads (one per rank) or, for large
+// rank counts, multiplexed as cooperative fibers over a bounded worker
+// pool — see RunMode. Ops may attach a WireCodec to compress payloads and
+// carry their status mask in-band (see hp_ops.hpp / docs/FORMAT.md).
 #pragma once
 
 #include <atomic>
-#include <barrier>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -26,10 +28,44 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace hpsum::mpisim {
+
+/// Collective operations stamp their messages with tags at or above this
+/// base; user point-to-point tags must stay in [0, kUserTagLimit). Enforced
+/// by send/recv/irecv/sendrecv (std::invalid_argument) so a point-to-point
+/// message can never cross-match a collective and corrupt a reduction.
+inline constexpr int kUserTagLimit = 1 << 20;
+
+namespace detail {
+/// Maps a monotonically increasing per-rank collective sequence number into
+/// the collective tag window [kUserTagLimit, 2*kUserTagLimit). The window
+/// wraps, so multi-billion-collective scaling runs cannot overflow the
+/// (signed int) tag — 2^20 collectives would have to be simultaneously
+/// outstanding for two live collectives to alias, and the SPMD contract
+/// keeps ranks within one collective of each other.
+[[nodiscard]] constexpr int collective_tag(std::uint64_t seq) noexcept {
+  return kUserTagLimit +
+         static_cast<int>(seq % static_cast<std::uint64_t>(kUserTagLimit));
+}
+struct Coll;
+}  // namespace detail
+
+/// Thrown by communication calls on ranks whose peers have failed: when any
+/// rank body throws, the runtime is poisoned and every rank blocked in (or
+/// later entering) recv/send/barrier/collectives aborts with this error
+/// instead of deadlocking. run() rethrows the original (first) error, not
+/// the RankAborted cascade.
+class RankAborted : public std::runtime_error {
+ public:
+  RankAborted()
+      : std::runtime_error(
+            "mpisim: rank aborted (a peer rank failed; see the first "
+            "rethrown error)") {}
+};
 
 /// Element type descriptor (MPI_Datatype analogue): contiguous bytes.
 struct Datatype {
@@ -46,6 +82,23 @@ struct Datatype {
   }
 };
 
+/// Optional per-Op payload codec. When an Op carries one, collectives ship
+/// its encoded form instead of the raw element bytes, and the codec is
+/// responsible for round-tripping them exactly. The status byte folded
+/// into each message is the sender's Op::observed_status() at send time;
+/// decode returns the received mask, which the runtime ORs into the
+/// receiver's Op mask — in-band status gossip that makes a separate
+/// status-only reduction unnecessary (docs/FORMAT.md, hp_ops.hpp).
+struct WireCodec {
+  std::string name;
+  std::function<std::vector<std::byte>(const std::byte* raw,
+                                       std::size_t count, std::uint8_t status)>
+      encode;
+  std::function<std::uint8_t(const std::byte* msg, std::size_t msg_bytes,
+                             std::byte* raw, std::size_t count)>
+      decode;
+};
+
 /// Reduction operator (MPI_Op analogue): combines one element in place,
 /// inout = inout (op) in.
 struct Op {
@@ -53,9 +106,11 @@ struct Op {
   std::string name;
   /// Optional condition mask. Ops whose combine step can observe
   /// exceptional conditions (e.g. HP add overflow) OR them in here instead
-  /// of discarding them; copies of the Op share one mask. Collects only the
-  /// combines executed by the rank holding this Op — to gather conditions
-  /// from *all* ranks, reduce the mask too (see reduce_hp_value).
+  /// of discarding them; copies of the Op share one mask. Collects the
+  /// combines executed by the rank holding this Op, plus — when a codec is
+  /// attached — every status mask received on the wire (see WireCodec).
+  /// Without a codec, gather conditions from *all* ranks by reducing the
+  /// mask too (see reduce_hp_value).
   ///
   /// Scope is ONE reduction: Comm::reduce / Comm::Group::reduce clear the
   /// mask on entry, so observed_status() after a reduction reports that
@@ -63,6 +118,15 @@ struct Op {
   /// bleed an overflow seen in one allreduce into the status of later,
   /// unrelated reductions.)
   std::shared_ptr<std::atomic<std::uint8_t>> sticky_status;
+
+  /// Optional payload codec; null means raw element bytes on the wire.
+  /// Requires sticky_status (collectives validate).
+  std::shared_ptr<const WireCodec> codec;
+
+  /// OR'd into the mask right after the start-of-reduction reset: lets a
+  /// caller's pre-existing local conditions (e.g. the deposit-phase status
+  /// of its HP partial) ride the wire with the payload.
+  std::uint8_t seed_status = 0;
 
   /// The conditions observed by this op's combines during the most recent
   /// reduction (0 if the op does not track any).
@@ -78,21 +142,41 @@ struct Op {
 };
 
 /// Reduction algorithm. Different algorithms apply Op in different (but
-/// deterministic) orders — the order-invariance testbed.
+/// deterministic) orders — the order-invariance testbed. All four produce
+/// bit-identical results for exact (associative + commutative) ops like HP
+/// limb addition; for doubles each topology rounds differently.
 enum class ReduceAlgo {
-  kLinear,       ///< root folds ranks 1..p-1 into its buffer in rank order
-  kBinomialTree  ///< log2(p) rounds of pairwise combines
+  kLinear,        ///< root folds ranks 1..p-1 into its buffer in rank order
+  kBinomialTree,  ///< log2(p) rounds of pairwise combines toward the root
+  /// Butterfly (hypercube) exchange: log2(p) rounds, every rank combines
+  /// with partner rank^mask and ends holding the full result — the natural
+  /// allreduce. Non-power-of-two rank counts pre-fold the excess pairwise.
+  /// As a rooted reduce this runs the butterfly and discards off-root
+  /// copies (a topology testbed, not a message-optimal rooted reduce).
+  kRecursiveDoubling,
+  /// Reduce-scatter by recursive halving of the element range, then
+  /// allgather (for allreduce) or a gather of the owned ranges to the root
+  /// (for reduce). Bandwidth-optimal for long vectors.
+  kRecursiveHalving
 };
 
 class Runtime;
 class Comm;
 
 /// Handle for a non-blocking receive (MPI_Request analogue). Obtained from
-/// Comm::irecv; completed by wait() or polled by test(). Destroying an
-/// incomplete Request is an error surfaced by assertion in debug builds.
+/// Comm::irecv; completed by wait() or polled by test(), or abandoned with
+/// cancel(). Move-only: the handle owns the obligation to complete the
+/// receive. Destroying an incomplete Request is an error surfaced by
+/// assertion in debug builds (the posted receive — and the message once it
+/// arrives — would otherwise leak in the mailbox).
 class Request {
  public:
   Request() = default;
+  ~Request();
+  Request(Request&& other) noexcept;
+  Request& operator=(Request&& other) noexcept;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
 
   /// Blocks until the message arrives and is copied into the buffer.
   void wait();
@@ -100,7 +184,16 @@ class Request {
   /// Non-blocking completion check; copies and returns true if available.
   [[nodiscard]] bool test();
 
-  /// True once the message has been delivered into the buffer.
+  /// Abandons the receive: discards the matching message if it has already
+  /// been delivered (so it cannot cross-match a later receive) and marks
+  /// the request complete without filling the buffer. A message sent
+  /// *after* cancel() is not intercepted — as with MPI_Cancel, cancelling
+  /// a receive whose sender still sends leaves that message to a later
+  /// matching receive.
+  void cancel();
+
+  /// True once the message has been delivered into the buffer (or the
+  /// request was cancelled).
   [[nodiscard]] bool done() const noexcept { return done_; }
 
  private:
@@ -113,6 +206,48 @@ class Request {
   bool done_ = true;
 };
 
+/// How run() executes rank bodies.
+enum class RunMode {
+  /// kThreads for small rank counts, kMultiplexed above 128 ranks (falls
+  /// back to kThreads where fibers are unavailable).
+  kAuto,
+  /// One std::jthread per rank — real preemptive parallelism, caps out
+  /// near OS thread limits.
+  kThreads,
+  /// Cooperative fibers multiplexed over a bounded worker pool: a rank
+  /// blocked in recv/barrier yields its worker. Scales to thousands of
+  /// simulated ranks; requires rank bodies to block only through mpisim
+  /// primitives (the usual SPMD shape).
+  kMultiplexed
+};
+
+/// Aggregate statistics for one run(), collected with plain atomics so
+/// they are exact even when the trace subsystem is compiled out
+/// (HPSUM_TRACE=OFF) — the fig6 wire-compression numbers come from here.
+struct RunStats {
+  std::uint64_t messages = 0;    ///< point-to-point + collective messages
+  std::uint64_t bytes_sent = 0;  ///< total payload bytes posted
+  /// Collective payload bytes before encoding (what the raw wire would
+  /// have carried). Equals wire_encoded_bytes for codec-less ops.
+  std::uint64_t wire_raw_bytes = 0;
+  /// Collective payload bytes actually posted after any Op codec.
+  std::uint64_t wire_encoded_bytes = 0;
+  int workers = 0;                      ///< worker threads used
+  RunMode mode = RunMode::kThreads;     ///< resolved execution mode
+};
+
+/// Tuning knobs for run(). Defaults reproduce the historical behavior for
+/// small rank counts and switch to the multiplexed engine for large ones.
+struct RunOptions {
+  RunMode mode = RunMode::kAuto;
+  /// Worker threads for kMultiplexed (0 = hardware concurrency).
+  int workers = 0;
+  /// Stack bytes per fiber in kMultiplexed.
+  std::size_t stack_bytes = 256 * 1024;
+  /// When non-null, filled with this run's statistics on completion.
+  RunStats* stats = nullptr;
+};
+
 /// Per-rank communicator handle (valid only inside the rank body).
 class Comm {
  public:
@@ -123,12 +258,14 @@ class Comm {
   [[nodiscard]] int size() const noexcept;
 
   /// Blocking tagged point-to-point send (deep copy; never deadlocks on
-  /// itself since delivery is asynchronous).
+  /// itself since delivery is asynchronous). `tag` must be in
+  /// [0, kUserTagLimit) — throws std::invalid_argument otherwise.
   void send(int dest, int tag, const void* buf, std::size_t bytes);
 
   /// Blocking tagged receive from a specific source. `bytes` must match the
   /// sent size (checked; throws std::logic_error on mismatch — the
-  /// classic truncated-message failure surfaced loudly).
+  /// classic truncated-message failure surfaced loudly). Tag rules as in
+  /// send().
   void recv(int source, int tag, void* buf, std::size_t bytes);
 
   /// Synchronizes all ranks.
@@ -174,8 +311,12 @@ class Comm {
               const Datatype& dt, const Op& op, int root,
               ReduceAlgo algo = ReduceAlgo::kBinomialTree);
 
-  /// Reduction delivered to every rank (MPI_Allreduce analogue;
-  /// implemented as reduce + bcast).
+  /// Reduction delivered to every rank (MPI_Allreduce analogue).
+  /// kLinear/kBinomialTree run reduce + bcast; kRecursiveDoubling runs the
+  /// butterfly natively; kRecursiveHalving runs reduce-scatter +
+  /// allgather. For non-exact ops (doubles) the two native algorithms may
+  /// deliver differently-rounded values on different ranks — exact HP
+  /// payloads are bit-identical everywhere, which is the point.
   void allreduce(const void* send, void* recv, std::size_t count,
                  const Datatype& dt, const Op& op,
                  ReduceAlgo algo = ReduceAlgo::kBinomialTree);
@@ -189,14 +330,29 @@ class Comm {
   [[nodiscard]] Group split(int color, int key = 0);
 
  private:
-  friend void run(int nranks, const std::function<void(Comm&)>& body);
+  friend void run(int nranks, const std::function<void(Comm&)>& body,
+                  const RunOptions& opts);
   friend class Request;
+  friend struct detail::Coll;
   Comm(Runtime& rt, int rank) : rt_(&rt), rank_(rank) {}
+
+  /// Internal transport used by collectives: no user-tag validation (tags
+  /// here are collective tags), same counters/flight events as send/recv.
+  void send_raw(int dest, int tag, const void* buf, std::size_t bytes);
+  void recv_raw(int source, int tag, void* buf, std::size_t bytes);
+  /// Variable-size receive for codec-encoded payloads.
+  [[nodiscard]] std::vector<std::byte> recv_any(int source, int tag);
+
+  [[nodiscard]] int next_collective_tag() noexcept {
+    return detail::collective_tag(coll_seq_++);
+  }
+
   Runtime* rt_;
   int rank_;
   /// Per-rank collective sequence number; stamps collective message tags so
-  /// back-to-back collectives cannot cross-match.
-  int coll_seq_ = 0;
+  /// back-to-back collectives cannot cross-match (wraps via
+  /// detail::collective_tag).
+  std::uint64_t coll_seq_ = 0;
 };
 
 /// A color group produced by Comm::split: the subset collectives used for
@@ -225,7 +381,7 @@ class Comm::Group {
   void bcast(void* buf, std::size_t bytes, int group_root);
 
   /// Element-wise reduction to the group root (same semantics as
-  /// Comm::reduce, restricted to the group).
+  /// Comm::reduce, restricted to the group; all four algorithms apply).
   void reduce(const void* send, void* recv, std::size_t count,
               const Datatype& dt, const Op& op, int group_root,
               ReduceAlgo algo = ReduceAlgo::kBinomialTree);
@@ -240,8 +396,13 @@ class Comm::Group {
   int my_index_;
 };
 
-/// Launches `nranks` rank bodies on threads and waits for completion.
-/// Exceptions thrown by any rank are rethrown (first one wins).
+/// Launches `nranks` rank bodies (threads or multiplexed fibers, per
+/// RunOptions) and waits for completion. If any rank body throws, the
+/// runtime is poisoned: every other rank blocked in a communication call
+/// aborts with RankAborted (no deadlock), and the first original error is
+/// rethrown here.
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const RunOptions& opts);
 void run(int nranks, const std::function<void(Comm&)>& body);
 
 }  // namespace hpsum::mpisim

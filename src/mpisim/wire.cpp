@@ -1,0 +1,123 @@
+#include "mpisim/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/hp_status.hpp"
+
+namespace hpsum::mpisim::wire {
+
+namespace {
+
+constexpr std::uint8_t kCodeZeros = 0;
+constexpr std::uint8_t kCodeOnes = 1;
+constexpr std::uint8_t kCodeExplicit = 2;
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::invalid_argument("mpisim::wire: malformed message: " + what);
+}
+
+/// [first, last] of the bytes differing from `fill`, or len 0 if none.
+struct Span {
+  std::size_t first = 0;
+  std::size_t len = 0;
+};
+
+Span span_vs_fill(const std::byte* limb, std::byte fill) {
+  std::size_t first = kLimbBytes;
+  std::size_t last = 0;
+  for (std::size_t j = 0; j < kLimbBytes; ++j) {
+    if (limb[j] != fill) {
+      if (first == kLimbBytes) first = j;
+      last = j;
+    }
+  }
+  if (first == kLimbBytes) return {0, 0};
+  return {first, last - first + 1};
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const std::byte* raw, std::size_t count, int n,
+                              std::uint8_t status) {
+  const std::size_t map_bytes = (static_cast<std::size_t>(n) + 3) / 4;
+  std::vector<std::byte> out;
+  out.reserve(encoded_bound(n, count));
+  out.push_back(static_cast<std::byte>(status));
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::byte* elem = raw + e * static_cast<std::size_t>(n) * kLimbBytes;
+    const std::size_t map_at = out.size();
+    out.resize(out.size() + map_bytes);  // zero-initialized: kCodeZeros
+    for (int i = 0; i < n; ++i) {
+      const std::byte* limb = elem + static_cast<std::size_t>(i) * kLimbBytes;
+      const Span zero_span = span_vs_fill(limb, std::byte{0x00});
+      std::uint8_t code;
+      if (zero_span.len == 0) {
+        code = kCodeZeros;
+      } else {
+        const Span ones_span = span_vs_fill(limb, std::byte{0xFF});
+        if (ones_span.len == 0) {
+          code = kCodeOnes;
+        } else {
+          code = kCodeExplicit;
+          const bool use_ones = ones_span.len < zero_span.len;
+          const Span s = use_ones ? ones_span : zero_span;
+          const std::uint8_t desc = static_cast<std::uint8_t>(
+              s.first | ((s.len - 1) << 3) | (use_ones ? 0x40u : 0u));
+          out.push_back(static_cast<std::byte>(desc));
+          out.insert(out.end(), limb + s.first, limb + s.first + s.len);
+        }
+      }
+      if (code != kCodeZeros) {
+        out[map_at + static_cast<std::size_t>(i) / 4] |=
+            static_cast<std::byte>(code << (2 * (i % 4)));
+      }
+    }
+  }
+  return out;
+}
+
+std::uint8_t decode(const std::byte* msg, std::size_t msg_bytes,
+                    std::byte* raw, std::size_t count, int n) {
+  const std::size_t map_bytes = (static_cast<std::size_t>(n) + 3) / 4;
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t bytes, const char* what) {
+    if (msg_bytes - pos < bytes) malformed(std::string("truncated ") + what);
+  };
+  need(1, "status byte");
+  const auto status = static_cast<std::uint8_t>(msg[pos++]);
+  if ((status & ~kHpStatusMask) != 0) malformed("undefined status bits");
+  for (std::size_t e = 0; e < count; ++e) {
+    std::byte* elem = raw + e * static_cast<std::size_t>(n) * kLimbBytes;
+    need(map_bytes, "limb map");
+    const std::byte* map = msg + pos;
+    pos += map_bytes;
+    for (int i = 0; i < n; ++i) {
+      const auto code = static_cast<std::uint8_t>(
+          (static_cast<std::uint8_t>(map[static_cast<std::size_t>(i) / 4]) >>
+           (2 * (i % 4))) &
+          0x3u);
+      std::byte* limb = elem + static_cast<std::size_t>(i) * kLimbBytes;
+      if (code == kCodeZeros || code == kCodeOnes) {
+        std::memset(limb, code == kCodeZeros ? 0x00 : 0xFF, kLimbBytes);
+        continue;
+      }
+      if (code != kCodeExplicit) malformed("invalid limb code");
+      need(1, "limb descriptor");
+      const auto desc = static_cast<std::uint8_t>(msg[pos++]);
+      if ((desc & 0x80u) != 0) malformed("reserved descriptor bit set");
+      const std::size_t first = desc & 0x7u;
+      const std::size_t len = ((desc >> 3) & 0x7u) + 1;
+      if (first + len > kLimbBytes) malformed("limb span out of range");
+      need(len, "limb bytes");
+      std::memset(limb, (desc & 0x40u) != 0 ? 0xFF : 0x00, kLimbBytes);
+      std::memcpy(limb + first, msg + pos, len);
+      pos += len;
+    }
+  }
+  if (pos != msg_bytes) malformed("trailing bytes");
+  return status;
+}
+
+}  // namespace hpsum::mpisim::wire

@@ -77,6 +77,14 @@ std::string_view counter_name(Counter c) noexcept {
     case Counter::kMpisimMessages: return "mpisim.messages";
     case Counter::kMpisimBytesSent: return "mpisim.bytes_sent";
     case Counter::kMpisimReductions: return "mpisim.reductions";
+    case Counter::kMpisimWireRawBytes: return "mpisim.wire.raw_bytes";
+    case Counter::kMpisimWireEncodedBytes: return "mpisim.wire.encoded_bytes";
+    case Counter::kMpisimAlgoLinear: return "mpisim.algo.linear";
+    case Counter::kMpisimAlgoBinomialTree: return "mpisim.algo.binomial_tree";
+    case Counter::kMpisimAlgoRecDoubling:
+      return "mpisim.algo.recursive_doubling";
+    case Counter::kMpisimAlgoRecHalving:
+      return "mpisim.algo.recursive_halving";
     case Counter::kCudasimLaunches: return "cudasim.launches";
     case Counter::kCudasimCasRetries: return "cudasim.cas_retries";
     case Counter::kCudasimBytesH2D: return "cudasim.bytes_h2d";

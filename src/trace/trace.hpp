@@ -90,6 +90,15 @@ enum class Counter : std::uint16_t {
   kMpisimMessages,
   kMpisimBytesSent,
   kMpisimReductions,
+  // mpisim — collective payload bytes before/after the optional Op wire
+  // codec (equal when no codec is attached), and per-topology reduction
+  // counts.
+  kMpisimWireRawBytes,
+  kMpisimWireEncodedBytes,
+  kMpisimAlgoLinear,
+  kMpisimAlgoBinomialTree,
+  kMpisimAlgoRecDoubling,
+  kMpisimAlgoRecHalving,
   // cudasim — launches, contention, PCIe traffic.
   kCudasimLaunches,
   kCudasimCasRetries,

@@ -65,6 +65,23 @@ std::vector<double> nbody_force_set(std::size_t n, std::uint64_t seed,
   return xs;
 }
 
+std::vector<double> lognormal_set(std::size_t n, std::uint64_t seed,
+                                  double mu, double sigma) {
+  util::Xoshiro256ss rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Box-Muller, one normal per summand (the sine twin is discarded to
+    // keep the value count independent of parity).
+    const double u1 = 1.0 - rng.uniform01();  // (0, 1]
+    const double u2 = rng.uniform01();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    const double mag = std::exp(mu + sigma * z);
+    xs[i] = rng.uniform01() < 0.5 ? -mag : mag;
+  }
+  return xs;
+}
+
 DotProblem ill_conditioned_dot(std::size_t pairs, int spread_exp,
                                std::uint64_t seed) {
   if (spread_exp < 1 || spread_exp > 500) {

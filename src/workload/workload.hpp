@@ -7,6 +7,8 @@
 //   wide_range_set   — §IV.A HP vs Hallberg sweep (Fig 4)
 //   nbody_force_set  — the N-body force-accumulation pattern the intro
 //                      motivates (examples/nbody_forces)
+//   lognormal_set    — heavy-tailed summands for the sparse-wire-codec
+//                      scaling runs (bench/fig6_mpi_scaling)
 #pragma once
 
 #include <cstdint>
@@ -41,6 +43,16 @@ namespace hpsum::workload {
 [[nodiscard]] std::vector<double> nbody_force_set(std::size_t n,
                                                   std::uint64_t seed,
                                                   double sigma = 1e-3);
+
+/// Signed lognormal magnitudes: exp(N(mu, sigma^2)) with random sign — the
+/// heavy-tailed "most values small, a few large" distribution typical of
+/// physical summands. The standard stream for the sparse-wire-codec
+/// benchmarks (bench/fig6_mpi_scaling --dist=lognormal): partial sums
+/// occupy only a few HP limbs, which is what the codec exploits.
+[[nodiscard]] std::vector<double> lognormal_set(std::size_t n,
+                                                std::uint64_t seed,
+                                                double mu = 0.0,
+                                                double sigma = 2.0);
 
 /// Deterministic Fisher-Yates shuffle (for random summation orders).
 void shuffle(std::span<double> xs, std::uint64_t seed);

@@ -77,21 +77,29 @@ HpFixed<kN, kK> via_openmp(const std::vector<double>& xs, int pes) {
 }
 
 HpFixed<kN, kK> via_mpisim(const std::vector<double>& xs, int ranks,
-                           mpisim::ReduceAlgo algo) {
+                           mpisim::ReduceAlgo algo,
+                           mpisim::Wire wire = mpisim::Wire::kRaw,
+                           mpisim::RunMode mode = mpisim::RunMode::kAuto) {
   const HpConfig cfg{kN, kK};
   HpFixed<kN, kK> out;
-  mpisim::run(ranks, [&](mpisim::Comm& comm) {
-    const auto slices = backends::partition(xs, comm.size());
-    HpDyn local(cfg);
-    for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
-      local += x;
-    }
-    const HpDyn total = mpisim::reduce_hp_value(comm, local, 0, algo);
-    if (comm.rank() == 0) {
-      std::memcpy(out.limbs().data(), total.limbs().data(),
-                  sizeof(util::Limb) * kN);
-    }
-  });
+  mpisim::RunOptions opts;
+  opts.mode = mode;
+  opts.workers = 3;
+  mpisim::run(
+      ranks,
+      [&](mpisim::Comm& comm) {
+        const auto slices = backends::partition(xs, comm.size());
+        HpDyn local(cfg);
+        for (const double x : slices[static_cast<std::size_t>(comm.rank())]) {
+          local += x;
+        }
+        const HpDyn total = mpisim::reduce_hp_value(comm, local, 0, algo, wire);
+        if (comm.rank() == 0) {
+          std::memcpy(out.limbs().data(), total.limbs().data(),
+                      sizeof(util::Limb) * kN);
+        }
+      },
+      opts);
   return out;
 }
 
@@ -135,12 +143,36 @@ TEST(CrossBackend, AllEnvironmentsAgreeBitForBit) {
   EXPECT_EQ(via_mpisim(xs, 8, mpisim::ReduceAlgo::kLinear), ref);
   EXPECT_EQ(via_mpisim(xs, 8, mpisim::ReduceAlgo::kBinomialTree), ref);
   EXPECT_EQ(via_mpisim(xs, 3, mpisim::ReduceAlgo::kBinomialTree), ref);
+  EXPECT_EQ(via_mpisim(xs, 8, mpisim::ReduceAlgo::kRecursiveDoubling), ref);
+  EXPECT_EQ(via_mpisim(xs, 6, mpisim::ReduceAlgo::kRecursiveHalving), ref);
   EXPECT_EQ(via_cudasim(xs), ref);
 
   phisim::OffloadDevice phi;
   const auto offload =
       phi.offload_reduce<backends::HpSum<kN, kK>>(xs, 24);
   EXPECT_EQ(offload.value, ref.to_double());
+}
+
+TEST(CrossBackend, MpisimTopologyWireEngineMatrixMatchesSequential) {
+  // The distributed layer's own invariance matrix, against the sequential
+  // reference: four reduction topologies × raw/sparse wire × threaded/
+  // multiplexed engines must all reproduce the same limbs.
+  const auto xs = workload::uniform_set(30000, 781);
+  const auto ref = via_sequential(xs);
+  for (const auto algo :
+       {mpisim::ReduceAlgo::kLinear, mpisim::ReduceAlgo::kBinomialTree,
+        mpisim::ReduceAlgo::kRecursiveDoubling,
+        mpisim::ReduceAlgo::kRecursiveHalving}) {
+    for (const auto wire : {mpisim::Wire::kRaw, mpisim::Wire::kSparse}) {
+      for (const auto mode :
+           {mpisim::RunMode::kThreads, mpisim::RunMode::kMultiplexed}) {
+        EXPECT_EQ(via_mpisim(xs, 7, algo, wire, mode), ref)
+            << "algo=" << static_cast<int>(algo)
+            << " wire=" << static_cast<int>(wire)
+            << " mode=" << static_cast<int>(mode);
+      }
+    }
+  }
 }
 
 TEST(CrossBackend, CancellationWorkloadIsZeroEverywhere) {

@@ -1,0 +1,230 @@
+// Tests for the sparse limb wire codec (src/mpisim/wire.hpp): exact
+// round-trips over structured corpora and random fuzz, compression on
+// realistic HP values, and rejection of every class of malformed message.
+#include "mpisim/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/hp_dyn.hpp"
+#include "core/hp_status.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace hpsum::mpisim::wire {
+namespace {
+
+using Image = std::vector<std::byte>;
+
+Image roundtrip(const Image& raw, std::size_t count, int n,
+                std::uint8_t status_in, std::uint8_t* status_out = nullptr) {
+  const Image msg = encode(raw.data(), count, n, status_in);
+  EXPECT_LE(msg.size(), encoded_bound(n, count));
+  Image back(raw.size(), std::byte{0xA5});  // poison: decode must overwrite
+  const std::uint8_t st = decode(msg.data(), msg.size(), back.data(), count, n);
+  if (status_out != nullptr) *status_out = st;
+  return back;
+}
+
+void expect_roundtrip(const Image& raw, std::size_t count, int n,
+                      std::uint8_t status_in) {
+  std::uint8_t status_out = 0xFF;
+  const Image back = roundtrip(raw, count, n, status_in, &status_out);
+  EXPECT_EQ(back, raw);
+  EXPECT_EQ(status_out, status_in);
+}
+
+/// Raw image of `count` x `n` limbs, every byte `fill`.
+Image filled(std::size_t count, int n, std::byte fill) {
+  return Image(count * static_cast<std::size_t>(n) * kLimbBytes, fill);
+}
+
+TEST(MpisimWire, AllZeroElementsCostOnlyStatusAndMap) {
+  for (const int n : {1, 2, 6, 16}) {
+    for (const std::size_t count : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{3}, std::size_t{17}}) {
+      const Image raw = filled(count, n, std::byte{0x00});
+      expect_roundtrip(raw, count, n, 0);
+      const Image msg = encode(raw.data(), count, n, 0);
+      // status + count maps, no explicit limbs at all.
+      const std::size_t map_bytes = (static_cast<std::size_t>(n) + 3) / 4;
+      EXPECT_EQ(msg.size(), 1 + count * map_bytes);
+    }
+  }
+}
+
+TEST(MpisimWire, AllOnesElementsAreImplicitToo) {
+  // -1 in two's complement: every limb 0xFF..FF — the sign-fill pattern of
+  // small negative HP values, as cheap as all-zero.
+  for (const int n : {1, 6}) {
+    const Image raw = filled(2, n, std::byte{0xFF});
+    expect_roundtrip(raw, 2, n, 0);
+    const Image msg = encode(raw.data(), 2, n, 0);
+    const std::size_t map_bytes = (static_cast<std::size_t>(n) + 3) / 4;
+    EXPECT_EQ(msg.size(), 1 + 2 * map_bytes);
+  }
+}
+
+TEST(MpisimWire, DenseElementsRoundTripAtBoundedOverhead) {
+  util::Xoshiro256ss rng(0xD15EA5E);
+  for (const int n : {1, 4, 16}) {
+    Image raw = filled(3, n, std::byte{0x00});
+    for (auto& b : raw) b = static_cast<std::byte>(rng.next() & 0xFF);
+    expect_roundtrip(raw, 3, n, 0);
+  }
+}
+
+TEST(MpisimWire, SingleLimbSpansTrimToInformativeBytes) {
+  const int n = 6;
+  for (int limb = 0; limb < n; ++limb) {
+    for (const std::size_t at : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{7}}) {
+      Image raw = filled(1, n, std::byte{0x00});
+      raw[static_cast<std::size_t>(limb) * kLimbBytes + at] = std::byte{0x42};
+      expect_roundtrip(raw, 1, n, 0);
+      // map(2) + desc(1) + one explicit byte on top of the status byte.
+      const Image msg = encode(raw.data(), 1, n, 0);
+      EXPECT_EQ(msg.size(), std::size_t{1} + 2 + 1 + 1) << "limb=" << limb;
+    }
+  }
+}
+
+TEST(MpisimWire, SpansStraddlingTheStatusFillBoundaryRoundTrip) {
+  // Values whose explicit span sits against a 0xFF fill (negative numbers
+  // slightly below -1): fill byte choice must flip to ones-fill.
+  const int n = 4;
+  Image raw = filled(1, n, std::byte{0xFF});
+  // limb 2: 0xFF..FF_7F_03 — low bytes differ from the 0xFF fill.
+  raw[2 * kLimbBytes + 0] = std::byte{0x03};
+  raw[2 * kLimbBytes + 1] = std::byte{0x7F};
+  expect_roundtrip(raw, 1, n, 0);
+  const Image msg = encode(raw.data(), 1, n, 0);
+  // status + map(1) + desc(1) + 2 explicit bytes.
+  EXPECT_EQ(msg.size(), std::size_t{1} + 1 + 1 + 2);
+}
+
+TEST(MpisimWire, EveryDefinedStatusMaskRoundTrips) {
+  const Image raw = filled(1, 2, std::byte{0x00});
+  for (int mask = 0; mask <= 0xFF; ++mask) {
+    const auto st = static_cast<std::uint8_t>(mask);
+    if ((st & ~kHpStatusMask) != 0) continue;
+    expect_roundtrip(raw, 1, 2, st);
+  }
+}
+
+TEST(MpisimWire, FuzzRandomSparsePatternsRoundTripExactly) {
+  // Synthesize the codec's own model: per limb, a random fill and a random
+  // explicit span — plus fully random limbs for good measure.
+  util::Xoshiro256ss rng(99);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int n = 1 + static_cast<int>(rng.next() % 16);
+    const std::size_t count = rng.next() % 4;
+    Image raw = filled(count, n, std::byte{0x00});
+    for (std::size_t e = 0; e < count; ++e) {
+      for (int i = 0; i < n; ++i) {
+        std::byte* limb =
+            raw.data() + (e * static_cast<std::size_t>(n) +
+                          static_cast<std::size_t>(i)) *
+                             kLimbBytes;
+        const std::uint64_t kind = rng.next() % 4;
+        const std::byte fill =
+            (rng.next() & 1) != 0 ? std::byte{0xFF} : std::byte{0x00};
+        std::memset(limb, std::to_integer<int>(fill), kLimbBytes);
+        if (kind == 0) continue;  // pure fill
+        if (kind == 1) {          // random span
+          const std::size_t first = rng.next() % kLimbBytes;
+          const std::size_t len = 1 + rng.next() % (kLimbBytes - first);
+          for (std::size_t j = first; j < first + len; ++j) {
+            limb[j] = static_cast<std::byte>(rng.next() & 0xFF);
+          }
+        } else {  // fully random limb
+          for (std::size_t j = 0; j < kLimbBytes; ++j) {
+            limb[j] = static_cast<std::byte>(rng.next() & 0xFF);
+          }
+        }
+      }
+    }
+    expect_roundtrip(raw, count, n, iter % 2 == 0 ? kHpStatusMask : 0);
+  }
+}
+
+TEST(MpisimWire, TypicalHpPartialsCompressAtLeastThreeFold) {
+  // The bench gate's claim in unit form: partial sums of heavy-tailed
+  // summands in HP{6,3} encode to under a third of the raw image.
+  const HpConfig cfg{6, 3};
+  const auto xs = workload::lognormal_set(4096, 1234);
+  HpDyn acc(cfg);
+  std::size_t raw_total = 0;
+  std::size_t enc_total = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i % 256 != 0) continue;
+    Image raw(acc.byte_size());
+    acc.to_bytes(raw.data());
+    expect_roundtrip(raw, 1, cfg.n, 0);
+    raw_total += raw.size();
+    enc_total += encode(raw.data(), 1, cfg.n, 0).size();
+  }
+  EXPECT_GE(static_cast<double>(raw_total),
+            3.0 * static_cast<double>(enc_total));
+}
+
+TEST(MpisimWire, DecodeRejectsMalformedMessages) {
+  const int n = 2;
+  Image raw = filled(1, n, std::byte{0x00});
+  raw[3] = std::byte{0x5C};  // one explicit limb
+  const Image msg = encode(raw.data(), 1, n, 0);
+  Image out(raw.size());
+  const auto decode_bytes = [&](const Image& m) {
+    return decode(m.data(), m.size(), out.data(), 1, n);
+  };
+
+  // Baseline sanity: the unmodified message decodes.
+  EXPECT_EQ(decode_bytes(msg), 0);
+
+  {  // empty message: no status byte
+    const Image m;
+    EXPECT_THROW(decode(m.data(), 0, out.data(), 0, n),
+                 std::invalid_argument);
+  }
+  {  // undefined status bits
+    Image m = msg;
+    m[0] = std::byte{0xFF};
+    EXPECT_THROW(decode_bytes(m), std::invalid_argument);
+  }
+  {  // truncated: drop the last explicit byte
+    Image m = msg;
+    m.pop_back();
+    EXPECT_THROW(decode_bytes(m), std::invalid_argument);
+  }
+  {  // trailing garbage
+    Image m = msg;
+    m.push_back(std::byte{0x00});
+    EXPECT_THROW(decode_bytes(m), std::invalid_argument);
+  }
+  {  // invalid limb code 3
+    Image m = msg;
+    m[1] = std::byte{0x03};
+    EXPECT_THROW(decode_bytes(m), std::invalid_argument);
+  }
+  {  // reserved descriptor bit
+    Image m = msg;
+    m[2] |= std::byte{0x80};
+    EXPECT_THROW(decode_bytes(m), std::invalid_argument);
+  }
+  {  // span past the limb end: first=7, len=2
+    Image m = msg;
+    m[2] = std::byte{0x0F};
+    EXPECT_THROW(decode_bytes(m), std::invalid_argument);
+  }
+  {  // truncated limb map (count says more elements than the message has)
+    EXPECT_THROW(decode(msg.data(), msg.size(), out.data(), 2, n),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace hpsum::mpisim::wire

@@ -27,6 +27,17 @@ bench/BENCH_block.json:
     path's bar on the scalar kernel's branch-predictor best case; pass 0
     on scalar-only builds, where same-sign parity is expected).
 
+fig6 gate (opt-in via --fig6) — runs bench/fig6_mpi_scaling on the
+standard lognormal stream (recursive-doubling, sparse wire, multiplexed
+engine, 1024 simulated ranks) and gates the emitted JSON:
+
+  * hp_invariant must be true (the HP global sum is bit-identical at
+    every rank count — the paper's core claim), and
+  * wire_ratio (total raw bytes / total encoded bytes over the p >= 2
+    points) must clear --fig6-floor (default 3.0x, the sparse codec's
+    acceptance bar; docs/FORMAT.md). Wire byte counts are deterministic
+    for a fixed seed, so this gate needs no tolerance band or medianing.
+
 Noise control: each bench binary is run --runs times (default 3) and each
 stream's MEDIAN speedup is gated — a single descheduled run or turbo
 transition cannot fail the gate or inflate a new baseline. The medianized
@@ -201,6 +212,59 @@ def gate_block(fresh, baseline, tolerance, floor, samesign_floor):
     return failures
 
 
+def run_fig6(build_dir, out, n, maxp):
+    """Runs the fig6 scaling bench in the gate configuration (lognormal,
+    recursive doubling, sparse wire, multiplexed engine) and returns its
+    JSON document (None on environment errors). One run: wire byte counts
+    are deterministic for a fixed seed."""
+    bench = pathlib.Path(build_dir) / "bench" / "fig6_mpi_scaling"
+    if not bench.exists():
+        print(f"bench_smoke: {bench} not built", file=sys.stderr)
+        return None
+    cmd = [str(bench), f"--n={n}", f"--maxp={maxp}", "--dist=lognormal",
+           "--algo=rdouble", "--wire=sparse", "--mode=mux", f"--json={out}"]
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print(f"bench_smoke: {bench} exited {proc.returncode}",
+              file=sys.stderr)
+        return None
+    with open(out, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("bench") != "fig6_mpi" or "points" not in doc:
+        raise ValueError(f"{out}: not a fig6_mpi document")
+    return doc
+
+
+def gate_fig6(fresh, floor):
+    """hp_invariant must hold; aggregate wire_ratio must clear the floor;
+    every message-sending point must actually have compressed."""
+    failures = []
+    ratio = fresh.get("wire_ratio", 0.0)
+    invariant = fresh.get("hp_invariant", False)
+    print(f"  hp_invariant {str(invariant).lower():5s}  "
+          f"wire_ratio {ratio:6.3f}x  (floor {floor:.1f}x)  "
+          f"{'ok' if invariant and ratio >= floor else 'REGRESSION'}")
+    if not invariant:
+        failures.append(
+            "fig6: hp_invariant is false — the HP sum changed with the "
+            "rank count")
+    if floor > 0 and ratio < floor:
+        failures.append(
+            f"fig6: wire_ratio {ratio:.3f}x is below the {floor:.1f}x "
+            f"sparse-codec acceptance floor")
+    for p in fresh.get("points", []):
+        if p.get("ranks", 0) < 2:
+            continue
+        raw = p.get("hp_wire_raw_bytes", 0)
+        enc = p.get("hp_wire_encoded_bytes", 0)
+        if enc >= raw:
+            failures.append(
+                f"fig6: point ranks={p['ranks']} encoded {enc} bytes >= "
+                f"raw {raw} bytes — sparse codec not engaged")
+    return failures
+
+
 def _fake_block_doc(speedups, simd="avx2"):
     """A synthetic ablate_block document with the given stream speedups."""
     streams = [{"stream": name, "block_ns_per_add": 10.0 / s,
@@ -292,7 +356,30 @@ def selftest(tolerance):
     print(f"  selftest [median-of-3]: {'PASS' if med_ok else 'FAIL'}")
     ok += 1 if med_ok else 0
 
-    total = 8
+    # 8-10. The fig6 gate: a dilated wire ratio, a broken invariant, and a
+    # point whose codec silently fell back to raw must each fail; a healthy
+    # document must pass.
+    fig6 = {"bench": "fig6_mpi", "hp_invariant": True, "wire_ratio": 3.4,
+            "points": [
+                {"ranks": 1, "hp_wire_raw_bytes": 0,
+                 "hp_wire_encoded_bytes": 0},
+                {"ranks": 2, "hp_wire_raw_bytes": 96,
+                 "hp_wire_encoded_bytes": 28}]}
+    thin = copy.deepcopy(fig6)
+    thin["wire_ratio"] = 2.1
+    check("fig6 wire-ratio floor", gate_fig6(thin, 3.0), "wire_ratio")
+    drift = copy.deepcopy(fig6)
+    drift["hp_invariant"] = False
+    check("fig6 invariant", gate_fig6(drift, 3.0), "hp_invariant")
+    rawpt = copy.deepcopy(fig6)
+    rawpt["points"][1]["hp_wire_encoded_bytes"] = 96
+    check("fig6 raw fallback", gate_fig6(rawpt, 3.0), "ranks=2")
+    clean_fig6 = gate_fig6(copy.deepcopy(fig6), 3.0)
+    print(f"  selftest [fig6 clean pass]: "
+          f"{'FAIL' if clean_fig6 else 'PASS'}")
+    ok += 0 if clean_fig6 else 1
+
+    total = 12
     if ok != total:
         print(f"bench_smoke --selftest: FAIL ({ok}/{total})", file=sys.stderr)
         return 1
@@ -328,6 +415,18 @@ def main():
     ap.add_argument("--block-samesign-floor", type=float, default=1.3,
                     help="hard minimum for the worse same-sign block stream "
                          "(0 disables; use 0 on HPSUM_SIMD=OFF builds)")
+    ap.add_argument("--fig6", action="store_true",
+                    help="also run the fig6 mpisim gate (sparse wire "
+                         "compression + HP rank-count invariance)")
+    ap.add_argument("--fig6-floor", type=float, default=3.0,
+                    help="hard minimum for the fig6 sparse-wire compression "
+                         "ratio (0 disables)")
+    ap.add_argument("--fig6-out", default="BENCH_mpi.json",
+                    help="where to write the fresh fig6 measurement")
+    ap.add_argument("--fig6-n", type=int, default=262_144,
+                    help="summands for the fig6 gate run")
+    ap.add_argument("--fig6-maxp", type=int, default=1024,
+                    help="max simulated ranks for the fig6 gate run")
     ap.add_argument("--skip-scatter", action="store_true",
                     help="gate only the block ablation (used by the "
                          "HPSUM_SIMD=OFF CI pass, which only rebuilds "
@@ -366,6 +465,14 @@ def main():
     failures += gate_block(fresh, load(args.block_baseline, "ablate_block"),
                            args.tolerance, args.block_floor,
                            args.block_samesign_floor)
+
+    if args.fig6:
+        print("fig6 gate (fig6_mpi_scaling):")
+        fresh = run_fig6(args.build_dir, args.fig6_out, args.fig6_n,
+                         args.fig6_maxp)
+        if fresh is None:
+            return 2
+        failures += gate_fig6(fresh, args.fig6_floor)
 
     if failures:
         print("bench_smoke: FAIL", file=sys.stderr)
