@@ -14,6 +14,7 @@
 #include <string>
 
 #include "trace/flight.hpp"
+#include "trace/pulse.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -36,12 +37,46 @@ inline constexpr const char* kMetricsFlag = "metrics";
 /// selects the compact binary dump (decode: tools/flight2chrome.py).
 inline constexpr const char* kFlightFlag = "flight";
 
+/// The --pulse flag every bench harness accepts (add kPulseFlag,
+/// kPulseIntervalFlag, and kPulsePromFlag to the harness's known-flags
+/// list). Presence arms the hpsum_pulse background sampler for the run:
+/// bare `--pulse` streams JSONL ticks to "pulse.jsonl",
+/// `--pulse=FILE` picks the stream path. `--pulse-interval-ms=N` sets the
+/// tick interval (default 250) and `--pulse-prom=FILE` additionally
+/// rewrites Prometheus text exposition every tick. The HPSUM_PULSE
+/// environment variable arms the sampler even without the flag.
+inline constexpr const char* kPulseFlag = "pulse";
+inline constexpr const char* kPulseIntervalFlag = "pulse-interval-ms";
+inline constexpr const char* kPulsePromFlag = "pulse-prom";
+
 /// Arms the flight recorder when --flight was given. Call right after
 /// argument parsing, BEFORE the measured work, so worker threads spawned
 /// later get their track labels recorded (set_track is a no-op while
 /// disarmed). HPSUM_FLIGHT=1 in the environment arms it even earlier.
 inline void arm_flight(const util::Args& args) {
   if (!args.get_string(kFlightFlag, "").empty()) trace::flight::arm();
+}
+
+/// Arms the pulse sampler when --pulse (or HPSUM_PULSE) was given. Call
+/// right after argument parsing, BEFORE the measured work, so the stream
+/// covers the whole run. Returns false only when arming was requested via
+/// the flag but failed (unwritable stream path) in a trace-enabled build;
+/// harnesses treat that as a fatal usage error.
+[[nodiscard]] inline bool arm_pulse(const util::Args& args) {
+  const std::string value = args.get_string(kPulseFlag, "");
+  if (value.empty()) return trace::pulse::arm_from_env(), true;
+  trace::pulse::Config cfg;
+  if (value != "true") cfg.jsonl_path = value;
+  const auto ms = args.get_int(kPulseIntervalFlag, 250);
+  cfg.interval = std::chrono::milliseconds(ms > 0 ? ms : 250);
+  cfg.prom_path = args.get_string(kPulsePromFlag, "");
+  const bool ok = trace::pulse::arm(cfg);
+  if (!ok && trace::enabled()) {
+    std::fprintf(stderr, "error: could not start --pulse sampler on %s\n",
+                 cfg.jsonl_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Emits the trace snapshot if --metrics was given. Call once, after the
@@ -78,10 +113,12 @@ inline void arm_flight(const util::Args& args) {
   return ok;
 }
 
-/// Standard harness epilogue: exports --metrics and --flight and converts
-/// any export failure into a nonzero exit status. Every bench main() ends
-/// with `return bench::finish(args);`.
+/// Standard harness epilogue: stops the pulse sampler (final tick flushes
+/// the end-of-run state), exports --metrics and --flight, and converts any
+/// export failure into a nonzero exit status. Every bench main() ends with
+/// `return bench::finish(args);`.
 [[nodiscard]] inline int finish(const util::Args& args) {
+  trace::pulse::disarm();
   const bool metrics_ok = emit_metrics(args);
   const bool flight_ok = emit_flight(args);
   return metrics_ok && flight_ok ? 0 : 1;

@@ -161,8 +161,10 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv,
                         {"n", "maxp", "seed", "algo", "wire", "mode", "dist",
                          "csv", "json", bench::kMetricsFlag,
-                         bench::kFlightFlag});
+                         bench::kFlightFlag, bench::kPulseFlag,
+                         bench::kPulseIntervalFlag, bench::kPulsePromFlag});
   bench::arm_flight(args);
+  if (!bench::arm_pulse(args)) return 1;
   const auto n = bench::pick(args, "n", 4 * 1024 * 1024, 32 * 1024 * 1024);
   const auto maxp = static_cast<int>(args.get_int("maxp", 128));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 6));

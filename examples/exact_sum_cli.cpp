@@ -8,23 +8,30 @@
 //   $ seq 1000000 | awk '{print 1/$1}' | ./build/examples/exact_sum_cli
 //
 // --metrics[=FILE] additionally dumps the runtime telemetry snapshot
-// (scatter fast-path deposits, carry chains, status raises; see
-// docs/OBSERVABILITY.md) as JSON to stdout or FILE. --flight[=FILE] arms
-// the hpsum_flight event recorder and exports the run's timeline as
+// (scatter fast-path deposits, carry-chain distribution, status raises;
+// see docs/OBSERVABILITY.md) as JSON to stdout or FILE. --flight[=FILE]
+// arms the hpsum_flight event recorder and exports the run's timeline as
 // Chrome trace-event JSON (or the binary dump for FILE ending ".bin").
+// --pulse[=FILE] arms the hpsum_pulse background sampler (JSONL stream,
+// default pulse.jsonl; --pulse-interval-ms=N and --pulse-prom=FILE refine
+// it). --health[=FILE] evaluates the run's telemetry through the
+// src/audit health rules and prints the indicator report as JSON.
 //
 // Exit status: 0 on success, 1 on parse failure, non-finite input, or a
-// failed --metrics/--flight FILE write.
+// failed --metrics/--flight/--health FILE write.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "audit/health.hpp"
 #include "core/hp_dyn.hpp"
 #include "core/hp_plan.hpp"
 #include "core/reduce.hpp"
 #include "trace/flight.hpp"
+#include "trace/pulse.hpp"
 #include "trace/trace.hpp"
 #include "util/cli.hpp"
 
@@ -39,8 +46,26 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const util::Args args(argc, argv, {"metrics", "flight"});
+    const util::Args args(argc, argv,
+                          {"metrics", "flight", "pulse", "pulse-interval-ms",
+                           "pulse-prom", "health"});
     if (!args.get_string("flight", "").empty()) trace::flight::arm();
+    const std::string pulse = args.get_string("pulse", "");
+    if (!pulse.empty()) {
+      trace::pulse::Config pcfg;
+      if (pulse != "true") pcfg.jsonl_path = pulse;
+      const auto ms = args.get_int("pulse-interval-ms", 250);
+      pcfg.interval = std::chrono::milliseconds(ms > 0 ? ms : 250);
+      pcfg.prom_path = args.get_string("pulse-prom", "");
+      if (!trace::pulse::arm(pcfg) && trace::enabled()) {
+        std::fprintf(stderr,
+                     "exact_sum_cli: could not start --pulse sampler on %s\n",
+                     pcfg.jsonl_path.c_str());
+        return 1;
+      }
+    } else {
+      trace::pulse::arm_from_env();
+    }
     if (xs.empty()) {
       std::printf("no input values; sum = 0\n");
       return 0;
@@ -79,6 +104,24 @@ int main(int argc, char** argv) {
                           .value_or(0)));
     }
 
+    trace::pulse::disarm();
+    const std::string health = args.get_string("health", "");
+    if (!health.empty()) {
+      const std::string json = audit::health_report_json();
+      if (health == "true") {
+        std::fputs(json.c_str(), stdout);
+      } else {
+        std::FILE* f = std::fopen(health.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr,
+                       "exact_sum_cli: could not write --health file %s\n",
+                       health.c_str());
+          return 1;
+        }
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+      }
+    }
     const std::string metrics = args.get_string("metrics", "");
     if (!metrics.empty()) {
       const std::string path = metrics == "true" ? "" : metrics;

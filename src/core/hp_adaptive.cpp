@@ -30,6 +30,10 @@ HpAdaptive::HpAdaptive(HpConfig initial, int max_limbs)
   if (max_limbs_ < initial.n || max_limbs_ > kMaxLimbs) {
     throw std::invalid_argument("HpAdaptive: bad max_limbs");
   }
+  trace::gauge_set(trace::Gauge::kAdaptiveCurN,
+                   static_cast<std::uint64_t>(v_.cfg_.n));
+  trace::gauge_set(trace::Gauge::kAdaptiveCurK,
+                   static_cast<std::uint64_t>(v_.cfg_.k));
 }
 
 void HpAdaptive::check_cap(int new_n) const {
@@ -46,6 +50,10 @@ void HpAdaptive::grow_int(int extra_limbs) {
   v_.cfg_.n += extra_limbs;
   ++growth_events_;
   trace::count(trace::Counter::kAdaptiveGrowInt);
+  trace::gauge_set(trace::Gauge::kAdaptiveCurN,
+                   static_cast<std::uint64_t>(v_.cfg_.n));
+  trace::gauge_set(trace::Gauge::kAdaptiveCurK,
+                   static_cast<std::uint64_t>(v_.cfg_.k));
   trace::flight::instant(trace::flight::EventId::kAdaptiveGrow, /*kind=*/0,
                          static_cast<std::uint64_t>(v_.cfg_.n));
 }
@@ -57,6 +65,10 @@ void HpAdaptive::grow_frac(int extra_limbs) {
   v_.cfg_.k += extra_limbs;
   ++growth_events_;
   trace::count(trace::Counter::kAdaptiveGrowFrac);
+  trace::gauge_set(trace::Gauge::kAdaptiveCurN,
+                   static_cast<std::uint64_t>(v_.cfg_.n));
+  trace::gauge_set(trace::Gauge::kAdaptiveCurK,
+                   static_cast<std::uint64_t>(v_.cfg_.k));
   trace::flight::instant(trace::flight::EventId::kAdaptiveGrow, /*kind=*/1,
                          static_cast<std::uint64_t>(v_.cfg_.n));
 }
@@ -71,6 +83,10 @@ void HpAdaptive::recover_add_overflow(bool positive) {
   v_.cfg_.n += 1;
   ++growth_events_;
   trace::count(trace::Counter::kAdaptiveRecoverOverflow);
+  trace::gauge_set(trace::Gauge::kAdaptiveCurN,
+                   static_cast<std::uint64_t>(v_.cfg_.n));
+  trace::gauge_set(trace::Gauge::kAdaptiveCurK,
+                   static_cast<std::uint64_t>(v_.cfg_.k));
   trace::flight::instant(trace::flight::EventId::kAdaptiveGrow, /*kind=*/2,
                          static_cast<std::uint64_t>(v_.cfg_.n));
 }

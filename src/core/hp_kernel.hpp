@@ -373,6 +373,8 @@ constexpr void block_flush(util::Limb* a, U128* pos, U128* neg, int n,
   trace::count(trace::Counter::kBlockNormalizes);
   trace::count(trace::Counter::kBlockFlushedDeposits,
                static_cast<std::uint64_t>(pending));
+  trace::observe(trace::Hist::kBlockFlushDepth,
+                 static_cast<std::uint64_t>(pending));
   util::Limb pv[kMaxLimbs] = {};
   util::Limb nv[kMaxLimbs] = {};
   U128 c = 0;
@@ -398,6 +400,15 @@ constexpr void block_flush(util::Limb* a, U128* pos, U128* neg, int n,
   util::add_into(span, util::ConstLimbSpan(pv, static_cast<std::size_t>(n)));
   // hplint: allow(discard-status) — ring-wrap is the scalar semantics
   util::sub_into(span, util::ConstLimbSpan(nv, static_cast<std::size_t>(n)));
+  if constexpr (trace::enabled()) {
+    // Live density indicator: nonzero limbs of the just-folded accumulator.
+    // Runtime-only — the occupancy walk must not slow constexpr proofs.
+    if (!std::is_constant_evaluated()) {
+      std::uint64_t occ = 0;
+      for (int j = 0; j < n; ++j) occ += a[j] != 0 ? 1u : 0u;
+      trace::gauge_set(trace::Gauge::kAccLimbOccupancy, occ);
+    }
+  }
   pending = 0;
   bound_exp = block_bound_exp(a, n);
 }

@@ -337,6 +337,7 @@ void Comm::send_raw(int dest, int tag, const void* buf, std::size_t bytes) {
   rt_->abort_check();
   trace::count(trace::Counter::kMpisimMessages);
   trace::count(trace::Counter::kMpisimBytesSent, bytes);
+  trace::observe(trace::Hist::kMpisimMsgBytes, bytes);
   rt_->note_message(bytes);
   flight::instant(
       flight::EventId::kMpiSend,

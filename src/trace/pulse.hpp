@@ -1,0 +1,94 @@
+// hpsum_pulse — the live time-series plane over hpsum_trace snapshots.
+//
+// trace.hpp answers "how much so far" (counters/histograms/gauges) and
+// flight.hpp answers "when, in what order". Neither answers "is the run
+// healthy *right now*" — the question a long-running aggregation service
+// (ROADMAP: hpsum_serve) must keep answering while millions of deposits
+// stream in. This layer is that answer: a runtime-armable background
+// sampler thread that snapshots the metric catalogs on a fixed interval
+// and exports two synchronized views:
+//
+//   - JSONL stream (required): one header line describing the stream, then
+//     one line per tick carrying the per-tick *delta* of every counter and
+//     histogram (nonzero entries only; buckets as a sparse index->count
+//     map) plus the current gauge levels. `tools/hpsum_top.py` tails this
+//     live; `tools/pulse_smoke.py` validates it in CI.
+//   - Prometheus text exposition (optional): cumulative totals rewritten
+//     atomically (tmp + rename) every tick — counters as `_total`,
+//     histograms as `_bucket{le=...}`/`_sum`/`_count`, gauges as gauges.
+//
+// Timestamps are monotone by construction: the wall-clock epoch is read
+// once at arm() and every tick stamps epoch_ms + steady_clock delta, so a
+// wall-clock step mid-run cannot make ts_ms go backwards.
+//
+// Arming mirrors the flight recorder: explicit arm(Config), the
+// HPSUM_PULSE environment variable (value = JSONL path, or "1" for the
+// default "pulse.jsonl"; HPSUM_PULSE_INTERVAL_MS and HPSUM_PULSE_PROM
+// refine it), or a harness's --pulse flags (bench/common.hpp). disarm()
+// takes one final tick so short runs still produce a complete stream.
+//
+// Under -DHPSUM_TRACE=OFF the sampler never starts: arm() writes only the
+// stream header (with "enabled": false) and reports failure, keeping the
+// disarmed-binary cost at zero and the OFF contract testable
+// (pulse_smoke.py --expect-disabled).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace hpsum::trace::pulse {
+
+/// Sampler configuration. jsonl_path is the stream; prom_path, when
+/// nonempty, additionally rewrites Prometheus exposition every tick.
+struct Config {
+  std::string jsonl_path = "pulse.jsonl";
+  std::string prom_path;  ///< empty = no Prometheus export
+  std::chrono::milliseconds interval{250};
+};
+
+/// True while the sampler thread is running (always false when the
+/// telemetry layer is compiled out).
+[[nodiscard]] bool armed() noexcept;
+
+/// Starts the sampler. Writes the stream header immediately, then one
+/// tick line per interval. Returns false — with the header (enabled:false)
+/// still written so downstream tooling sees a well-formed stream — when
+/// the layer is compiled out; false also when already armed or the JSONL
+/// file cannot be opened.
+bool arm(const Config& cfg);
+
+/// Arms from the environment (HPSUM_PULSE / HPSUM_PULSE_INTERVAL_MS /
+/// HPSUM_PULSE_PROM). Returns false when HPSUM_PULSE is unset/empty/"0"
+/// or arm() fails. Harnesses call this once at startup.
+bool arm_from_env();
+
+/// Stops the sampler after one final tick (so every armed run exports its
+/// end state even if shorter than one interval). Idempotent; safe to call
+/// while disarmed.
+void disarm() noexcept;
+
+/// Number of tick lines written since the last arm(). For tests.
+[[nodiscard]] std::uint64_t ticks() noexcept;
+
+// ---- render helpers (pure; exposed for unit tests) ----
+
+/// The JSONL header line (no trailing newline), e.g.
+/// {"hpsum_pulse": 1, "enabled": true, "interval_ms": 250, "epoch_ms": T}
+[[nodiscard]] std::string jsonl_header(const Config& cfg,
+                                       std::uint64_t epoch_ms);
+
+/// One JSONL tick line (no trailing newline): seq, ts_ms, nonzero counter
+/// deltas, nonzero histogram deltas (sparse buckets), all gauge levels.
+[[nodiscard]] std::string jsonl_tick(const Snapshot& delta,
+                                     std::uint64_t ts_ms, std::uint64_t seq);
+
+/// Prometheus text exposition of cumulative totals. Metric names are the
+/// catalog names with '.'->'_' and an "hpsum_" prefix; counters get a
+/// "_total" suffix, histogram buckets are cumulative with integer `le`
+/// bounds (hist_bucket_le) and a final +Inf bucket.
+[[nodiscard]] std::string to_prometheus(const Snapshot& total);
+
+}  // namespace hpsum::trace::pulse

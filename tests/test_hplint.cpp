@@ -92,8 +92,12 @@ TEST(HplintScope, BenchOnlyGetsDiscardRule) {
   EXPECT_FALSE(s.l5);  // benches print results by design
 }
 
-TEST(HplintScope, RawTelemetryCoversCoreOnly) {
+TEST(HplintScope, RawTelemetryCoversInstrumentedPlanes) {
   EXPECT_TRUE(lint::scope_for_path("src/core/hp_convert.hpp").l5);
+  // The planes feeding the pulse stream must route output through trace
+  // probes too; their sanctioned printers carry L9 allow annotations.
+  EXPECT_TRUE(lint::scope_for_path("src/mpisim/mpisim.cpp").l5);
+  EXPECT_TRUE(lint::scope_for_path("src/audit/health.cpp").l5);
   // src/trace IS the sanctioned sink; backends/sims report via counters but
   // keep their honest measured-wall printing paths out of L5's reach.
   EXPECT_FALSE(lint::scope_for_path("src/trace/trace.cpp").l5);

@@ -43,6 +43,17 @@ void expect_count(const trace::Snapshot& delta, trace::Counter c,
   }
 }
 
+// Same contract for one histogram bucket.
+void expect_bucket(const trace::Snapshot& delta, trace::Hist h,
+                   std::size_t bucket, std::uint64_t expected) {
+  if constexpr (trace::enabled()) {
+    EXPECT_EQ(delta.hist(h).buckets[bucket], expected)
+        << trace::hist_name(h) << " bucket " << bucket;
+  } else {
+    EXPECT_EQ(delta.hist(h).buckets[bucket], 0u) << trace::hist_name(h);
+  }
+}
+
 TEST(TraceCatalog, NamesAreStableUniqueAndDotted) {
   std::set<std::string> seen;
   for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
@@ -72,6 +83,91 @@ TEST(TraceCatalog, CounterFromNameRoundTripsEveryCounter) {
   EXPECT_FALSE(trace::counter_from_name("").has_value());
   // Prefixes of real names must not resolve.
   EXPECT_FALSE(trace::counter_from_name("core.scatter_add").has_value());
+}
+
+TEST(TraceCatalog, HistAndGaugeCatalogsAreUniqueAndRoundTrip) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < trace::kHistCount; ++i) {
+    const auto h = static_cast<trace::Hist>(i);
+    const std::string name(trace::hist_name(h));
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+    const auto found = trace::hist_from_name(name);
+    ASSERT_TRUE(found.has_value()) << name;
+    EXPECT_EQ(*found, h) << name;
+  }
+  for (std::size_t i = 0; i < trace::kGaugeCount; ++i) {
+    const auto g = static_cast<trace::Gauge>(i);
+    const std::string name(trace::gauge_name(g));
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+    const auto found = trace::gauge_from_name(name);
+    ASSERT_TRUE(found.has_value()) << name;
+    EXPECT_EQ(*found, g) << name;
+  }
+  // The three catalogs must not leak into each other's lookups; the
+  // graduated carry-chain counter names must stay retired.
+  EXPECT_FALSE(trace::hist_from_name("core.scatter_add.calls").has_value());
+  EXPECT_FALSE(trace::gauge_from_name("core.scatter_add.carry_chain").has_value());
+  EXPECT_FALSE(
+      trace::counter_from_name("core.scatter_add.carry_chain_len1").has_value());
+  EXPECT_FALSE(trace::hist_from_name("").has_value());
+  EXPECT_FALSE(trace::gauge_from_name("adaptive.cur").has_value());
+}
+
+TEST(TraceHistogram, BucketSchemeIsLog2WithZeroBucketAndTailClamp) {
+  EXPECT_EQ(trace::hist_bucket_index(0), 0u);
+  EXPECT_EQ(trace::hist_bucket_index(1), 1u);
+  EXPECT_EQ(trace::hist_bucket_index(2), 2u);
+  EXPECT_EQ(trace::hist_bucket_index(3), 2u);
+  EXPECT_EQ(trace::hist_bucket_index(4), 3u);
+  EXPECT_EQ(trace::hist_bucket_index(255), 8u);
+  EXPECT_EQ(trace::hist_bucket_index(256), 9u);
+  // The tail bucket absorbs everything bit_width can push past the end.
+  EXPECT_EQ(trace::hist_bucket_index(~std::uint64_t{0}),
+            trace::kHistBuckets - 1);
+  static_assert(trace::hist_bucket_index(7) == 3);
+  // Each value lands in the bucket whose inclusive bound covers it and
+  // whose predecessor's bound does not.
+  for (std::size_t b = 1; b + 1 < trace::kHistBuckets; ++b) {
+    EXPECT_EQ(trace::hist_bucket_index(trace::hist_bucket_le(b)), b);
+    EXPECT_EQ(trace::hist_bucket_index(trace::hist_bucket_le(b - 1) + 1), b);
+  }
+  EXPECT_EQ(trace::hist_bucket_le(0), 0u);
+  EXPECT_EQ(trace::hist_bucket_le(trace::kHistBuckets - 1), ~std::uint64_t{0});
+}
+
+TEST(TraceHistogram, ObserveAccountsBucketsCountAndSumExactly) {
+  const trace::Snapshot before = trace::snapshot();
+  trace::observe(trace::Hist::kMpisimMsgBytes, 0);
+  trace::observe(trace::Hist::kMpisimMsgBytes, 5);    // bucket 3
+  trace::observe(trace::Hist::kMpisimMsgBytes, 7);    // bucket 3
+  trace::observe(trace::Hist::kMpisimMsgBytes, 100);  // bucket 7
+  const trace::Snapshot d = delta_of(before);
+  expect_bucket(d, trace::Hist::kMpisimMsgBytes, 0, 1);
+  expect_bucket(d, trace::Hist::kMpisimMsgBytes, 3, 2);
+  expect_bucket(d, trace::Hist::kMpisimMsgBytes, 7, 1);
+  expect_bucket(d, trace::Hist::kMpisimMsgBytes, 5, 0);
+  if constexpr (trace::enabled()) {
+    EXPECT_EQ(d.hist(trace::Hist::kMpisimMsgBytes).count, 4u);
+    EXPECT_EQ(d.hist(trace::Hist::kMpisimMsgBytes).sum, 112u);
+  } else {
+    EXPECT_EQ(d.hist(trace::Hist::kMpisimMsgBytes).count, 0u);
+    EXPECT_EQ(d.hist(trace::Hist::kMpisimMsgBytes).sum, 0u);
+  }
+}
+
+TEST(TraceGauge, GaugeIsLastWriteWins) {
+  trace::gauge_set(trace::Gauge::kAdaptiveCurN, 6);
+  trace::gauge_set(trace::Gauge::kAdaptiveCurN, 9);
+  const trace::Snapshot snap = trace::snapshot();
+  if constexpr (trace::enabled()) {
+    EXPECT_EQ(snap.gauge(trace::Gauge::kAdaptiveCurN), 9u);
+  } else {
+    EXPECT_EQ(snap.gauge(trace::Gauge::kAdaptiveCurN), 0u);
+  }
+  trace::reset();
+  EXPECT_EQ(trace::snapshot().gauge(trace::Gauge::kAdaptiveCurN), 0u);
 }
 
 TEST(TraceCatalog, SnapshotValueByNameMatchesValueByEnum) {
@@ -136,7 +232,9 @@ TEST(TraceProbes, ScatterAddCountsDepositsAndStatusRaises) {
 
 TEST(TraceProbes, CarryChainHistogramBucketsExactLengths) {
   // Hand-built accumulators whose low limbs are all-ones force the carry
-  // past the two deposit limbs by an exact, known distance.
+  // past the two deposit limbs by an exact, known distance. Chain length L
+  // lands in log2 bucket hist_bucket_index(L).
+  constexpr auto kChain = trace::Hist::kScatterCarryChain;
   {
     HpFixed<4, 2> acc;           // limbs [0..1] integer, [2..3] fraction
     acc.limbs()[2] = ~0ull;      // fraction part = 1 - 2^-128
@@ -144,8 +242,12 @@ TEST(TraceProbes, CarryChainHistogramBucketsExactLengths) {
     const trace::Snapshot before = trace::snapshot();
     acc += std::ldexp(1.0, -128);  // lsb deposit wraps both fraction limbs
     const trace::Snapshot d = delta_of(before);
-    expect_count(d, trace::Counter::kScatterCarryChain1, 1);
-    expect_count(d, trace::Counter::kScatterCarryChain2, 0);
+    expect_bucket(d, kChain, trace::hist_bucket_index(1), 1);  // length 1
+    expect_bucket(d, kChain, trace::hist_bucket_index(2), 0);
+    if constexpr (trace::enabled()) {
+      EXPECT_EQ(d.hist(kChain).count, 1u);
+      EXPECT_EQ(d.hist(kChain).sum, 1u);
+    }
     EXPECT_EQ(acc.to_double(), 1.0);
   }
   {
@@ -156,8 +258,11 @@ TEST(TraceProbes, CarryChainHistogramBucketsExactLengths) {
     const trace::Snapshot before = trace::snapshot();
     acc += std::ldexp(1.0, -128);  // carry travels into the top limb
     const trace::Snapshot d = delta_of(before);
-    expect_count(d, trace::Counter::kScatterCarryChain2, 1);
-    expect_count(d, trace::Counter::kScatterCarryChain1, 0);
+    expect_bucket(d, kChain, trace::hist_bucket_index(2), 1);  // length 2
+    expect_bucket(d, kChain, trace::hist_bucket_index(1), 0);
+    if constexpr (trace::enabled()) {
+      EXPECT_EQ(d.hist(kChain).sum, 2u);
+    }
   }
   {
     HpFixed<4, 2> acc;  // an in-place deposit with no onward carry
@@ -165,10 +270,13 @@ TEST(TraceProbes, CarryChainHistogramBucketsExactLengths) {
     acc += 1.0;
     const trace::Snapshot d = delta_of(before);
     expect_count(d, trace::Counter::kScatterAddCalls, 1);
-    expect_count(d, trace::Counter::kScatterCarryChain1, 0);
-    expect_count(d, trace::Counter::kScatterCarryChain2, 0);
-    expect_count(d, trace::Counter::kScatterCarryChain3, 0);
-    expect_count(d, trace::Counter::kScatterCarryChain4Plus, 0);
+    // Length 0 is a real observation now (bucket 0), not an untracked gap.
+    expect_bucket(d, kChain, 0, 1);
+    expect_bucket(d, kChain, 1, 0);
+    if constexpr (trace::enabled()) {
+      EXPECT_EQ(d.hist(kChain).count, 1u);
+      EXPECT_EQ(d.hist(kChain).sum, 0u);
+    }
   }
 }
 
@@ -211,10 +319,17 @@ TEST(TraceConcurrency, RetiredThreadCountsSurviveInSnapshots) {
   std::thread t([] {
     for (int i = 0; i < 1000; ++i) {
       trace::count(trace::Counter::kPhisimOffloads);
+      trace::observe(trace::Hist::kMpisimMsgBytes, 8);
     }
   });
   t.join();
-  expect_count(delta_of(before), trace::Counter::kPhisimOffloads, 1000);
+  const trace::Snapshot d = delta_of(before);
+  expect_count(d, trace::Counter::kPhisimOffloads, 1000);
+  expect_bucket(d, trace::Hist::kMpisimMsgBytes, trace::hist_bucket_index(8),
+                1000);
+  if constexpr (trace::enabled()) {
+    EXPECT_EQ(d.hist(trace::Hist::kMpisimMsgBytes).sum, 8000u);
+  }
 }
 
 TEST(TraceConcurrency, SnapshotUnderHammeringIsMonotoneAndComplete) {
@@ -254,7 +369,7 @@ TEST(TraceExport, JsonAndCsvCarryEveryCounter) {
   const trace::Snapshot snap = trace::snapshot();
   const std::string json = snap.to_json();
   const std::string csv = snap.to_csv();
-  EXPECT_NE(json.find("\"hpsum_trace\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"hpsum_trace\": 2"), std::string::npos);
   EXPECT_NE(json.find(trace::enabled() ? "\"enabled\": true"
                                        : "\"enabled\": false"),
             std::string::npos);
@@ -264,6 +379,17 @@ TEST(TraceExport, JsonAndCsvCarryEveryCounter) {
         std::string(trace::counter_name(static_cast<trace::Counter>(i)));
     EXPECT_NE(json.find('"' + name + '"'), std::string::npos) << name;
     EXPECT_NE(csv.find('\n' + name + ','), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  for (std::size_t i = 0; i < trace::kHistCount; ++i) {
+    const auto name = std::string(trace::hist_name(static_cast<trace::Hist>(i)));
+    EXPECT_NE(json.find('"' + name + '"'), std::string::npos) << name;
+  }
+  for (std::size_t i = 0; i < trace::kGaugeCount; ++i) {
+    const auto name =
+        std::string(trace::gauge_name(static_cast<trace::Gauge>(i)));
+    EXPECT_NE(json.find('"' + name + '"'), std::string::npos) << name;
   }
 }
 
@@ -276,7 +402,7 @@ TEST(TraceExport, WriteJsonToFileAndFailurePath) {
   content.resize(std::fread(content.data(), 1, content.size(), f));
   std::fclose(f);
   std::remove(path.c_str());
-  EXPECT_NE(content.find("\"hpsum_trace\": 1"), std::string::npos);
+  EXPECT_NE(content.find("\"hpsum_trace\": 2"), std::string::npos);
   EXPECT_FALSE(trace::write_json("/nonexistent-dir/trace.json"));
   // The failed write must not leave a file behind.
   EXPECT_EQ(std::fopen("/nonexistent-dir/trace.json", "rb"), nullptr);
@@ -318,15 +444,41 @@ TEST(TraceDeltas, DeltaSinceSaturatesInsteadOfWrapping) {
   b.values[0] = 3;  // "earlier" is ahead (e.g. a reset happened in between)
   EXPECT_EQ(b.delta_since(a).values[0], 0u);
   EXPECT_EQ(a.delta_since(b).values[0], 7u);
+  // Histogram buckets/counts/sums saturate like counters.
+  a.hists[0].buckets[5] = 4;
+  a.hists[0].count = 4;
+  a.hists[0].sum = 100;
+  b.hists[0].buckets[5] = 1;
+  b.hists[0].count = 1;
+  b.hists[0].sum = 130;
+  EXPECT_EQ(a.delta_since(b).hists[0].buckets[5], 3u);
+  EXPECT_EQ(a.delta_since(b).hists[0].count, 3u);
+  EXPECT_EQ(a.delta_since(b).hists[0].sum, 0u);  // saturates, no wrap
+  EXPECT_EQ(b.delta_since(a).hists[0].buckets[5], 0u);
+  // Gauges are levels: a delta carries the *current* reading, undiffed.
+  a.gauges[0] = 7;
+  b.gauges[0] = 9;
+  EXPECT_EQ(a.delta_since(b).gauges[0], 7u);
+  EXPECT_EQ(b.delta_since(a).gauges[0], 9u);
 }
 
 TEST(TraceReset, ZeroesLiveAndRetiredTotals) {
   trace::count(trace::Counter::kMpisimReductions, 3);
+  trace::observe(trace::Hist::kMpisimMsgBytes, 64);
+  trace::gauge_set(trace::Gauge::kAccLimbOccupancy, 5);
   trace::reset();
   const trace::Snapshot snap = trace::snapshot();
   for (std::size_t i = 0; i < trace::kCounterCount; ++i) {
     EXPECT_EQ(snap.values[i], 0u)
         << trace::counter_name(static_cast<trace::Counter>(i));
+  }
+  for (std::size_t h = 0; h < trace::kHistCount; ++h) {
+    EXPECT_EQ(snap.hists[h].count, 0u);
+    EXPECT_EQ(snap.hists[h].sum, 0u);
+    for (const std::uint64_t b : snap.hists[h].buckets) EXPECT_EQ(b, 0u);
+  }
+  for (std::size_t g = 0; g < trace::kGaugeCount; ++g) {
+    EXPECT_EQ(snap.gauges[g], 0u);
   }
 }
 

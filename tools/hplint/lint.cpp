@@ -889,9 +889,14 @@ RuleScope scope_for_path(std::string_view path) noexcept {
   s.l2 = contract || path_contains(path, "src/util");
   s.l3 = true;  // discarding a status mask is wrong everywhere we scan
   s.l4 = path_contains(path, "src/");
-  // L5 covers the kernel directory only: bench/examples print by design,
-  // and src/trace IS the sanctioned telemetry sink.
-  s.l5 = path_contains(path, "src/core");
+  // L5 covers the kernel directory plus the instrumented planes that feed
+  // the pulse stream (src/mpisim, src/audit): bench/examples print by
+  // design, and src/trace IS the sanctioned telemetry sink. Legitimate
+  // exceptions (e.g. the audit reporters' own output paths) are ledgered
+  // via L9 allow annotations, not scoped out wholesale.
+  s.l5 = path_contains(path, "src/core") ||
+         path_contains(path, "src/mpisim") ||
+         path_contains(path, "src/audit");
   // L6 bans calling the kernel bodies anywhere in src/ EXCEPT their one
   // home (src/core/hp_kernel.*) and the limb primitives they sit on.
   s.l6 = path_contains(path, "src/") &&

@@ -25,9 +25,12 @@
 //                      unordered-container iteration feeding reduction
 //                      order in deterministic paths.
 //   L5 raw-telemetry   no raw printf/iostream output or ad-hoc WallTimer /
-//                      ThreadCpuTimer measurement inside src/core — kernel
-//                      observability flows through hpsum::trace counters so
-//                      probes stay compile-out-able and machine-readable.
+//                      ThreadCpuTimer measurement inside src/core,
+//                      src/mpisim, or src/audit — observability in the
+//                      instrumented planes flows through hpsum::trace
+//                      probes so it stays compile-out-able and
+//                      machine-readable; sanctioned output paths (the
+//                      audit reporters) are ledgered via L9 allows.
 //   L6 duplicate-kernel no direct calls to the limb-kernel bodies
 //                      (detail::add_impl, sub_impl, negate_impl,
 //                      scatter_add_double) and no hand-rolled limb
@@ -144,7 +147,7 @@ struct RuleScope {
   bool l2 = false;  ///< HP limb arithmetic files
   bool l3 = false;  ///< everything scanned
   bool l4 = false;  ///< deterministic paths
-  bool l5 = false;  ///< kernel files (src/core) — telemetry via hpsum::trace
+  bool l5 = false;  ///< src/core + src/mpisim + src/audit — telemetry via trace
   bool l6 = false;  ///< src/ minus the kernel home (hp_kernel.*, util/limbs)
   bool l7 = false;  ///< src/ call sites (interprocedural status escape)
   bool l8 = false;  ///< the concurrent surface: src/core, src/trace, src/cudasim

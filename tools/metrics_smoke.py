@@ -2,12 +2,16 @@
 """Metrics smoke gate for the hpsum_trace telemetry layer.
 
 Runs bench/ablate_convert with --metrics=FILE at two sizes and validates
-the exported counter snapshot (schema in docs/OBSERVABILITY.md):
+the exported metric snapshot (schema in docs/OBSERVABILITY.md):
 
-  * the document carries ``"hpsum_trace": 1``, ``"enabled": true`` and a
-    ``"counters"`` object whose values are all non-negative integers,
-  * the required core counters are present (scatter/reference adder calls,
-    CAS retries, sticky-status raises),
+  * the document carries ``"hpsum_trace": 2``, ``"enabled": true``, a
+    ``"counters"`` object whose values are all non-negative integers, a
+    ``"histograms"`` object whose entries each carry ``count``/``sum`` and
+    a bucket array of the catalog width with ``sum(buckets) == count``,
+    and a ``"gauges"`` object of non-negative integers,
+  * the required core counters and histograms are present
+    (scatter/reference adder calls, CAS retries, sticky-status raises,
+    the carry-chain distribution),
   * the fast path actually fired: ``core.scatter_add.calls`` is nonzero
     (ablate_convert's scatter streams go through scatter_add_double), and
   * counters are monotone in workload size: doubling --n must not shrink
@@ -45,6 +49,69 @@ NONZERO = [
     "core.scatter_add.calls",
     "core.reference_add.calls",
 ]
+REQUIRED_HISTS = [
+    "core.scatter_add.carry_chain",
+    "core.block.flush_depth",
+    "core.reduce.latency_ns",
+    "atomic.cas.retries_per_add",
+    "mpisim.msg_bytes",
+]
+REQUIRED_GAUGES = [
+    "core.block.limb_occupancy",
+    "adaptive.cur_n",
+    "adaptive.cur_k",
+]
+# Must match trace::kHistBuckets.
+HIST_BUCKETS = 48
+
+
+def validate_hist_gauge_schema(doc, failures, expect_enabled=True):
+    """Validates the v2 "histograms" and "gauges" objects."""
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        failures.append('"histograms" object missing')
+        hists = {}
+    for name in REQUIRED_HISTS:
+        if name not in hists:
+            failures.append(f"required histogram {name!r} missing")
+    for name, h in hists.items():
+        if not isinstance(h, dict):
+            failures.append(f"histogram {name!r} is not an object")
+            continue
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list) or len(buckets) != HIST_BUCKETS:
+            failures.append(f"histogram {name!r} buckets is not a "
+                            f"{HIST_BUCKETS}-wide array")
+            continue
+        bad = [b for b in buckets
+               if not isinstance(b, int) or isinstance(b, bool) or b < 0]
+        if bad:
+            failures.append(f"histogram {name!r} has non-integer buckets")
+            continue
+        count, total = h.get("count"), h.get("sum")
+        for key, v in (("count", count), ("sum", total)):
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                failures.append(f"histogram {name!r} {key} is not a "
+                                f"non-negative integer: {v!r}")
+        if isinstance(count, int) and sum(buckets) != count:
+            failures.append(f"histogram {name!r}: sum(buckets)="
+                            f"{sum(buckets)} != count={count}")
+        if not expect_enabled and (h.get("count") or sum(buckets)):
+            failures.append(f"histogram {name!r} is nonzero in a disabled "
+                            "build — probes were not compiled out")
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        failures.append('"gauges" object missing')
+        gauges = {}
+    for name in REQUIRED_GAUGES:
+        if name not in gauges:
+            failures.append(f"required gauge {name!r} missing")
+    for name, v in gauges.items():
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            failures.append(f"gauge {name!r} is not a non-negative integer: "
+                            f"{v!r}")
+        elif not expect_enabled and v != 0:
+            failures.append(f"gauge {name!r} is {v} in a disabled build")
 
 
 def run_once(bench, n, out_path):
@@ -58,9 +125,10 @@ def run_once(bench, n, out_path):
 
 
 def validate_schema(doc, failures, expect_enabled=True):
-    if doc.get("hpsum_trace") != 1:
-        failures.append('missing/wrong "hpsum_trace": 1 version marker')
+    if doc.get("hpsum_trace") != 2:
+        failures.append('missing/wrong "hpsum_trace": 2 version marker')
         return {}
+    validate_hist_gauge_schema(doc, failures, expect_enabled)
     if expect_enabled and doc.get("enabled") is not True:
         failures.append('"enabled" is not true — was the bench built with '
                         "HPSUM_TRACE=OFF?")

@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Pulse smoke gate for the hpsum_pulse live metrics plane.
+
+Runs bench/fig6_mpi_scaling with --pulse at a short interval and validates
+the exported stream (schemas in docs/OBSERVABILITY.md):
+
+  * every line is valid JSON (JSONL): line 0 is the stream header carrying
+    ``"hpsum_pulse": 1``, ``"enabled": true``, ``interval_ms`` and
+    ``epoch_ms``; every later line is a tick,
+  * at least --min-ticks tick lines were produced (default 2),
+  * tick ``seq`` is 1,2,3,... and ``ts_ms`` is monotone non-decreasing and
+    never earlier than the header's ``epoch_ms``,
+  * tick counter/histogram deltas are non-negative integers, histogram
+    entries carry consistent ``count``/``sum``/sparse ``buckets`` (bucket
+    indices within the catalog width, counts summing to ``count``), and
+    every metric name resolves in the full --metrics export of the same
+    binary (no phantom names),
+  * the Prometheus exposition written by --pulse-prom parses: every line
+    is a ``# TYPE`` comment or ``name[{labels}] value``, histogram
+    ``_bucket`` series are cumulative in ``le`` order ending at ``+Inf``
+    with the ``_count`` total, and counters are non-negative.
+
+With ``--expect-disabled`` the gate flips for HPSUM_TRACE=OFF builds: the
+stream must be exactly one header line with ``"enabled": false`` and no
+ticks (the sampler never starts), and no Prometheus file is written.
+
+Exit status: 0 on pass, 1 on a validation failure, 2 on usage errors.
+Registered as the ``pulse_smoke`` / ``pulse_smoke_disabled`` ctests and
+the ``pulse-smoke`` CI job.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+# Must match trace::kHistBuckets.
+HIST_BUCKETS = 48
+
+PROM_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?\d+(\.\d+)?([eE][+-]?\d+)?)$"
+)
+PROM_LE = re.compile(r'le="([^"]+)"')
+
+
+def run_fig6(bench, n, maxp, jsonl, prom, interval_ms, expect_disabled):
+    cmd = [str(bench), f"--n={n}", f"--maxp={maxp}",
+           f"--pulse={jsonl}", f"--pulse-interval-ms={interval_ms}"]
+    if not expect_disabled:
+        cmd.append(f"--pulse-prom={prom}")
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+    # In OFF builds arm() reports failure after writing the header; the
+    # harness only treats that as fatal when the layer is enabled, so the
+    # binary still exits 0 either way.
+    if proc.returncode != 0:
+        raise RuntimeError(f"{bench} exited {proc.returncode}")
+
+
+def load_catalog(bench, failures):
+    """The metric-name catalog from the binary's own --metrics export."""
+    with tempfile.TemporaryDirectory(prefix="hpsum_pulse_cat_") as tmp:
+        path = pathlib.Path(tmp) / "metrics.json"
+        cmd = [str(bench), "--n=1000", "--maxp=2", f"--metrics={path}"]
+        subprocess.run(cmd, stdout=subprocess.DEVNULL, check=True)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    counters = set(doc.get("counters", {}))
+    hists = set(doc.get("histograms", {}))
+    gauges = set(doc.get("gauges", {}))
+    if not counters or not hists or not gauges:
+        failures.append("--metrics export is missing catalog sections; "
+                        "cannot cross-check pulse names")
+    return counters, hists, gauges
+
+
+def nonneg_int(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def validate_tick(i, tick, catalog, failures):
+    counters, hists, gauges = catalog
+    for key in ("seq", "ts_ms", "counters", "histograms", "gauges"):
+        if key not in tick:
+            failures.append(f"tick {i}: missing {key!r}")
+            return
+    for name, v in tick["counters"].items():
+        if name not in counters:
+            failures.append(f"tick {i}: unknown counter {name!r}")
+        if not nonneg_int(v):
+            failures.append(f"tick {i}: counter {name!r} delta {v!r} is not "
+                            "a non-negative integer")
+        elif v == 0:
+            failures.append(f"tick {i}: counter {name!r} delta is zero — "
+                            "ticks must carry nonzero deltas only")
+    for name, h in tick["histograms"].items():
+        if name not in hists:
+            failures.append(f"tick {i}: unknown histogram {name!r}")
+        if not isinstance(h, dict) or not nonneg_int(h.get("count")) \
+                or not nonneg_int(h.get("sum")):
+            failures.append(f"tick {i}: histogram {name!r} malformed")
+            continue
+        buckets = h.get("buckets")
+        if not isinstance(buckets, dict):
+            failures.append(f"tick {i}: histogram {name!r} buckets is not a "
+                            "sparse object")
+            continue
+        total = 0
+        for idx, c in buckets.items():
+            if not idx.isdigit() or int(idx) >= HIST_BUCKETS:
+                failures.append(f"tick {i}: histogram {name!r} bucket index "
+                                f"{idx!r} out of range")
+            if not nonneg_int(c) or c == 0:
+                failures.append(f"tick {i}: histogram {name!r} bucket "
+                                f"{idx!r} count {c!r} invalid")
+            else:
+                total += c
+        if total != h["count"]:
+            failures.append(f"tick {i}: histogram {name!r} bucket total "
+                            f"{total} != count {h['count']}")
+    for name, v in tick["gauges"].items():
+        if name not in gauges:
+            failures.append(f"tick {i}: unknown gauge {name!r}")
+        if not nonneg_int(v):
+            failures.append(f"tick {i}: gauge {name!r} value {v!r} invalid")
+
+
+def validate_stream(lines, catalog, min_ticks, failures):
+    if not lines:
+        failures.append("pulse stream is empty")
+        return
+    header = lines[0]
+    if header.get("hpsum_pulse") != 1:
+        failures.append('header missing "hpsum_pulse": 1')
+    if header.get("enabled") is not True:
+        failures.append('header "enabled" is not true — was the bench built '
+                        "with HPSUM_TRACE=OFF?")
+    for key in ("interval_ms", "epoch_ms"):
+        if not nonneg_int(header.get(key)):
+            failures.append(f"header {key!r} missing or invalid")
+    ticks = lines[1:]
+    if len(ticks) < min_ticks:
+        failures.append(f"only {len(ticks)} ticks, expected >= {min_ticks} — "
+                        "the sampler thread never ran?")
+    prev_ts = header.get("epoch_ms", 0)
+    for i, tick in enumerate(ticks, start=1):
+        validate_tick(i, tick, catalog, failures)
+        seq, ts = tick.get("seq"), tick.get("ts_ms")
+        if seq != i:
+            failures.append(f"tick {i}: seq is {seq!r}, expected {i}")
+        if not nonneg_int(ts) or ts < prev_ts:
+            failures.append(f"tick {i}: ts_ms {ts!r} is not monotone "
+                            f"(previous {prev_ts})")
+        else:
+            prev_ts = ts
+
+
+def validate_prometheus(text, failures):
+    buckets = {}  # series name -> list of (le, cumulative)
+    counts = {}
+    typed = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "histogram",
+                                                   "gauge"):
+                failures.append(f"prom line {lineno}: bad TYPE comment")
+            else:
+                typed.add(parts[2])
+            continue
+        m = PROM_SAMPLE.match(line)
+        if m is None:
+            failures.append(f"prom line {lineno}: unparsable sample: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", float(m.group(3))
+        if value < 0:
+            failures.append(f"prom line {lineno}: negative sample {name}")
+        if name.endswith("_bucket"):
+            le = PROM_LE.search(labels)
+            if le is None:
+                failures.append(f"prom line {lineno}: _bucket without le")
+                continue
+            bound = float("inf") if le.group(1) == "+Inf" else float(le.group(1))
+            buckets.setdefault(name[:-len("_bucket")], []).append(
+                (bound, value))
+        elif name.endswith("_count"):
+            counts[name[:-len("_count")]] = value
+    if not typed:
+        failures.append("prometheus exposition has no TYPE comments")
+    for series, pairs in buckets.items():
+        bounds = [b for b, _ in pairs]
+        values = [v for _, v in pairs]
+        if bounds != sorted(bounds) or bounds[-1] != float("inf"):
+            failures.append(f"prom histogram {series}: le bounds not "
+                            "ascending to +Inf")
+        if values != sorted(values):
+            failures.append(f"prom histogram {series}: bucket series not "
+                            "cumulative")
+        if series in counts and values and values[-1] != counts[series]:
+            failures.append(f"prom histogram {series}: +Inf bucket "
+                            f"{values[-1]} != _count {counts[series]}")
+
+
+def read_jsonl(path, failures):
+    lines = []
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(),
+                                 start=1):
+        if not raw.strip():
+            continue
+        try:
+            lines.append(json.loads(raw))
+        except json.JSONDecodeError as e:
+            failures.append(f"line {lineno} is not valid JSON: {e}")
+    return lines
+
+
+def finish(failures, ok_msg):
+    if failures:
+        print("pulse_smoke: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"pulse_smoke: PASS ({ok_msg})")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", default=None,
+                    help="path to the fig6_mpi_scaling binary")
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir (used when --bench is not given)")
+    ap.add_argument("--n", type=int, default=2_000_000,
+                    help="summands for the pulsed fig6 run")
+    ap.add_argument("--maxp", type=int, default=64,
+                    help="max rank count for the fig6 sweep")
+    ap.add_argument("--interval-ms", type=int, default=25,
+                    help="pulse tick interval")
+    ap.add_argument("--min-ticks", type=int, default=2,
+                    help="minimum tick lines the stream must carry")
+    ap.add_argument("--expect-disabled", action="store_true",
+                    help="validate an HPSUM_TRACE=OFF build: header-only "
+                         "stream with enabled=false, no ticks, no "
+                         "Prometheus file")
+    args = ap.parse_args()
+
+    bench = pathlib.Path(args.bench) if args.bench else \
+        pathlib.Path(args.build_dir) / "bench" / "fig6_mpi_scaling"
+    if not bench.exists():
+        print(f"pulse_smoke: {bench} not built", file=sys.stderr)
+        return 2
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="hpsum_pulse_") as tmp:
+        jsonl = pathlib.Path(tmp) / "pulse.jsonl"
+        prom = pathlib.Path(tmp) / "pulse.prom"
+        run_fig6(bench, args.n, args.maxp, jsonl, prom, args.interval_ms,
+                 args.expect_disabled)
+
+        if args.expect_disabled:
+            lines = read_jsonl(jsonl, failures)
+            if len(lines) != 1:
+                failures.append(f"disabled build wrote {len(lines)} lines, "
+                                "expected the header only")
+            if lines and lines[0].get("enabled") is not False:
+                failures.append('disabled header must carry "enabled": false')
+            if lines and lines[0].get("hpsum_pulse") != 1:
+                failures.append('disabled header missing "hpsum_pulse": 1')
+            if prom.exists():
+                failures.append("disabled build wrote a Prometheus file")
+            return finish(failures, "disabled: header-only stream as expected")
+
+        catalog = load_catalog(bench, failures)
+        lines = read_jsonl(jsonl, failures)
+        validate_stream(lines, catalog, args.min_ticks, failures)
+        if not prom.exists():
+            failures.append("--pulse-prom file was never written")
+        else:
+            validate_prometheus(prom.read_text(encoding="utf-8"), failures)
+    n_ticks = max(len(lines) - 1, 0)
+    return finish(failures, f"{n_ticks} ticks, JSONL + Prometheus schema ok")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
