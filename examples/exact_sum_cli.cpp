@@ -17,19 +17,30 @@
 // it). --health[=FILE] evaluates the run's telemetry through the
 // src/audit health rules and prints the indicator report as JSON.
 //
-// Exit status: 0 on success, 1 on parse failure, non-finite input, or a
-// failed --metrics/--flight/--health FILE write.
+// --shards=P additionally re-runs the reduction through the engine's
+// sharded sink: P depositor threads stream the data into P engine shards
+// in chunks of --snapshot-every values (default 4096) while a monitor
+// thread takes live exact snapshots of the running total; the drained
+// result must be bit-identical (limbs + status) to the sequential sum.
+//
+// Exit status: 0 on success, 1 on parse failure, non-finite input, a
+// failed --metrics/--flight/--health FILE write, or an engine-routed
+// total that is not bit-identical to the sequential reference.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "audit/audit.hpp"
 #include "audit/health.hpp"
+#include "backends/scaling.hpp"
 #include "core/hp_dyn.hpp"
 #include "core/hp_plan.hpp"
 #include "core/reduce.hpp"
+#include "engine/engine.hpp"
 #include "trace/flight.hpp"
 #include "trace/pulse.hpp"
 #include "trace/trace.hpp"
@@ -48,7 +59,8 @@ int main(int argc, char** argv) {
   try {
     const util::Args args(argc, argv,
                           {"metrics", "flight", "pulse", "pulse-interval-ms",
-                           "pulse-prom", "health"});
+                           "pulse-prom", "health", "shards",
+                           "snapshot-every"});
     if (!args.get_string("flight", "").empty()) trace::flight::arm();
     const std::string pulse = args.get_string("pulse", "");
     if (!pulse.empty()) {
@@ -85,6 +97,50 @@ int main(int argc, char** argv) {
     std::printf("exact sum        : %.17e\n", exact.to_double());
     std::printf("exact decimal    : %s\n", exact.to_decimal_string(60).c_str());
     std::printf("status           : %s\n", to_string(exact.status()).c_str());
+
+    const auto shards = static_cast<std::size_t>(args.get_int("shards", 0));
+    if (shards > 0) {
+      const auto chunk_arg = args.get_int("snapshot-every", 4096);
+      const auto chunk =
+          chunk_arg > 0 ? static_cast<std::size_t>(chunk_arg) : 4096;
+      engine::ShardSet<engine::DynSum> sink(shards, engine::DynSum(cfg));
+      std::atomic<bool> done{false};
+      std::atomic<std::uint64_t> live_snaps{0};
+      std::jthread monitor([&] {
+        while (!done.load(std::memory_order_acquire)) {
+          (void)sink.snapshot();  // live exact total, writers running
+          live_snaps.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      });
+      {
+        const auto slices = backends::partition(xs, static_cast<int>(shards));
+        std::vector<std::jthread> depositors;
+        depositors.reserve(shards);
+        for (std::size_t t = 0; t < shards; ++t) {
+          depositors.emplace_back([&, t] {
+            auto lane = sink.shard(t);
+            std::span<const double> rest = slices[t];
+            while (!rest.empty()) {
+              const std::size_t take = rest.size() < chunk ? rest.size() : chunk;
+              lane.deposit(rest.first(take));  // one publish per chunk
+              rest = rest.subspan(take);
+            }
+          });
+        }
+      }  // depositors join
+      done.store(true, std::memory_order_release);
+      monitor.join();
+      const HpDyn engine_total = sink.drain().hp;
+      const bool identical = engine_total == exact &&
+                             engine_total.status() == exact.status();
+      std::printf("engine shards    : %zu shards, chunk %zu, %llu live "
+                  "snapshots, bit-identical to sequential: %s\n",
+                  shards, chunk,
+                  static_cast<unsigned long long>(live_snaps.load()),
+                  identical ? "yes" : "NO");
+      if (!identical) return 1;
+    }
 
     const auto report = audit::order_sensitivity(xs, 64, 1);
     std::printf("order sensitivity: stddev %.3e, worst |err| %.3e over %zu "

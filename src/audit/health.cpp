@@ -28,7 +28,7 @@ constexpr Counter kPad = Counter::kCount;
 
 // The rule catalog (docs/OBSERVABILITY.md documents each indicator;
 // tools/hpsum_top.py mirrors these ratios over the pulse stream).
-constexpr std::array<Rule, 5> kRules = {{
+constexpr std::array<Rule, 6> kRules = {{
     // Share of deposits that took the paper's scatter fast path. Low
     // coverage means the workload is falling back to convert+add.
     {"scatter.fast_path_coverage",
@@ -62,6 +62,13 @@ constexpr std::array<Rule, 5> kRules = {{
      {Counter::kMpisimWireRawBytes, kPad},
      /*warn_at=*/0.50, /*fail_at=*/0.90, /*higher_is_better=*/false,
      /*na_when_equal=*/true},
+    // Torn-shard re-reads per engine snapshot. Sustained retries mean
+    // readers keep colliding with publishes — snapshot consumers should
+    // back off, or depositors should batch (fewer epoch bumps).
+    {"snapshot.retry_rate",
+     {Counter::kEngineSnapshotRetries, kPad, kPad, kPad, kPad, kPad},
+     {Counter::kEngineSnapshots, kPad},
+     /*warn_at=*/0.50, /*fail_at=*/2.00, /*higher_is_better=*/false},
 }};
 
 std::uint64_t sum_counters(const trace::Snapshot& snap,

@@ -16,6 +16,9 @@
 //                               the exactness contract had to flag loss
 //   mpisim.wire_compression     encoded / raw collective payload bytes —
 //                               whether the sparse codec is earning its keep
+//   snapshot.retry_rate         torn-shard re-reads / engine snapshots —
+//                               reader/publisher collision pressure in the
+//                               engine ShardSet seqlock
 //
 // A rule whose denominator is zero evaluates to kNotApplicable (that
 // subsystem didn't run), never to a spurious ok/fail. Thresholds are

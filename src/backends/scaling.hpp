@@ -19,6 +19,7 @@
 
 #include <omp.h>
 
+#include "engine/engine.hpp"
 #include "trace/flight.hpp"
 #include "trace/trace.hpp"
 #include "util/omp_fence.hpp"
@@ -64,15 +65,19 @@ struct ScalingPoint {
 [[nodiscard]] std::vector<std::span<const double>> partition(
     std::span<const double> xs, int p);
 
-/// std::thread strong-scaling reduction: each of `pes` threads reduces its
-/// slice into an Acc partial, the caller thread merges the partials.
-/// This is the driver for the mpisim-style and generic figures.
+/// std::thread strong-scaling reduction: each of `pes` threads deposits
+/// its slice into an engine shard, the caller thread drains the set.
+/// This is the driver for the mpisim-style and generic figures. Routing
+/// through engine::ShardSet keeps the historical semantics (lane t holds
+/// thread t's partial; drain merges lanes in order — bit-identical limbs
+/// and status to the old explicit partials vector) while making the
+/// running total snapshot-able mid-flight.
 template <class Acc>
 [[nodiscard]] ScalingPoint run_threads(std::span<const double> xs, int pes) {
   const trace::flight::ReductionScope reduction(xs.size());
   const std::uint64_t rid = reduction.id();
   const auto slices = partition(xs, pes);
-  std::vector<Acc> partials(static_cast<std::size_t>(pes));
+  engine::ShardSet<Acc> sink(static_cast<std::size_t>(pes));
   std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
 
   util::WallTimer wall;
@@ -86,9 +91,8 @@ template <class Acc>
             trace::flight::EventId::kPeBusy, rid,
             slices[static_cast<std::size_t>(t)].size());
         util::ThreadCpuTimer cpu;
-        Acc acc;
-        acc.accumulate(slices[static_cast<std::size_t>(t)]);
-        partials[static_cast<std::size_t>(t)] = acc;
+        sink.shard(static_cast<std::size_t>(t))
+            .deposit(slices[static_cast<std::size_t>(t)]);
         busy[static_cast<std::size_t>(t)] = cpu.seconds();
       });
     }
@@ -98,8 +102,8 @@ template <class Acc>
   Acc total;
   {
     const trace::flight::Span merge_span(trace::flight::EventId::kMerge, rid,
-                                  partials.size());
-    for (const Acc& p : partials) total.merge(p);
+                                  static_cast<std::size_t>(pes));
+    total = sink.drain();
   }
   const double merge_time = merge_cpu.seconds();
 
@@ -125,7 +129,7 @@ template <class Acc>
   const trace::flight::ReductionScope reduction(xs.size());
   const std::uint64_t rid = reduction.id();
   const auto slices = partition(xs, pes);
-  std::vector<Acc> partials(static_cast<std::size_t>(pes));
+  engine::ShardSet<Acc> sink(static_cast<std::size_t>(pes));
   std::vector<double> busy(static_cast<std::size_t>(pes), 0.0);
 
   util::WallTimer wall;
@@ -140,13 +144,12 @@ template <class Acc>
       const trace::flight::Span busy_span(trace::flight::EventId::kPeBusy, rid,
                                    slices[static_cast<std::size_t>(t)].size());
       util::ThreadCpuTimer cpu;
-      Acc acc;
-      acc.accumulate(slices[static_cast<std::size_t>(t)]);
-      partials[static_cast<std::size_t>(t)] = acc;
+      sink.shard(static_cast<std::size_t>(t))
+          .deposit(slices[static_cast<std::size_t>(t)]);
       busy[static_cast<std::size_t>(t)] = cpu.seconds();
     }
     // Last statement of the region: publish this thread's slice reads and
-    // partial/busy writes to the master's post-region merge (libgomp's own
+    // shard/busy writes to the master's post-region merge (libgomp's own
     // end-of-region barrier is not TSan-instrumented; see omp_fence.hpp).
     fence.arrive();
   }
@@ -156,8 +159,8 @@ template <class Acc>
   Acc total;
   {
     const trace::flight::Span merge_span(trace::flight::EventId::kMerge, rid,
-                                  partials.size());
-    for (const Acc& p : partials) total.merge(p);
+                                  static_cast<std::size_t>(pes));
+    total = sink.drain();
   }
   const double merge_time = merge_cpu.seconds();
 

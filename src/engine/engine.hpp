@@ -1,0 +1,584 @@
+// hpsum::engine — the streaming-accumulation runtime: sharded deposit
+// sinks with epoch-based exact snapshots and checkpoint/restore.
+//
+// Every parallel consumer in this repo used to hand-roll the same shape:
+// give each PE a private partial accumulator, run, then merge the partials
+// in a fixed order. That pattern is correct but offline — nothing can
+// observe the running total without first stopping every writer. The
+// paper's order-invariance guarantee is exactly what makes a *live* exact
+// total possible: HP addition is associative and commutative at the bit
+// level, so shard partials merged at any epoch boundary, in any order,
+// produce the same limbs and the same sticky status as the sequential
+// reference. ShardSet<Acc> owns that pattern once:
+//
+//   - thread-affine shards: each depositor writes its own cache-line-
+//     padded slot; no locks, no contention on the deposit path.
+//   - epoch-based snapshot(): depositors publish their partial behind a
+//     per-shard seqlock (odd epoch = write in flight). A reader copies the
+//     published words, re-checks the epoch, and retries torn shards — the
+//     same tear-free discipline as trace::snapshot(), generalized from one
+//     64-bit word to a whole limb image.
+//   - drain()/reset() lifecycle for the classic join-then-merge drivers
+//     (backends::run_threads / run_openmp, rblas::sum_parallel, the
+//     mpisim per-rank local phase, the cudasim/phisim host folds).
+//   - checkpoint()/restore() over the pinned docs/FORMAT.md canonical
+//     serialization with per-shard framing, so a checkpoint taken on S
+//     shards restores onto any shard count (frames are redistributed
+//     round-robin; exactness makes the regrouping bit-invisible).
+//
+// Memory-model notes (the part TSan cares about):
+//   Writer (publish):  epoch.store(e+1, relaxed); fence(release);
+//                      word stores (relaxed); epoch.store(e+2, release).
+//   Reader (collect):  e1 = epoch.load(acquire); word loads (relaxed);
+//                      fence(acquire); e2 = epoch.load(relaxed);
+//                      accept iff e1 == e2 and e1 is even.
+//   The release fence pairs with the reader's acquire fence through any
+//   word the reader observed, so a reader that saw mid-write data cannot
+//   also see a stale even epoch. All shared state is atomic; the working
+//   accumulator itself is written only by the owning depositor thread.
+//
+//   TSan builds express the same edges per word instead: GCC's TSan does
+//   not model atomic_thread_fence (-Wtsan, promoted by -Werror), so the
+//   fences become no-ops and the word traffic is strengthened to release
+//   stores / acquire loads. That variant is independently correct — the
+//   release word stores keep the odd-epoch store ahead of the image and
+//   the acquire word loads keep the confirming epoch re-read behind it —
+//   it just pays an ordered access per word, which the uninstrumented
+//   build avoids.
+//
+// docs/ENGINE.md documents the lifecycle, protocol, and wire framing;
+// this layer is what the ROADMAP item 1 hpsum_serve service mounts on.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/hp_dyn.hpp"
+#include "core/hp_serialize.hpp"
+#include "trace/trace.hpp"
+
+// Detect a ThreadSanitizer build (GCC defines __SANITIZE_THREAD__; clang
+// answers __has_feature(thread_sanitizer)).
+#if defined(__SANITIZE_THREAD__)
+#define HPSUM_ENGINE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HPSUM_ENGINE_TSAN 1
+#endif
+#endif
+#ifndef HPSUM_ENGINE_TSAN
+#define HPSUM_ENGINE_TSAN 0
+#endif
+
+namespace hpsum::engine {
+
+// Seqlock ordering knobs — see the memory-model notes above. Word
+// accesses are relaxed and the fences are real in normal builds; under
+// TSan the ordering moves onto the words and the fences vanish.
+#if HPSUM_ENGINE_TSAN
+inline constexpr std::memory_order kWordStoreOrder =
+    std::memory_order_release;
+inline constexpr std::memory_order kWordLoadOrder = std::memory_order_acquire;
+inline void publish_fence() noexcept {}
+inline void observe_fence() noexcept {}
+#else
+inline constexpr std::memory_order kWordStoreOrder =
+    std::memory_order_relaxed;
+inline constexpr std::memory_order kWordLoadOrder = std::memory_order_relaxed;
+inline void publish_fence() noexcept {
+  std::atomic_thread_fence(std::memory_order_release);
+}
+inline void observe_fence() noexcept {
+  std::atomic_thread_fence(std::memory_order_acquire);
+}
+#endif
+
+/// Runtime-format HP accumulator satisfying the backends::accumulators
+/// concept shape. The compile-time backends::HpSum<N,K> is the right lane
+/// type when the format is known at build time; DynSum carries the format
+/// chosen by hp_plan at runtime (exact_sum_cli, the mpisim local phase).
+struct DynSum {
+  HpDyn hp;
+
+  explicit DynSum(HpConfig cfg) : hp(cfg) {}
+  void accumulate(double x) noexcept { hp += x; }
+  void accumulate(std::span<const double> xs) noexcept { hp.accumulate(xs); }
+  void merge(const DynSum& o) { hp += o.hp; }
+  [[nodiscard]] double result() const noexcept { return hp.to_double(); }
+  [[nodiscard]] static std::string name() { return "HP(dyn)"; }
+};
+
+/// Accumulators whose state is an HP value (limbs + sticky status). These
+/// are the ones checkpoint()/restore() can frame over the canonical
+/// docs/FORMAT.md serialization: backends::HpSum<N,K> (HpFixed) and
+/// DynSum (HpDyn) both qualify; DoubleSum/HallbergSum do not.
+template <class A>
+concept HpBacked = requires(const A a) {
+  { a.hp.config() };
+  { a.hp.status() };
+  a.hp.limbs();
+};
+
+/// Extracts a shard partial as a self-describing HpDyn (limbs + status).
+template <HpBacked A>
+[[nodiscard]] HpDyn to_dyn(const A& a) {
+  const HpConfig cfg = a.hp.config();
+  HpDyn out(cfg);
+  const auto src = a.hp.limbs();
+  auto dst = out.limbs();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+  out.or_status(a.hp.status());
+  return out;
+}
+
+/// Merges a checkpoint frame back into an accumulator. Throws
+/// std::invalid_argument when the frame's format does not match the
+/// accumulator's — restore never silently reinterprets limbs.
+template <HpBacked A>
+void add_dyn(A& a, const HpDyn& v) {
+  using Hp = std::remove_cvref_t<decltype(std::declval<A&>().hp)>;
+  if constexpr (std::is_same_v<Hp, HpDyn>) {
+    a.hp += v;  // HpDyn::operator+= validates the format itself
+  } else {
+    if (v.config() != a.hp.config()) {
+      throw std::invalid_argument("engine: checkpoint frame format " +
+                                  std::to_string(v.config().n) + "/" +
+                                  std::to_string(v.config().k) +
+                                  " does not match shard format");
+    }
+    Hp tmp;
+    auto& dst = tmp.limbs();
+    const auto src = v.limbs();
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    tmp.or_status(v.status());
+    a.hp += tmp;
+  }
+}
+
+/// Fixed-width publication codec: how a shard's working accumulator is
+/// staged into the seqlock-protected word array. The default covers every
+/// trivially copyable accumulator (DoubleSum, HpSum, HallbergSum) by
+/// treating the object representation as words. A codec must be
+/// value-preserving: load(store(acc)) compares equal in limbs and status.
+template <class Acc>
+struct ShardCodec {
+  static_assert(std::is_trivially_copyable_v<Acc>,
+                "non-trivially-copyable accumulators need a ShardCodec "
+                "specialization (see ShardCodec<DynSum>)");
+
+  [[nodiscard]] static std::size_t words(const Acc& /*proto*/) noexcept {
+    return (sizeof(Acc) + 7) / 8;
+  }
+  static void store(const Acc& acc, std::uint64_t* w) noexcept {
+    unsigned char raw[sizeof(Acc)];
+    std::memcpy(raw, &acc, sizeof(Acc));
+    std::uint64_t last = 0;
+    const std::size_t full = sizeof(Acc) / 8;
+    std::memcpy(w, raw, full * 8);
+    if (sizeof(Acc) % 8 != 0) {
+      std::memcpy(&last, raw + full * 8, sizeof(Acc) % 8);
+      w[full] = last;
+    }
+  }
+  static void load(Acc& out, const std::uint64_t* w) noexcept {
+    unsigned char raw[sizeof(Acc)];
+    const std::size_t full = sizeof(Acc) / 8;
+    std::memcpy(raw, w, full * 8);
+    if (sizeof(Acc) % 8 != 0) {
+      std::memcpy(raw + full * 8, &w[full], sizeof(Acc) % 8);
+    }
+    std::memcpy(&out, raw, sizeof(Acc));
+  }
+};
+
+/// DynSum holds an HpDyn (heap-backed limb vector), so its published image
+/// is the limbs followed by one status word; load() targets an
+/// accumulator pre-shaped from the set's prototype.
+template <>
+struct ShardCodec<DynSum> {
+  [[nodiscard]] static std::size_t words(const DynSum& proto) noexcept {
+    return static_cast<std::size_t>(proto.hp.config().n) + 1;
+  }
+  static void store(const DynSum& acc, std::uint64_t* w) noexcept {
+    const auto ls = acc.hp.limbs();
+    for (std::size_t i = 0; i < ls.size(); ++i) w[i] = ls[i];
+    w[ls.size()] = static_cast<std::uint64_t>(acc.hp.status());
+  }
+  static void load(DynSum& out, const std::uint64_t* w) noexcept {
+    auto ls = out.hp.limbs();
+    for (std::size_t i = 0; i < ls.size(); ++i) ls[i] = w[i];
+    out.hp.clear_status();
+    out.hp.or_status(static_cast<HpStatus>(w[ls.size()] & kHpStatusMask));
+  }
+};
+
+/// Destructive-interference padding for the per-shard slots. Not
+/// hardware_destructive_interference_size: that constant is ABI-fragile
+/// across compilers and 64 is correct for every target this repo builds.
+inline constexpr std::size_t kShardAlign = 64;
+
+/// Engine checkpoint wire framing over canonical HP images ("HE" header +
+/// length-prefixed docs/FORMAT.md frames; see docs/FORMAT.md §engine).
+/// Exposed for tests and for hpsum_serve's future checkpoint shipping.
+[[nodiscard]] std::vector<std::byte> frame_checkpoint(
+    const std::vector<HpDyn>& frames);
+/// Inverse of frame_checkpoint. Throws std::invalid_argument on bad
+/// magic/version, truncation, trailing bytes, or corrupt frames.
+[[nodiscard]] std::vector<HpDyn> unframe_checkpoint(
+    std::span<const std::byte> bytes);
+
+/// A sharded deposit sink over any backends::accumulators-shaped Acc.
+///
+/// Construction pre-registers `lanes` permanent shards (the classic
+/// driver shape: lane t belongs to PE t). register_shard() adds dynamic
+/// shards at runtime; retiring the returned Handle folds that shard's
+/// partial into a retired total that every later snapshot still includes
+/// (the trace-registry lifecycle, applied to values).
+///
+/// Thread contract:
+///   - shard(i) deposits: exclusively the lane's owning thread.
+///   - snapshot()/checkpoint(): any thread, any time, writers running.
+///   - drain()/reset()/restore(): writers quiesced (joined or otherwise
+///     happens-before ordered), exactly like trace::reset().
+template <class Acc, class Codec = ShardCodec<Acc>>
+class ShardSet {
+  struct alignas(kShardAlign) Slot {
+    explicit Slot(const Acc& proto, std::size_t nwords)
+        : acc(proto), words(std::make_unique<std::atomic<std::uint64_t>[]>(
+                          nwords)) {}
+    /// Working accumulator — written only by the owning depositor thread,
+    /// read directly only under the quiesced-writer contract.
+    Acc acc;
+    /// Seqlock epoch: even = published image consistent, odd = publish in
+    /// flight. Monotone; one publish advances it by exactly 2.
+    std::atomic<std::uint64_t> epoch{0};
+    /// The published image (Codec words). Individually relaxed-atomic so
+    /// concurrent readers are race-free; consistency comes from `epoch`.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> words;
+  };
+
+ public:
+  /// A depositor's view of one shard. Cheap to copy; valid as long as the
+  /// owning ShardSet (or, for dynamic shards, the Handle) is alive.
+  class Shard {
+   public:
+    /// Deposits one value and publishes. Per-call publication is what
+    /// gives snapshot() deposit-boundary granularity.
+    void deposit(double x) noexcept {
+      slot_->acc.accumulate(x);
+      publish();
+    }
+    /// Deposits a block and publishes once — the driver fast path (one
+    /// epoch bump amortized over the whole slice).
+    void deposit(std::span<const double> xs) noexcept {
+      slot_->acc.accumulate(xs);
+      publish();
+    }
+    /// Merges an externally accumulated partial (the cudasim host fold
+    /// absorbs per-block device partials this way) and publishes.
+    void absorb(const Acc& partial) {
+      slot_->acc.merge(partial);
+      publish();
+    }
+
+   private:
+    friend class ShardSet;
+    friend class Handle;  // friendship does not reach nested classes
+    Shard(Slot* slot, std::size_t words) : slot_(slot), words_(words) {}
+
+    void publish() noexcept {
+      Slot& s = *slot_;
+      const std::uint64_t e = s.epoch.load(std::memory_order_relaxed);
+      s.epoch.store(e + 1, std::memory_order_relaxed);
+      publish_fence();
+      std::uint64_t staged[kMaxLimbs + 1];
+      std::uint64_t* heap = nullptr;
+      std::uint64_t* buf = staged;
+      if (words_ > static_cast<std::size_t>(kMaxLimbs) + 1) {
+        // oversized custom Acc: stage on heap
+        heap = new std::uint64_t[words_];
+        buf = heap;
+      }
+      Codec::store(s.acc, buf);
+      for (std::size_t i = 0; i < words_; ++i) {
+        // hplint: allow(memory-order) — kWordStoreOrder IS the explicit
+        // order (relaxed, or release under TSan; see the knobs above)
+        s.words[i].store(buf[i], kWordStoreOrder);
+      }
+      delete[] heap;
+      s.epoch.store(e + 2, std::memory_order_release);
+    }
+
+    Slot* slot_;
+    std::size_t words_;
+  };
+
+  /// RAII registration of a dynamic shard; destruction retires it (folds
+  /// the partial into the set's retired total under the registry lock).
+  class Handle {
+   public:
+    Handle(Handle&& o) noexcept
+        : set_(std::exchange(o.set_, nullptr)),
+          slot_(std::exchange(o.slot_, nullptr)) {}
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        release();
+        set_ = std::exchange(o.set_, nullptr);
+        slot_ = std::exchange(o.slot_, nullptr);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    [[nodiscard]] Shard shard() const noexcept {
+      return Shard(slot_, set_->words_per_shard_);
+    }
+
+   private:
+    friend class ShardSet;
+    Handle(ShardSet* set, Slot* slot) : set_(set), slot_(slot) {}
+    void release() noexcept {
+      if (set_ != nullptr) set_->retire(slot_);
+      set_ = nullptr;
+      slot_ = nullptr;
+    }
+
+    ShardSet* set_ = nullptr;
+    Slot* slot_ = nullptr;
+  };
+
+  /// Creates the set with `lanes` permanent shards, each starting as a
+  /// copy of `proto` (the zero value; DynSum protos carry the runtime
+  /// format, e.g. `ShardSet<DynSum>(p, DynSum(cfg))`).
+  explicit ShardSet(std::size_t lanes, Acc proto = Acc())
+      : proto_(std::move(proto)),
+        retired_(proto_),
+        words_per_shard_(Codec::words(proto_)) {
+    if (lanes == 0) {
+      throw std::invalid_argument("engine: ShardSet needs >= 1 lane");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < lanes; ++i) add_slot_locked();
+    lanes_ = lanes;
+  }
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  /// Permanent lane count (dynamic shards come and go on top of these).
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Depositor view of permanent lane `i` — each lane must be driven by
+  /// at most one thread at a time.
+  [[nodiscard]] Shard shard(std::size_t i) {
+    if (i >= lanes_) throw std::out_of_range("engine: lane out of range");
+    return Shard(slots_[i].get(), words_per_shard_);
+  }
+
+  /// Adds a dynamic shard. Thread-safe; the depositing thread should keep
+  /// the Handle for its lifetime and drop it to retire.
+  [[nodiscard]] Handle register_shard() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* slot = add_slot_locked();
+    return Handle(this, slot);
+  }
+
+  /// Bit-exact merged total while depositors keep running. Merge order is
+  /// retired total first (skipped while nothing retired), then live
+  /// shards in registration order — for the join-then-merge drivers this
+  /// reproduces the historical `for (t) total.merge(partials[t])` loop
+  /// exactly, so limbs and status are bit-identical to the direct path.
+  [[nodiscard]] Acc snapshot() const {
+    const auto t0 = std::chrono::steady_clock::now();
+    Acc total = proto_;
+    std::uint64_t retries = 0;
+    std::vector<std::uint64_t> buf(words_per_shard_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (has_retired_) total.merge(retired_);
+      Acc tmp = proto_;
+      for (const auto& slot : slots_) {
+        collect(*slot, buf.data(), retries);
+        Codec::load(tmp, buf.data());
+        total.merge(tmp);
+      }
+    }
+    trace::count(trace::Counter::kEngineSnapshots);
+    trace::count(trace::Counter::kEngineSnapshotRetries, retries);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    trace::observe(
+        trace::Hist::kEngineSnapshotLatencyUs,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(dt)
+                .count()));
+    return total;
+  }
+
+  /// Merged total + reset, for the classic join-then-merge drivers.
+  /// Writers must be quiesced; reads the working accumulators directly
+  /// (the join provides the happens-before edge), so the merged value is
+  /// literally the partials the depositor threads produced.
+  [[nodiscard]] Acc drain() {
+    Acc total = proto_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (has_retired_) total.merge(retired_);
+    for (const auto& slot : slots_) total.merge(slot->acc);
+    reset_locked();
+    bump_snapshot_counters_locked();
+    return total;
+  }
+
+  /// Clears every live shard and the retired total back to the prototype
+  /// zero. Writers must be quiesced.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reset_locked();
+  }
+
+  /// Serializes the retired total plus every live shard as one canonical
+  /// frame each (docs/FORMAT.md §engine checkpoint). Safe while
+  /// depositors run — shard images are collected through the seqlock.
+  [[nodiscard]] std::vector<std::byte> checkpoint() const
+    requires HpBacked<Acc>
+  {
+    std::vector<HpDyn> frames;
+    std::uint64_t retries = 0;
+    std::vector<std::uint64_t> buf(words_per_shard_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      frames.reserve(slots_.size() + 1);
+      frames.push_back(to_dyn(retired_));
+      Acc tmp = proto_;
+      for (const auto& slot : slots_) {
+        collect(*slot, buf.data(), retries);
+        Codec::load(tmp, buf.data());
+        frames.push_back(to_dyn(tmp));
+      }
+    }
+    trace::count(trace::Counter::kEngineSnapshots);
+    trace::count(trace::Counter::kEngineSnapshotRetries, retries);
+    return frame_checkpoint(frames);
+  }
+
+  /// Merges a checkpoint into this set, redistributing frames across the
+  /// permanent lanes round-robin — a checkpoint taken on any shard count
+  /// restores onto any other, and exactness makes the regrouping
+  /// invisible in the final total. Writers must be quiesced; call on a
+  /// freshly constructed (or reset) set for an exact resume. Throws
+  /// std::invalid_argument on malformed bytes or format mismatch.
+  void restore(std::span<const std::byte> bytes)
+    requires HpBacked<Acc>
+  {
+    const std::vector<HpDyn> frames = unframe_checkpoint(bytes);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t j = 0; j < frames.size(); ++j) {
+      Slot& slot = *slots_[j % lanes_];
+      add_dyn(slot.acc, frames[j]);
+      republish_locked(slot);
+    }
+  }
+
+ private:
+  Slot* add_slot_locked() {
+    slots_.push_back(std::make_unique<Slot>(proto_, words_per_shard_));
+    Slot& slot = *slots_.back();
+    republish_locked(slot);
+    trace::count(trace::Counter::kEngineShardsRegistered);
+    return &slot;
+  }
+
+  /// Folds a dynamic shard's partial into the retired total and drops the
+  /// slot. Runs on the depositor thread (Handle destruction), so reading
+  /// `acc` directly is single-owner.
+  void retire(Slot* slot) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    retired_.merge(slot->acc);
+    has_retired_ = true;
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->get() == slot) {
+        slots_.erase(it);
+        break;
+      }
+    }
+    trace::count(trace::Counter::kEngineShardsRetired);
+  }
+
+  /// Seqlock collect of one slot's published words into `buf`.
+  void collect(const Slot& slot, std::uint64_t* buf,
+               std::uint64_t& retries) const noexcept {
+    for (std::uint64_t spin = 0;; ++spin) {
+      const std::uint64_t e1 = slot.epoch.load(std::memory_order_acquire);
+      if ((e1 & 1) == 0) {
+        for (std::size_t i = 0; i < words_per_shard_; ++i) {
+          // hplint: allow(memory-order) — kWordLoadOrder IS the explicit
+          // order (relaxed, or acquire under TSan)
+          buf[i] = slot.words[i].load(kWordLoadOrder);
+        }
+        observe_fence();
+        if (slot.epoch.load(std::memory_order_relaxed) == e1) return;
+      }
+      ++retries;
+      if (spin >= 64) std::this_thread::yield();
+    }
+  }
+
+  /// Rewrites a slot's published image from its working accumulator.
+  /// Caller holds the registry mutex and writers are quiesced (or the
+  /// slot is not yet visible to any depositor).
+  void republish_locked(Slot& slot) noexcept {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_relaxed);
+    slot.epoch.store(e + 1, std::memory_order_relaxed);
+    publish_fence();
+    std::vector<std::uint64_t> buf(words_per_shard_);
+    Codec::store(slot.acc, buf.data());
+    for (std::size_t i = 0; i < words_per_shard_; ++i) {
+      // hplint: allow(memory-order) — kWordStoreOrder IS the explicit
+      // order (relaxed, or release under TSan)
+      slot.words[i].store(buf[i], kWordStoreOrder);
+    }
+    slot.epoch.store(e + 2, std::memory_order_release);
+  }
+
+  void reset_locked() noexcept {
+    for (const auto& slot : slots_) {
+      slot->acc = proto_;
+      republish_locked(*slot);
+    }
+    retired_ = proto_;
+    has_retired_ = false;
+  }
+
+  void bump_snapshot_counters_locked() const noexcept {
+    trace::count(trace::Counter::kEngineSnapshots);
+  }
+
+  Acc proto_;
+  Acc retired_;
+  bool has_retired_ = false;
+  std::size_t words_per_shard_;
+  std::size_t lanes_ = 0;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+/// Engine-routed sequential-reference helper: accumulates `xs` through a
+/// single-lane DynSum set and returns the drained partial. Bit-identical
+/// (limbs + status) to reduce_hp(xs, cfg); this is the per-rank local
+/// phase the mpisim consumers call before entering a collective.
+[[nodiscard]] HpDyn local_reduce(std::span<const double> xs, HpConfig cfg);
+
+}  // namespace hpsum::engine

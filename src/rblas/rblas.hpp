@@ -21,9 +21,11 @@
 #include <span>
 #include <vector>
 
+#include "backends/accumulators.hpp"
 #include "core/dot.hpp"
 #include "core/hp_fixed.hpp"
 #include "core/reduce.hpp"
+#include "engine/engine.hpp"
 #include "util/omp_fence.hpp"
 
 namespace hpsum::rblas {
@@ -108,7 +110,12 @@ void gemv(std::size_t m, std::size_t n, std::span<const double> a,
 
 template <int N, int K>
 double sum_parallel(std::span<const double> x, int threads) {
-  std::vector<HpFixed<N, K>> partials(static_cast<std::size_t>(threads));
+  // Thread t's slice lands in engine lane t; drain() merges lanes in
+  // thread-id order — the same partial/merge sequence as the historical
+  // explicit partials vector, so the result stays bit-identical to sum()
+  // while the running total is live-snapshot-able through the engine.
+  engine::ShardSet<backends::HpSum<N, K>> sink(
+      static_cast<std::size_t>(threads));
   util::OmpRegionFence fence;
   int team = threads;
 #pragma omp parallel num_threads(threads)
@@ -116,21 +123,17 @@ double sum_parallel(std::span<const double> x, int threads) {
     const auto t = static_cast<std::size_t>(omp_get_thread_num());
     if (t == 0) team = omp_get_num_threads();
     const auto p = static_cast<std::size_t>(threads);
-    HpFixed<N, K> local;
     // Contiguous slices, like backends::partition.
     const std::size_t base = x.size() / p;
     const std::size_t extra = x.size() % p;
     const std::size_t begin = t * base + std::min(t, extra);
     const std::size_t len = base + (t < extra ? 1 : 0);
-    local.accumulate(x.subspan(begin, len));
-    partials[t] = local;
-    // TSan-visible edge from the partials[t] write to the merge below.
+    sink.shard(t).deposit(x.subspan(begin, len));
+    // TSan-visible edge from the shard-lane write to the drain below.
     fence.arrive();
   }
   fence.wait(team);
-  HpFixed<N, K> total;
-  for (const auto& p : partials) total += p;
-  return total.to_double();
+  return sink.drain().result();
 }
 
 }  // namespace hpsum::rblas

@@ -123,6 +123,11 @@ enum class Counter : std::uint16_t {
   kPhisimOffloads,
   kPhisimBytesUploaded,
   kPhisimBusyNs,
+  // engine — sharded deposit sinks (src/engine ShardSet).
+  kEngineSnapshots,        ///< snapshot()/drain()/checkpoint() merge passes
+  kEngineSnapshotRetries,  ///< torn-shard seqlock re-reads during merges
+  kEngineShardsRegistered, ///< shard slots created (fixed lanes + handles)
+  kEngineShardsRetired,    ///< dynamic shards folded into the retired total
   // trace — the telemetry layer watching itself.
   kFlightDropped,         ///< flight-recorder records overwritten (ring wrap)
   kCount  ///< sentinel, keep last
@@ -142,6 +147,7 @@ enum class Hist : std::uint16_t {
   kReduceLatencyNs,         ///< wall nanoseconds per reduce_hp call
   kAtomicCasRetriesPerAdd,  ///< failed CAS attempts within one HpAtomic add
   kMpisimMsgBytes,          ///< payload bytes per mpisim message
+  kEngineSnapshotLatencyUs, ///< microseconds per engine ShardSet merge pass
   kCount  ///< sentinel, keep last
 };
 

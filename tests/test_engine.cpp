@@ -1,0 +1,323 @@
+// engine — sharded deposit sinks, epoch snapshots, checkpoint/restore.
+//
+// The load-bearing test is SnapshotsEqualPrefixOracleUnderLoad: depositor
+// threads stream a constant whose integer part acts as a deposit counter,
+// so every concurrent snapshot self-describes how many deposits it folded
+// — and must then be bit-equal to the sequential prefix sum with that
+// count. That is the engine's whole contract (live snapshots are exact,
+// not approximately current), and it runs TSan-clean in the full-suite
+// tsan CI job.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "backends/accumulators.hpp"
+#include "backends/scaling.hpp"
+#include "core/reduce.hpp"
+#include "trace/trace.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace hpsum;
+using engine::DynSum;
+using engine::ShardSet;
+
+std::vector<double> mixed_stream(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256ss rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back((rng.uniform01() - 0.5) * 1e6);
+  }
+  return xs;
+}
+
+TEST(Engine, DrainMatchesSequentialReferenceAcrossLaneCounts) {
+  const HpConfig cfg{6, 3};
+  const auto xs = mixed_stream(40'000, 42);
+  const HpDyn reference = reduce_hp(xs, cfg);
+  for (const std::size_t lanes : {1u, 2u, 3u, 7u, 16u}) {
+    ShardSet<DynSum> sink(lanes, DynSum(cfg));
+    const auto slices = backends::partition(xs, static_cast<int>(lanes));
+    for (std::size_t t = 0; t < lanes; ++t) {
+      sink.shard(t).deposit(slices[t]);
+    }
+    const DynSum total = sink.drain();
+    EXPECT_EQ(total.hp, reference) << lanes << " lanes";
+    EXPECT_EQ(total.hp.status(), reference.status());
+  }
+}
+
+TEST(Engine, StickyStatusSurvivesShardingAndSnapshot) {
+  // 2^-200 is far below HP(4,2)'s fraction resolution: every deposit of
+  // it must raise kInexact, and the flag must survive the shard merge.
+  const HpConfig cfg{4, 2};
+  std::vector<double> xs = mixed_stream(1'000, 7);
+  xs.push_back(std::ldexp(1.0, -200));
+  const HpDyn reference = reduce_hp(xs, cfg);
+  ASSERT_TRUE(has(reference.status(), HpStatus::kInexact));
+
+  ShardSet<DynSum> sink(3, DynSum(cfg));
+  const auto slices = backends::partition(xs, 3);
+  for (std::size_t t = 0; t < 3; ++t) sink.shard(t).deposit(slices[t]);
+  const DynSum snap = sink.snapshot();
+  EXPECT_EQ(snap.hp, reference);
+  EXPECT_EQ(snap.hp.status(), reference.status());
+}
+
+TEST(Engine, LocalReduceIsTheSequentialReference) {
+  const HpConfig cfg{6, 3};
+  const auto xs = mixed_stream(10'000, 11);
+  const HpDyn v = engine::local_reduce(xs, cfg);
+  const HpDyn reference = reduce_hp(xs, cfg);
+  EXPECT_EQ(v, reference);
+  EXPECT_EQ(v.status(), reference.status());
+}
+
+TEST(Engine, TriviallyCopyableCodecRoundTripsThroughSnapshot) {
+  // DoubleSum exercises the default object-representation codec.
+  ShardSet<backends::DoubleSum> sink(2);
+  sink.shard(0).deposit(std::ldexp(1.0, -30));
+  sink.shard(1).deposit(2.5);
+  const backends::DoubleSum snap = sink.snapshot();
+  EXPECT_EQ(snap.result(), std::ldexp(1.0, -30) + 2.5);
+}
+
+TEST(Engine, SnapshotsEqualPrefixOracleUnderLoad) {
+  // v = 1 + 2^-40: exactly representable in double and HP(4,2), and a
+  // total of M deposits has integer part exactly M — the monotone deposit
+  // counter embedded in the stream.
+  const HpConfig cfg{4, 2};
+  const double v = 1.0 + std::ldexp(1.0, -40);
+  constexpr std::size_t kWriters = 4;
+  constexpr std::size_t kPerWriter = 8'000;
+  constexpr std::size_t kTotal = kWriters * kPerWriter;
+  constexpr std::size_t kReaders = 2;
+
+  std::vector<HpDyn> prefix;
+  prefix.reserve(kTotal + 1);
+  HpDyn acc(cfg);
+  prefix.push_back(acc);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    acc += v;
+    prefix.push_back(acc);
+  }
+  ASSERT_EQ(prefix[kTotal].status(), HpStatus::kOk);
+  ASSERT_EQ(prefix[kTotal].limbs()[1], kTotal);  // low integer limb == M
+
+  ShardSet<DynSum> sink(kWriters, DynSum(cfg));
+  std::atomic<int> writers_done{0};
+  std::atomic<std::uint64_t> snapshots_taken{0};
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&, w] {
+        auto lane = sink.shard(w);
+        for (std::size_t i = 0; i < kPerWriter; ++i) lane.deposit(v);
+        writers_done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    for (std::size_t r = 0; r < kReaders; ++r) {
+      threads.emplace_back([&] {
+        std::uint64_t last_m = 0;
+        while (true) {
+          const bool done =
+              writers_done.load(std::memory_order_acquire) == kWriters;
+          const DynSum snap = sink.snapshot();
+          snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t m = snap.hp.limbs()[1];
+          ASSERT_LE(m, kTotal);
+          ASSERT_GE(m, last_m);  // per-reader monotone deposit counter
+          last_m = m;
+          ASSERT_EQ(snap.hp, prefix[m]);
+          ASSERT_EQ(snap.hp.status(), HpStatus::kOk);
+          if (done) break;
+        }
+      });
+    }
+  }
+  EXPECT_GE(snapshots_taken.load(), kReaders);
+  const DynSum final_snap = sink.snapshot();
+  EXPECT_EQ(final_snap.hp, prefix[kTotal]);
+}
+
+TEST(Engine, RetiredShardsStayInTheTotal) {
+  const HpConfig cfg{6, 3};
+  const auto xs = mixed_stream(9'000, 99);
+  const HpDyn reference = reduce_hp(xs, cfg);
+
+  // One permanent lane plus three dynamic shards that register, deposit a
+  // slice, and retire — their partials must persist in every later
+  // snapshot via the retired total.
+  ShardSet<DynSum> sink(1, DynSum(cfg));
+  const auto slices = backends::partition(xs, 4);
+  {
+    std::vector<std::jthread> threads;
+    for (std::size_t t = 0; t < 3; ++t) {
+      threads.emplace_back([&, t] {
+        auto handle = sink.register_shard();
+        handle.shard().deposit(slices[t + 1]);
+      });  // handle retires here, on the depositor thread
+    }
+  }
+  sink.shard(0).deposit(slices[0]);
+  const DynSum snap = sink.snapshot();
+  EXPECT_EQ(snap.hp, reference);
+  EXPECT_EQ(snap.hp.status(), reference.status());
+}
+
+TEST(Engine, CheckpointRestoresAcrossDifferentShardCounts) {
+  const HpConfig cfg{6, 3};
+  auto xs = mixed_stream(20'000, 3);
+  xs[100] = std::ldexp(1.0, -250);  // raises kInexact in HP(6,3)
+  const std::size_t half = xs.size() / 2;
+  const std::span<const double> first(xs.data(), half);
+  const std::span<const double> second(xs.data() + half, xs.size() - half);
+  const HpDyn uninterrupted = reduce_hp(xs, cfg);
+  const HpDyn at_half = reduce_hp(first, cfg);
+  ASSERT_TRUE(has(at_half.status(), HpStatus::kInexact));
+
+  ShardSet<DynSum> source(3, DynSum(cfg));
+  const auto slices = backends::partition(first, 3);
+  for (std::size_t t = 0; t < 3; ++t) source.shard(t).deposit(slices[t]);
+  const std::vector<std::byte> ckpt = source.checkpoint();
+
+  // Restore into a wider and a narrower set: the merged totals must be
+  // bit-identical (limbs AND sticky status) despite the redistribution.
+  for (const std::size_t lanes : {5u, 1u}) {
+    ShardSet<DynSum> restored(lanes, DynSum(cfg));
+    restored.restore(ckpt);
+    const DynSum snap = restored.snapshot();
+    EXPECT_EQ(snap.hp, at_half) << lanes << " lanes";
+    EXPECT_EQ(snap.hp.status(), at_half.status());
+  }
+
+  // Resume on the wider set: checkpoint + remaining deposits must equal
+  // the uninterrupted reduction.
+  ShardSet<DynSum> resumed(5, DynSum(cfg));
+  resumed.restore(ckpt);
+  const auto rest = backends::partition(second, 5);
+  for (std::size_t t = 0; t < 5; ++t) resumed.shard(t).deposit(rest[t]);
+  const DynSum total = resumed.drain();
+  EXPECT_EQ(total.hp, uninterrupted);
+  EXPECT_EQ(total.hp.status(), uninterrupted.status());
+}
+
+TEST(Engine, FixedFormatAccumulatorsCheckpointToo) {
+  const auto xs = mixed_stream(6'000, 21);
+  ShardSet<backends::HpSum<6, 3>> source(2);
+  const auto slices = backends::partition(xs, 2);
+  source.shard(0).deposit(slices[0]);
+  source.shard(1).deposit(slices[1]);
+  const auto ckpt = source.checkpoint();
+
+  ShardSet<backends::HpSum<6, 3>> restored(3);
+  restored.restore(ckpt);
+  const HpDyn reference = reduce_hp(xs, HpConfig{6, 3});
+  const auto snap = restored.snapshot();
+  EXPECT_EQ(engine::to_dyn(snap), reference);
+
+  // A set with a different compile-time format must refuse the frames.
+  ShardSet<backends::HpSum<4, 2>> wrong(2);
+  EXPECT_THROW(wrong.restore(ckpt), std::invalid_argument);
+}
+
+TEST(Engine, MalformedCheckpointsAreRejected) {
+  const HpConfig cfg{6, 3};
+  ShardSet<DynSum> sink(2, DynSum(cfg));
+  sink.shard(0).deposit(1.5);
+  std::vector<std::byte> ckpt = sink.checkpoint();
+
+  ShardSet<DynSum> target(2, DynSum(cfg));
+  {
+    auto bad = ckpt;
+    bad[0] = std::byte{'X'};
+    EXPECT_THROW(target.restore(bad), std::invalid_argument);
+  }
+  {
+    auto bad = ckpt;
+    bad[2] = std::byte{9};  // unsupported version
+    EXPECT_THROW(target.restore(bad), std::invalid_argument);
+  }
+  {
+    auto bad = ckpt;
+    bad.resize(bad.size() - 3);  // truncated frame
+    EXPECT_THROW(target.restore(bad), std::invalid_argument);
+  }
+  {
+    auto bad = ckpt;
+    bad.push_back(std::byte{0});  // trailing bytes
+    EXPECT_THROW(target.restore(bad), std::invalid_argument);
+  }
+  // A format-mismatched but well-formed checkpoint is also refused.
+  ShardSet<DynSum> narrow(2, DynSum(HpConfig{4, 2}));
+  EXPECT_THROW(narrow.restore(ckpt), std::invalid_argument);
+}
+
+TEST(Engine, DrainResetsForReuse) {
+  const HpConfig cfg{6, 3};
+  ShardSet<DynSum> sink(2, DynSum(cfg));
+  sink.shard(0).deposit(1.0);
+  sink.shard(1).deposit(2.0);
+  const DynSum first = sink.drain();
+  EXPECT_EQ(first.result(), 3.0);
+
+  // After drain the set is empty again — both via snapshot and via a
+  // fresh accumulate/drain cycle.
+  EXPECT_EQ(sink.snapshot().result(), 0.0);
+  sink.shard(0).deposit(5.0);
+  EXPECT_EQ(sink.drain().result(), 5.0);
+
+  sink.shard(1).deposit(7.0);
+  sink.reset();
+  EXPECT_EQ(sink.snapshot().result(), 0.0);
+}
+
+TEST(Engine, ZeroLanesIsRejected) {
+  EXPECT_THROW(ShardSet<backends::DoubleSum> sink(0), std::invalid_argument);
+}
+
+TEST(Engine, FramingRoundTripsAndCountsAreExact) {
+  const HpConfig cfg{4, 2};
+  std::vector<HpDyn> frames;
+  frames.emplace_back(cfg, 1.25);
+  frames.emplace_back(cfg, -3.0);
+  frames.back().or_status(HpStatus::kInexact);
+  const auto bytes = engine::frame_checkpoint(frames);
+  const auto back = engine::unframe_checkpoint(bytes);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], frames[0]);
+  EXPECT_EQ(back[1], frames[1]);
+  EXPECT_EQ(back[1].status(), HpStatus::kInexact);
+
+  const auto empty = engine::unframe_checkpoint(
+      engine::frame_checkpoint(std::vector<HpDyn>{}));
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(Engine, TraceCountersTrackLifecycle) {
+  if (!trace::enabled()) GTEST_SKIP() << "trace compiled out";
+  const auto before = trace::snapshot();
+  {
+    ShardSet<backends::DoubleSum> sink(2);
+    sink.shard(0).deposit(1.0);
+    auto handle = sink.register_shard();
+    handle.shard().deposit(2.0);
+    (void)sink.snapshot();
+  }  // handle retires before the set dies
+  const auto after = trace::snapshot();
+  const auto d = after.delta_since(before);
+  EXPECT_GE(d.value(trace::Counter::kEngineShardsRegistered), 3u);
+  EXPECT_GE(d.value(trace::Counter::kEngineShardsRetired), 1u);
+  EXPECT_GE(d.value(trace::Counter::kEngineSnapshots), 1u);
+  EXPECT_GE(d.hist(trace::Hist::kEngineSnapshotLatencyUs).count, 1u);
+}
+
+}  // namespace

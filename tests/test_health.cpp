@@ -31,15 +31,16 @@ HealthLevel level_of(const trace::Snapshot& s, std::string_view name) {
   return ind ? ind->level : HealthLevel::kNotApplicable;
 }
 
-TEST(Health, CatalogHasFiveRulesInStableOrder) {
-  EXPECT_EQ(audit::health_rule_count(), 5u);
+TEST(Health, CatalogHasSixRulesInStableOrder) {
+  EXPECT_EQ(audit::health_rule_count(), 6u);
   const audit::HealthReport report = audit::evaluate_health(trace::Snapshot{});
-  ASSERT_EQ(report.indicators.size(), 5u);
+  ASSERT_EQ(report.indicators.size(), 6u);
   EXPECT_EQ(report.indicators[0].name, "scatter.fast_path_coverage");
   EXPECT_EQ(report.indicators[1].name, "simd.vector_coverage");
   EXPECT_EQ(report.indicators[2].name, "atomic.cas_retry_rate");
   EXPECT_EQ(report.indicators[3].name, "status.raise_rate");
   EXPECT_EQ(report.indicators[4].name, "mpisim.wire_compression");
+  EXPECT_EQ(report.indicators[5].name, "snapshot.retry_rate");
 }
 
 TEST(Health, EmptySnapshotIsAllNotApplicable) {
@@ -176,7 +177,7 @@ TEST(Health, JsonCarriesVersionOverallAndEveryRule) {
   for (const char* name :
        {"scatter.fast_path_coverage", "simd.vector_coverage",
         "atomic.cas_retry_rate", "status.raise_rate",
-        "mpisim.wire_compression"}) {
+        "mpisim.wire_compression", "snapshot.retry_rate"}) {
     EXPECT_NE(json.find(name), std::string::npos) << name;
   }
   EXPECT_NE(json.find("\"level\": \"n/a\""), std::string::npos);

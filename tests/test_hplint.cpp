@@ -98,6 +98,7 @@ TEST(HplintScope, RawTelemetryCoversInstrumentedPlanes) {
   // probes too; their sanctioned printers carry L9 allow annotations.
   EXPECT_TRUE(lint::scope_for_path("src/mpisim/mpisim.cpp").l5);
   EXPECT_TRUE(lint::scope_for_path("src/audit/health.cpp").l5);
+  EXPECT_TRUE(lint::scope_for_path("src/engine/engine.cpp").l5);
   // src/trace IS the sanctioned sink; backends/sims report via counters but
   // keep their honest measured-wall printing paths out of L5's reach.
   EXPECT_FALSE(lint::scope_for_path("src/trace/trace.cpp").l5);
@@ -554,6 +555,7 @@ TEST(HplintFixtures, RawStringFixtureIsClean) {
 TEST(HplintScope, StatusEscapeCoversSrcOnly) {
   EXPECT_TRUE(lint::scope_for_path("src/rblas/rblas.cpp").l7);
   EXPECT_TRUE(lint::scope_for_path("src/core/hp_dyn.cpp").l7);
+  EXPECT_TRUE(lint::scope_for_path("src/engine/engine.hpp").l7);
   EXPECT_FALSE(lint::scope_for_path("bench/fig6_mpi.cpp").l7);
   EXPECT_FALSE(lint::scope_for_path("examples/quickstart.cpp").l7);
 }
@@ -562,6 +564,7 @@ TEST(HplintScope, MemoryOrderCoversTheConcurrentSurface) {
   EXPECT_TRUE(lint::scope_for_path("src/core/hp_atomic.hpp").l8);
   EXPECT_TRUE(lint::scope_for_path("src/trace/flight.cpp").l8);
   EXPECT_TRUE(lint::scope_for_path("src/cudasim/cudasim.cpp").l8);
+  EXPECT_TRUE(lint::scope_for_path("src/engine/engine.hpp").l8);
   EXPECT_FALSE(lint::scope_for_path("src/util/limbs.hpp").l8);
   EXPECT_FALSE(lint::scope_for_path("bench/ablate_block.cpp").l8);
 }

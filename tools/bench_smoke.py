@@ -27,6 +27,18 @@ bench/BENCH_block.json:
     path's bar on the scalar kernel's branch-predictor best case; pass 0
     on scalar-only builds, where same-sign parity is expected).
 
+engine gate (opt-in via --engine) — runs bench/ablate_shards, which
+re-times the chunked HP(6,3) deposit loop through an engine lane against
+the direct accumulator it replaced (PR 10 routed every parallel driver
+through engine::ShardSet):
+
+  * overhead_ratio (engine ns/add / direct ns/add, median of --runs) must
+    stay at or below --engine-ceiling (default 1.05 — the refactor's
+    acceptance bar: the seqlock publish per chunk may cost at most 5%).
+    This gate is same-host and same-build relative, so it needs no
+    checked-in baseline; the bench itself refuses to time a diverging
+    kernel (bit-identity is its precondition).
+
 fig6 gate (opt-in via --fig6) — runs bench/fig6_mpi_scaling on the
 standard lognormal stream (recursive-doubling, sparse wire, multiplexed
 engine, 1024 simulated ranks) and gates the emitted JSON:
@@ -212,6 +224,56 @@ def gate_block(fresh, baseline, tolerance, floor, samesign_floor):
     return failures
 
 
+def run_engine(build_dir, out, n, runs):
+    """Runs bench/ablate_shards `runs` times and keeps the run with the
+    median overhead_ratio (whole document, so the ns fields stay mutually
+    consistent). Returns the surviving document (None on environment
+    errors)."""
+    bench = pathlib.Path(build_dir) / "bench" / "ablate_shards"
+    if not bench.exists():
+        print(f"bench_smoke: {bench} not built", file=sys.stderr)
+        return None
+    docs = []
+    for r in range(runs):
+        run_out = f"{out}.run{r}" if runs > 1 else out
+        cmd = [str(bench), f"--n={n}", "--maxshards=4", f"--json={run_out}"]
+        print("+", " ".join(cmd))
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"bench_smoke: {bench} exited {proc.returncode}",
+                  file=sys.stderr)
+            return None
+        with open(run_out, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        if doc.get("bench") != "ablate_shards" or "overhead_ratio" not in doc:
+            raise ValueError(f"{run_out}: not an ablate_shards document")
+        docs.append(doc)
+    docs.sort(key=lambda d: d["overhead_ratio"])
+    doc = docs[len(docs) // 2]
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    if runs > 1:
+        print(f"  median of {runs} runs -> {out}")
+    return doc
+
+
+def gate_engine(fresh, ceiling):
+    """The engine-routed deposit loop must stay within `ceiling` of the
+    direct accumulator path it replaced."""
+    failures = []
+    ratio = fresh.get("overhead_ratio", float("inf"))
+    verdict = "ok" if ratio <= ceiling else "REGRESSION"
+    print(f"  engine/direct overhead_ratio {ratio:6.3f}x  "
+          f"(ceiling {ceiling:.2f}x)  {verdict}")
+    if ceiling > 0 and ratio > ceiling:
+        failures.append(
+            f"engine: overhead_ratio {ratio:.3f}x exceeds the "
+            f"{ceiling:.2f}x ceiling — the ShardSet deposit path got "
+            f"slower than the direct accumulator it replaced")
+    return failures
+
+
 def run_fig6(build_dir, out, n, maxp):
     """Runs the fig6 scaling bench in the gate configuration (lognormal,
     recursive doubling, sparse wire, multiplexed engine) and returns its
@@ -379,7 +441,20 @@ def selftest(tolerance):
           f"{'FAIL' if clean_fig6 else 'PASS'}")
     ok += 0 if clean_fig6 else 1
 
-    total = 12
+    # 11-12. The engine gate: an overhead ratio above the ceiling must
+    # fail naming overhead_ratio; a within-ceiling document must pass.
+    eng = {"bench": "ablate_shards", "direct_ns_per_add": 2.5,
+           "engine_ns_per_add": 2.55, "overhead_ratio": 1.02}
+    slow_eng = copy.deepcopy(eng)
+    slow_eng["overhead_ratio"] = 1.31
+    check("engine overhead ceiling", gate_engine(slow_eng, 1.05),
+          "overhead_ratio")
+    clean_eng = gate_engine(copy.deepcopy(eng), 1.05)
+    print(f"  selftest [engine clean pass]: "
+          f"{'FAIL' if clean_eng else 'PASS'}")
+    ok += 0 if clean_eng else 1
+
+    total = 14
     if ok != total:
         print(f"bench_smoke --selftest: FAIL ({ok}/{total})", file=sys.stderr)
         return 1
@@ -415,6 +490,18 @@ def main():
     ap.add_argument("--block-samesign-floor", type=float, default=1.3,
                     help="hard minimum for the worse same-sign block stream "
                          "(0 disables; use 0 on HPSUM_SIMD=OFF builds)")
+    ap.add_argument("--engine", action="store_true",
+                    help="also run the engine gate (ablate_shards: the "
+                         "ShardSet deposit loop vs the direct accumulator)")
+    ap.add_argument("--engine-ceiling", type=float, default=1.05,
+                    help="hard maximum for the engine/direct overhead ratio "
+                         "(0 disables)")
+    ap.add_argument("--engine-out", default="BENCH_engine.json",
+                    help="where to write the fresh engine measurement")
+    ap.add_argument("--engine-n", type=int, default=2_000_000,
+                    help="summands for the engine gate run (larger than "
+                         "--n: the compared paths differ by nanoseconds, "
+                         "so short streams drown the ratio in noise)")
     ap.add_argument("--fig6", action="store_true",
                     help="also run the fig6 mpisim gate (sparse wire "
                          "compression + HP rank-count invariance)")
@@ -465,6 +552,14 @@ def main():
     failures += gate_block(fresh, load(args.block_baseline, "ablate_block"),
                            args.tolerance, args.block_floor,
                            args.block_samesign_floor)
+
+    if args.engine:
+        print("engine gate (ablate_shards):")
+        fresh = run_engine(args.build_dir, args.engine_out, args.engine_n,
+                           args.runs)
+        if fresh is None:
+            return 2
+        failures += gate_engine(fresh, args.engine_ceiling)
 
     if args.fig6:
         print("fig6 gate (fig6_mpi_scaling):")

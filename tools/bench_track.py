@@ -27,6 +27,10 @@ Entry schema (version 1):
   block.gate_speedup, block.samesign_min_speedup, block.simd
   mpi.wire_ratio  raw/encoded bytes at the largest rank count
   mpi.max_ranks, mpi.algo, mpi.wire, mpi.mode
+  engine.overhead_ratio, engine.max_deposits_per_s   (optional section,
+                  present when bench/BENCH_engine.json was produced by the
+                  run — the ShardSet deposit path vs the direct
+                  accumulator; entries predating the engine omit it)
 
 Exit status: 0 on success, 1 on schema/validation failure, 2 on usage
 errors (missing inputs).
@@ -67,7 +71,7 @@ def distill(bench_dir, label, date):
     top = max(points, key=lambda p: p.get("ranks", 0)) if points else {}
     raw = top.get("hp_wire_raw_bytes", 0)
     enc = top.get("hp_wire_encoded_bytes", 0)
-    return {
+    entry = {
         "label": label,
         "date": date,
         "scatter": {
@@ -87,6 +91,18 @@ def distill(bench_dir, label, date):
             "mode": mpi.get("mode"),
         },
     }
+    # Optional: the engine ablation exists only for runs that exercised the
+    # --engine bench-smoke gate (PR 10 onward); older runs simply omit it.
+    engine_path = bench_dir / "BENCH_engine.json"
+    if engine_path.exists():
+        engine = load_json(engine_path)
+        rates = [p.get("deposits_per_s", 0)
+                 for p in engine.get("points", [])]
+        entry["engine"] = {
+            "overhead_ratio": engine.get("overhead_ratio"),
+            "max_deposits_per_s": max(rates) if rates else None,
+        }
+    return entry
 
 
 def validate(doc, failures):
@@ -141,6 +157,14 @@ def validate(doc, failures):
             if ratio is not None and not positive_number(ratio):
                 failures.append(f"{where}: mpi.wire_ratio is not positive: "
                                 f"{ratio!r}")
+        engine = e.get("engine")  # optional: absent before PR 10
+        if engine is not None:
+            if not isinstance(engine, dict):
+                failures.append(f"{where}: 'engine' section is not an object")
+            elif not positive_number(engine.get("overhead_ratio")):
+                failures.append(
+                    f"{where}: engine.overhead_ratio is not a positive "
+                    f"number: {engine.get('overhead_ratio')!r}")
 
 
 def load_trajectory(path):
@@ -211,14 +235,16 @@ def cmd_show(args):
         return fail(f"{path} does not exist")
     doc = load_json(path)
     print(f"{'label':14s} {'date':26s} {'scatter':>8s} {'block':>8s} "
-          f"{'samesign':>9s} {'wire':>6s}")
+          f"{'samesign':>9s} {'wire':>6s} {'engine':>7s}")
     for e in doc.get("entries", []):
         ratio = e.get("mpi", {}).get("wire_ratio")
+        eng = (e.get("engine") or {}).get("overhead_ratio")
         print(f"{e.get('label', '?'):14s} {e.get('date', '?'):26s} "
               f"{e.get('scatter', {}).get('min_speedup', 0):>8.3f} "
               f"{e.get('block', {}).get('gate_speedup', 0):>8.3f} "
               f"{e.get('block', {}).get('samesign_min_speedup', 0):>9.3f} "
-              f"{ratio if ratio is not None else float('nan'):>6.2f}")
+              f"{ratio if ratio is not None else float('nan'):>6.2f} "
+              f"{eng if eng is not None else float('nan'):>7.3f}")
     return 0
 
 

@@ -890,13 +890,14 @@ RuleScope scope_for_path(std::string_view path) noexcept {
   s.l3 = true;  // discarding a status mask is wrong everywhere we scan
   s.l4 = path_contains(path, "src/");
   // L5 covers the kernel directory plus the instrumented planes that feed
-  // the pulse stream (src/mpisim, src/audit): bench/examples print by
-  // design, and src/trace IS the sanctioned telemetry sink. Legitimate
-  // exceptions (e.g. the audit reporters' own output paths) are ledgered
-  // via L9 allow annotations, not scoped out wholesale.
+  // the pulse stream (src/mpisim, src/audit, src/engine): bench/examples
+  // print by design, and src/trace IS the sanctioned telemetry sink.
+  // Legitimate exceptions (e.g. the audit reporters' own output paths) are
+  // ledgered via L9 allow annotations, not scoped out wholesale.
   s.l5 = path_contains(path, "src/core") ||
          path_contains(path, "src/mpisim") ||
-         path_contains(path, "src/audit");
+         path_contains(path, "src/audit") ||
+         path_contains(path, "src/engine");
   // L6 bans calling the kernel bodies anywhere in src/ EXCEPT their one
   // home (src/core/hp_kernel.*) and the limb primitives they sit on.
   s.l6 = path_contains(path, "src/") &&
@@ -906,9 +907,11 @@ RuleScope scope_for_path(std::string_view path) noexcept {
   // bench/tests deliberately poke the raw kernels.
   s.l7 = path_contains(path, "src/");
   // L8: the concurrent surface — where a defaulted order is a silent
-  // seq_cst (perf) or a wrong relaxed (correctness) nobody reviews.
+  // seq_cst (perf) or a wrong relaxed (correctness) nobody reviews. The
+  // engine's shard seqlock is exactly such a surface.
   s.l8 = path_contains(path, "src/core") || path_contains(path, "src/trace") ||
-         path_contains(path, "src/cudasim");
+         path_contains(path, "src/cudasim") ||
+         path_contains(path, "src/engine");
   s.l9 = true;  // annotations are policed wherever they appear
   return s;
 }

@@ -60,6 +60,10 @@ HEALTH_RULES = [
      ["mpisim.wire.encoded_bytes"],
      ["mpisim.wire.raw_bytes"],
      0.50, 0.90, False, True),
+    ("snapshot.retry_rate",
+     ["engine.snapshot.retries"],
+     ["engine.snapshot.count"],
+     0.50, 2.00, False, False),
 ]
 
 LEVEL_COLORS = {"ok": "\x1b[32m", "warn": "\x1b[33m", "fail": "\x1b[31m",
